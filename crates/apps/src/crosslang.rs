@@ -1,0 +1,177 @@
+//! Cross-language retrieval (§5.4, Landauer & Littman).
+//!
+//! "The original term-document matrix is formed using a collection of
+//! abstracts that have versions in more than one language ... Each
+//! abstract is treated as the combination of its French-English
+//! versions. ... After this analysis, monolingual abstracts can be
+//! folded-in ... Queries in either French or English can be matched to
+//! French or English abstracts. There is no difficult translation
+//! involved."
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::bilingual::BilingualCorpus;
+use lsi_text::Corpus;
+
+/// A cross-language retrieval system: an LSI space trained on combined
+/// dual-language documents, with monolingual documents folded in.
+pub struct CrossLanguageLsi {
+    /// The underlying model (training docs + folded monolingual docs).
+    pub model: LsiModel,
+    /// Number of training (combined) documents; folded-in monolingual
+    /// documents have indices at or above this.
+    pub n_training: usize,
+}
+
+impl CrossLanguageLsi {
+    /// Train on the combined corpus and fold in both monolingual
+    /// holdout sets (English first, then French).
+    pub fn build(data: &BilingualCorpus, options: &LsiOptions) -> lsi_core::Result<Self> {
+        let (mut model, _) = LsiModel::build(&data.training, options)?;
+        let n_training = model.n_docs();
+        model.fold_in_documents(&data.holdout_english)?;
+        model.fold_in_documents(&data.holdout_french)?;
+        Ok(CrossLanguageLsi { model, n_training })
+    }
+
+    /// Rank only the folded-in monolingual documents for a query,
+    /// returning `(model doc index, cosine)` best-first.
+    pub fn rank_monolingual(&self, query: &str) -> lsi_core::Result<Vec<(usize, f64)>> {
+        let ranked = self.model.query(query)?;
+        Ok(ranked
+            .matches
+            .into_iter()
+            .filter(|m| m.doc >= self.n_training)
+            .map(|m| (m.doc, m.cosine))
+            .collect())
+    }
+}
+
+/// The translate-then-search baseline the paper compares against
+/// ("as effective as first translating the queries into French and
+/// searching a French-only database"): since the synthetic vocabularies
+/// are concept-aligned (`enX` ↔ `frX`), translation is exact.
+pub fn translate_query(query: &str, to_french: bool) -> String {
+    query
+        .split_whitespace()
+        .map(|t| {
+            if to_french {
+                t.replace("en", "fr")
+            } else {
+                t.replace("fr", "en")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A monolingual (single-language) LSI system over one holdout set —
+/// the baseline target for translated queries.
+pub fn monolingual_model(
+    docs: &Corpus,
+    options: &LsiOptions,
+) -> lsi_core::Result<LsiModel> {
+    Ok(LsiModel::build(docs, options)?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_corpora::bilingual::BilingualOptions;
+    use lsi_text::{ParsingRules, TermWeighting};
+
+    fn options() -> LsiOptions {
+        LsiOptions {
+            k: 12,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::log_entropy(),
+            svd_seed: 9,
+        }
+    }
+
+    fn accuracy_of_crosslang(
+        system: &CrossLanguageLsi,
+        data: &BilingualCorpus,
+        queries: &[String],
+        target_french: bool,
+    ) -> f64 {
+        // For each topic query, check that the top-ranked monolingual
+        // document in the *other* language has the query's topic.
+        let mut correct = 0usize;
+        for (topic, q) in queries.iter().enumerate() {
+            let ranked = system.rank_monolingual(q).unwrap();
+            let top = ranked
+                .iter()
+                .find(|(d, _)| {
+                    let local = d - system.n_training;
+                    let is_french = local >= data.holdout_english.len();
+                    is_french == target_french
+                })
+                .expect("some document of the target language");
+            let local = top.0 - system.n_training;
+            let holdout_idx = if target_french {
+                local - data.holdout_english.len()
+            } else {
+                local
+            };
+            if data.holdout_topics[holdout_idx] == topic {
+                correct += 1;
+            }
+        }
+        correct as f64 / queries.len() as f64
+    }
+
+    #[test]
+    fn english_queries_retrieve_french_documents() {
+        let data = BilingualCorpus::generate(&BilingualOptions::default());
+        let system = CrossLanguageLsi::build(&data, &options()).unwrap();
+        let acc = accuracy_of_crosslang(&system, &data, &data.queries_english, true);
+        assert!(
+            acc >= 0.8,
+            "cross-language retrieval accuracy {acc} too low"
+        );
+    }
+
+    #[test]
+    fn french_queries_retrieve_english_documents() {
+        let data = BilingualCorpus::generate(&BilingualOptions::default());
+        let system = CrossLanguageLsi::build(&data, &options()).unwrap();
+        let acc = accuracy_of_crosslang(&system, &data, &data.queries_french, false);
+        assert!(acc >= 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn comparable_to_translate_then_search() {
+        // The paper: the multilingual space "was as effective as first
+        // translating the queries".
+        let data = BilingualCorpus::generate(&BilingualOptions::default());
+        let system = CrossLanguageLsi::build(&data, &options()).unwrap();
+        let cross_acc = accuracy_of_crosslang(&system, &data, &data.queries_english, true);
+
+        // Baseline: translate English queries to French, search a
+        // French-only model.
+        let french_model = monolingual_model(&data.holdout_french, &options()).unwrap();
+        let mut correct = 0usize;
+        for (topic, q) in data.queries_english.iter().enumerate() {
+            let translated = translate_query(q, true);
+            let ranked = french_model.query(&translated).unwrap();
+            let top = ranked.matches[0].doc;
+            if data.holdout_topics[top] == topic {
+                correct += 1;
+            }
+        }
+        let baseline_acc = correct as f64 / data.queries_english.len() as f64;
+        assert!(
+            cross_acc >= baseline_acc - 0.2,
+            "cross {cross_acc} should be comparable to translated baseline {baseline_acc}"
+        );
+    }
+
+    #[test]
+    fn translate_query_swaps_vocabulary() {
+        assert_eq!(translate_query("en3 en17", true), "fr3 fr17");
+        assert_eq!(translate_query("fr3", false), "en3");
+    }
+}

@@ -1,0 +1,31 @@
+//! Applications of LSI (§5 of the paper): retrieval is the core, but
+//! "the fact that both terms and documents are represented in the same
+//! reduced-dimension space adds another dimension of flexibility"
+//! (§5.4). Each module is one of the paper's applications, built on
+//! `lsi-core`:
+//!
+//! * [`feedback`] — relevance feedback (§5.1): replace the query with
+//!   relevant documents' vectors.
+//! * [`filtering`] — information filtering / selective dissemination
+//!   (§5.3): standing interest profiles matched against a stream.
+//! * [`crosslang`] — cross-language retrieval (§5.4, Landauer &
+//!   Littman): a combined-language space, monolingual folding-in.
+//! * [`synonym`] — the TOEFL synonym test (§5.4, Landauer & Dumais).
+//! * [`noisy`] — retrieval from corrupted text (§5.4, Nielsen et al.).
+//! * [`spelling`] — n-gram spelling correction (§5.4, Kukich).
+//! * [`reviewers`] — automatic reviewer assignment (§5.4, Dumais &
+//!   Nielsen): LSI similarities under p-reviews-per-paper /
+//!   r-papers-per-reviewer constraints.
+
+// Index-based loops over parallel arrays are the clearest idiom in
+// numerical kernels; clippy's iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod crosslang;
+pub mod feedback;
+pub mod filtering;
+pub mod noisy;
+pub mod reviewers;
+pub mod spelling;
+pub mod synonym;

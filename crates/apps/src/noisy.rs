@@ -1,0 +1,140 @@
+//! Retrieval from noisy (OCR / pen-machine) input (§5.4, Nielsen et
+//! al.).
+//!
+//! "If there are scanning errors and a word (Dumais) is misspelled (as
+//! Duniais), many of the other words in the document will be spelled
+//! correctly. If these correctly spelled context words also occur in
+//! documents which contained a correctly spelled version ... Even
+//! though the error rates were 8.8% at the word level, information
+//! retrieval performance using LSI was not disrupted."
+
+use std::collections::HashSet;
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::noise::corrupt_corpus;
+use lsi_corpora::SyntheticCorpus;
+use lsi_eval::metrics::average_precision_3pt;
+
+/// Outcome of the clean-vs-noisy comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisyResult {
+    /// Word error rate applied to the documents.
+    pub word_error_rate: f64,
+    /// Mean 3-pt average precision on the clean corpus.
+    pub clean_ap: f64,
+    /// Mean 3-pt average precision on the corrupted corpus.
+    pub noisy_ap: f64,
+}
+
+impl NoisyResult {
+    /// Fractional degradation caused by the noise.
+    pub fn degradation(&self) -> f64 {
+        if self.clean_ap == 0.0 {
+            0.0
+        } else {
+            (self.clean_ap - self.noisy_ap) / self.clean_ap
+        }
+    }
+}
+
+/// Build LSI on the clean and the corrupted versions of the corpus and
+/// evaluate the same (clean) queries against both.
+pub fn compare_clean_vs_noisy(
+    gen: &SyntheticCorpus,
+    options: &LsiOptions,
+    word_error_rate: f64,
+    noise_seed: u64,
+) -> lsi_core::Result<NoisyResult> {
+    let (clean_model, _) = LsiModel::build(&gen.corpus, options)?;
+    let corrupted = corrupt_corpus(&gen.corpus, word_error_rate, noise_seed);
+    let (noisy_model, _) = LsiModel::build(&corrupted, options)?;
+
+    let mut clean_ap = 0.0;
+    let mut noisy_ap = 0.0;
+    for q in &gen.queries {
+        let relevant: HashSet<usize> = q.relevant.iter().copied().collect();
+        let clean_ranking: Vec<usize> = clean_model
+            .query(&q.text)?
+            .matches
+            .iter()
+            .map(|m| m.doc)
+            .collect();
+        let noisy_ranking: Vec<usize> = noisy_model
+            .query(&q.text)?
+            .matches
+            .iter()
+            .map(|m| m.doc)
+            .collect();
+        clean_ap += average_precision_3pt(&clean_ranking, &relevant);
+        noisy_ap += average_precision_3pt(&noisy_ranking, &relevant);
+    }
+    let n = gen.queries.len() as f64;
+    Ok(NoisyResult {
+        word_error_rate,
+        clean_ap: clean_ap / n,
+        noisy_ap: noisy_ap / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_corpora::noise::PAPER_WORD_ERROR_RATE;
+    use lsi_corpora::SyntheticOptions;
+    use lsi_text::{ParsingRules, TermWeighting};
+
+    fn setup() -> (SyntheticCorpus, LsiOptions) {
+        let gen = SyntheticCorpus::generate(&SyntheticOptions {
+            n_topics: 5,
+            docs_per_topic: 10,
+            doc_len: 50,
+            seed: 606,
+            ..Default::default()
+        });
+        let options = LsiOptions {
+            k: 10,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::log_entropy(),
+            svd_seed: 11,
+        };
+        (gen, options)
+    }
+
+    #[test]
+    fn paper_error_rate_does_not_disrupt_retrieval() {
+        let (gen, options) = setup();
+        let r = compare_clean_vs_noisy(&gen, &options, PAPER_WORD_ERROR_RATE, 1).unwrap();
+        assert!(r.clean_ap > 0.5, "clean AP {} suspiciously low", r.clean_ap);
+        assert!(
+            r.degradation() < 0.15,
+            "8.8% word errors should not disrupt LSI: clean {} noisy {} ({}% degradation)",
+            r.clean_ap,
+            r.noisy_ap,
+            r.degradation() * 100.0
+        );
+    }
+
+    #[test]
+    fn extreme_noise_does_degrade() {
+        let (gen, options) = setup();
+        let mild = compare_clean_vs_noisy(&gen, &options, 0.05, 2).unwrap();
+        let severe = compare_clean_vs_noisy(&gen, &options, 0.9, 2).unwrap();
+        assert!(
+            severe.noisy_ap < mild.noisy_ap,
+            "90% corruption ({}) should hurt more than 5% ({})",
+            severe.noisy_ap,
+            mild.noisy_ap
+        );
+    }
+
+    #[test]
+    fn zero_noise_is_identical() {
+        let (gen, options) = setup();
+        let r = compare_clean_vs_noisy(&gen, &options, 0.0, 3).unwrap();
+        assert!((r.clean_ap - r.noisy_ap).abs() < 1e-12);
+        assert_eq!(r.degradation(), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Automatic reviewer assignment (§5.4, Dumais & Nielsen).
+//!
+//! "Several hundred reviewers were described by means of texts they had
+//! written, and this formed the basis of the LSI analysis. Hundreds of
+//! submitted papers were represented by their abstracts, and matched to
+//! the closest reviewers. These LSI similarities along with additional
+//! constraints to insure that each paper was reviewed p times and that
+//! each reviewer received no more than r papers ... were used to assign
+//! papers to reviewers."
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_linalg::vecops;
+use lsi_text::Corpus;
+
+/// A complete assignment: for each paper, its reviewers.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// `reviewers_of[paper]` = reviewer indices.
+    pub reviewers_of: Vec<Vec<usize>>,
+    /// `load[reviewer]` = number of assigned papers.
+    pub load: Vec<usize>,
+    /// Total LSI similarity of all assignments (the greedy objective).
+    pub total_similarity: f64,
+}
+
+/// The assignment engine: an LSI space built from reviewer writings.
+pub struct ReviewerMatcher {
+    model: LsiModel,
+}
+
+impl ReviewerMatcher {
+    /// Train on the reviewers' writings (one document per reviewer).
+    pub fn build(reviewer_texts: &Corpus, options: &LsiOptions) -> lsi_core::Result<Self> {
+        let (model, _) = LsiModel::build(reviewer_texts, options)?;
+        Ok(ReviewerMatcher { model })
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &LsiModel {
+        &self.model
+    }
+
+    /// Similarity of one paper abstract to every reviewer.
+    pub fn similarities(&self, abstract_text: &str) -> lsi_core::Result<Vec<f64>> {
+        let qhat = self.model.project_text(abstract_text)?;
+        Ok((0..self.model.n_docs())
+            .map(|r| vecops::cosine(&self.model.doc_vector(r), &qhat))
+            .collect())
+    }
+
+    /// Assign `papers` so each gets exactly `p` reviewers and no
+    /// reviewer gets more than `r` papers, greedily maximizing LSI
+    /// similarity (edges taken best-first subject to feasibility).
+    ///
+    /// Errors if the instance is infeasible
+    /// (`papers.len() * p > reviewers * r`).
+    pub fn assign(
+        &self,
+        papers: &[String],
+        p: usize,
+        r: usize,
+    ) -> lsi_core::Result<Assignment> {
+        let n_rev = self.model.n_docs();
+        if papers.len() * p > n_rev * r {
+            return Err(lsi_core::Error::Inconsistent {
+                context: format!(
+                    "{} papers x {p} reviews exceed capacity {n_rev} reviewers x {r}",
+                    papers.len()
+                ),
+            });
+        }
+        if p > n_rev {
+            return Err(lsi_core::Error::Inconsistent {
+                context: format!("p={p} exceeds the number of reviewers {n_rev}"),
+            });
+        }
+
+        // All (similarity, paper, reviewer) edges, best first.
+        let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(papers.len() * n_rev);
+        for (pi, text) in papers.iter().enumerate() {
+            let sims = self.similarities(text)?;
+            for (ri, &s) in sims.iter().enumerate() {
+                edges.push((s, pi, ri));
+            }
+        }
+        edges.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite similarity"));
+
+        let mut reviewers_of = vec![Vec::with_capacity(p); papers.len()];
+        let mut load = vec![0usize; n_rev];
+        let mut total = 0.0;
+        let mut remaining = papers.len() * p;
+        for (s, pi, ri) in edges {
+            if remaining == 0 {
+                break;
+            }
+            if reviewers_of[pi].len() < p && load[ri] < r && !reviewers_of[pi].contains(&ri) {
+                reviewers_of[pi].push(ri);
+                load[ri] += 1;
+                total += s;
+                remaining -= 1;
+            }
+        }
+        // Greedy can strand a paper when remaining reviewers are full;
+        // repair by stealing capacity from the least-loaded feasible
+        // reviewer (always possible given the capacity check).
+        for pi in 0..papers.len() {
+            while reviewers_of[pi].len() < p {
+                let candidate = (0..n_rev)
+                    .filter(|ri| load[*ri] < r && !reviewers_of[pi].contains(ri))
+                    .min_by_key(|ri| load[*ri]);
+                match candidate {
+                    Some(ri) => {
+                        reviewers_of[pi].push(ri);
+                        load[ri] += 1;
+                    }
+                    None => {
+                        return Err(lsi_core::Error::Inconsistent {
+                            context: format!("could not complete assignment for paper {pi}"),
+                        })
+                    }
+                }
+            }
+        }
+
+        Ok(Assignment {
+            reviewers_of,
+            load,
+            total_similarity: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_corpora::{SyntheticCorpus, SyntheticOptions};
+    use lsi_text::{ParsingRules, TermWeighting};
+
+    /// Reviewers = synthetic docs (each an expert in their topic);
+    /// papers = queries from known topics.
+    fn setup() -> (ReviewerMatcher, SyntheticCorpus) {
+        let gen = SyntheticCorpus::generate(&SyntheticOptions {
+            n_topics: 4,
+            docs_per_topic: 6,
+            queries_per_topic: 2,
+            seed: 404,
+            ..Default::default()
+        });
+        let options = LsiOptions {
+            k: 8,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::log_entropy(),
+            svd_seed: 13,
+        };
+        let matcher = ReviewerMatcher::build(&gen.corpus, &options).unwrap();
+        (matcher, gen)
+    }
+
+    #[test]
+    fn constraints_are_respected() {
+        let (matcher, gen) = setup();
+        let papers: Vec<String> = gen.queries.iter().map(|q| q.text.clone()).collect();
+        let (p, r) = (3, 2);
+        let a = matcher.assign(&papers, p, r).unwrap();
+        for reviewers in &a.reviewers_of {
+            assert_eq!(reviewers.len(), p);
+            let unique: std::collections::HashSet<_> = reviewers.iter().collect();
+            assert_eq!(unique.len(), p, "no duplicate reviewers per paper");
+        }
+        for &l in &a.load {
+            assert!(l <= r);
+        }
+    }
+
+    #[test]
+    fn assignments_prefer_topical_experts() {
+        let (matcher, gen) = setup();
+        let papers: Vec<String> = gen.queries.iter().map(|q| q.text.clone()).collect();
+        let a = matcher.assign(&papers, 2, 3).unwrap();
+        // Majority of each paper's reviewers share its topic.
+        let mut topical = 0usize;
+        let mut total = 0usize;
+        for (pi, reviewers) in a.reviewers_of.iter().enumerate() {
+            for &ri in reviewers {
+                total += 1;
+                if gen.doc_topics[ri] == gen.queries[pi].topic {
+                    topical += 1;
+                }
+            }
+        }
+        assert!(
+            topical * 10 >= total * 7,
+            "expected >=70% topical assignments, got {topical}/{total}"
+        );
+    }
+
+    #[test]
+    fn infeasible_instances_are_rejected() {
+        let (matcher, gen) = setup();
+        let papers: Vec<String> = gen.queries.iter().map(|q| q.text.clone()).collect();
+        // 8 papers x 24 reviews > 24 reviewers x 1.
+        assert!(matcher.assign(&papers, 24, 1).is_err());
+        assert!(matcher.assign(&papers, 100, 100).is_err());
+    }
+
+    #[test]
+    fn tight_capacity_still_completes() {
+        let (matcher, gen) = setup();
+        let papers: Vec<String> = gen.queries.iter().map(|q| q.text.clone()).collect();
+        // Exactly-tight instance: 8 papers x 3 = 24 = 24 reviewers x 1.
+        let a = matcher.assign(&papers, 3, 1).unwrap();
+        let assigned: usize = a.load.iter().sum();
+        assert_eq!(assigned, papers.len() * 3);
+        for &l in &a.load {
+            assert!(l <= 1);
+        }
+    }
+
+    #[test]
+    fn similarities_have_one_score_per_reviewer() {
+        let (matcher, gen) = setup();
+        let sims = matcher.similarities(&gen.queries[0].text).unwrap();
+        assert_eq!(sims.len(), gen.n_docs());
+        assert!(sims.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,186 @@
+//! LSI spelling correction (§5.4, Kukich).
+//!
+//! "In this application, the rows were unigrams and bigrams and the
+//! columns were correctly spelled words. An input word (correctly or
+//! incorrectly spelled) was broken down into its bigrams and trigrams,
+//! the query vector was located at the weighted vector sum of these
+//! elements, and the nearest word in LSI space was returned as the
+//! suggested correct spelling."
+
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::spelling::Misspelling;
+use lsi_text::ngram::bigrams_and_trigrams;
+use lsi_text::{Corpus, Document};
+
+/// Render a word's padded bigram/trigram features as a whitespace
+/// token string. The tokenizer keeps only alphanumeric characters, so
+/// the boundary pads `^`/`$` are mapped to the digits `0`/`1` (the
+/// lexicon is alphabetic, so no collision is possible).
+fn gram_text(word: &str) -> String {
+    bigrams_and_trigrams(word, true)
+        .into_iter()
+        .map(|g| g.replace('^', "0").replace('$', "1"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A spelling corrector: an LSI space over an n-gram × word matrix.
+pub struct SpellingCorrector {
+    model: LsiModel,
+    words: Vec<String>,
+}
+
+impl SpellingCorrector {
+    /// Build from a lexicon of correctly spelled words.
+    ///
+    /// Each word becomes a "document" whose text is its padded bigrams
+    /// and trigrams; the LSI vocabulary rows are therefore n-grams,
+    /// exactly Kukich's descriptor-object matrix.
+    pub fn build(lexicon: &[&str], k: usize) -> lsi_core::Result<SpellingCorrector> {
+        let corpus = Corpus {
+            docs: lexicon
+                .iter()
+                .map(|w| Document::new(w.to_string(), gram_text(w)))
+                .collect(),
+        };
+        let options = LsiOptions {
+            k,
+            rules: lsi_text::ParsingRules {
+                // Keep every n-gram, even hapax ones: discriminative
+                // grams are exactly what identifies a word. N-grams are
+                // features, not English words — no stop list, no
+                // plural folding.
+                min_df: 1,
+                use_stopwords: false,
+                fold: lsi_text::normalize::TokenFold::None,
+                ..Default::default()
+            },
+            weighting: lsi_text::TermWeighting::log_entropy(),
+            svd_seed: 17,
+        };
+        let (model, _) = LsiModel::build(&corpus, &options)?;
+        Ok(SpellingCorrector {
+            model,
+            words: lexicon.iter().map(|w| w.to_string()).collect(),
+        })
+    }
+
+    /// Suggest the `z` nearest lexicon words for an input string.
+    pub fn suggest(&self, written: &str, z: usize) -> lsi_core::Result<Vec<(String, f64)>> {
+        let text = gram_text(&written.to_lowercase());
+        let ranked = self.model.query(&text)?;
+        Ok(ranked
+            .matches
+            .into_iter()
+            .take(z)
+            .map(|m| (m.id, m.cosine))
+            .collect())
+    }
+
+    /// Best single suggestion.
+    pub fn correct(&self, written: &str) -> lsi_core::Result<Option<String>> {
+        Ok(self.suggest(written, 1)?.into_iter().next().map(|(w, _)| w))
+    }
+
+    /// Accuracy over a batch of misspellings with known ground truth.
+    pub fn accuracy(&self, cases: &[Misspelling]) -> lsi_core::Result<f64> {
+        if cases.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for case in cases {
+            if self.correct(&case.written)?.as_deref() == Some(case.intended.as_str()) {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / cases.len() as f64)
+    }
+
+    /// The lexicon.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+}
+
+/// Edit-distance baseline for comparison (dynamic programming
+/// Levenshtein, pick the nearest lexicon word).
+pub fn edit_distance_correct(lexicon: &[&str], written: &str) -> Option<String> {
+    lexicon
+        .iter()
+        .map(|w| (levenshtein(w, written), *w))
+        .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)))
+        .map(|(_, w)| w.to_string())
+}
+
+/// Classic Levenshtein distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_corpora::spelling::{generate_misspellings, LEXICON};
+
+    #[test]
+    fn corrects_the_papers_example() {
+        // "Dumais" is not in the lexicon, but the mechanism is the
+        // paper's: a single-character corruption should land next to
+        // its source. Use a lexicon word.
+        let corrector = SpellingCorrector::build(LEXICON, 60).unwrap();
+        let fixed = corrector.correct("informaton").unwrap();
+        assert_eq!(fixed.as_deref(), Some("information"));
+    }
+
+    #[test]
+    fn accuracy_on_generated_misspellings_is_high() {
+        let corrector = SpellingCorrector::build(LEXICON, 60).unwrap();
+        let cases = generate_misspellings(60, 5);
+        let acc = corrector.accuracy(&cases).unwrap();
+        assert!(acc >= 0.7, "spelling accuracy {acc} too low");
+    }
+
+    #[test]
+    fn suggestions_are_ranked_and_bounded() {
+        let corrector = SpellingCorrector::build(LEXICON, 40).unwrap();
+        let sugg = corrector.suggest("retrieval", 5).unwrap();
+        assert_eq!(sugg.len(), 5);
+        assert_eq!(sugg[0].0, "retrieval", "exact word is its own best match");
+        for w in sugg.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("dumais", "duniais"), 2);
+    }
+
+    #[test]
+    fn edit_distance_baseline_works() {
+        let fixed = edit_distance_correct(LEXICON, "informaton");
+        assert_eq!(fixed.as_deref(), Some("information"));
+    }
+
+    #[test]
+    fn empty_case_list_scores_zero() {
+        let corrector = SpellingCorrector::build(&["alpha", "beta"], 2).unwrap();
+        assert_eq!(corrector.accuracy(&[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Kernel-level benchmarks: sparse matvec (serial vs rayon), weighting
+//! application, and dense SVD of the small updating matrices — the
+//! building blocks behind every cost row in Table 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsi_corpora::treclike::trec_like;
+use lsi_linalg::{golub_kahan_svd, jacobi_svd, DenseMatrix};
+use lsi_text::TermWeighting;
+
+fn bench_sparse_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/spmv");
+    for &scale in &[200usize, 50] {
+        let csc = trec_like(scale, 3);
+        let csr = csc.to_csr();
+        let x = vec![1.0; csr.ncols()];
+        let xt = vec![1.0; csr.nrows()];
+        group.bench_with_input(BenchmarkId::new("csr_serial", scale), &csr, |b, m| {
+            b.iter(|| m.matvec(&x).expect("matvec"))
+        });
+        group.bench_with_input(BenchmarkId::new("csr_parallel", scale), &csr, |b, m| {
+            b.iter(|| m.par_matvec(&x).expect("matvec"))
+        });
+        group.bench_with_input(BenchmarkId::new("csc_t_serial", scale), &csc, |b, m| {
+            b.iter(|| m.matvec_t(&xt).expect("matvec_t"))
+        });
+        group.bench_with_input(BenchmarkId::new("csc_t_parallel", scale), &csc, |b, m| {
+            b.iter(|| m.par_matvec_t(&xt).expect("matvec_t"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighting(c: &mut Criterion) {
+    let counts = trec_like(100, 5);
+    let mut group = c.benchmark_group("kernels/weighting");
+    for (name, scheme) in [
+        ("raw", TermWeighting::none()),
+        ("tf_idf", TermWeighting::tf_idf()),
+        ("log_entropy", TermWeighting::log_entropy()),
+    ] {
+        group.bench_function(name, |b| b.iter(|| scheme.apply(&counts)));
+    }
+    group.finish();
+}
+
+fn bench_dense_svd(c: &mut Criterion) {
+    // The small dense problems of SVD-updating: F is k x (k+p).
+    let mut group = c.benchmark_group("kernels/dense_svd");
+    group.sample_size(20);
+    for &k in &[16usize, 64] {
+        let p = k / 2;
+        let mut f = DenseMatrix::zeros(k, k + p);
+        for i in 0..k {
+            f.set(i, i, (k - i) as f64);
+            for j in 0..p {
+                f.set(i, k + j, ((i * 7 + j * 3) % 11) as f64 / 11.0);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("jacobi", k), &f, |b, f| {
+            b.iter(|| jacobi_svd(f).expect("svd"))
+        });
+        group.bench_with_input(BenchmarkId::new("golub_kahan", k), &f, |b, f| {
+            b.iter(|| golub_kahan_svd(f).expect("svd"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_matvec, bench_weighting, bench_dense_svd);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! §5.3 / Table 7 substrate: cost of the truncated sparse SVD.
+//!
+//! Measures the Lanczos driver on TREC-shaped matrices across scale
+//! factors and factor counts, plus the randomized-SVD ablation the
+//! DESIGN document calls for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsi_corpora::treclike::trec_like;
+use lsi_sparse::ops::DualFormat;
+use lsi_svd::{lanczos_svd, randomized_svd, LanczosOptions, RandomizedOptions, Reorth};
+
+fn bench_lanczos_scales(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanczos/trec_scale");
+    group.sample_size(10);
+    for &scale in &[400usize, 200, 100] {
+        let matrix = trec_like(scale, 7);
+        let dual = DualFormat::from_csc(matrix);
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &dual, |b, dual| {
+            b.iter(|| {
+                lanczos_svd(dual, 20, &LanczosOptions::default()).expect("lanczos runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lanczos_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanczos/k");
+    group.sample_size(10);
+    let matrix = trec_like(100, 7);
+    let dual = DualFormat::from_csc(matrix);
+    for &k in &[10usize, 25, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| lanczos_svd(&dual, k, &LanczosOptions::default()).expect("lanczos runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lanczos_vs_randomized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_ablation");
+    group.sample_size(10);
+    let matrix = trec_like(150, 9);
+    let dual = DualFormat::from_csc(matrix);
+    let k = 25;
+    group.bench_function("lanczos", |b| {
+        b.iter(|| lanczos_svd(&dual, k, &LanczosOptions::default()).expect("runs"))
+    });
+    group.bench_function("randomized_q2", |b| {
+        b.iter(|| randomized_svd(&dual, k, &RandomizedOptions::default()).expect("runs"))
+    });
+    group.bench_function("randomized_q0", |b| {
+        b.iter(|| {
+            randomized_svd(
+                &dual,
+                k,
+                &RandomizedOptions {
+                    power_iters: 0,
+                    ..Default::default()
+                },
+            )
+            .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_reorthogonalization_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: full vs periodic vs bare-recurrence
+    // reorthogonalization. Bare recurrence is cheapest but admits ghost
+    // Ritz values (see lsi-svd's tests); this measures what full
+    // reorthogonalization actually costs.
+    let mut group = c.benchmark_group("lanczos/reorth");
+    group.sample_size(10);
+    let matrix = trec_like(100, 11);
+    let dual = DualFormat::from_csc(matrix);
+    for (name, reorth) in [
+        ("full", Reorth::Full),
+        ("periodic4", Reorth::Periodic(4)),
+        ("three_term", Reorth::ThreeTermOnly),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                lanczos_svd(
+                    &dual,
+                    30,
+                    &LanczosOptions {
+                        reorth,
+                        ..Default::default()
+                    },
+                )
+                .expect("runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lanczos_scales,
+    bench_lanczos_k,
+    bench_lanczos_vs_randomized,
+    bench_reorthogonalization_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end regeneration cost of the paper's §3 example artifacts
+//! (Tables 3–4, Figures 4–9): parsing, SVD, querying, and the three
+//! updating methods on the 18×14 matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsi_bench::experiments::{med, updating};
+use lsi_corpora::med::UPDATE_TOPICS;
+use lsi_text::Corpus;
+
+fn bench_example_build(c: &mut Criterion) {
+    c.bench_function("med/build_model_k2", |b| b.iter(|| med::med_model(2)));
+    c.bench_function("med/table3", |b| b.iter(med::table3));
+    c.bench_function("med/figure45", |b| b.iter(med::figure45));
+    c.bench_function("med/figure6", |b| b.iter(med::figure6));
+}
+
+fn bench_table4_columns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("med/table4_column");
+    for &k in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| med::table4_column(k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("med/figures789");
+    let update_corpus = Corpus::from_pairs(UPDATE_TOPICS);
+    group.bench_function("fold_in", |b| {
+        b.iter_batched(
+            || med::med_model(2).1,
+            |mut m| m.fold_in_documents(&update_corpus).expect("fold"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("svd_update", |b| {
+        b.iter_batched(
+            || med::med_model(2),
+            |(example, mut m)| {
+                let d = example.update_documents_matrix();
+                m.svd_update_documents(&d, &["M15".into(), "M16".into()])
+                    .expect("update")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("all_three_models", |b| b.iter(updating::updated_models));
+    group.finish();
+}
+
+criterion_group!(benches, bench_example_build, bench_table4_columns, bench_update_variants);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! §2.2 / §5.6 query machinery: projection + cosine ranking cost, and
+//! the "efficiently comparing queries to documents" concern the paper
+//! lists as an open issue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::{SyntheticCorpus, SyntheticOptions};
+use lsi_text::{ParsingRules, TermWeighting};
+
+fn model_with_docs(n_docs_per_topic: usize, k: usize) -> (LsiModel, String) {
+    let gen = SyntheticCorpus::generate(&SyntheticOptions {
+        n_topics: 10,
+        docs_per_topic: n_docs_per_topic,
+        doc_len: 30,
+        queries_per_topic: 1,
+        seed: 77,
+        ..Default::default()
+    });
+    let options = LsiOptions {
+        k,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting: TermWeighting::log_entropy(),
+        svd_seed: 7,
+    };
+    let (model, _) = LsiModel::build(&gen.corpus, &options).expect("model builds");
+    (model, gen.queries[0].text.clone())
+}
+
+fn bench_query_by_collection_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/collection_size");
+    for &per_topic in &[20usize, 80, 200] {
+        let (model, query) = model_with_docs(per_topic, 32);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(per_topic * 10),
+            &model,
+            |b, m| b.iter(|| m.query(&query).expect("query runs")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_query_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/k");
+    for &k in &[8usize, 32, 64] {
+        let (model, query) = model_with_docs(60, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &model, |b, m| {
+            b.iter(|| m.query(&query).expect("query runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_projection_only(c: &mut Criterion) {
+    let (model, query) = model_with_docs(60, 32);
+    c.bench_function("query/project_text", |b| {
+        b.iter(|| model.project_text(&query).expect("projects"))
+    });
+    let qhat = model.project_text(&query).expect("projects");
+    c.bench_function("query/rank_projected", |b| {
+        b.iter(|| model.rank_projected(&qhat).expect("ranks"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_query_by_collection_size,
+    bench_query_by_k,
+    bench_projection_only
+);
+criterion_main!(benches);

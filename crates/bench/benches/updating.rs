@@ -1,0 +1,113 @@
+//! Table 7 measured: folding-in vs SVD-updating vs recomputing as the
+//! batch of new documents grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::{SyntheticCorpus, SyntheticOptions};
+use lsi_text::{Corpus, Document, ParsingRules, TermWeighting};
+
+fn base_model(k: usize) -> (LsiModel, Corpus) {
+    let gen = SyntheticCorpus::generate(&SyntheticOptions {
+        n_topics: 8,
+        docs_per_topic: 25,
+        doc_len: 30,
+        queries_per_topic: 1,
+        seed: 2,
+        ..Default::default()
+    });
+    let options = LsiOptions {
+        k,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting: TermWeighting::log_entropy(),
+        svd_seed: 3,
+    };
+    let (model, _) = LsiModel::build(&gen.corpus, &options).expect("base model");
+    let extra = SyntheticCorpus::generate(&SyntheticOptions {
+        n_topics: 8,
+        docs_per_topic: 20,
+        doc_len: 30,
+        queries_per_topic: 1,
+        seed: 5,
+        ..Default::default()
+    });
+    let new_docs = Corpus {
+        docs: extra
+            .corpus
+            .docs
+            .iter()
+            .map(|d| Document::new(format!("new-{}", d.id), d.text.clone()))
+            .collect(),
+    };
+    (model, new_docs)
+}
+
+fn bench_updating_methods(c: &mut Criterion) {
+    let (base, pool) = base_model(16);
+    let mut group = c.benchmark_group("table7/update_docs");
+    group.sample_size(10);
+    for &p in &[1usize, 5, 20, 50] {
+        let batch = Corpus {
+            docs: pool.docs[..p].to_vec(),
+        };
+        let d_counts = base.vocabulary().count_matrix(&batch);
+        let ids: Vec<String> = batch.docs.iter().map(|d| d.id.clone()).collect();
+
+        group.bench_with_input(BenchmarkId::new("fold_in", p), &p, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut m| m.fold_in_documents(&batch).expect("fold"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("svd_update", p), &p, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut m| m.svd_update_documents(&d_counts, &ids).expect("update"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", p), &p, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut m = base.clone();
+                    m.svd_update_documents(&d_counts, &ids).expect("update");
+                    m
+                },
+                |mut m| m.recompute(16).expect("recompute"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_correction(c: &mut Criterion) {
+    let (base, _) = base_model(16);
+    let mut group = c.benchmark_group("table7/weight_correction");
+    group.sample_size(10);
+    for &j in &[1usize, 4, 16] {
+        let changes: Vec<(usize, Vec<f64>)> = (0..j)
+            .map(|t| {
+                let delta: Vec<f64> = (0..base.n_docs())
+                    .map(|d| if d % 7 == 0 { 0.25 } else { 0.0 })
+                    .collect();
+                (t, delta)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(j), &j, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut m| m.svd_update_weights(&changes).expect("weights"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updating_methods, bench_weight_correction);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p lsi-bench --bin repro            # everything
+//! cargo run --release -p lsi-bench --bin repro -- --table4 --figure6
+//! ```
+//!
+//! Section names follow DESIGN.md's experiment index.
+
+use lsi_bench::experiments::*;
+
+struct Section {
+    flag: &'static str,
+    description: &'static str,
+    run: fn() -> String,
+}
+
+fn sections() -> Vec<Section> {
+    vec![
+        Section {
+            flag: "--table3",
+            description: "Table 3: the 18x14 term-document matrix",
+            run: || med::table3(),
+        },
+        Section {
+            flag: "--figure4",
+            description: "Figures 4/5: 2-D term/document/query coordinates",
+            run: || med::figure45_report(),
+        },
+        Section {
+            flag: "--figure5",
+            description: "Figure 5 alias of --figure4",
+            run: || med::figure45_report(),
+        },
+        Section {
+            flag: "--figure6",
+            description: "Figure 6 / S3.2: threshold retrieval vs lexical matching",
+            run: || med::figure6_report(),
+        },
+        Section {
+            flag: "--table4",
+            description: "Table 4: returned documents by number of factors",
+            run: || med::table4_report(),
+        },
+        Section {
+            flag: "--figure7",
+            description: "Figures 7-9: folding-in vs recompute vs SVD-updating",
+            run: || updating::figures789_report(),
+        },
+        Section {
+            flag: "--figure8",
+            description: "alias of --figure7",
+            run: || updating::figures789_report(),
+        },
+        Section {
+            flag: "--figure9",
+            description: "alias of --figure7",
+            run: || updating::figures789_report(),
+        },
+        Section {
+            flag: "--ortho",
+            description: "S4.3: orthogonality loss under folding-in",
+            run: || updating::ortho_report(10),
+        },
+        Section {
+            flag: "--plots",
+            description: "write Figures 4/6/7/8/9 as SVG files under ./figures/",
+            run: || {
+                plots::write_figures(std::path::Path::new("figures"))
+                    .unwrap_or_else(|e| format!("failed to write figures: {e}\n"))
+            },
+        },
+        Section {
+            flag: "--ortho-retrieval",
+            description: "S4.3 realized: defect vs retrieval quality while growing",
+            run: || ortho_retrieval::report(4242),
+        },
+        Section {
+            flag: "--table7",
+            description: "Table 7: updating-method complexity",
+            run: || table7::report(&[1, 2, 5, 10, 25, 50], 16),
+        },
+        Section {
+            flag: "--retrieval",
+            description: "S5.1: LSI vs keyword vector retrieval",
+            run: || retrieval::report(2024, 16),
+        },
+        Section {
+            flag: "--polysemy",
+            description: "S1/S3: polysemy stress sweep (LSI vs keyword)",
+            run: || polysemy::report(808, 16),
+        },
+        Section {
+            flag: "--weighting",
+            description: "S5.1: term weighting schemes over five collections",
+            run: || weighting::report(12),
+        },
+        Section {
+            flag: "--feedback",
+            description: "S5.1: relevance feedback",
+            run: || feedback::report(99, 14),
+        },
+        Section {
+            flag: "--ksweep",
+            description: "S5.2: choosing the number of factors",
+            run: || ksweep::report(1212),
+        },
+        Section {
+            flag: "--filtering",
+            description: "S5.3: information filtering",
+            run: || filtering::report(3000, 12),
+        },
+        Section {
+            flag: "--trec",
+            description: "S5.3: TREC-scale Lanczos sweep",
+            run: || treclike::report(&[200, 100, 50, 20], 50),
+        },
+        Section {
+            flag: "--crosslang",
+            description: "S5.4: cross-language retrieval",
+            run: || crosslang::report(515),
+        },
+        Section {
+            flag: "--synonym",
+            description: "S5.4: TOEFL synonym test",
+            run: || synonym::report(9090, 16),
+        },
+        Section {
+            flag: "--noisy",
+            description: "S5.4: retrieval from noisy input",
+            run: || noisy::report(321, 12),
+        },
+        Section {
+            flag: "--spelling",
+            description: "S5.4: spelling correction",
+            run: || spelling::report(80, 60, 17),
+        },
+        Section {
+            flag: "--scorecard",
+            description: "run the full battery and check every acceptance band",
+            run: || scorecard::report(),
+        },
+        Section {
+            flag: "--reviewers",
+            description: "S5.4: reviewer assignment",
+            run: || reviewers::report(606),
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = sections();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("repro: regenerate the paper's tables and figures\n");
+        println!("usage: repro [--list] [FLAGS...]   (no flags = run everything)\n");
+        for s in &all {
+            println!("  {:<12} {}", s.flag, s.description);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for s in &all {
+            println!("{:<12} {}", s.flag, s.description);
+        }
+        return;
+    }
+    let mut ran_any = false;
+    let mut seen = std::collections::HashSet::new();
+    for s in &all {
+        let selected = args.is_empty() || args.iter().any(|a| a == s.flag);
+        if selected {
+            let output = (s.run)();
+            if seen.insert(output.clone()) {
+                println!("{output}");
+            }
+            ran_any = true;
+        }
+    }
+    if !ran_any {
+        eprintln!("no known section among {args:?}; try --help");
+        std::process::exit(2);
+    }
+}

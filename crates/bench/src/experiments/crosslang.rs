@@ -1,0 +1,97 @@
+//! §5.4 cross-language retrieval experiment wrapper.
+
+use lsi_apps::crosslang::{monolingual_model, translate_query, CrossLanguageLsi};
+use lsi_core::LsiOptions;
+use lsi_corpora::bilingual::{BilingualCorpus, BilingualOptions};
+use lsi_text::{ParsingRules, TermWeighting};
+
+/// Accuracy of the multilingual space vs the translate-then-search
+/// baseline.
+pub struct CrossLangResult {
+    /// English query -> French document top-1 topic accuracy.
+    pub cross_en_to_fr: f64,
+    /// French query -> English document top-1 topic accuracy.
+    pub cross_fr_to_en: f64,
+    /// Translate English query to French, search French-only space.
+    pub translated_baseline: f64,
+}
+
+fn options() -> LsiOptions {
+    LsiOptions {
+        k: 12,
+        rules: ParsingRules { min_df: 2, ..Default::default() },
+        weighting: TermWeighting::log_entropy(),
+        svd_seed: 19,
+    }
+}
+
+/// Run the experiment.
+pub fn run(seed: u64) -> CrossLangResult {
+    let data = BilingualCorpus::generate(&BilingualOptions { seed, ..Default::default() });
+    let system = CrossLanguageLsi::build(&data, &options()).expect("system builds");
+
+    let accuracy = |queries: &[String], want_french: bool| -> f64 {
+        let mut correct = 0usize;
+        for (topic, q) in queries.iter().enumerate() {
+            let ranked = system.rank_monolingual(q).expect("query runs");
+            let top = ranked.iter().find(|(d, _)| {
+                let local = d - system.n_training;
+                (local >= data.holdout_english.len()) == want_french
+            });
+            if let Some((d, _)) = top {
+                let local = d - system.n_training;
+                let idx = if want_french { local - data.holdout_english.len() } else { local };
+                if data.holdout_topics[idx] == topic {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / queries.len() as f64
+    };
+
+    let cross_en_to_fr = accuracy(&data.queries_english, true);
+    let cross_fr_to_en = accuracy(&data.queries_french, false);
+
+    let french_model = monolingual_model(&data.holdout_french, &options()).expect("builds");
+    let mut correct = 0usize;
+    for (topic, q) in data.queries_english.iter().enumerate() {
+        let ranked = french_model.query(&translate_query(q, true)).expect("runs");
+        if data.holdout_topics[ranked.matches[0].doc] == topic {
+            correct += 1;
+        }
+    }
+    let translated_baseline = correct as f64 / data.queries_english.len() as f64;
+
+    CrossLangResult { cross_en_to_fr, cross_fr_to_en, translated_baseline }
+}
+
+/// Render the experiment.
+pub fn report(seed: u64) -> String {
+    let r = run(seed);
+    format!(
+        "S5.4: cross-language retrieval (top-1 topic accuracy)\n  \
+         English query -> French docs : {:.2}\n  \
+         French query  -> English docs: {:.2}\n  \
+         translate-then-search baseline: {:.2}\n  \
+         (paper: the multilingual space was as effective as translating the query)\n",
+        r.cross_en_to_fr, r.cross_fr_to_en, r.translated_baseline
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_language_is_comparable_to_translation() {
+        let r = run(515);
+        assert!(r.cross_en_to_fr >= 0.8, "en->fr {}", r.cross_en_to_fr);
+        assert!(r.cross_fr_to_en >= 0.8, "fr->en {}", r.cross_fr_to_en);
+        assert!(
+            r.cross_en_to_fr >= r.translated_baseline - 0.2,
+            "cross {} vs baseline {}",
+            r.cross_en_to_fr,
+            r.translated_baseline
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! §5.2 choosing the number of factors.
+//!
+//! "LSI performance can improve considerably after 10 or 20 dimensions,
+//! peaks between 70 and 100 dimensions, and then begins to diminish
+//! slowly. ... Eventually performance must approach the level of
+//! performance attained by standard vector methods, since with k = n
+//! factors A_k will exactly reconstruct the original term by document
+//! matrix."
+
+use std::collections::HashSet;
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::{SyntheticCorpus, SyntheticOptions};
+use lsi_eval::metrics::RetrievalScore;
+use lsi_eval::VectorSpaceModel;
+use lsi_text::{ParsingRules, TermWeighting};
+
+/// The sweep result: `(k, mean 3-pt average precision)` plus the
+/// word-based (full-space) reference level.
+pub struct KSweep {
+    /// Performance per factor count.
+    pub series: Vec<(usize, f64)>,
+    /// The keyword-vector reference ("word-based performance").
+    pub keyword_level: f64,
+    /// The latent dimensionality of the generator (number of topics ×
+    /// concepts — where performance should saturate).
+    pub latent_dim: usize,
+}
+
+/// Run the sweep over `ks`.
+pub fn run(ks: &[usize], seed: u64) -> KSweep {
+    let opts = SyntheticOptions {
+        n_topics: 8,
+        docs_per_topic: 14,
+        concepts_per_topic: 8,
+        synonyms_per_concept: 4,
+        doc_len: 40,
+        noise_fraction: 0.3,
+        query_len: 6,
+        queries_per_topic: 4,
+        seed,
+        ..Default::default()
+    };
+    let gen = SyntheticCorpus::generate(&opts);
+    let rules = ParsingRules {
+        min_df: 2,
+        ..Default::default()
+    };
+    let weighting = TermWeighting::log_entropy();
+
+    let score_of = |model: &LsiModel| -> f64 {
+        let runs: Vec<(Vec<usize>, HashSet<usize>)> = gen
+            .queries
+            .iter()
+            .map(|q| {
+                let ranking: Vec<usize> = model
+                    .query(&q.text)
+                    .expect("query runs")
+                    .matches
+                    .iter()
+                    .map(|m| m.doc)
+                    .collect();
+                (ranking, q.relevant.iter().copied().collect())
+            })
+            .collect();
+        RetrievalScore::over_queries(runs.iter().map(|(r, rel)| (r.as_slice(), rel)))
+            .avg_precision_3pt
+    };
+
+    let mut series = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let options = LsiOptions {
+            k,
+            rules: rules.clone(),
+            weighting,
+            svd_seed: 17,
+        };
+        let (model, _) = LsiModel::build(&gen.corpus, &options).expect("model builds");
+        series.push((k, score_of(&model)));
+    }
+
+    // Keyword reference.
+    let (any_model, _) = LsiModel::build(
+        &gen.corpus,
+        &LsiOptions {
+            k: 2,
+            rules: rules.clone(),
+            weighting,
+            svd_seed: 17,
+        },
+    )
+    .expect("model builds");
+    let vsm = VectorSpaceModel::build(&gen.corpus, any_model.vocabulary().clone(), weighting);
+    let vsm_runs: Vec<(Vec<usize>, HashSet<usize>)> = gen
+        .queries
+        .iter()
+        .map(|q| (vsm.ranking(&q.text), q.relevant.iter().copied().collect()))
+        .collect();
+    let keyword_level =
+        RetrievalScore::over_queries(vsm_runs.iter().map(|(r, rel)| (r.as_slice(), rel)))
+            .avg_precision_3pt;
+
+    KSweep {
+        series,
+        keyword_level,
+        latent_dim: opts.n_topics * opts.concepts_per_topic,
+    }
+}
+
+/// Default sweep grid.
+pub fn default_ks() -> Vec<usize> {
+    vec![1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96]
+}
+
+/// Render the §5.2 sweep.
+pub fn report(seed: u64) -> String {
+    let sweep = run(&default_ks(), seed);
+    let mut out = String::from(
+        "S5.2: retrieval performance vs number of factors k (3-pt avg precision)\n",
+    );
+    for (k, score) in &sweep.series {
+        let bar: String = std::iter::repeat_n('#', (score * 40.0) as usize)
+            .collect();
+        out.push_str(&format!("  k={k:<4} {score:.4} {bar}\n"));
+    }
+    out.push_str(&format!(
+        "  keyword-vector reference: {:.4}\n  (paper: sharp rise by 10-20 factors, peak, slow decline toward the word-based level)\n",
+        sweep.keyword_level
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_rise_peak_and_decline_shape() {
+        let sweep = run(&[1, 2, 4, 8, 16, 32, 64, 96], 1212);
+        let scores: Vec<f64> = sweep.series.iter().map(|(_, s)| *s).collect();
+        let peak = scores.iter().cloned().fold(0.0f64, f64::max);
+        let peak_idx = scores.iter().position(|&s| s == peak).unwrap();
+        // Rise: the peak clearly beats k=1.
+        assert!(
+            peak > scores[0] + 0.05,
+            "peak {peak:.4} should clearly beat k=1 ({:.4})",
+            scores[0]
+        );
+        // Peak is at an intermediate k, not at the largest.
+        assert!(
+            peak_idx < scores.len() - 1,
+            "peak should come before the largest k"
+        );
+        // Decline: the largest k is at or below the peak.
+        assert!(*scores.last().unwrap() <= peak + 1e-12);
+    }
+
+    #[test]
+    fn large_k_approaches_keyword_level() {
+        let sweep = run(&[96], 77);
+        let (_, at_96) = sweep.series[0];
+        // Within a band of the word-based level (the paper's limiting
+        // argument; exact equality needs k = rank).
+        assert!(
+            (at_96 - sweep.keyword_level).abs() < 0.2,
+            "k=96 score {at_96:.4} should approach keyword level {:.4}",
+            sweep.keyword_level
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! The §3 worked example: Table 3, Figures 4–6, Table 4.
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::med::{self, MedExample};
+use lsi_eval::LexicalMatcher;
+use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+/// Build the paper's example model at a given `k` ("For simplicity,
+/// term weighting is not used in this example matrix").
+pub fn med_model(k: usize) -> (MedExample, LsiModel) {
+    let example = MedExample::build();
+    let options = LsiOptions {
+        k,
+        rules: ParsingRules::paper_example(),
+        weighting: TermWeighting::none(),
+        svd_seed: 42,
+    };
+    let corpus = Corpus::from_pairs(med::TOPICS);
+    let (model, _) = LsiModel::build(&corpus, &options).expect("example model builds");
+    (example, model)
+}
+
+/// Table 3: the 18×14 term-document matrix.
+pub fn table3() -> String {
+    let example = MedExample::build();
+    let mut out = String::from(
+        "Table 3: term-document matrix of the medical topics (rows alphabetical)\n",
+    );
+    out.push_str(&format!("{:<15}", "Terms"));
+    for j in 1..=14 {
+        out.push_str(&format!("M{j:<3}"));
+    }
+    out.push('\n');
+    for (i, term) in example.vocab.terms().iter().enumerate() {
+        out.push_str(&format!("{term:<15}"));
+        for j in 0..14 {
+            out.push_str(&format!("{:<4}", example.matrix.get(i, j) as i64));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 4/5 data: the k=2 coordinates of terms, documents, and the
+/// example query, plus the two leading singular values.
+pub struct Figure45 {
+    /// Leading singular values (ours).
+    pub sigma: [f64; 2],
+    /// The paper's published singular values.
+    pub paper_sigma: [f64; 2],
+    /// Term coordinates, scaled by Σ (plot convention), term order as
+    /// Table 3.
+    pub term_coords: Vec<(String, [f64; 2])>,
+    /// Document coordinates, scaled by Σ.
+    pub doc_coords: Vec<(String, [f64; 2])>,
+    /// Our U₂ rows (unscaled), for comparison with the published U₂.
+    pub u2: Vec<[f64; 2]>,
+    /// Projected query coordinates `q̂` (Eq. 6).
+    pub query_coords: [f64; 2],
+    /// The paper's published query coordinates.
+    pub paper_query_coords: [f64; 2],
+}
+
+/// Compute the Figure 4/5 quantities.
+pub fn figure45() -> Figure45 {
+    let (example, model) = med_model(2);
+    let term_coords = (0..model.n_terms())
+        .map(|i| {
+            let c = model.term_coords_scaled(i);
+            (example.vocab.term(i).to_string(), [c[0], c[1]])
+        })
+        .collect();
+    let doc_coords = (0..model.n_docs())
+        .map(|j| {
+            let c = model.doc_coords_scaled(j);
+            (model.doc_ids()[j].clone(), [c[0], c[1]])
+        })
+        .collect();
+    let u2 = (0..model.n_terms())
+        .map(|i| {
+            let r = model.term_vector(i);
+            [r[0], r[1]]
+        })
+        .collect();
+    let q = model.project_text(med::QUERY).expect("query projects");
+    Figure45 {
+        sigma: [model.singular_values()[0], model.singular_values()[1]],
+        paper_sigma: med::PAPER_SIGMA,
+        term_coords,
+        doc_coords,
+        u2,
+        query_coords: [q[0], q[1]],
+        paper_query_coords: med::PAPER_QUERY_COORDS,
+    }
+}
+
+/// Render Figures 4 and 5 as text.
+pub fn figure45_report() -> String {
+    let f = figure45();
+    let mut out = String::from("Figure 4/5: two-dimensional LSI space of the medical topics\n");
+    out.push_str(&format!(
+        "  singular values: ({:.4}, {:.4})   published: ({:.4}, {:.4})\n",
+        f.sigma[0], f.sigma[1], f.paper_sigma[0], f.paper_sigma[1]
+    ));
+    out.push_str("  terms (U2, unscaled)          ours            published\n");
+    for (i, (name, _)) in f.term_coords.iter().enumerate() {
+        out.push_str(&format!(
+            "    {:<14} ({:>7.4}, {:>7.4})   ({:>7.4}, {:>7.4})\n",
+            name,
+            f.u2[i][0],
+            f.u2[i][1],
+            med::PAPER_U2[i][0],
+            med::PAPER_U2[i][1]
+        ));
+    }
+    out.push_str("  documents (V2 . Sigma, plot coordinates):\n");
+    for (name, c) in &f.doc_coords {
+        out.push_str(&format!("    {:<4} ({:>7.4}, {:>7.4})\n", name, c[0], c[1]));
+    }
+    out.push_str(&format!(
+        "  query '{}' -> q^ = ({:.4}, {:.4})   published: ({:.4}, {:.4})\n",
+        med::QUERY, f.query_coords[0], f.query_coords[1],
+        f.paper_query_coords[0], f.paper_query_coords[1]
+    ));
+    out
+}
+
+/// Figure 6 / §3.2 data: threshold retrieval and the lexical baseline.
+pub struct Figure6 {
+    /// Documents with cosine ≥ 0.85 (the shaded region of Figure 6).
+    pub above_085: Vec<String>,
+    /// Documents with cosine ≥ 0.75.
+    pub above_075: Vec<String>,
+    /// What lexical matching returns (§3.2).
+    pub lexical: Vec<String>,
+    /// Rank of M9 in the LSI result (0 = top).
+    pub m9_rank: usize,
+}
+
+/// Compute Figure 6 / the §3.2 comparison.
+pub fn figure6() -> Figure6 {
+    let (example, model) = med_model(2);
+    let ranked = model.query(med::QUERY).expect("query runs");
+    let above = |t: f64| -> Vec<String> {
+        ranked
+            .at_threshold(t)
+            .matches
+            .iter()
+            .map(|m| m.id.clone())
+            .collect()
+    };
+    let lex = LexicalMatcher::build(&example.corpus, example.vocab.clone());
+    let mut lexical: Vec<String> = lex
+        .matching_docs(med::QUERY)
+        .into_iter()
+        .map(|d| example.corpus.docs[d].id.clone())
+        .collect();
+    lexical.sort_by_key(|id| id[1..].parse::<usize>().unwrap_or(0));
+    Figure6 {
+        above_085: above(0.85),
+        above_075: above(0.75),
+        lexical,
+        m9_rank: ranked.rank_of("M9").expect("M9 is ranked"),
+    }
+}
+
+/// Render Figure 6 as text.
+pub fn figure6_report() -> String {
+    let f = figure6();
+    let mut out = String::from("Figure 6 / §3.2: query 'age of children with blood abnormalities'\n");
+    out.push_str(&format!(
+        "  LSI, cosine >= 0.85: {:?}   (paper: [M8, M9, M12])\n",
+        f.above_085
+    ));
+    out.push_str(&format!(
+        "  LSI, cosine >= 0.75: {:?}   (paper adds M7, M11)\n",
+        f.above_075
+    ));
+    out.push_str(&format!(
+        "  lexical match:       {:?}   (paper: [M1, M8, M10, M11, M12])\n",
+        f.lexical
+    ));
+    out.push_str(&format!(
+        "  M9 (the relevant doc lexical matching misses) ranks #{} for LSI\n",
+        f.m9_rank + 1
+    ));
+    out
+}
+
+/// One Table 4 column: ranked `(doc id, cosine)` above threshold 0.40.
+pub fn table4_column(k: usize) -> Vec<(String, f64)> {
+    let (_, model) = med_model(k);
+    let ranked = model.query(med::QUERY).expect("query runs");
+    ranked
+        .at_threshold(0.40)
+        .matches
+        .iter()
+        .map(|m| (m.id.clone(), m.cosine))
+        .collect()
+}
+
+/// Render Table 4 (ours vs published).
+pub fn table4_report() -> String {
+    let mut out = String::from("Table 4: returned documents (cosine >= 0.40) by number of factors\n");
+    let paper: [&[(&str, f64)]; 3] = [
+        &med::PAPER_TABLE4_K2,
+        &med::PAPER_TABLE4_K4,
+        &med::PAPER_TABLE4_K8,
+    ];
+    for (ki, &k) in [2usize, 4, 8].iter().enumerate() {
+        let ours = table4_column(k);
+        let ours_s: Vec<String> = ours.iter().map(|(d, c)| format!("{d} {c:.2}")).collect();
+        let paper_s: Vec<String> = paper[ki].iter().map(|(d, c)| format!("{d} {c:.2}")).collect();
+        out.push_str(&format!("  k={k} ours : {}\n", ours_s.join(", ")));
+        out.push_str(&format!("  k={k} paper: {}\n", paper_s.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_report_contains_all_terms() {
+        let t = table3();
+        for term in med::TERMS {
+            assert!(t.contains(term), "missing {term}");
+        }
+    }
+
+    #[test]
+    fn figure5_magnitudes_track_published_values() {
+        let f = figure45();
+        // Sign conventions differ per column; compare magnitudes. The
+        // source tables carry OCR damage, so the tolerance is loose
+        // (see DESIGN.md / EXPERIMENTS.md).
+        for i in 0..18 {
+            for c in 0..2 {
+                let got = f.u2[i][c].abs();
+                let want = med::PAPER_U2[i][c].abs();
+                assert!(
+                    (got - want).abs() < 0.09,
+                    "U2[{i}][{c}]: {got} vs published {want}"
+                );
+            }
+        }
+        assert!((f.query_coords[0].abs() - f.paper_query_coords[0].abs()).abs() < 0.03);
+        assert!((f.query_coords[1].abs() - f.paper_query_coords[1].abs()).abs() < 0.03);
+    }
+
+    #[test]
+    fn figure6_headline_results_hold() {
+        let f = figure6();
+        // The paper's central №1 claim: LSI retrieves M9 top-ranked.
+        assert_eq!(f.m9_rank, 0, "M9 must be the top LSI match");
+        // Lexical matching returns exactly the paper's set and misses M9.
+        assert_eq!(f.lexical, vec!["M1", "M8", "M10", "M11", "M12"]);
+        assert!(!f.lexical.contains(&"M9".to_string()));
+        // The high-threshold LSI set is led by the paper's trio.
+        assert!(f.above_085.contains(&"M9".to_string()));
+        for d in &f.above_085 {
+            assert!(
+                ["M8", "M9", "M11", "M12"].contains(&d.as_str()),
+                "unexpected doc {d} above 0.85"
+            );
+        }
+        // At 0.75 the paper's additions appear.
+        for d in ["M9", "M12", "M11", "M8"] {
+            assert!(f.above_075.contains(&d.to_string()), "{d} missing at 0.75");
+        }
+    }
+
+    #[test]
+    fn table4_k2_shape_matches_paper() {
+        let ours = table4_column(2);
+        // Top document is M9 with cosine ~1.00 (paper: M9 1.00).
+        assert_eq!(ours[0].0, "M9");
+        assert!(ours[0].1 > 0.99);
+        // The paper's k=2 return set is reproduced up to small cosine
+        // shifts near the 0.40 threshold.
+        let ours_ids: Vec<&str> = ours.iter().map(|(d, _)| d.as_str()).collect();
+        for (d, _) in med::PAPER_TABLE4_K2 {
+            assert!(ours_ids.contains(&d), "paper doc {d} missing from k=2 result");
+        }
+    }
+
+    #[test]
+    fn table4_higher_k_returns_fewer_docs() {
+        // The paper's Table 4 shape: 11 docs at k=2, 5 at k=4, 4 at k=8
+        // — cosines fall as factors sharpen the space.
+        let k2 = table4_column(2).len();
+        let k4 = table4_column(4).len();
+        let k8 = table4_column(8).len();
+        assert!(k2 > k4, "k=2 ({k2}) should return more than k=4 ({k4})");
+        assert!(k4 >= k8, "k=4 ({k4}) should return at least as many as k=8 ({k8})");
+    }
+
+    #[test]
+    fn table4_k4_and_k8_return_sets_match_paper_core() {
+        // Exact per-document cosines at k=4/k=8 are sensitive to the
+        // OCR-damaged source matrix; the stable reproduction targets
+        // are the return *sets*: the paper's k=8 column is
+        // {M8, M12, M10, M11} and ours reproduces {M8, M10, M12} with
+        // M11 sitting at the paper's own 0.40 borderline.
+        let k8: Vec<String> = table4_column(8).into_iter().map(|(d, _)| d).collect();
+        for d in ["M8", "M10", "M12"] {
+            assert!(k8.contains(&d.to_string()), "{d} missing at k=8");
+        }
+        for d in &k8 {
+            assert!(
+                ["M8", "M10", "M11", "M12"].contains(&d.as_str()),
+                "unexpected {d} at k=8"
+            );
+        }
+        // k=4: M8 in the top two; M2 and M10 in the set (paper: M8,
+        // M9, M2, M10, M12).
+        let k4 = table4_column(4);
+        assert!(
+            k4.iter().take(2).any(|(d, _)| d == "M8"),
+            "M8 should lead the k=4 column: {k4:?}"
+        );
+        let k4_ids: Vec<&str> = k4.iter().map(|(d, _)| d.as_str()).collect();
+        assert!(k4_ids.contains(&"M2"));
+        assert!(k4_ids.contains(&"M10"));
+    }
+}

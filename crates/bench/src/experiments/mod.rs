@@ -1,0 +1,37 @@
+//! The experiments, keyed to the paper's tables and figures.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`med`] | Table 3, Figures 4–6, Table 4 (the §3 worked example) |
+//! | [`updating`] | Table 5, Figures 7–9 (§3.3/§4.4), §4.3 orthogonality |
+//! | [`table7`] | Table 7 flop counts |
+//! | [`retrieval`] | §5.1 LSI vs keyword-vector comparison |
+//! | [`weighting`] | §5.1 log×entropy vs raw (five collections) |
+//! | [`feedback`] | §5.1 relevance feedback (+33 % / +67 %) |
+//! | [`ksweep`] | §5.2 choosing the number of factors |
+//! | [`filtering`] | §5.3 information filtering (12–23 %) |
+//! | [`treclike`] | §5.3 TREC-scale Lanczos cost |
+//! | [`crosslang`] | §5.4 cross-language retrieval |
+//! | [`synonym`] | §5.4 TOEFL synonym test (64 % vs 33 %) |
+//! | [`noisy`] | §5.4 noisy input (8.8 % WER) |
+//! | [`spelling`] | §5.4 spelling correction |
+//! | [`reviewers`] | §5.4 reviewer assignment |
+
+pub mod crosslang;
+pub mod feedback;
+pub mod filtering;
+pub mod ksweep;
+pub mod med;
+pub mod noisy;
+pub mod ortho_retrieval;
+pub mod plots;
+pub mod polysemy;
+pub mod retrieval;
+pub mod reviewers;
+pub mod scorecard;
+pub mod spelling;
+pub mod synonym;
+pub mod table7;
+pub mod treclike;
+pub mod updating;
+pub mod weighting;

@@ -1,0 +1,137 @@
+//! Render the paper's scatter figures (4, 6, 7, 8, 9) as SVG files.
+
+use std::path::Path;
+
+use lsi_core::LsiModel;
+use lsi_corpora::med;
+
+use crate::svg::ScatterPlot;
+
+use super::med::med_model;
+use super::updating::updated_models;
+
+/// Plot the terms and documents of a model (scaled coordinates, the
+/// paper's plotting convention), highlighting `highlight` doc ids.
+fn plot_model(title: &str, model: &LsiModel, highlight: &[&str]) -> ScatterPlot {
+    let mut plot = ScatterPlot::new(title);
+    for i in 0..model.n_terms() {
+        let c = model.term_coords_scaled(i);
+        let name = model
+            .vocabulary()
+            .terms()
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("t{i}"));
+        plot.term(c[0], c[1], name);
+    }
+    for j in 0..model.n_docs() {
+        let c = model.doc_coords_scaled(j);
+        let id = model.doc_ids()[j].clone();
+        if highlight.contains(&id.as_str()) {
+            plot.doc_highlight(c[0], c[1], id);
+        } else {
+            plot.doc(c[0], c[1], id);
+        }
+    }
+    plot
+}
+
+/// Build all five figures.
+pub fn figures() -> Vec<(&'static str, ScatterPlot)> {
+    let (_, base) = med_model(2);
+    let mut fig4 = plot_model(
+        "Figure 4: terms and documents of the 18x14 example (k=2)",
+        &base,
+        &[],
+    );
+    let mut fig6 = plot_model(
+        "Figure 6: query 'age blood abnormalities' in the k=2 space",
+        &base,
+        &["M8", "M9", "M12"],
+    );
+    let q = base.project_text(med::QUERY).expect("query projects");
+    // Plot the query direction scaled like the documents.
+    let s = base.singular_values();
+    fig6.query(q[0] * s[0], q[1] * s[1], "QUERY");
+    let _ = &mut fig4;
+
+    let models = updated_models();
+    let fig7 = plot_model(
+        "Figure 7: M15/M16 folded in (original positions frozen)",
+        &models.folded,
+        &["M15", "M16"],
+    );
+    let fig8 = plot_model(
+        "Figure 8: SVD recomputed on the 18x16 matrix",
+        &models.recomputed,
+        &["M15", "M16"],
+    );
+    let fig9 = plot_model(
+        "Figure 9: SVD-updating with B = (A_2 | D)",
+        &models.updated,
+        &["M15", "M16"],
+    );
+
+    vec![
+        ("figure4.svg", fig4),
+        ("figure6.svg", fig6),
+        ("figure7.svg", fig7),
+        ("figure8.svg", fig8),
+        ("figure9.svg", fig9),
+    ]
+}
+
+/// Write the figures into `dir`, returning a report of what was
+/// written.
+pub fn write_figures(dir: &Path) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = String::from("SVG figures written:\n");
+    for (name, plot) in figures() {
+        let path = dir.join(name);
+        std::fs::write(&path, plot.render())?;
+        out.push_str(&format!("  {}\n", path.display()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_figures_are_produced() {
+        let figs = figures();
+        assert_eq!(figs.len(), 5);
+        for (name, plot) in &figs {
+            let svg = plot.render();
+            assert!(svg.contains("</svg>"), "{name} incomplete");
+            // Every figure shows all 18 terms.
+            assert!(
+                svg.matches("<circle").count() >= 18,
+                "{name} should plot the terms"
+            );
+        }
+    }
+
+    #[test]
+    fn update_figures_highlight_new_topics() {
+        for (name, plot) in figures() {
+            if name == "figure7.svg" || name == "figure9.svg" {
+                let svg = plot.render();
+                assert!(svg.contains("M15"), "{name} must label M15");
+                assert!(svg.contains("M16"), "{name} must label M16");
+            }
+        }
+    }
+
+    #[test]
+    fn figures_write_to_disk() {
+        let dir = std::env::temp_dir().join(format!("lsi-figs-{}", std::process::id()));
+        let report = write_figures(&dir).unwrap();
+        assert!(report.contains("figure4.svg"));
+        for name in ["figure4.svg", "figure6.svg", "figure7.svg", "figure8.svg", "figure9.svg"] {
+            assert!(dir.join(name).exists());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,309 @@
+//! Self-verifying scorecard: every reproduction claim checked
+//! programmatically, one PASS/FAIL line each.
+//!
+//! `repro --scorecard` is the one-command answer to "does this
+//! repository still reproduce the paper?" — it re-runs the experiment
+//! battery and evaluates the acceptance bands recorded in
+//! EXPERIMENTS.md.
+
+use lsi_corpora::med as paper;
+
+use super::*;
+
+/// One checked claim.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Short claim identifier ("T4/k2", "S5.1/weighting"...).
+    pub id: &'static str,
+    /// Did the measured value fall inside the acceptance band?
+    pub passed: bool,
+    /// Measured-vs-expected detail.
+    pub detail: String,
+}
+
+fn check(id: &'static str, passed: bool, detail: String) -> Check {
+    Check { id, passed, detail }
+}
+
+/// Run the full battery.
+pub fn run() -> Vec<Check> {
+    let mut checks = Vec::new();
+
+    // --- The §3 example ---
+    let (example, _) = paper::MedExample::build().matrix.shape();
+    checks.push(check(
+        "T3/shape",
+        example == 18,
+        format!("term-document matrix has {example} rows (want 18)"),
+    ));
+    let ex = paper::MedExample::build();
+    let vocab_ok = ex.vocab.terms().iter().map(|s| s.as_str()).eq(paper::TERMS);
+    checks.push(check(
+        "T3/vocabulary",
+        vocab_ok,
+        "parsing rules reproduce the 18 published keywords".to_string(),
+    ));
+
+    let fig = med::figure45();
+    let sig_ok = (fig.sigma[0] - fig.paper_sigma[0]).abs() / fig.paper_sigma[0] < 0.03
+        && (fig.sigma[1] - fig.paper_sigma[1]).abs() / fig.paper_sigma[1] < 0.03;
+    checks.push(check(
+        "F5/sigma",
+        sig_ok,
+        format!(
+            "sigma ({:.4}, {:.4}) vs published ({:.4}, {:.4}), band 3%",
+            fig.sigma[0], fig.sigma[1], fig.paper_sigma[0], fig.paper_sigma[1]
+        ),
+    ));
+    let q_ok = (fig.query_coords[0].abs() - fig.paper_query_coords[0].abs()).abs() < 0.03
+        && (fig.query_coords[1].abs() - fig.paper_query_coords[1].abs()).abs() < 0.03;
+    checks.push(check(
+        "F5/query",
+        q_ok,
+        format!(
+            "|q^| = ({:.4}, {:.4}) vs published ({:.4}, {:.4}), band 0.03",
+            fig.query_coords[0].abs(),
+            fig.query_coords[1].abs(),
+            fig.paper_query_coords[0].abs(),
+            fig.paper_query_coords[1].abs()
+        ),
+    ));
+
+    let f6 = med::figure6();
+    checks.push(check(
+        "F6/lsi-top",
+        f6.m9_rank == 0,
+        format!("M9 ranks #{} for LSI (want #1)", f6.m9_rank + 1),
+    ));
+    let lex_ok = f6.lexical == paper::PAPER_LEXICAL_MATCHES;
+    checks.push(check(
+        "F6/lexical",
+        lex_ok,
+        format!("lexical match set {:?} (exact paper set)", f6.lexical),
+    ));
+
+    let t4 = med::table4_column(2);
+    let t4_ids: Vec<&str> = t4.iter().map(|(d, _)| d.as_str()).collect();
+    let coverage = paper::PAPER_TABLE4_K2
+        .iter()
+        .all(|(d, _)| t4_ids.contains(d));
+    let mean_dev = paper::PAPER_TABLE4_K2
+        .iter()
+        .filter_map(|(d, want)| {
+            t4.iter().find(|(id, _)| id == d).map(|(_, got)| (got - want).abs())
+        })
+        .sum::<f64>()
+        / paper::PAPER_TABLE4_K2.len() as f64;
+    checks.push(check(
+        "T4/k2",
+        coverage && mean_dev < 0.05,
+        format!("all 11 paper docs returned: {coverage}; mean |dcos| = {mean_dev:.3} (band 0.05)"),
+    ));
+
+    // --- Updating (Figures 7-9, §4.3) ---
+    let models = updating::updated_models();
+    let fold = updating::rats_cluster_score(&models.folded);
+    let rec = updating::rats_cluster_score(&models.recomputed);
+    let upd = updating::rats_cluster_score(&models.updated);
+    checks.push(check(
+        "F7-9/cluster",
+        fold < upd && upd <= rec + 0.02,
+        format!("rats-cluster cosine: fold {fold:.3} < update {upd:.3} <= recompute {rec:.3}"),
+    ));
+    let ortho = updating::ortho_experiment(5);
+    checks.push(check(
+        "S4.3/defect",
+        ortho.fold_series.last().unwrap().1 > 0.1 && ortho.update_defect < 1e-9,
+        format!(
+            "fold defect after 10 docs {:.3}; update defect {:.1e}",
+            ortho.fold_series.last().unwrap().1,
+            ortho.update_defect
+        ),
+    ));
+    let growth = ortho_retrieval::run(4242, 12, 6);
+    checks.push(check(
+        "S4.3/correlation",
+        growth.fold_correlation < -0.5,
+        format!(
+            "Pearson(defect, precision) = {:.3} along the folding curve (want < -0.5)",
+            growth.fold_correlation
+        ),
+    ));
+
+    // --- Table 7 ---
+    let rows = table7::run(&[5], 16, 808);
+    let r = &rows[0];
+    checks.push(check(
+        "T7/ordering",
+        r.fold_flops < r.update_flops && r.update_flops < r.recompute_flops,
+        format!(
+            "flops fold {} < update {} < recompute {}",
+            r.fold_flops, r.update_flops, r.recompute_flops
+        ),
+    ));
+
+    // --- §5.1 ---
+    let gen = retrieval::default_corpus(2024);
+    let cmp = retrieval::compare(&gen, 16);
+    checks.push(check(
+        "S5.1/lsi-vs-keyword",
+        cmp.lsi_advantage() > 0.05 && cmp.lsi_high_recall > cmp.keyword_high_recall,
+        format!(
+            "LSI {:+.1}% overall; at recall 0.75: {:.3} vs {:.3}",
+            cmp.lsi_advantage() * 100.0,
+            cmp.lsi_high_recall,
+            cmp.keyword_high_recall
+        ),
+    ));
+
+    let w = weighting::run(12);
+    let raw = w.iter().find(|(n, _)| *n == "raw").unwrap().1;
+    let le = w.iter().find(|(n, _)| *n == "log.entropy").unwrap().1;
+    let best = w.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
+    checks.push(check(
+        "S5.1/weighting",
+        le > raw * 1.15 && le >= best - 0.03,
+        format!(
+            "log.entropy {:+.1}% vs raw (paper ~ +40%); within 0.03 of best",
+            (le - raw) / raw * 100.0
+        ),
+    ));
+
+    let fb = feedback::run(99, 14);
+    checks.push(check(
+        "S5.1/feedback",
+        fb.first > fb.none && fb.mean3 >= fb.first - 0.01,
+        format!(
+            "first {:+.1}% (paper +33%), mean-of-3 {:+.1}% (paper +67%)",
+            fb.first_gain() * 100.0,
+            fb.mean3_gain() * 100.0
+        ),
+    ));
+
+    // --- §5.2 k sweep ---
+    let sweep = ksweep::run(&[1, 2, 4, 8, 16, 32, 96], 1212);
+    let scores: Vec<f64> = sweep.series.iter().map(|(_, s)| *s).collect();
+    let peak = scores.iter().cloned().fold(0.0f64, f64::max);
+    let peak_idx = scores.iter().position(|&s| s == peak).unwrap();
+    checks.push(check(
+        "S5.2/ksweep",
+        peak > scores[0] + 0.05 && peak_idx < scores.len() - 1,
+        format!(
+            "rise {:.2} -> peak {:.2} at k={} -> tail {:.2}",
+            scores[0], peak, sweep.series[peak_idx].0, scores[scores.len() - 1]
+        ),
+    ));
+
+    // --- §5.3 ---
+    let filt = filtering::run(3000, 12);
+    let adv = (filt.lsi_text_profile - filt.keyword_profile) / filt.keyword_profile;
+    checks.push(check(
+        "S5.3/filtering",
+        adv > 0.05 && filt.lsi_doc_profile >= filt.lsi_text_profile - 0.05,
+        format!(
+            "LSI {:+.1}% vs keyword (paper 12-23%); doc profiles {:.3}",
+            adv * 100.0,
+            filt.lsi_doc_profile
+        ),
+    ));
+
+    // --- §5.4 ---
+    let syn = synonym::run(9090, 16);
+    checks.push(check(
+        "S5.4/synonym",
+        syn.lsi.accuracy() > 0.55 && syn.lsi.accuracy() > syn.overlap.accuracy() + 0.1,
+        format!(
+            "LSI {:.1}% (paper 64%), overlap {:.1}% (paper 33%)",
+            syn.lsi.accuracy() * 100.0,
+            syn.overlap.accuracy() * 100.0
+        ),
+    ));
+
+    let noisy_results = noisy::run(321, 12, &[lsi_corpora::noise::PAPER_WORD_ERROR_RATE]);
+    checks.push(check(
+        "S5.4/noisy",
+        noisy_results[0].degradation() < 0.15,
+        format!(
+            "8.8% WER changes AP by {:+.1}% (band: |x| < 15%)",
+            -noisy_results[0].degradation() * 100.0
+        ),
+    ));
+
+    let sp = spelling::run(40, 60, 17);
+    checks.push(check(
+        "S5.4/spelling",
+        sp.lsi_accuracy >= 0.7,
+        format!("LSI corrector {:.1}% on single-edit misspellings", sp.lsi_accuracy * 100.0),
+    ));
+
+    let rev = reviewers::run(606, 3, 3);
+    checks.push(check(
+        "S5.4/reviewers",
+        rev.topical_fraction >= 0.6 && rev.max_load <= 3,
+        format!(
+            "{:.0}% topical assignments, max load {} (cap 3)",
+            rev.topical_fraction * 100.0,
+            rev.max_load
+        ),
+    ));
+
+    let cl = crosslang::run(515);
+    checks.push(check(
+        "S5.4/crosslang",
+        cl.cross_en_to_fr >= 0.8 && cl.cross_fr_to_en >= 0.8,
+        format!(
+            "en->fr {:.2}, fr->en {:.2}, translate baseline {:.2}",
+            cl.cross_en_to_fr, cl.cross_fr_to_en, cl.translated_baseline
+        ),
+    ));
+
+    let poly = polysemy::run(&[0.0, 0.5], 808, 16);
+    checks.push(check(
+        "S1/polysemy",
+        poly[1].lsi > poly[1].keyword,
+        format!(
+            "at 50% polysemy: LSI {:.3} vs keyword {:.3}",
+            poly[1].lsi, poly[1].keyword
+        ),
+    ));
+
+    checks
+}
+
+/// Render the scorecard.
+pub fn report() -> String {
+    let checks = run();
+    let passed = checks.iter().filter(|c| c.passed).count();
+    let mut out = format!(
+        "Scorecard: {passed}/{} reproduction claims inside their acceptance bands\n",
+        checks.len()
+    );
+    for c in &checks {
+        out.push_str(&format!(
+            "  [{}] {:<18} {}\n",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.id,
+            c.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scorecard_passes_every_claim() {
+        // The full battery (tens of seconds): this is the repository's
+        // own acceptance test.
+        let checks = run();
+        let failures: Vec<&Check> = checks.iter().filter(|c| !c.passed).collect();
+        assert!(
+            failures.is_empty(),
+            "failed claims: {:#?}",
+            failures
+        );
+        assert!(checks.len() >= 18, "expected a full battery, got {}", checks.len());
+    }
+}

@@ -1,0 +1,56 @@
+//! §5.4 spelling-correction experiment wrapper.
+
+use lsi_apps::spelling::{edit_distance_correct, SpellingCorrector};
+use lsi_corpora::spelling::{generate_misspellings, LEXICON};
+
+/// Accuracy of the LSI corrector and the edit-distance baseline.
+pub struct SpellingResult {
+    /// Cases evaluated.
+    pub cases: usize,
+    /// LSI n-gram corrector accuracy.
+    pub lsi_accuracy: f64,
+    /// Edit-distance baseline accuracy.
+    pub edit_accuracy: f64,
+}
+
+/// Run on `n` generated single-edit misspellings.
+pub fn run(n: usize, k: usize, seed: u64) -> SpellingResult {
+    let corrector = SpellingCorrector::build(LEXICON, k).expect("corrector builds");
+    let cases = generate_misspellings(n, seed);
+    let lsi_accuracy = corrector.accuracy(&cases).expect("accuracy runs");
+    let edit_hits = cases
+        .iter()
+        .filter(|c| edit_distance_correct(LEXICON, &c.written).as_deref() == Some(c.intended.as_str()))
+        .count();
+    SpellingResult {
+        cases: n,
+        lsi_accuracy,
+        edit_accuracy: edit_hits as f64 / n as f64,
+    }
+}
+
+/// Render the experiment.
+pub fn report(n: usize, k: usize, seed: u64) -> String {
+    let r = run(n, k, seed);
+    format!(
+        "S5.4: LSI spelling correction over an n-gram x word space ({} single-edit misspellings, k={k})\n  \
+         LSI n-gram corrector : {:.1}%\n  \
+         edit-distance baseline: {:.1}%\n  \
+         (paper/Kukich: nearest word in LSI space is the suggested correction)\n",
+        r.cases,
+        r.lsi_accuracy * 100.0,
+        r.edit_accuracy * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsi_corrector_is_accurate() {
+        let r = run(40, 60, 17);
+        assert!(r.lsi_accuracy >= 0.7, "LSI accuracy {:.2}", r.lsi_accuracy);
+        assert!(r.edit_accuracy >= 0.7, "edit accuracy {:.2}", r.edit_accuracy);
+    }
+}

@@ -1,0 +1,70 @@
+//! §5.4 TOEFL synonym test experiment wrapper.
+
+use lsi_apps::synonym::{run_lsi, SynonymScore, WordOverlapBaseline};
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::synonyms::{SynonymTest, TOEFL_ITEMS};
+use lsi_corpora::SyntheticOptions;
+use lsi_text::{ParsingRules, TermWeighting};
+
+/// LSI vs word-overlap on the generated 80-item test.
+pub struct SynonymResult {
+    /// LSI score.
+    pub lsi: SynonymScore,
+    /// Word-overlap baseline score.
+    pub overlap: SynonymScore,
+}
+
+/// Run the test.
+pub fn run(seed: u64, k: usize) -> SynonymResult {
+    let options = SyntheticOptions {
+        n_topics: 8,
+        docs_per_topic: 24,
+        concepts_per_topic: 8,
+        synonyms_per_concept: 3,
+        doc_len: 60,
+        noise_fraction: 0.10,
+        seed,
+        ..Default::default()
+    };
+    let test = SynonymTest::generate(&options, TOEFL_ITEMS, seed + 7);
+    let lsi_options = LsiOptions {
+        k,
+        rules: ParsingRules { min_df: 2, ..Default::default() },
+        weighting: TermWeighting::log_entropy(),
+        svd_seed: 37,
+    };
+    let (model, _) = LsiModel::build(&test.corpus.corpus, &lsi_options).expect("model builds");
+    let lsi = run_lsi(&model, &test);
+    let overlap = WordOverlapBaseline::build(&test.corpus.corpus).run(&test);
+    SynonymResult { lsi, overlap }
+}
+
+/// Render the experiment.
+pub fn report(seed: u64, k: usize) -> String {
+    let r = run(seed, k);
+    format!(
+        "S5.4: TOEFL-style synonym test ({} items, k={k})\n  \
+         LSI          : {}/{} = {:.1}%   (paper: 64%)\n  \
+         word overlap : {}/{} = {:.1}%   (paper: 33%; chance 25%)\n",
+        r.lsi.total,
+        r.lsi.correct, r.lsi.total, r.lsi.accuracy() * 100.0,
+        r.overlap.correct, r.overlap.total, r.overlap.accuracy() * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsi_beats_overlap_and_chance_like_the_paper() {
+        let r = run(9090, 16);
+        assert!(r.lsi.accuracy() > 0.55, "LSI {:.2}", r.lsi.accuracy());
+        assert!(
+            r.lsi.accuracy() > r.overlap.accuracy() + 0.1,
+            "LSI {:.2} should clearly beat overlap {:.2}",
+            r.lsi.accuracy(),
+            r.overlap.accuracy()
+        );
+    }
+}

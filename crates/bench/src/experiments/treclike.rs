@@ -1,0 +1,124 @@
+//! §5.3 TREC scale: "a sample of about 70,000 documents and 90,000
+//! terms ... matrices ... containing only .001-.002% non-zero entries.
+//! Computing A_200 ... by a single-vector Lanczos algorithm required
+//! about 18 hours of CPU time on a SUN SPARCstation 10."
+//!
+//! The experiment runs the same computation at a sweep of scale factors
+//! and reports wall-clock, iteration counts, and the measured sparse
+//! flops (the §4.2 cost terms), so the full-scale cost can be
+//! extrapolated on current hardware.
+
+use std::time::Instant;
+
+use lsi_corpora::treclike::{describe, trec_like, TREC_K};
+use lsi_sparse::ops::DualFormat;
+use lsi_svd::{lanczos_svd, CountingOperator, LanczosOptions};
+
+/// One row of the scale sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Scale divisor (1 = the paper's full 90k×70k).
+    pub scale: usize,
+    /// Matrix shape.
+    pub shape: (usize, usize),
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Density as a percentage (paper phrasing).
+    pub density_percent: f64,
+    /// Factors computed.
+    pub k: usize,
+    /// Lanczos iterations used.
+    pub iterations: usize,
+    /// Sparse products performed (forward + transposed).
+    pub products: u64,
+    /// Estimated sparse flops.
+    pub flops: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Run the Lanczos truncated SVD at one scale.
+pub fn run_scale(scale: usize, k: usize, seed: u64) -> ScalePoint {
+    let matrix = trec_like(scale, seed);
+    let stats = describe(&matrix);
+    let dual = DualFormat::from_csc(matrix);
+    let counter = CountingOperator::new(&dual);
+    let start = Instant::now();
+    let k_eff = k.min(stats.nrows.min(stats.ncols) / 2).max(1);
+    let (svd, rep) = lanczos_svd(
+        &counter,
+        k_eff,
+        &LanczosOptions {
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("Lanczos runs");
+    let seconds = start.elapsed().as_secs_f64();
+    ScalePoint {
+        scale,
+        shape: (stats.nrows, stats.ncols),
+        nnz: stats.nnz,
+        density_percent: stats.density_percent(),
+        k: svd.s.len(),
+        iterations: rep.steps,
+        products: counter.apply_count() + counter.apply_t_count(),
+        flops: counter.flops(),
+        seconds,
+    }
+}
+
+/// Render the scale sweep.
+pub fn report(scales: &[usize], k: usize) -> String {
+    let mut out = format!(
+        "S5.3: TREC-shaped Lanczos cost sweep (target k={k}; paper computed k={TREC_K} on 90000x70000 at .001-.002% density)\n"
+    );
+    out.push_str("  scale  shape          nnz      density%  k    iters  products  flops        seconds\n");
+    for &s in scales {
+        let p = run_scale(s, k, 7);
+        out.push_str(&format!(
+            "  1/{:<4} {}x{:<7} {:<8} {:.4}    {:<4} {:<6} {:<9} {:<12} {:.3}\n",
+            p.scale, p.shape.0, p.shape.1, p.nnz, p.density_percent, p.k, p.iterations,
+            p.products, p.flops, p.seconds
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_run_completes_with_converged_factors() {
+        let p = run_scale(100, 20, 3);
+        assert_eq!(p.shape, (900, 700));
+        assert!(p.k >= 10, "expected at least 10 factors, got {}", p.k);
+        assert!(p.iterations >= p.k);
+        assert!(p.products > 0);
+        assert!(p.seconds >= 0.0);
+    }
+
+    #[test]
+    fn density_tracks_paper_band_times_scale() {
+        let p = run_scale(100, 10, 3);
+        // 0.002% x 100 = 0.2%, duplicates shave a little off.
+        assert!(
+            p.density_percent > 0.1 && p.density_percent < 0.25,
+            "density {}",
+            p.density_percent
+        );
+    }
+
+    #[test]
+    fn flops_grow_with_scale() {
+        let small = run_scale(200, 10, 3);
+        let large = run_scale(100, 10, 3);
+        assert!(
+            large.flops > small.flops,
+            "larger instance should cost more: {} vs {}",
+            large.flops,
+            small.flops
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Figures 7–9 (§3.3, §4.4) and the §4.3 orthogonality experiment:
+//! folding-in vs SVD-updating vs recomputing on the medical topics.
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::med::{self, MedExample};
+use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+use super::med::med_model;
+
+/// The three updated models of §3.3/§3.4/§4.4.
+pub struct UpdatedModels {
+    /// Figure 7: M15/M16 folded in to the k=2 model.
+    pub folded: LsiModel,
+    /// Figure 8: SVD recomputed on the 18×16 matrix.
+    pub recomputed: LsiModel,
+    /// Figure 9: SVD-updating with `B = (A_2 | D)`.
+    pub updated: LsiModel,
+}
+
+/// Build all three variants.
+pub fn updated_models() -> UpdatedModels {
+    let update_corpus = Corpus::from_pairs(med::UPDATE_TOPICS);
+
+    // Folding-in (Figure 7).
+    let (_, mut folded) = med_model(2);
+    folded
+        .fold_in_documents(&update_corpus)
+        .expect("folding in M15/M16");
+
+    // Recomputing (Figure 8): fresh SVD of the 18x16 matrix. The
+    // vocabulary is unchanged (the new topics add no keywords).
+    let extended = MedExample::extended_corpus();
+    let options = LsiOptions {
+        k: 2,
+        rules: ParsingRules::paper_example(),
+        weighting: TermWeighting::none(),
+        svd_seed: 42,
+    };
+    let (recomputed, _) = LsiModel::build(&extended, &options).expect("recompute");
+
+    // SVD-updating (Figure 9).
+    let (example, mut updated) = med_model(2);
+    let d = example.update_documents_matrix();
+    updated
+        .svd_update_documents(&d, &["M15".to_string(), "M16".to_string()])
+        .expect("SVD-update with M15/M16");
+
+    UpdatedModels {
+        folded,
+        recomputed,
+        updated,
+    }
+}
+
+/// Cosine similarity between two documents by id.
+fn doc_cos(model: &LsiModel, a: &str, b: &str) -> f64 {
+    let ia = model.doc_index(a).expect("doc a");
+    let ib = model.doc_index(b).expect("doc b");
+    model.doc_doc_similarity(ia, ib)
+}
+
+/// Mean cosine of M15 to the rats documents M13/M14 — the cluster the
+/// paper says forms under recomputing/updating (Figs. 8, 9) but not
+/// under folding-in (Fig. 7).
+pub fn rats_cluster_score(model: &LsiModel) -> f64 {
+    0.5 * (doc_cos(model, "M15", "M13") + doc_cos(model, "M15", "M14"))
+}
+
+/// Render the Figure 7/8/9 comparison.
+pub fn figures789_report() -> String {
+    let models = updated_models();
+    let mut out = String::from("Figures 7-9: adding M15/M16 by folding-in vs recomputing vs SVD-updating\n");
+    for (label, model) in [
+        ("fold-in   (Fig 7)", &models.folded),
+        ("recompute (Fig 8)", &models.recomputed),
+        ("SVD-update(Fig 9)", &models.updated),
+    ] {
+        out.push_str(&format!("  {label}: sigma = ({:.4}, {:.4})\n",
+            model.singular_values()[0], model.singular_values()[1]));
+        for id in ["M13", "M14", "M15", "M16"] {
+            let j = model.doc_index(id).expect("doc present");
+            let c = model.doc_coords_scaled(j);
+            out.push_str(&format!("    {id}: ({:>7.4}, {:>7.4})\n", c[0], c[1]));
+        }
+        out.push_str(&format!(
+            "    cos(M15, {{M13,M14}}) = {:.4}\n",
+            rats_cluster_score(model)
+        ));
+    }
+    out
+}
+
+/// §4.3 orthogonality-loss experiment: fold in batches of documents and
+/// track `‖V̂ᵀV̂ − I‖₂`, against the SVD-updated model's loss.
+pub struct OrthoExperiment {
+    /// `(number folded, doc defect)` series for folding-in.
+    pub fold_series: Vec<(usize, f64)>,
+    /// Defect after SVD-updating the same documents instead.
+    pub update_defect: f64,
+}
+
+/// Run the orthogonality experiment by repeatedly folding the update
+/// topics (with fresh ids) into the example model.
+pub fn ortho_experiment(batches: usize) -> OrthoExperiment {
+    let (_, mut folded) = med_model(2);
+    let mut fold_series = Vec::with_capacity(batches + 1);
+    fold_series.push((0usize, folded.orthogonality_loss().unwrap().doc_defect));
+    for b in 0..batches {
+        let corpus = Corpus::from_pairs([
+            (format!("M15v{b}"), med::UPDATE_TOPICS[0].1.to_string()),
+            (format!("M16v{b}"), med::UPDATE_TOPICS[1].1.to_string()),
+        ]);
+        folded.fold_in_documents(&corpus).expect("fold");
+        fold_series.push((
+            2 * (b + 1),
+            folded.orthogonality_loss().unwrap().doc_defect,
+        ));
+    }
+
+    let (example, mut updated) = med_model(2);
+    let d = example.update_documents_matrix();
+    updated
+        .svd_update_documents(&d, &["M15".to_string(), "M16".to_string()])
+        .expect("update");
+    OrthoExperiment {
+        fold_series,
+        update_defect: updated.orthogonality_loss().unwrap().doc_defect,
+    }
+}
+
+/// Render the orthogonality experiment.
+pub fn ortho_report(batches: usize) -> String {
+    let e = ortho_experiment(batches);
+    let mut out = String::from(
+        "S4.3: orthogonality loss ||V^T V - I||_2 under folding-in (SVD-updating stays ~0)\n",
+    );
+    for (n, d) in &e.fold_series {
+        out.push_str(&format!("  folded {n:>3} docs: defect {d:.6}\n"));
+    }
+    out.push_str(&format!("  SVD-updating defect: {:.2e}\n", e.update_defect));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_in_leaves_original_documents_fixed() {
+        let (_, base) = med_model(2);
+        let models = updated_models();
+        for j in 0..14 {
+            let before = base.doc_vector(j);
+            let after = models.folded.doc_vector(j);
+            assert_eq!(before, after, "fold-in moved M{}", j + 1);
+        }
+    }
+
+    #[test]
+    fn updating_forms_the_rats_cluster_folding_does_not() {
+        // The paper's core qualitative claim (§3.4/§4.4): "the
+        // folding-in procedure failed to form the cluster {M13, M14,
+        // M15}" which recomputing and SVD-updating produce.
+        let models = updated_models();
+        let fold = rats_cluster_score(&models.folded);
+        let recompute = rats_cluster_score(&models.recomputed);
+        let update = rats_cluster_score(&models.updated);
+        assert!(
+            recompute > fold,
+            "recompute ({recompute:.3}) should cluster M15 with the rats docs better than fold-in ({fold:.3})"
+        );
+        assert!(
+            update > fold,
+            "SVD-update ({update:.3}) should cluster better than fold-in ({fold:.3})"
+        );
+        // And updating approximates recomputing (Figures 8 vs 9 look alike).
+        assert!(
+            (update - recompute).abs() < 0.15,
+            "update {update:.3} should be close to recompute {recompute:.3}"
+        );
+    }
+
+    #[test]
+    fn m16_lands_near_its_constituent_terms_under_updating() {
+        // §4.5: "SVD-updating appropriately moves the medical topic M16
+        // to the centroid of the term vectors corresponding to
+        // depressed, patients, pressure, and fast."
+        let models = updated_models();
+        let m = &models.updated;
+        let j = m.doc_index("M16").unwrap();
+        let doc = m.doc_vector(j);
+        let mut centroid = vec![0.0; m.k()];
+        for term in ["depressed", "patients", "pressure", "fast"] {
+            let t = m.term_index(term).unwrap();
+            for (c, v) in centroid.iter_mut().zip(m.term_vector(t)) {
+                *c += v;
+            }
+        }
+        let cos = lsi_linalg::vecops::cosine(&doc, &centroid);
+        assert!(cos > 0.9, "M16 should align with its term centroid, cos {cos:.3}");
+    }
+
+    #[test]
+    fn ortho_defect_grows_with_folding_and_stays_zero_under_updating() {
+        let e = ortho_experiment(5);
+        assert!(e.fold_series.first().unwrap().1 < 1e-9);
+        let last = e.fold_series.last().unwrap().1;
+        assert!(last > 0.1, "folding 10 docs should visibly corrupt V: {last}");
+        for w in e.fold_series.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "defect must be nondecreasing");
+        }
+        assert!(e.update_defect < 1e-9);
+    }
+
+    #[test]
+    fn updated_sigma_close_to_recomputed_sigma() {
+        let models = updated_models();
+        let u = models.updated.singular_values();
+        let r = models.recomputed.singular_values();
+        for (a, b) in u.iter().zip(r.iter()) {
+            assert!(
+                (a - b).abs() / b < 0.06,
+                "updated sigma {a:.4} vs recomputed {b:.4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! §5.1 term weighting: "A log transformation of the local cell entries
+//! combined with a global entropy weight for terms is the most
+//! effective term-weighting scheme. Averaged over five test
+//! collections, log × entropy weighting was 40% more effective than raw
+//! term weighting."
+
+use std::collections::HashSet;
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_corpora::{SyntheticCorpus, SyntheticOptions};
+use lsi_eval::metrics::RetrievalScore;
+use lsi_text::{GlobalWeight, LocalWeight, ParsingRules, TermWeighting};
+
+/// The schemes compared (a representative subset of Dumais 1991).
+pub fn schemes() -> Vec<(&'static str, TermWeighting)> {
+    vec![
+        ("raw", TermWeighting::none()),
+        ("log", TermWeighting {
+            local: LocalWeight::Log,
+            global: GlobalWeight::None,
+        }),
+        ("binary", TermWeighting {
+            local: LocalWeight::Binary,
+            global: GlobalWeight::None,
+        }),
+        ("tf.idf", TermWeighting::tf_idf()),
+        ("log.idf", TermWeighting {
+            local: LocalWeight::Log,
+            global: GlobalWeight::Idf,
+        }),
+        ("gfidf", TermWeighting {
+            local: LocalWeight::RawTf,
+            global: GlobalWeight::GfIdf,
+        }),
+        ("log.entropy", TermWeighting::log_entropy()),
+    ]
+}
+
+/// The five test collections (paper: "averaged over five test
+/// collections"), varied in size and noise.
+///
+/// The collections are deliberately noisy: around half of all tokens
+/// are drawn from a *small* background vocabulary, so raw term
+/// frequencies are dominated by uninformative words that occur evenly
+/// across documents — precisely the words the entropy weight drives to
+/// zero. This is the regime in which the paper measured its 40 % gap.
+pub fn five_collections() -> Vec<SyntheticCorpus> {
+    let base = SyntheticOptions {
+        n_topics: 6,
+        docs_per_topic: 12,
+        concepts_per_topic: 8,
+        synonyms_per_concept: 3,
+        doc_len: 50,
+        background_vocab: 25,
+        noise_fraction: 0.5,
+        query_len: 10,
+        queries_per_topic: 3,
+        polysemy_fraction: 0.0,
+        seed: 0,
+    };
+    (0..5u64)
+        .map(|i| {
+            SyntheticCorpus::generate(&SyntheticOptions {
+                seed: 1000 + i,
+                noise_fraction: 0.45 + 0.05 * i as f64,
+                docs_per_topic: 10 + 2 * i as usize,
+                ..base.clone()
+            })
+        })
+        .collect()
+}
+
+/// Mean 3-pt average precision of one scheme on one collection.
+pub fn score_scheme(gen: &SyntheticCorpus, weighting: TermWeighting, k: usize) -> f64 {
+    let options = LsiOptions {
+        k,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting,
+        svd_seed: 21,
+    };
+    let (model, _) = LsiModel::build(&gen.corpus, &options).expect("model builds");
+    let runs: Vec<(Vec<usize>, HashSet<usize>)> = gen
+        .queries
+        .iter()
+        .map(|q| {
+            let ranking: Vec<usize> = model
+                .query(&q.text)
+                .expect("query runs")
+                .matches
+                .iter()
+                .map(|m| m.doc)
+                .collect();
+            (ranking, q.relevant.iter().copied().collect())
+        })
+        .collect();
+    RetrievalScore::over_queries(runs.iter().map(|(r, rel)| (r.as_slice(), rel)))
+        .avg_precision_3pt
+}
+
+/// Mean score of each scheme over the five collections.
+pub fn run(k: usize) -> Vec<(&'static str, f64)> {
+    let collections = five_collections();
+    schemes()
+        .into_iter()
+        .map(|(name, w)| {
+            let mean = collections
+                .iter()
+                .map(|c| score_scheme(c, w, k))
+                .sum::<f64>()
+                / collections.len() as f64;
+            (name, mean)
+        })
+        .collect()
+}
+
+/// Render the weighting experiment.
+pub fn report(k: usize) -> String {
+    let results = run(k);
+    let raw = results.iter().find(|(n, _)| *n == "raw").expect("raw scheme").1;
+    let mut out = format!(
+        "S5.1: term weighting schemes, mean 3-pt avg precision over five collections (k={k})\n"
+    );
+    for (name, score) in &results {
+        out.push_str(&format!(
+            "  {name:<12} {score:.4}   ({:+.1}% vs raw)\n",
+            (score - raw) / raw * 100.0
+        ));
+    }
+    out.push_str("  (paper: log x entropy ~ +40% vs raw term weighting)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_entropy_beats_raw_weighting() {
+        let results = run(12);
+        let get = |n: &str| results.iter().find(|(name, _)| *name == n).unwrap().1;
+        let raw = get("raw");
+        let le = get("log.entropy");
+        assert!(
+            le > raw,
+            "log.entropy ({le:.4}) should beat raw ({raw:.4})"
+        );
+    }
+
+    #[test]
+    fn log_entropy_is_among_the_best_schemes() {
+        let results = run(12);
+        let le = results
+            .iter()
+            .find(|(n, _)| *n == "log.entropy")
+            .unwrap()
+            .1;
+        let best = results.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
+        assert!(
+            le >= best - 0.03,
+            "log.entropy {le:.4} should be within 0.03 of the best {best:.4}"
+        );
+    }
+
+    #[test]
+    fn all_schemes_are_usable() {
+        let results = run(12);
+        assert_eq!(results.len(), schemes().len());
+        for (name, score) in results {
+            assert!(score > 0.1, "{name} scored {score}");
+        }
+    }
+}

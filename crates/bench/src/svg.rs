@@ -1,0 +1,246 @@
+//! Minimal dependency-free SVG scatter plots for the paper's figures.
+//!
+//! Figures 4 and 6–9 of the paper are two-dimensional scatter plots of
+//! term and document coordinates. [`ScatterPlot`] renders the same
+//! plots as standalone SVG files (`repro --plots` writes them to
+//! `figures/`).
+
+/// A point with a label and a style class.
+#[derive(Debug, Clone)]
+pub struct PlotPoint {
+    /// X coordinate (data space).
+    pub x: f64,
+    /// Y coordinate (data space).
+    pub y: f64,
+    /// Label drawn next to the marker.
+    pub label: String,
+    /// Style: 0 = term (small, gray), 1 = document (blue), 2 =
+    /// highlighted document (red), 3 = query (green, with vector from
+    /// the origin).
+    pub class: u8,
+}
+
+/// A 2-D scatter plot mimicking the paper's figure style.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    /// Plot title.
+    pub title: String,
+    /// The points.
+    pub points: Vec<PlotPoint>,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl ScatterPlot {
+    /// New plot with default canvas size.
+    pub fn new(title: impl Into<String>) -> ScatterPlot {
+        ScatterPlot {
+            title: title.into(),
+            points: Vec::new(),
+            width: 760,
+            height: 560,
+        }
+    }
+
+    /// Add a term point.
+    pub fn term(&mut self, x: f64, y: f64, label: impl Into<String>) {
+        self.points.push(PlotPoint {
+            x,
+            y,
+            label: label.into(),
+            class: 0,
+        });
+    }
+
+    /// Add a document point.
+    pub fn doc(&mut self, x: f64, y: f64, label: impl Into<String>) {
+        self.points.push(PlotPoint {
+            x,
+            y,
+            label: label.into(),
+            class: 1,
+        });
+    }
+
+    /// Add a highlighted document point (e.g. the update topics).
+    pub fn doc_highlight(&mut self, x: f64, y: f64, label: impl Into<String>) {
+        self.points.push(PlotPoint {
+            x,
+            y,
+            label: label.into(),
+            class: 2,
+        });
+    }
+
+    /// Add the query point (drawn with a vector from the origin, as in
+    /// the paper's Figure 6).
+    pub fn query(&mut self, x: f64, y: f64, label: impl Into<String>) {
+        self.points.push(PlotPoint {
+            x,
+            y,
+            label: label.into(),
+            class: 3,
+        });
+    }
+
+    /// Render to an SVG string.
+    pub fn render(&self) -> String {
+        let margin = 50.0;
+        let w = self.width as f64;
+        let h = self.height as f64;
+
+        // Data bounds, always including the origin (the paper's plots
+        // show the axes through 0).
+        let mut xmin = 0.0f64;
+        let mut xmax = 0.0f64;
+        let mut ymin = 0.0f64;
+        let mut ymax = 0.0f64;
+        for p in &self.points {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+            ymin = ymin.min(p.y);
+            ymax = ymax.max(p.y);
+        }
+        let pad = 0.08;
+        let xspan = (xmax - xmin).max(1e-9);
+        let yspan = (ymax - ymin).max(1e-9);
+        xmin -= pad * xspan;
+        xmax += pad * xspan;
+        ymin -= pad * yspan;
+        ymax += pad * yspan;
+
+        let sx = |x: f64| margin + (x - xmin) / (xmax - xmin) * (w - 2.0 * margin);
+        let sy = |y: f64| h - margin - (y - ymin) / (ymax - ymin) * (h - 2.0 * margin);
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n",
+            self.width, self.height, self.width, self.height
+        ));
+        out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"24\" font-family=\"sans-serif\" font-size=\"16\" text-anchor=\"middle\">{}</text>\n",
+            w / 2.0,
+            xml_escape(&self.title)
+        ));
+        // Axes through the origin.
+        let ox = sx(0.0);
+        let oy = sy(0.0);
+        out.push_str(&format!(
+            "<line x1=\"{margin}\" y1=\"{oy:.1}\" x2=\"{:.1}\" y2=\"{oy:.1}\" stroke=\"#999\" stroke-width=\"1\"/>\n",
+            w - margin
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{ox:.1}\" y1=\"{margin}\" x2=\"{ox:.1}\" y2=\"{:.1}\" stroke=\"#999\" stroke-width=\"1\"/>\n",
+            h - margin
+        ));
+
+        for p in &self.points {
+            let px = sx(p.x);
+            let py = sy(p.y);
+            let label = xml_escape(&p.label);
+            match p.class {
+                0 => {
+                    out.push_str(&format!(
+                        "<circle cx=\"{px:.1}\" cy=\"{py:.1}\" r=\"2.5\" fill=\"#777\"/>\n\
+                         <text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"9\" fill=\"#555\">{label}</text>\n",
+                        px + 4.0,
+                        py - 3.0
+                    ));
+                }
+                1 => {
+                    out.push_str(&format!(
+                        "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"7\" height=\"7\" fill=\"#1f5fbf\"/>\n\
+                         <text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"11\" fill=\"#1f5fbf\">{label}</text>\n",
+                        px - 3.5,
+                        py - 3.5,
+                        px + 6.0,
+                        py - 5.0
+                    ));
+                }
+                2 => {
+                    out.push_str(&format!(
+                        "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"8\" height=\"8\" fill=\"#c23b22\"/>\n\
+                         <text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"12\" font-weight=\"bold\" fill=\"#c23b22\">{label}</text>\n",
+                        px - 4.0,
+                        py - 4.0,
+                        px + 7.0,
+                        py - 6.0
+                    ));
+                }
+                _ => {
+                    out.push_str(&format!(
+                        "<line x1=\"{ox:.1}\" y1=\"{oy:.1}\" x2=\"{px:.1}\" y2=\"{py:.1}\" stroke=\"#1a7f37\" stroke-width=\"2\"/>\n\
+                         <circle cx=\"{px:.1}\" cy=\"{py:.1}\" r=\"4\" fill=\"#1a7f37\"/>\n\
+                         <text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"12\" font-weight=\"bold\" fill=\"#1a7f37\">{label}</text>\n",
+                        px + 7.0,
+                        py + 4.0
+                    ));
+                }
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// Escape the five XML special characters.
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&apos;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScatterPlot {
+        let mut p = ScatterPlot::new("test <plot>");
+        p.term(0.1, 0.2, "alpha");
+        p.doc(-0.5, 0.3, "M1");
+        p.doc_highlight(0.4, -0.6, "M15");
+        p.query(0.15, -0.12, "QUERY");
+        p
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let svg = sample().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 2); // term + query tip
+        assert_eq!(svg.matches("<rect").count(), 3); // background + 2 docs
+        assert!(svg.contains("QUERY"));
+    }
+
+    #[test]
+    fn escapes_xml_in_title_and_labels() {
+        let svg = sample().render();
+        assert!(svg.contains("test &lt;plot&gt;"));
+        assert!(!svg.contains("<plot>"));
+    }
+
+    #[test]
+    fn all_points_land_inside_the_canvas() {
+        let p = sample();
+        let svg = p.render();
+        for token in svg.split("cx=\"") {
+            if let Some(end) = token.find('"') {
+                if let Ok(x) = token[..end].parse::<f64>() {
+                    assert!(x >= 0.0 && x <= p.width as f64, "x {x} out of canvas");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let svg = ScatterPlot::new("empty").render();
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Hand-rolled argument parsing (no external dependency).
+
+use crate::{CliError, Result};
+
+/// Weighting scheme names accepted by `--weighting`.
+pub const WEIGHTING_NAMES: &[&str] = &["raw", "log-entropy", "tf-idf"];
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `lsi index <inputs...> --out FILE [--k N] [--min-df N]
+    /// [--weighting NAME] [--phrases]`
+    Index {
+        /// Input paths: `.txt` files (one document each) or `.tsv`
+        /// files (`id<TAB>text` per line).
+        inputs: Vec<String>,
+        /// Output database path.
+        out: String,
+        /// Factor count.
+        k: usize,
+        /// Minimum document frequency.
+        min_df: usize,
+        /// Weighting scheme name.
+        weighting: String,
+        /// Index adjacent word pairs as phrase terms.
+        phrases: bool,
+    },
+    /// `lsi query <db> <text...> [--top N] [--threshold T]`
+    Query {
+        /// Database path.
+        db: String,
+        /// Query text.
+        text: String,
+        /// Number of results.
+        top: usize,
+        /// Optional cosine threshold.
+        threshold: Option<f64>,
+    },
+    /// `lsi terms <db> <word> [--top N]`
+    Terms {
+        /// Database path.
+        db: String,
+        /// Probe word.
+        word: String,
+        /// Number of neighbours.
+        top: usize,
+    },
+    /// `lsi add <db> <inputs...> --out FILE [--method fold|update]`
+    Add {
+        /// Database path.
+        db: String,
+        /// New document inputs.
+        inputs: Vec<String>,
+        /// Output database path.
+        out: String,
+        /// `fold` or `update`.
+        method: String,
+    },
+    /// `lsi info <db>`
+    Info {
+        /// Database path.
+        db: String,
+    },
+    /// `lsi help` or `--help`.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+lsi — Latent Semantic Indexing toolbox
+
+usage:
+  lsi index  <inputs...> --out DB [--k N] [--min-df N] [--weighting W] [--phrases]
+  lsi query  <DB> <text...> [--top N] [--threshold T]
+  lsi terms  <DB> <word> [--top N]
+  lsi add    <DB> <inputs...> --out DB2 [--method fold|update]
+  lsi info   <DB>
+
+inputs are .txt files (one document each) or .tsv files (id<TAB>text per line).
+weighting W: raw | log-entropy (default) | tf-idf
+";
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(CliError::usage(format!("{flag} needs a value")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_usize(value: Option<String>, default: usize, flag: &str) -> Result<usize> {
+    match value {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("{flag} expects an integer, got {v:?}"))),
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<Command> {
+    let mut args: Vec<String> = argv.to_vec();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        return Ok(Command::Help);
+    }
+    let sub = args.remove(0);
+    match sub.as_str() {
+        "index" => {
+            let out = take_value(&mut args, "--out")?
+                .ok_or_else(|| CliError::usage("index requires --out FILE"))?;
+            let k = parse_usize(take_value(&mut args, "--k")?, 100, "--k")?;
+            let min_df = parse_usize(take_value(&mut args, "--min-df")?, 2, "--min-df")?;
+            let weighting =
+                take_value(&mut args, "--weighting")?.unwrap_or_else(|| "log-entropy".into());
+            if !WEIGHTING_NAMES.contains(&weighting.as_str()) {
+                return Err(CliError::usage(format!(
+                    "unknown weighting {weighting:?}; expected one of {WEIGHTING_NAMES:?}"
+                )));
+            }
+            let phrases = take_flag(&mut args, "--phrases");
+            reject_unknown_flags(&args)?;
+            if args.is_empty() {
+                return Err(CliError::usage("index requires at least one input file"));
+            }
+            Ok(Command::Index {
+                inputs: args,
+                out,
+                k,
+                min_df,
+                weighting,
+                phrases,
+            })
+        }
+        "query" => {
+            let top = parse_usize(take_value(&mut args, "--top")?, 10, "--top")?;
+            let threshold = match take_value(&mut args, "--threshold")? {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("--threshold expects a number, got {v:?}"))
+                })?),
+            };
+            reject_unknown_flags(&args)?;
+            if args.len() < 2 {
+                return Err(CliError::usage("query requires a database and query text"));
+            }
+            let db = args.remove(0);
+            Ok(Command::Query {
+                db,
+                text: args.join(" "),
+                top,
+                threshold,
+            })
+        }
+        "terms" => {
+            let top = parse_usize(take_value(&mut args, "--top")?, 10, "--top")?;
+            reject_unknown_flags(&args)?;
+            if args.len() != 2 {
+                return Err(CliError::usage("terms requires a database and one word"));
+            }
+            Ok(Command::Terms {
+                db: args.remove(0),
+                word: args.remove(0),
+                top,
+            })
+        }
+        "add" => {
+            let out = take_value(&mut args, "--out")?
+                .ok_or_else(|| CliError::usage("add requires --out FILE"))?;
+            let method = take_value(&mut args, "--method")?.unwrap_or_else(|| "update".into());
+            if method != "fold" && method != "update" {
+                return Err(CliError::usage(format!(
+                    "--method must be fold or update, got {method:?}"
+                )));
+            }
+            reject_unknown_flags(&args)?;
+            if args.len() < 2 {
+                return Err(CliError::usage("add requires a database and input files"));
+            }
+            let db = args.remove(0);
+            Ok(Command::Add {
+                db,
+                inputs: args,
+                out,
+                method,
+            })
+        }
+        "info" => {
+            reject_unknown_flags(&args)?;
+            if args.len() != 1 {
+                return Err(CliError::usage("info requires exactly one database path"));
+            }
+            Ok(Command::Info {
+                db: args.remove(0),
+            })
+        }
+        other => Err(CliError::usage(format!(
+            "unknown subcommand {other:?}; try lsi --help"
+        ))),
+    }
+}
+
+fn reject_unknown_flags(args: &[String]) -> Result<()> {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(CliError::usage(format!("unknown flag {flag}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["query", "-h"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn index_with_defaults() {
+        let c = parse_args(&v(&["index", "a.txt", "b.txt", "--out", "db.json"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Index {
+                inputs: v(&["a.txt", "b.txt"]),
+                out: "db.json".into(),
+                k: 100,
+                min_df: 2,
+                weighting: "log-entropy".into(),
+                phrases: false,
+            }
+        );
+    }
+
+    #[test]
+    fn index_with_options_any_order() {
+        let c = parse_args(&v(&[
+            "index", "--k", "50", "a.txt", "--weighting", "raw", "--out", "x", "--min-df", "1",
+            "--phrases",
+        ]))
+        .unwrap();
+        match c {
+            Command::Index {
+                k,
+                min_df,
+                weighting,
+                phrases,
+                inputs,
+                ..
+            } => {
+                assert_eq!(k, 50);
+                assert_eq!(min_df, 1);
+                assert_eq!(weighting, "raw");
+                assert!(phrases);
+                assert_eq!(inputs, v(&["a.txt"]));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn index_requires_out_and_inputs() {
+        assert!(parse_args(&v(&["index", "a.txt"])).is_err());
+        assert!(parse_args(&v(&["index", "--out", "x"])).is_err());
+        assert!(parse_args(&v(&["index", "a.txt", "--out"])).is_err());
+    }
+
+    #[test]
+    fn index_rejects_bad_weighting_and_flags() {
+        assert!(parse_args(&v(&["index", "a", "--out", "x", "--weighting", "magic"])).is_err());
+        assert!(parse_args(&v(&["index", "a", "--out", "x", "--frobnicate"])).is_err());
+        assert!(parse_args(&v(&["index", "a", "--out", "x", "--k", "NaN"])).is_err());
+    }
+
+    #[test]
+    fn query_joins_text() {
+        let c = parse_args(&v(&["query", "db.json", "blood", "abnormalities", "--top", "3"]))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Query {
+                db: "db.json".into(),
+                text: "blood abnormalities".into(),
+                top: 3,
+                threshold: None,
+            }
+        );
+    }
+
+    #[test]
+    fn query_threshold() {
+        let c = parse_args(&v(&["query", "db", "q", "--threshold", "0.85"])).unwrap();
+        match c {
+            Command::Query { threshold, .. } => assert_eq!(threshold, Some(0.85)),
+            _ => panic!(),
+        }
+        assert!(parse_args(&v(&["query", "db", "q", "--threshold", "high"])).is_err());
+    }
+
+    #[test]
+    fn add_method_validation() {
+        let c = parse_args(&v(&["add", "db", "new.txt", "--out", "db2"])).unwrap();
+        match c {
+            Command::Add { method, .. } => assert_eq!(method, "update"),
+            _ => panic!(),
+        }
+        assert!(parse_args(&v(&["add", "db", "n.txt", "--out", "x", "--method", "magic"])).is_err());
+        assert!(parse_args(&v(&["add", "db", "--out", "x"])).is_err());
+    }
+
+    #[test]
+    fn terms_and_info_arity() {
+        assert!(parse_args(&v(&["terms", "db"])).is_err());
+        assert!(parse_args(&v(&["terms", "db", "w", "x"])).is_err());
+        assert!(parse_args(&v(&["info"])).is_err());
+        assert!(parse_args(&v(&["info", "db", "extra"])).is_err());
+        assert!(matches!(parse_args(&v(&["info", "db"])).unwrap(), Command::Info { .. }));
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        let e = parse_args(&v(&["frobnicate"])).unwrap_err();
+        assert_eq!(e.code, 2);
+    }
+}

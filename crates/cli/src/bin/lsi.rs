@@ -1,0 +1,43 @@
+//! The `lsi` command-line tool. See `lsi --help`.
+
+use lsi_cli::args::{parse_args, Command, USAGE};
+use lsi_cli::commands;
+
+fn run() -> lsi_cli::Result<String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv)? {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Index {
+            inputs,
+            out,
+            k,
+            min_df,
+            weighting,
+            phrases,
+        } => commands::cmd_index(&inputs, &out, k, min_df, &weighting, phrases),
+        Command::Query {
+            db,
+            text,
+            top,
+            threshold,
+        } => commands::cmd_query(&db, &text, top, threshold),
+        Command::Terms { db, word, top } => commands::cmd_terms(&db, &word, top),
+        Command::Add {
+            db,
+            inputs,
+            out,
+            method,
+        } => commands::cmd_add(&db, &inputs, &out, &method),
+        Command::Info { db } => commands::cmd_info(&db),
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("lsi: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Subcommand implementations. Each returns its report as a `String`
+//! so the binary stays a thin shell and tests can assert on output.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_text::{Corpus, Document, ParsingRules, TermWeighting};
+
+use crate::{CliError, Result};
+
+/// Parse a `--weighting` name into a scheme.
+pub fn weighting_by_name(name: &str) -> Result<TermWeighting> {
+    match name {
+        "raw" => Ok(TermWeighting::none()),
+        "log-entropy" => Ok(TermWeighting::log_entropy()),
+        "tf-idf" => Ok(TermWeighting::tf_idf()),
+        other => Err(CliError::usage(format!("unknown weighting {other:?}"))),
+    }
+}
+
+/// Load documents from input paths: `.tsv` files contribute one
+/// document per `id<TAB>text` line, anything else is one document whose
+/// id is the file stem.
+pub fn load_corpus(inputs: &[String]) -> Result<Corpus> {
+    let mut corpus = Corpus::new();
+    for input in inputs {
+        let path = Path::new(input);
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("cannot read {input}: {e}")))?;
+        if path.extension().and_then(|e| e.to_str()) == Some("tsv") {
+            for (lineno, line) in content.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let Some((id, text)) = line.split_once('\t') else {
+                    return Err(CliError::runtime(format!(
+                        "{input}:{}: expected id<TAB>text",
+                        lineno + 1
+                    )));
+                };
+                corpus.push(Document::new(id.trim(), text.trim()));
+            }
+        } else {
+            let id = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(input)
+                .to_string();
+            corpus.push(Document::new(id, content));
+        }
+    }
+    if corpus.is_empty() {
+        return Err(CliError::runtime("no documents found in the inputs"));
+    }
+    Ok(corpus)
+}
+
+/// Load a stored database.
+pub fn load_model(db: &str) -> Result<LsiModel> {
+    let json = std::fs::read_to_string(db)
+        .map_err(|e| CliError::runtime(format!("cannot read database {db}: {e}")))?;
+    Ok(LsiModel::from_json(&json)?)
+}
+
+/// Save a database.
+pub fn save_model(model: &LsiModel, out: &str) -> Result<()> {
+    let json = model.to_json()?;
+    let mut file = std::fs::File::create(out)
+        .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+    file.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// `lsi index`.
+pub fn cmd_index(
+    inputs: &[String],
+    out: &str,
+    k: usize,
+    min_df: usize,
+    weighting: &str,
+    phrases: bool,
+) -> Result<String> {
+    let corpus = load_corpus(inputs)?;
+    let options = LsiOptions {
+        k,
+        rules: ParsingRules {
+            min_df,
+            word_ngrams: if phrases { 2 } else { 1 },
+            ..Default::default()
+        },
+        weighting: weighting_by_name(weighting)?,
+        svd_seed: 0x5EED,
+    };
+    let (model, report) = LsiModel::build(&corpus, &options)?;
+    save_model(&model, out)?;
+    Ok(format!(
+        "indexed {} documents, {} terms -> {} factors ({} Lanczos steps); wrote {}",
+        model.n_docs(),
+        model.n_terms(),
+        model.k(),
+        report.steps,
+        out
+    ) + "\n")
+}
+
+/// `lsi query`.
+pub fn cmd_query(db: &str, text: &str, top: usize, threshold: Option<f64>) -> Result<String> {
+    let model = load_model(db)?;
+    let ranked = model.query(text)?;
+    let ranked = match threshold {
+        Some(t) => ranked.at_threshold(t),
+        None => ranked,
+    };
+    let mut out = String::new();
+    for m in ranked.top(top).matches {
+        out.push_str(&format!("{:.4}\t{}\n", m.cosine, m.id));
+    }
+    if out.is_empty() {
+        out.push_str("(no documents matched)\n");
+    }
+    Ok(out)
+}
+
+/// `lsi terms`.
+pub fn cmd_terms(db: &str, word: &str, top: usize) -> Result<String> {
+    let model = load_model(db)?;
+    let qhat = model.project_text(word)?;
+    if qhat.iter().all(|&x| x == 0.0) {
+        return Err(CliError::runtime(format!("{word:?} is not an indexed term")));
+    }
+    let mut out = String::new();
+    for (_, name, cos) in model.nearest_terms(&qhat, top)? {
+        out.push_str(&format!("{cos:.4}\t{name}\n"));
+    }
+    Ok(out)
+}
+
+/// `lsi add`.
+pub fn cmd_add(db: &str, inputs: &[String], out: &str, method: &str) -> Result<String> {
+    let mut model = load_model(db)?;
+    let corpus = load_corpus(inputs)?;
+    match method {
+        "fold" => model.fold_in_documents(&corpus)?,
+        "update" => {
+            let d = model.vocabulary().count_matrix(&corpus);
+            let ids: Vec<String> = corpus.docs.iter().map(|d| d.id.clone()).collect();
+            model.svd_update_documents(&d, &ids)?;
+        }
+        other => return Err(CliError::usage(format!("unknown method {other:?}"))),
+    }
+    save_model(&model, out)?;
+    Ok(format!(
+        "added {} documents by {method}; database now holds {} docs; wrote {}",
+        corpus.len(),
+        model.n_docs(),
+        out
+    ) + "\n")
+}
+
+/// `lsi info`.
+pub fn cmd_info(db: &str) -> Result<String> {
+    let model = load_model(db)?;
+    let loss = model.orthogonality_loss()?;
+    let folded = model
+        .doc_origins()
+        .iter()
+        .filter(|o| matches!(o, lsi_core::model::DocOrigin::FoldedIn))
+        .count();
+    Ok(format!(
+        "documents : {}  ({} folded-in)\n\
+         terms     : {}\n\
+         factors   : {}\n\
+         sigma_1   : {:.6}\n\
+         sigma_k   : {:.6}\n\
+         V-defect  : {:.3e}  (||V^T V - I||_2, grows with folding-in)\n",
+        model.n_docs(),
+        folded,
+        model.n_terms(),
+        model.k(),
+        model.singular_values().first().copied().unwrap_or(0.0),
+        model.singular_values().last().copied().unwrap_or(0.0),
+        loss.doc_defect
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lsi-cli-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write(dir: &Path, name: &str, content: &str) -> String {
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn index_query_info_roundtrip() {
+        let dir = tmpdir();
+        let tsv = write(
+            &dir,
+            "docs.tsv",
+            "cars1\tcar engine wheel motor car\n\
+             cars2\tautomobile engine motor chassis\n\
+             cars3\tcar automobile driver wheel\n\
+             zoo1\telephant lion zebra elephant\n\
+             zoo2\tlion zebra giraffe elephant\n\
+             zoo3\tzebra giraffe lion safari\n",
+        );
+        let db = dir.join("db.json").to_string_lossy().into_owned();
+        let msg = cmd_index(&[tsv], &db, 2, 2, "raw", false).unwrap();
+        assert!(msg.contains("6 documents"), "{msg}");
+
+        let q = cmd_query(&db, "lion zebra", 3, None).unwrap();
+        let first = q.lines().next().unwrap();
+        assert!(first.contains("zoo"), "top hit should be a zoo doc: {q}");
+
+        let info = cmd_info(&db).unwrap();
+        assert!(info.contains("documents : 6"));
+        assert!(info.contains("factors   : 2"));
+
+        let terms = cmd_terms(&db, "elephant", 3).unwrap();
+        assert!(terms.lines().count() == 3);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_by_update_grows_database() {
+        let dir = tmpdir();
+        let tsv = write(
+            &dir,
+            "docs.tsv",
+            "a\tapple banana apple cherry\nb\tbanana cherry date\nc\tapple cherry date\nd\tdate banana apple\n",
+        );
+        let db = dir.join("db.json").to_string_lossy().into_owned();
+        cmd_index(&[tsv], &db, 2, 2, "log-entropy", false).unwrap();
+
+        let newdoc = write(&dir, "fresh.txt", "banana date cherry banana");
+        let db2 = dir.join("db2.json").to_string_lossy().into_owned();
+        let msg = cmd_add(&db, std::slice::from_ref(&newdoc), &db2, "update").unwrap();
+        assert!(msg.contains("5 docs"), "{msg}");
+
+        let db3 = dir.join("db3.json").to_string_lossy().into_owned();
+        let msg = cmd_add(&db, &[newdoc], &db3, "fold").unwrap();
+        assert!(msg.contains("fold"), "{msg}");
+        let info = cmd_info(&db3).unwrap();
+        assert!(info.contains("(1 folded-in)"), "{info}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn txt_files_use_stem_as_id() {
+        let dir = tmpdir();
+        let f1 = write(&dir, "alpha.txt", "apple banana apple");
+        let f2 = write(&dir, "beta.txt", "banana apple cherry banana");
+        let db = dir.join("db.json").to_string_lossy().into_owned();
+        cmd_index(&[f1, f2], &db, 1, 1, "raw", false).unwrap();
+        let q = cmd_query(&db, "banana", 2, None).unwrap();
+        assert!(q.contains("alpha") && q.contains("beta"), "{q}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(load_model("/nonexistent/path.json").is_err());
+        assert!(load_corpus(&["/nonexistent/file.txt".to_string()]).is_err());
+        assert!(weighting_by_name("magic").is_err());
+        let dir = tmpdir();
+        let bad = write(&dir, "bad.tsv", "no-tab-here\n");
+        assert!(load_corpus(&[bad]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn terms_rejects_unknown_words() {
+        let dir = tmpdir();
+        let tsv = write(&dir, "d.tsv", "a\tapple banana\nb\tbanana apple\n");
+        let db = dir.join("db.json").to_string_lossy().into_owned();
+        cmd_index(&[tsv], &db, 1, 1, "raw", false).unwrap();
+        assert!(cmd_terms(&db, "unicorn", 3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn phrases_flag_indexes_word_pairs() {
+        let dir = tmpdir();
+        let tsv = write(
+            &dir,
+            "d.tsv",
+            "a\thigh blood pressure danger\nb\thigh blood pressure treatment\nc\tblood test results\n",
+        );
+        let db = dir.join("db.json").to_string_lossy().into_owned();
+        let msg_plain = cmd_index(std::slice::from_ref(&tsv), &db, 2, 2, "raw", false).unwrap();
+        let plain_terms: usize = msg_plain
+            .split(" terms")
+            .next()
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let msg_phrases = cmd_index(&[tsv], &db, 2, 2, "raw", true).unwrap();
+        let phrase_terms: usize = msg_phrases
+            .split(" terms")
+            .next()
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            phrase_terms > plain_terms,
+            "phrases should add terms: {plain_terms} -> {phrase_terms}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

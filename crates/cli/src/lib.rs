@@ -1,0 +1,67 @@
+//! Library backing the `lsi` command-line tool: argument parsing and
+//! the individual subcommand implementations, factored out so they are
+//! unit-testable without spawning processes.
+//!
+//! Subcommands:
+//!
+//! * `lsi index` — build an LSI database from text files or a TSV,
+//! * `lsi query` — rank documents for a free-text query,
+//! * `lsi terms` — nearest terms (the automatic-thesaurus view, §5.4),
+//! * `lsi add` — grow an existing database by folding-in or
+//!   SVD-updating,
+//! * `lsi info` — describe a stored database.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command};
+
+/// CLI error type: a message for the user plus a process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Message printed to stderr.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// A runtime failure (exit code 1).
+    pub fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<lsi_core::Error> for CliError {
+    fn from(e: lsi_core::Error) -> Self {
+        CliError::runtime(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::runtime(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CliError>;

@@ -1,0 +1,156 @@
+//! Explicit query expansion via the factor space.
+//!
+//! §5.1 of the paper: "many words (those from relevant documents)
+//! augment the initial query which is usually quite impoverished. LSI
+//! does some of this kind of query expansion or enhancement even
+//! without relevance information." This module makes that implicit
+//! enhancement explicit: project the query, read off its nearest terms
+//! (the automatic-thesaurus view of §5.4), add them to the query with a
+//! damping weight, and re-project.
+
+use crate::model::LsiModel;
+use crate::query::RankedList;
+use crate::{Error, Result};
+
+/// Minimum cosine a candidate term must have to the original query
+/// projection before it is added: below this the "neighbour" is noise
+/// from factor-space crowding, and expanding with it drifts the query.
+pub const MIN_EXPANSION_COSINE: f64 = 0.5;
+
+/// Result of an expanded query.
+#[derive(Debug, Clone)]
+pub struct ExpandedQuery {
+    /// The ranked result.
+    pub ranked: RankedList,
+    /// Terms added to the query, with their cosine to the original
+    /// projection.
+    pub added_terms: Vec<(String, f64)>,
+}
+
+impl LsiModel {
+    /// Query with thesaurus expansion: the `n_extra` nearest indexed
+    /// terms (excluding those already in the query) are added with
+    /// weight `damping` (sensible range 0.2–0.5), and the expanded
+    /// vector is ranked as usual.
+    pub fn query_expanded(
+        &self,
+        text: &str,
+        n_extra: usize,
+        damping: f64,
+    ) -> Result<ExpandedQuery> {
+        if !(0.0..=1.0).contains(&damping) {
+            return Err(Error::Inconsistent {
+                context: format!("damping {damping} outside [0, 1]"),
+            });
+        }
+        let mut counts = self.vocabulary().count_vector(text);
+        counts.resize(self.n_terms(), 0.0);
+        let qhat = self.project_counts(&counts)?;
+        if qhat.iter().all(|&x| x == 0.0) {
+            // Nothing to expand from; fall back to the plain (empty)
+            // ranking.
+            return Ok(ExpandedQuery {
+                ranked: self.rank_projected(&qhat)?,
+                added_terms: Vec::new(),
+            });
+        }
+
+        // Nearest terms not already present in the query.
+        let candidates = self.nearest_terms(&qhat, n_extra + counts.len())?;
+        let mut added = Vec::with_capacity(n_extra);
+        let mut expanded = counts.clone();
+        for (idx, name, cos) in candidates {
+            if added.len() >= n_extra {
+                break;
+            }
+            if idx < expanded.len() && expanded[idx] == 0.0 && cos >= MIN_EXPANSION_COSINE {
+                expanded[idx] = damping;
+                added.push((name, cos));
+            }
+        }
+        let qhat2 = self.project_counts(&expanded)?;
+        Ok(ExpandedQuery {
+            ranked: self.rank_projected(&qhat2)?,
+            added_terms: added,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MIN_EXPANSION_COSINE;
+    use crate::model::LsiOptions;
+    use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+    fn model() -> crate::LsiModel {
+        let corpus = Corpus::from_pairs([
+            ("cars1", "car engine wheel motor car"),
+            ("cars2", "automobile engine motor chassis"),
+            ("cars3", "car automobile driver wheel"),
+            ("cars4", "driver chassis gear wheel gear"),
+            ("zoo1", "elephant lion zebra elephant"),
+            ("zoo2", "lion zebra giraffe elephant"),
+            ("zoo3", "zebra giraffe lion safari"),
+            ("zoo4", "safari giraffe cub lion cub"),
+        ]);
+        let options = LsiOptions {
+            k: 3,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::log_entropy(),
+            svd_seed: 13,
+        };
+        crate::LsiModel::build(&corpus, &options).unwrap().0
+    }
+
+    #[test]
+    fn expansion_adds_domain_terms_only() {
+        let m = model();
+        let e = m.query_expanded("car", 3, 0.3).unwrap();
+        assert!(!e.added_terms.is_empty());
+        for (term, cos) in &e.added_terms {
+            assert_ne!(term, "car");
+            assert!(*cos >= MIN_EXPANSION_COSINE);
+            assert!(
+                ["engine", "motor", "automobile", "driver", "wheel", "chassis", "gear"]
+                    .contains(&term.as_str()),
+                "unexpected expansion term {term}"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_preserves_topical_ranking() {
+        let m = model();
+        let plain = m.query("safari").unwrap();
+        let expanded = m.query_expanded("safari", 4, 0.3).unwrap();
+        // Every document with meaningful similarity is a zoo document
+        // (car documents sit at ~0 cosine).
+        for mt in &expanded.ranked.matches {
+            if mt.cosine > 0.1 {
+                assert!(mt.id.starts_with("zoo"), "expansion drifted to {}", mt.id);
+            }
+        }
+        // And the expanded query still ranks the original best doc
+        // highly.
+        let best = &plain.matches[0].id;
+        assert!(expanded.ranked.rank_of(best).unwrap() < 3);
+    }
+
+    #[test]
+    fn unknown_query_expands_to_nothing() {
+        let m = model();
+        let e = m.query_expanded("qwertyuiop", 3, 0.3).unwrap();
+        assert!(e.added_terms.is_empty());
+    }
+
+    #[test]
+    fn damping_is_validated() {
+        let m = model();
+        assert!(m.query_expanded("car", 2, 1.5).is_err());
+        assert!(m.query_expanded("car", 2, -0.1).is_err());
+        assert!(m.query_expanded("car", 0, 0.3).unwrap().added_terms.is_empty());
+    }
+}

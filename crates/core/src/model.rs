@@ -1,0 +1,446 @@
+//! The LSI model: vocabulary + weighting + truncated SVD factors.
+
+use serde::{Deserialize, Serialize};
+
+use lsi_linalg::svd::Svd;
+use lsi_linalg::{vecops, DenseMatrix};
+use lsi_sparse::ops::DualFormat;
+use lsi_sparse::CscMatrix;
+use lsi_svd::{lanczos_svd, LanczosOptions, LanczosReport};
+use lsi_text::{Corpus, ParsingRules, TermWeighting, Vocabulary};
+
+use crate::{Error, Result};
+
+/// Construction options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LsiOptions {
+    /// Number of retained factors `k`. The paper: "Terms and documents
+    /// represented by 200-300 of the largest singular vectors" at TREC
+    /// scale; 70–100 is the sweet spot it reports for MED-sized
+    /// collections (§5.2).
+    pub k: usize,
+    /// Parsing rules for vocabulary construction.
+    pub rules: ParsingRules,
+    /// Term weighting (Eq. 5).
+    pub weighting: TermWeighting,
+    /// Lanczos seed (runs are deterministic in this).
+    pub svd_seed: u64,
+}
+
+impl Default for LsiOptions {
+    fn default() -> Self {
+        LsiOptions {
+            k: 100,
+            rules: ParsingRules::default(),
+            weighting: TermWeighting::log_entropy(),
+            svd_seed: 0x5EED,
+        }
+    }
+}
+
+/// Where a document vector came from — §4.3's orthogonality analysis
+/// needs to distinguish SVD-derived rows of `V_k` from folded-in ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocOrigin {
+    /// Column of the matrix the SVD (or SVD-update) was computed from.
+    Svd,
+    /// Appended by folding-in (Eq. 7).
+    FoldedIn,
+}
+
+/// A complete LSI retrieval model ("LSI database" in the paper's
+/// terminology: the singular values and vectors plus the bookkeeping to
+/// use them).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LsiModel {
+    /// The vocabulary (row semantics).
+    pub(crate) vocab: Vocabulary,
+    /// Weighting scheme used at build time.
+    pub(crate) weighting: TermWeighting,
+    /// Per-term global weights captured at build time (queries and
+    /// folded-in documents must be weighted consistently).
+    pub(crate) global_weights: Vec<f64>,
+    /// Term matrix `U_k` (m × k).
+    pub(crate) u: DenseMatrix,
+    /// Singular values `Σ_k`.
+    pub(crate) s: Vec<f64>,
+    /// Document matrix `V_k` ((n + folded) × k); one row per document.
+    pub(crate) v: DenseMatrix,
+    /// Document ids, parallel to rows of `v`.
+    pub(crate) doc_ids: Vec<String>,
+    /// Origin of each document row.
+    pub(crate) doc_origins: Vec<DocOrigin>,
+    /// Term display forms that were folded in (rows appended to `u`).
+    pub(crate) folded_terms: Vec<String>,
+    /// Origin of each term row (parallel to rows of `u`).
+    pub(crate) term_origins: Vec<DocOrigin>,
+    /// The weighted term-document matrix the current factors were
+    /// computed from (kept for recomputation and weight corrections).
+    pub(crate) weighted: CscMatrix,
+}
+
+impl LsiModel {
+    /// Build a model from a corpus: parse, weight, truncated SVD.
+    ///
+    /// Returns the model and the Lanczos execution report. If the
+    /// matrix's numerical rank is below `k`, the model retains that
+    /// smaller rank (the paper's `k ≤ r` regime).
+    pub fn build(corpus: &Corpus, options: &LsiOptions) -> Result<(LsiModel, LanczosReport)> {
+        let vocab = Vocabulary::build(corpus, &options.rules);
+        let counts = vocab.count_matrix(corpus);
+        let doc_ids = corpus.docs.iter().map(|d| d.id.clone()).collect();
+        Self::from_counts(vocab, counts, doc_ids, options)
+    }
+
+    /// Build from a pre-computed count matrix (rows must match `vocab`).
+    pub fn from_counts(
+        vocab: Vocabulary,
+        counts: CscMatrix,
+        doc_ids: Vec<String>,
+        options: &LsiOptions,
+    ) -> Result<(LsiModel, LanczosReport)> {
+        if counts.nrows() != vocab.len() {
+            return Err(Error::Inconsistent {
+                context: format!(
+                    "count matrix has {} rows but vocabulary has {} terms",
+                    counts.nrows(),
+                    vocab.len()
+                ),
+            });
+        }
+        if counts.ncols() != doc_ids.len() {
+            return Err(Error::Inconsistent {
+                context: format!(
+                    "count matrix has {} columns but {} document ids supplied",
+                    counts.ncols(),
+                    doc_ids.len()
+                ),
+            });
+        }
+        let weighted = options.weighting.apply(&counts);
+        let k = options.k.min(counts.nrows().min(counts.ncols()));
+        let operator = DualFormat::from_csc(weighted.matrix.clone());
+        let lanczos_opts = LanczosOptions {
+            seed: options.svd_seed,
+            ..Default::default()
+        };
+        let (mut svd, report) = lanczos_svd(&operator, k, &lanczos_opts)?;
+        // Canonical signs (largest-magnitude U entry positive per
+        // column) so coordinates are comparable across runs and with
+        // published figures.
+        svd.sign_normalize();
+        let n_docs = counts.ncols();
+        let n_terms = counts.nrows();
+        Ok((
+            LsiModel {
+                vocab,
+                weighting: options.weighting,
+                global_weights: weighted.global,
+                u: svd.u,
+                s: svd.s,
+                v: svd.v,
+                doc_ids,
+                doc_origins: vec![DocOrigin::Svd; n_docs],
+                folded_terms: Vec::new(),
+                term_origins: vec![DocOrigin::Svd; n_terms],
+                weighted: weighted.matrix,
+            },
+            report,
+        ))
+    }
+
+    /// Number of factors retained (`k`; may be below the requested `k`
+    /// for rank-deficient collections).
+    pub fn k(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Number of indexed terms (rows of `U_k`, including folded-in
+    /// terms).
+    pub fn n_terms(&self) -> usize {
+        self.u.nrows()
+    }
+
+    /// Number of documents (rows of `V_k`, including folded-in docs).
+    pub fn n_docs(&self) -> usize {
+        self.v.nrows()
+    }
+
+    /// The singular values.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// The vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The weighting scheme.
+    pub fn weighting(&self) -> &TermWeighting {
+        &self.weighting
+    }
+
+    /// Stored global term weights.
+    pub fn global_weights(&self) -> &[f64] {
+        &self.global_weights
+    }
+
+    /// Document ids in row order of `V_k`.
+    pub fn doc_ids(&self) -> &[String] {
+        &self.doc_ids
+    }
+
+    /// Origin (SVD vs folded-in) of each document.
+    pub fn doc_origins(&self) -> &[DocOrigin] {
+        &self.doc_origins
+    }
+
+    /// The weighted term-document matrix the factors were computed from.
+    pub fn weighted_matrix(&self) -> &CscMatrix {
+        &self.weighted
+    }
+
+    /// Term matrix `U_k`.
+    pub fn term_matrix(&self) -> &DenseMatrix {
+        &self.u
+    }
+
+    /// Document matrix `V_k`.
+    pub fn doc_matrix(&self) -> &DenseMatrix {
+        &self.v
+    }
+
+    /// `k`-dimensional coordinates of term `i` (row `i` of `U_k`),
+    /// unscaled.
+    pub fn term_vector(&self, i: usize) -> Vec<f64> {
+        self.u.row(i)
+    }
+
+    /// `k`-dimensional coordinates of document `j` (row `j` of `V_k`),
+    /// unscaled.
+    pub fn doc_vector(&self, j: usize) -> Vec<f64> {
+        self.v.row(j)
+    }
+
+    /// Term coordinates scaled by the singular values — the plotting
+    /// convention of the paper's Figures 4–9 ("the first column of U2
+    /// multiplied by the first singular value ... for the
+    /// x-coordinates").
+    pub fn term_coords_scaled(&self, i: usize) -> Vec<f64> {
+        let mut r = self.u.row(i);
+        for (x, s) in r.iter_mut().zip(self.s.iter()) {
+            *x *= s;
+        }
+        r
+    }
+
+    /// Document coordinates scaled by the singular values (plotting
+    /// convention).
+    pub fn doc_coords_scaled(&self, j: usize) -> Vec<f64> {
+        let mut r = self.v.row(j);
+        for (x, s) in r.iter_mut().zip(self.s.iter()) {
+            *x *= s;
+        }
+        r
+    }
+
+    /// Cosine similarity between two documents in the factor space.
+    pub fn doc_doc_similarity(&self, a: usize, b: usize) -> f64 {
+        vecops::cosine(&self.v.row(a), &self.v.row(b))
+    }
+
+    /// Cosine similarity between two terms in the factor space —
+    /// the quantity behind the §5.4 synonym test.
+    pub fn term_term_similarity(&self, a: usize, b: usize) -> f64 {
+        vecops::cosine(&self.u.row(a), &self.u.row(b))
+    }
+
+    /// Look up a document's row by id.
+    pub fn doc_index(&self, id: &str) -> Option<usize> {
+        self.doc_ids.iter().position(|d| d == id)
+    }
+
+    /// Look up a term's row, including folded-in terms.
+    pub fn term_index(&self, term: &str) -> Option<usize> {
+        if let Some(i) = self.vocab.index_of(term) {
+            return Some(i);
+        }
+        let lowered = term.to_lowercase();
+        self.folded_terms
+            .iter()
+            .position(|t| *t == lowered)
+            .map(|p| self.vocab.len() + p)
+    }
+
+    /// Reconstruct the rank-k approximation `A_k = U_k Σ_k V_kᵀ`
+    /// restricted to the SVD-derived rows (folded-in rows excluded).
+    pub fn reconstruct_ak(&self) -> Result<DenseMatrix> {
+        let svd = Svd {
+            u: self.u.clone(),
+            s: self.s.clone(),
+            v: self.v.clone(),
+        };
+        Ok(svd.reconstruct()?)
+    }
+
+    /// Serialize the LSI database to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::Persist(e.to_string()))
+    }
+
+    /// Restore an LSI database from JSON.
+    pub fn from_json(json: &str) -> Result<LsiModel> {
+        serde_json::from_str(json).map_err(|e| Error::Persist(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_text::Document;
+
+    fn small_corpus() -> Corpus {
+        Corpus::from_pairs([
+            ("d1", "apple banana apple cherry"),
+            ("d2", "banana cherry banana date"),
+            ("d3", "apple cherry date fig"),
+            ("d4", "grape fig date grape"),
+            ("d5", "fig grape apple banana"),
+        ])
+    }
+
+    fn options(k: usize) -> LsiOptions {
+        LsiOptions {
+            k,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::none(),
+            svd_seed: 1,
+        }
+    }
+
+    #[test]
+    fn build_produces_consistent_shapes() {
+        let (m, report) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        assert_eq!(m.k(), 3);
+        assert_eq!(m.n_docs(), 5);
+        assert!(m.n_terms() >= 4);
+        assert_eq!(m.term_matrix().shape(), (m.n_terms(), 3));
+        assert_eq!(m.doc_matrix().shape(), (5, 3));
+        assert!(report.steps >= 3);
+    }
+
+    #[test]
+    fn k_is_capped_by_rank() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(50)).unwrap();
+        assert!(m.k() <= 5);
+    }
+
+    #[test]
+    fn factors_reconstruct_weighted_matrix_at_full_rank() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(5)).unwrap();
+        let ak = m.reconstruct_ak().unwrap();
+        let dense = m.weighted_matrix().to_dense();
+        assert!(
+            ak.fro_distance(&dense).unwrap() < 1e-8 * dense.fro_norm().max(1.0),
+            "full-rank reconstruction should be exact"
+        );
+    }
+
+    #[test]
+    fn truncation_error_decreases_with_k() {
+        let corpus = small_corpus();
+        let mut errs = Vec::new();
+        for k in 1..=4 {
+            let (m, _) = LsiModel::build(&corpus, &options(k)).unwrap();
+            let ak = m.reconstruct_ak().unwrap();
+            let dense = m.weighted_matrix().to_dense();
+            errs.push(ak.fro_distance(&dense).unwrap());
+        }
+        for w in errs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-10, "errors should shrink: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn doc_and_term_lookup() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(2)).unwrap();
+        assert_eq!(m.doc_index("d3"), Some(2));
+        assert_eq!(m.doc_index("nope"), None);
+        assert!(m.term_index("apple").is_some());
+        assert!(m.term_index("unicorn").is_none());
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        for a in 0..m.n_docs() {
+            for b in 0..m.n_docs() {
+                let s1 = m.doc_doc_similarity(a, b);
+                let s2 = m.doc_doc_similarity(b, a);
+                assert!((s1 - s2).abs() < 1e-12);
+                assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&s1));
+            }
+            assert!((m.doc_doc_similarity(a, a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaled_coords_multiply_by_sigma() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(2)).unwrap();
+        let raw = m.doc_vector(0);
+        let scaled = m.doc_coords_scaled(0);
+        for j in 0..m.k() {
+            assert!((scaled[j] - raw[j] * m.singular_values()[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_model() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let json = m.to_json().unwrap();
+        let back = LsiModel::from_json(&json).unwrap();
+        assert_eq!(back.k(), m.k());
+        assert_eq!(back.doc_ids(), m.doc_ids());
+        assert_eq!(back.singular_values(), m.singular_values());
+        assert!(back
+            .term_matrix()
+            .fro_distance(m.term_matrix())
+            .unwrap()
+            .abs()
+            < 1e-15);
+    }
+
+    #[test]
+    fn from_counts_validates_dimensions() {
+        let corpus = small_corpus();
+        let vocab = Vocabulary::build(&corpus, &ParsingRules::default());
+        let counts = vocab.count_matrix(&corpus);
+        let bad_ids = vec!["only-one".to_string()];
+        assert!(LsiModel::from_counts(vocab, counts, bad_ids, &options(2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let (m1, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let (m2, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        assert_eq!(m1.singular_values(), m2.singular_values());
+    }
+
+    #[test]
+    fn empty_like_corpus_is_rejected_gracefully() {
+        // A corpus whose vocabulary is empty (all unique words, min_df 2).
+        let corpus = Corpus {
+            docs: vec![
+                Document::new("a", "aardvark"),
+                Document::new("b", "zebra"),
+            ],
+        };
+        let (m, _) = LsiModel::build(&corpus, &options(2)).unwrap();
+        assert_eq!(m.k(), 0);
+        assert_eq!(m.n_terms(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Multiple-points-of-interest queries.
+//!
+//! §5.4 of the paper: "Queries can even be represented as multiple
+//! points of interest" (Kane-Esrig et al., the relevance density
+//! method). Instead of collapsing a multi-facet information need into
+//! one centroid vector — which can land in empty space between the
+//! facets — each facet keeps its own vector and a document scores by
+//! its *best* (or density-weighted) proximity to any facet.
+
+use crate::model::LsiModel;
+use crate::query::{Match, RankedList};
+use crate::{Error, Result};
+
+use lsi_linalg::vecops;
+
+/// How per-facet cosines combine into one document score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Combine {
+    /// Best facet wins (`max_i cos_i`) — a document satisfying any
+    /// interest is returned.
+    Max,
+    /// Mean of the facet cosines — documents must do tolerably well on
+    /// all facets.
+    Mean,
+    /// Softmax-weighted density with the given sharpness: approaches
+    /// `Max` as the sharpness grows, `Mean` at zero. This mirrors the
+    /// "relevance density" flavour of Kane-Esrig et al.
+    Density {
+        /// Sharpness β of the softmax weights.
+        sharpness: f64,
+    },
+}
+
+impl Combine {
+    fn combine(&self, cosines: &[f64]) -> f64 {
+        if cosines.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Combine::Max => cosines.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            Combine::Mean => cosines.iter().sum::<f64>() / cosines.len() as f64,
+            Combine::Density { sharpness } => {
+                let b = *sharpness;
+                let mx = cosines.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let weights: Vec<f64> =
+                    cosines.iter().map(|&c| ((c - mx) * b).exp()).collect();
+                let wsum: f64 = weights.iter().sum();
+                cosines
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(c, w)| c * w)
+                    .sum::<f64>()
+                    / wsum
+            }
+        }
+    }
+}
+
+/// A multi-facet query: one projected vector per point of interest.
+#[derive(Debug, Clone)]
+pub struct MultiQuery {
+    facets: Vec<Vec<f64>>,
+}
+
+impl MultiQuery {
+    /// Build from facet texts (each projected via Eq. 6).
+    pub fn from_texts(model: &LsiModel, texts: &[&str]) -> Result<MultiQuery> {
+        if texts.is_empty() {
+            return Err(Error::Inconsistent {
+                context: "a multi-facet query needs at least one facet".to_string(),
+            });
+        }
+        let facets = texts
+            .iter()
+            .map(|t| model.project_text(t))
+            .collect::<Result<Vec<_>>>()?;
+        if facets.iter().all(|f| f.iter().all(|&x| x == 0.0)) {
+            return Err(Error::Inconsistent {
+                context: "no facet contains any indexed term".to_string(),
+            });
+        }
+        Ok(MultiQuery { facets })
+    }
+
+    /// Build from already-projected vectors (e.g. document vectors used
+    /// as exemplars).
+    pub fn from_vectors(model: &LsiModel, vectors: Vec<Vec<f64>>) -> Result<MultiQuery> {
+        if vectors.is_empty() {
+            return Err(Error::Inconsistent {
+                context: "a multi-facet query needs at least one facet".to_string(),
+            });
+        }
+        for v in &vectors {
+            if v.len() != model.k() {
+                return Err(Error::Inconsistent {
+                    context: format!(
+                        "facet has {} dimensions but the model has {} factors",
+                        v.len(),
+                        model.k()
+                    ),
+                });
+            }
+        }
+        Ok(MultiQuery { facets: vectors })
+    }
+
+    /// Number of facets.
+    pub fn n_facets(&self) -> usize {
+        self.facets.len()
+    }
+}
+
+impl LsiModel {
+    /// Rank all documents against a multi-facet query.
+    pub fn query_multi(&self, query: &MultiQuery, combine: Combine) -> Result<RankedList> {
+        let mut matches: Vec<Match> = (0..self.n_docs())
+            .map(|j| {
+                let dv = self.doc_vector(j);
+                let cosines: Vec<f64> = query
+                    .facets
+                    .iter()
+                    .map(|f| vecops::cosine(f, &dv))
+                    .collect();
+                Match {
+                    doc: j,
+                    id: self.doc_ids()[j].clone(),
+                    cosine: combine.combine(&cosines),
+                }
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            b.cosine
+                .partial_cmp(&a.cosine)
+                .expect("finite scores")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        Ok(RankedList { matches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LsiOptions;
+    use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+    fn model() -> LsiModel {
+        let corpus = Corpus::from_pairs([
+            ("cars1", "car engine wheel motor car"),
+            ("cars2", "automobile engine motor chassis"),
+            ("cars3", "car automobile driver wheel"),
+            ("zoo1", "elephant lion zebra elephant"),
+            ("zoo2", "lion zebra giraffe elephant"),
+            ("zoo3", "zebra giraffe lion safari"),
+            ("mix1", "driver elephant car lion"),
+        ]);
+        let options = LsiOptions {
+            k: 3,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::none(),
+            svd_seed: 3,
+        };
+        LsiModel::build(&corpus, &options).unwrap().0
+    }
+
+    #[test]
+    fn max_combine_returns_docs_satisfying_either_facet() {
+        let m = model();
+        let q = MultiQuery::from_texts(&m, &["car motor", "lion zebra"]).unwrap();
+        let ranked = m.query_multi(&q, Combine::Max).unwrap();
+        // Top 6 should include docs from both domains.
+        let top: Vec<&str> = ranked.ids().into_iter().take(6).collect();
+        assert!(top.iter().any(|d| d.starts_with("cars")));
+        assert!(top.iter().any(|d| d.starts_with("zoo")));
+    }
+
+    #[test]
+    fn mean_combine_prefers_documents_spanning_both_facets() {
+        let m = model();
+        let q = MultiQuery::from_texts(&m, &["car", "lion"]).unwrap();
+        let mean = m.query_multi(&q, Combine::Mean).unwrap();
+        // mix1 touches both topics, so under Mean it should outrank
+        // single-topic documents' worst case.
+        let mix_rank = mean.rank_of("mix1").unwrap();
+        assert!(mix_rank <= 2, "mix1 ranked #{}", mix_rank + 1);
+    }
+
+    #[test]
+    fn single_facet_multi_query_equals_plain_query() {
+        let m = model();
+        let q = MultiQuery::from_texts(&m, &["car motor"]).unwrap();
+        let multi = m.query_multi(&q, Combine::Max).unwrap();
+        let plain = m.query("car motor").unwrap();
+        assert_eq!(multi.ids(), plain.ids());
+    }
+
+    #[test]
+    fn density_interpolates_between_mean_and_max() {
+        let m = model();
+        let q = MultiQuery::from_texts(&m, &["car motor", "lion zebra"]).unwrap();
+        let max = m.query_multi(&q, Combine::Max).unwrap();
+        let mean = m.query_multi(&q, Combine::Mean).unwrap();
+        let sharp = m
+            .query_multi(&q, Combine::Density { sharpness: 50.0 })
+            .unwrap();
+        let flat = m
+            .query_multi(&q, Combine::Density { sharpness: 1e-9 })
+            .unwrap();
+        // Sharp density ~ max ordering; flat density ~ mean ordering.
+        assert_eq!(sharp.ids(), max.ids());
+        assert_eq!(flat.ids(), mean.ids());
+    }
+
+    #[test]
+    fn rejects_empty_or_mismatched_facets() {
+        let m = model();
+        assert!(MultiQuery::from_texts(&m, &[]).is_err());
+        assert!(MultiQuery::from_texts(&m, &["qqqq zzzz"]).is_err());
+        assert!(MultiQuery::from_vectors(&m, vec![vec![1.0]]).is_err());
+        assert!(MultiQuery::from_vectors(&m, vec![]).is_err());
+    }
+
+    #[test]
+    fn facet_count_is_reported() {
+        let m = model();
+        let q = MultiQuery::from_texts(&m, &["car", "lion", "zebra"]).unwrap();
+        assert_eq!(q.n_facets(), 3);
+    }
+}

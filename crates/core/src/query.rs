@@ -1,0 +1,326 @@
+//! Query projection and cosine ranking.
+//!
+//! Eq. 6 of the paper: a query is "a vector of words ... multiplied by
+//! the appropriate term weights", projected as `q̂ = qᵀ U_k Σ_k⁻¹`, then
+//! "compared to all existing document vectors, and the documents ranked
+//! by their similarity (nearness) to the query. One common measure of
+//! similarity is the cosine ... Typically the z closest documents or all
+//! documents exceeding some cosine threshold are returned."
+
+use rayon::prelude::*;
+
+use lsi_linalg::vecops;
+
+use crate::model::LsiModel;
+use crate::{Error, Result};
+
+/// Minimum document count before the ranking loop goes parallel.
+const PAR_DOC_THRESHOLD: usize = 4096;
+
+/// One retrieved document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Row index in `V_k`.
+    pub doc: usize,
+    /// Document id.
+    pub id: String,
+    /// Cosine similarity to the query.
+    pub cosine: f64,
+}
+
+/// A ranked retrieval result.
+#[derive(Debug, Clone, Default)]
+pub struct RankedList {
+    /// Matches, best first.
+    pub matches: Vec<Match>,
+}
+
+impl RankedList {
+    /// Keep only matches with cosine at or above `threshold` (the
+    /// paper's Figure 6 uses 0.85, Table 4 uses 0.40).
+    pub fn at_threshold(&self, threshold: f64) -> RankedList {
+        RankedList {
+            matches: self
+                .matches
+                .iter()
+                .filter(|m| m.cosine >= threshold)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Keep the top `z` matches.
+    pub fn top(&self, z: usize) -> RankedList {
+        RankedList {
+            matches: self.matches.iter().take(z).cloned().collect(),
+        }
+    }
+
+    /// Document ids in rank order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.matches.iter().map(|m| m.id.as_str()).collect()
+    }
+
+    /// Rank position (0-based) of a document id, if present.
+    pub fn rank_of(&self, id: &str) -> Option<usize> {
+        self.matches.iter().position(|m| m.id == id)
+    }
+}
+
+impl LsiModel {
+    /// Weight a raw term-count vector and project it into the factor
+    /// space: `q̂ = qᵀ U_k Σ_k⁻¹` (Eq. 6). The counts must be over the
+    /// model's *SVD-derived* term rows (folded-in terms participate via
+    /// their rows of `U` as well — the vector length must equal
+    /// [`LsiModel::n_terms`]).
+    pub fn project_counts(&self, counts: &[f64]) -> Result<Vec<f64>> {
+        if counts.len() != self.n_terms() {
+            return Err(Error::Inconsistent {
+                context: format!(
+                    "query vector has {} entries but the model indexes {} terms",
+                    counts.len(),
+                    self.n_terms()
+                ),
+            });
+        }
+        // Weight: local transform on counts, stored global weights.
+        // Folded-in terms (if any) carry global weight 1.
+        let mut weighted = Vec::with_capacity(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            let g = self.global_weights.get(i).copied().unwrap_or(1.0);
+            weighted.push(self.weighting.local.apply(c) * g);
+        }
+        // q^T U_k, then divide by sigma.
+        let mut qhat = vec![0.0; self.k()];
+        for (j, q) in qhat.iter_mut().enumerate() {
+            *q = vecops::dot(&weighted, self.u.col(j));
+        }
+        for (q, &s) in qhat.iter_mut().zip(self.s.iter()) {
+            if s > 0.0 {
+                *q /= s;
+            }
+        }
+        Ok(qhat)
+    }
+
+    /// Tokenize `text` against the vocabulary — including terms added
+    /// later by folding-in or SVD-updating — and project it (Eq. 6).
+    pub fn project_text(&self, text: &str) -> Result<Vec<f64>> {
+        let mut counts = self.vocab.count_vector(text);
+        counts.resize(self.n_terms(), 0.0);
+        if !self.folded_terms.is_empty() {
+            for tok in lsi_text::tokenize(text) {
+                if self.vocab.index_of(&tok).is_none() {
+                    if let Some(p) = self.folded_terms.iter().position(|t| *t == tok) {
+                        counts[self.vocab.len() + p] += 1.0;
+                    }
+                }
+            }
+        }
+        self.project_counts(&counts)
+    }
+
+    /// Rank all documents by cosine to the projected query vector.
+    pub fn rank_projected(&self, qhat: &[f64]) -> Result<RankedList> {
+        if qhat.len() != self.k() {
+            return Err(Error::Inconsistent {
+                context: format!(
+                    "projected query has {} dimensions but the model has {} factors",
+                    qhat.len(),
+                    self.k()
+                ),
+            });
+        }
+        let n = self.n_docs();
+        let score = |j: usize| -> Match {
+            let dv = self.v.row(j);
+            Match {
+                doc: j,
+                id: self.doc_ids[j].clone(),
+                cosine: vecops::cosine(&dv, qhat),
+            }
+        };
+        let mut matches: Vec<Match> = if n >= PAR_DOC_THRESHOLD {
+            (0..n).into_par_iter().map(score).collect()
+        } else {
+            (0..n).map(score).collect()
+        };
+        matches.sort_by(|a, b| {
+            b.cosine
+                .partial_cmp(&a.cosine)
+                .expect("cosines are finite")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        Ok(RankedList { matches })
+    }
+
+    /// Query by free text: project and rank.
+    pub fn query(&self, text: &str) -> Result<RankedList> {
+        let qhat = self.project_text(text)?;
+        self.rank_projected(&qhat)
+    }
+
+    /// Rank documents against an existing *document* (query-by-example;
+    /// relevance feedback replaces the query with relevant documents'
+    /// vectors, §5.1).
+    pub fn query_by_doc(&self, doc: usize) -> Result<RankedList> {
+        if doc >= self.n_docs() {
+            return Err(Error::Inconsistent {
+                context: format!("document {doc} out of range ({} docs)", self.n_docs()),
+            });
+        }
+        let qhat = self.v.row(doc);
+        self.rank_projected(&qhat)
+    }
+
+    /// Rank the model's *terms* by cosine to the projected vector —
+    /// "there is no reason that similar terms could not be returned"
+    /// (§5.4, automatic thesaurus).
+    pub fn nearest_terms(&self, qhat: &[f64], z: usize) -> Result<Vec<(usize, String, f64)>> {
+        if qhat.len() != self.k() {
+            return Err(Error::Inconsistent {
+                context: "projected vector dimension mismatch".to_string(),
+            });
+        }
+        let mut scored: Vec<(usize, String, f64)> = (0..self.n_terms())
+            .map(|i| {
+                let name = if i < self.vocab.len() {
+                    self.vocab.term(i).to_string()
+                } else {
+                    self.folded_terms[i - self.vocab.len()].clone()
+                };
+                (i, name, vecops::cosine(&self.u.row(i), qhat))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite").then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(z);
+        Ok(scored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LsiOptions;
+    use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+    fn model() -> LsiModel {
+        let corpus = Corpus::from_pairs([
+            ("cars1", "car engine wheel motor car"),
+            ("cars2", "automobile engine motor chassis"),
+            ("cars3", "car automobile driver wheel"),
+            ("zoo1", "elephant lion zebra elephant"),
+            ("zoo2", "lion zebra giraffe elephant"),
+            ("zoo3", "zebra giraffe lion safari"),
+        ]);
+        let options = LsiOptions {
+            k: 2,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::none(),
+            svd_seed: 3,
+        };
+        LsiModel::build(&corpus, &options).unwrap().0
+    }
+
+    #[test]
+    fn query_retrieves_topically_related_docs_first() {
+        let m = model();
+        let ranked = m.query("car motor").unwrap();
+        let top3: Vec<&str> = ranked.ids().into_iter().take(3).collect();
+        for id in ["cars1", "cars2", "cars3"] {
+            assert!(top3.contains(&id), "expected {id} in top 3, got {top3:?}");
+        }
+    }
+
+    #[test]
+    fn synonymy_bridged_without_shared_words() {
+        // Query "automobile" should rank cars1 (which never contains
+        // the word "automobile") above all zoo documents.
+        let m = model();
+        let ranked = m.query("automobile").unwrap();
+        let cars1 = ranked.rank_of("cars1").unwrap();
+        for zoo in ["zoo1", "zoo2", "zoo3"] {
+            assert!(
+                cars1 < ranked.rank_of(zoo).unwrap(),
+                "cars1 should outrank {zoo}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_and_top_filtering() {
+        let m = model();
+        let ranked = m.query("elephant lion").unwrap();
+        let all = ranked.matches.len();
+        assert_eq!(all, 6);
+        assert_eq!(ranked.top(2).matches.len(), 2);
+        let high = ranked.at_threshold(0.9);
+        assert!(high.matches.len() < all);
+        for mt in &high.matches {
+            assert!(mt.cosine >= 0.9);
+        }
+    }
+
+    #[test]
+    fn ranked_list_is_sorted_descending() {
+        let m = model();
+        let ranked = m.query("zebra").unwrap();
+        for w in ranked.matches.windows(2) {
+            assert!(w[0].cosine >= w[1].cosine);
+        }
+    }
+
+    #[test]
+    fn query_by_doc_returns_self_first() {
+        let m = model();
+        let ranked = m.query_by_doc(0).unwrap();
+        assert_eq!(ranked.matches[0].doc, 0);
+        assert!((ranked.matches[0].cosine - 1.0).abs() < 1e-9);
+        assert!(m.query_by_doc(99).is_err());
+    }
+
+    #[test]
+    fn unknown_words_yield_zero_projection() {
+        let m = model();
+        let qhat = m.project_text("xylophone quux").unwrap();
+        assert!(qhat.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn projection_dimension_checks() {
+        let m = model();
+        assert!(m.project_counts(&[1.0]).is_err());
+        assert!(m.rank_projected(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn nearest_terms_finds_cohyponyms() {
+        let m = model();
+        let qhat = m.project_text("elephant").unwrap();
+        let terms = m.nearest_terms(&qhat, 4).unwrap();
+        let names: Vec<&str> = terms.iter().map(|(_, n, _)| n.as_str()).collect();
+        assert!(names.contains(&"elephant"));
+        // Its neighbours are zoo words, not car words.
+        for n in &names {
+            assert!(
+                !["car", "engine", "motor", "wheel", "automobile", "chassis", "driver"]
+                    .contains(n),
+                "unexpected car-domain term {n} near elephant"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_of_and_ids_agree() {
+        let m = model();
+        let ranked = m.query("giraffe").unwrap();
+        let ids = ranked.ids();
+        for (pos, id) in ids.iter().enumerate() {
+            assert_eq!(ranked.rank_of(id), Some(pos));
+        }
+        assert_eq!(ranked.rank_of("missing"), None);
+    }
+}

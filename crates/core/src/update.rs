@@ -1,0 +1,867 @@
+//! Updating an LSI database: folding-in, SVD-updating, recomputing.
+//!
+//! §2.3 of the paper defines the three options; §4 gives the
+//! SVD-updating algebra (O'Brien, reference \[24\]), reproduced here
+//! phase by phase:
+//!
+//! * **Folding-in** (Eqs. 7–8) — project new documents/terms onto the
+//!   *existing* factors. Cheap (`2mkp` flops per Table 7) but "new terms
+//!   and documents have no effect on the representation of the
+//!   pre-existing terms and documents", and it "corrupts the
+//!   orthogonality" of the factor matrices (§4.3).
+//! * **SVD-updating** (Eqs. 10–13) — reduce the update to a small dense
+//!   SVD (`F`, `H`, or `Q`) and rotate the existing factors. The
+//!   factors stay orthonormal. The paper's printed reductions assume
+//!   the new material lies in the span of the current factors; this
+//!   implementation carries the orthogonal residual along (one extra
+//!   QR of the out-of-span components, à la Zha–Simon), which makes
+//!   the update *exact* for `B = (A_k | D)` — matching what the
+//!   paper's own §4.4 example actually computes ("the best rank-2
+//!   approximation B₂ to B") and reproducing its Figure 9. When the
+//!   residual vanishes the formulas reduce to the paper's Eq. 13
+//!   verbatim.
+//! * **Recomputing** — "not an updating method, but a way of creating
+//!   an LSI-generated database ... from scratch", the accuracy
+//!   yardstick.
+
+use lsi_linalg::{jacobi_svd, ops, DenseMatrix};
+use lsi_sparse::{CooMatrix, CscMatrix};
+use lsi_svd::{lanczos_svd, LanczosOptions};
+use lsi_text::Corpus;
+
+use crate::model::{DocOrigin, LsiModel};
+use crate::{Error, Result};
+
+/// Append `rows` (each of length `m.ncols()`) to the bottom of `m`.
+fn append_rows(m: &DenseMatrix, rows: &[Vec<f64>]) -> DenseMatrix {
+    let extra = DenseMatrix::from_rows(rows).unwrap_or_else(|_| DenseMatrix::zeros(0, m.ncols()));
+    if rows.is_empty() {
+        return m.clone();
+    }
+    m.vcat(&extra).expect("row widths match by construction")
+}
+
+impl LsiModel {
+    /// Weight raw per-term counts for one new document with the stored
+    /// scheme (local transform × stored global weights, padding
+    /// folded-in term rows with unit global weight).
+    fn weight_doc_counts(&self, counts: &[f64]) -> Vec<f64> {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let g = self.global_weights.get(i).copied().unwrap_or(1.0);
+                self.weighting.local.apply(c) * g
+            })
+            .collect()
+    }
+
+    /// Fold in new documents (Eq. 7): each document is projected as
+    /// `d̂ = dᵀ U_k Σ_k⁻¹` and appended to `V_k`. Existing coordinates
+    /// are untouched.
+    pub fn fold_in_documents(&mut self, corpus: &Corpus) -> Result<()> {
+        let mut new_rows = Vec::with_capacity(corpus.len());
+        for doc in &corpus.docs {
+            if self.doc_index(&doc.id).is_some() {
+                return Err(Error::Inconsistent {
+                    context: format!("document id {} already present", doc.id),
+                });
+            }
+            let mut counts = self.vocab.count_vector(&doc.text);
+            counts.resize(self.n_terms(), 0.0);
+            let weighted = self.weight_doc_counts(&counts);
+            let mut dhat = vec![0.0; self.k()];
+            for (j, q) in dhat.iter_mut().enumerate() {
+                *q = lsi_linalg::vecops::dot(&weighted, self.u.col(j));
+                if self.s[j] > 0.0 {
+                    *q /= self.s[j];
+                }
+            }
+            new_rows.push(dhat);
+            self.doc_ids.push(doc.id.clone());
+            self.doc_origins.push(DocOrigin::FoldedIn);
+        }
+        self.v = append_rows(&self.v, &new_rows);
+        Ok(())
+    }
+
+    /// Fold in new terms (Eq. 8): each term is a vector of counts over
+    /// the model's documents, projected as `t̂ = t V_k Σ_k⁻¹` and
+    /// appended to `U_k`.
+    ///
+    /// `counts` maps each new term name to its occurrence counts over
+    /// the first [`LsiModel::n_docs`] documents.
+    pub fn fold_in_terms(&mut self, terms: &[(String, Vec<f64>)]) -> Result<()> {
+        let n = self.n_docs();
+        let mut new_rows = Vec::with_capacity(terms.len());
+        for (name, counts) in terms {
+            if counts.len() != n {
+                return Err(Error::Inconsistent {
+                    context: format!(
+                        "term {name} has {} counts but the model holds {n} documents",
+                        counts.len()
+                    ),
+                });
+            }
+            let lowered = name.to_lowercase();
+            if self.term_index(&lowered).is_some() {
+                return Err(Error::Inconsistent {
+                    context: format!("term {name} already indexed"),
+                });
+            }
+            let weighted: Vec<f64> = counts.iter().map(|&c| self.weighting.local.apply(c)).collect();
+            let mut that = vec![0.0; self.k()];
+            for (j, q) in that.iter_mut().enumerate() {
+                *q = lsi_linalg::vecops::dot(&weighted, self.v.col(j));
+                if self.s[j] > 0.0 {
+                    *q /= self.s[j];
+                }
+            }
+            new_rows.push(that);
+            self.folded_terms.push(lowered);
+            self.term_origins.push(DocOrigin::FoldedIn);
+            self.global_weights.push(1.0);
+        }
+        self.u = append_rows(&self.u, &new_rows);
+        Ok(())
+    }
+
+    /// SVD-update with new documents (Eqs. 10 and 13).
+    ///
+    /// `d_counts` is the m×p *raw count* matrix of the new documents
+    /// over the model's terms (build it with
+    /// `model.vocabulary().count_matrix(&new_corpus)`); weighting is
+    /// applied internally with the stored global weights.
+    pub fn svd_update_documents(&mut self, d_counts: &CscMatrix, ids: &[String]) -> Result<()> {
+        let m = self.n_terms();
+        let k = self.k();
+        let p = d_counts.ncols();
+        if d_counts.nrows() != m {
+            return Err(Error::Inconsistent {
+                context: format!(
+                    "update matrix has {} rows but the model indexes {m} terms",
+                    d_counts.nrows()
+                ),
+            });
+        }
+        if ids.len() != p {
+            return Err(Error::Inconsistent {
+                context: format!("{p} new documents but {} ids", ids.len()),
+            });
+        }
+        for id in ids {
+            if self.doc_index(id).is_some() {
+                return Err(Error::Inconsistent {
+                    context: format!("document id {id} already present"),
+                });
+            }
+        }
+
+        // Weight D consistently with the stored scheme.
+        let mut d_weighted = d_counts.clone();
+        let local = self.weighting.local;
+        d_weighted.map_values(|v| local.apply(v));
+        let mut scale = self.global_weights.clone();
+        scale.resize(m, 1.0);
+        d_weighted.scale_rows(&scale)?;
+
+        // Dhat = U_k^T D  (k x p) and the dense copy of D.
+        let mut dhat = DenseMatrix::zeros(k, p);
+        let mut d_dense = DenseMatrix::zeros(m, p);
+        for c in 0..p {
+            let (rows, vals) = d_weighted.col(c);
+            for (&r, &v) in rows.iter().zip(vals.iter()) {
+                d_dense.set(r, c, v);
+            }
+            for j in 0..k {
+                let uj = self.u.col(j);
+                let mut acc = 0.0;
+                for (&r, &v) in rows.iter().zip(vals.iter()) {
+                    acc += uj[r] * v;
+                }
+                dhat.set(j, c, acc);
+            }
+        }
+
+        // Residual of D outside span(U_k): R = D - U_k Dhat, then an
+        // orthonormal basis Q_r (m x p') with coefficients
+        // R_r = Q_r^T R. The paper's Eq. 13 is the special case
+        // R = 0.
+        let mut resid = d_dense.clone();
+        for c in 0..p {
+            for j in 0..k {
+                let coeff = dhat.get(j, c);
+                let uj = self.u.col(j).to_vec();
+                lsi_linalg::vecops::axpy(-coeff, &uj, resid.col_mut(c));
+            }
+        }
+        let mut q_r = resid.clone();
+        let kept = lsi_linalg::qr::mgs_orthonormalize(&mut q_r);
+        let kept_cols: Vec<Vec<f64>> = (0..p)
+            .filter(|&c| kept[c])
+            .map(|c| q_r.col(c).to_vec())
+            .collect();
+        let pr = kept_cols.len();
+        let q_r = if pr > 0 {
+            DenseMatrix::from_cols(&kept_cols)?
+        } else {
+            DenseMatrix::zeros(m, 0)
+        };
+        // R_r = Q_r^T resid (pr x p).
+        let r_r = ops::matmul_tn(&q_r, &resid)?;
+
+        // Extended middle matrix F~ = [[Sigma, Dhat], [0, R_r]],
+        // (k+pr) x (k+p).
+        let mut f = DenseMatrix::zeros(k + pr, k + p);
+        for j in 0..k {
+            f.set(j, j, self.s[j]);
+        }
+        for c in 0..p {
+            for j in 0..k {
+                f.set(j, k + c, dhat.get(j, c));
+            }
+            for j in 0..pr {
+                f.set(k + j, k + c, r_r.get(j, c));
+            }
+        }
+        let svd_f = jacobi_svd(&f)?;
+        let keep = k.min(svd_f.s.len());
+        let u_f = svd_f.u.truncate_cols(keep); // (k+pr) x keep
+        let v_f = svd_f.v.truncate_cols(keep); // (k+p) x keep
+        let sigma_new = svd_f.s[..keep].to_vec();
+
+        // U <- [U_k | Q_r] U_F (rotates folded-in term rows too).
+        let u_ext = self.u.hcat(&q_r)?;
+        self.u = ops::matmul(&u_ext, &u_f)?;
+        // V <- blockdiag(V_k, I_p) V_F.
+        let v_f_top = v_f.submatrix(0, k, 0, keep);
+        let v_f_bottom = v_f.submatrix(k, k + p, 0, keep);
+        let v_old = ops::matmul(&self.v, &v_f_top)?;
+        self.v = v_old.vcat(&v_f_bottom)?;
+        self.s = sigma_new;
+
+        for id in ids {
+            self.doc_ids.push(id.clone());
+            self.doc_origins.push(DocOrigin::Svd);
+        }
+        // Grow the stored weighted matrix for later recomputation /
+        // weight corrections. (Stored matrix covers only vocab terms.)
+        for c in 0..p {
+            let (rows, vals) = d_weighted.col(c);
+            let keep: Vec<(usize, f64)> = rows
+                .iter()
+                .zip(vals.iter())
+                .filter(|(&r, _)| r < self.weighted.nrows())
+                .map(|(&r, &v)| (r, v))
+                .collect();
+            let (rr, vv): (Vec<usize>, Vec<f64>) = keep.into_iter().unzip();
+            self.weighted.push_col(&rr, &vv)?;
+        }
+        Ok(())
+    }
+
+    /// SVD-update with new terms (Eq. 11).
+    ///
+    /// Each entry gives a new term's name and its raw counts over the
+    /// model's documents (length [`LsiModel::n_docs`]).
+    pub fn svd_update_terms(&mut self, terms: &[(String, Vec<f64>)]) -> Result<()> {
+        let n = self.n_docs();
+        let k = self.k();
+        let q = terms.len();
+        if q == 0 {
+            return Ok(());
+        }
+        for (name, counts) in terms {
+            if counts.len() != n {
+                return Err(Error::Inconsistent {
+                    context: format!(
+                        "term {name} has {} counts but the model holds {n} documents",
+                        counts.len()
+                    ),
+                });
+            }
+            if self.term_index(name).is_some() {
+                return Err(Error::Inconsistent {
+                    context: format!("term {name} already indexed"),
+                });
+            }
+        }
+
+        // T (q x n), locally weighted.
+        let t_rows: Vec<Vec<f64>> = terms
+            .iter()
+            .map(|(_, counts)| counts.iter().map(|&c| self.weighting.local.apply(c)).collect())
+            .collect();
+
+        // TV = T V_k (q x k), and the residual of T^T outside span(V_k):
+        // resid = T^T - V_k (TV)^T (n x q), orthonormalized as Q_r with
+        // coefficients R_r = Q_r^T resid. The paper's Eq. 11 algebra is
+        // the special case resid = 0.
+        let mut tv = DenseMatrix::zeros(q, k);
+        for (qi, row) in t_rows.iter().enumerate() {
+            for j in 0..k {
+                tv.set(qi, j, lsi_linalg::vecops::dot(row, self.v.col(j)));
+            }
+        }
+        let mut resid = DenseMatrix::zeros(n, q);
+        for (qi, row) in t_rows.iter().enumerate() {
+            resid.col_mut(qi).copy_from_slice(row);
+            for j in 0..k {
+                let coeff = tv.get(qi, j);
+                let vj = self.v.col(j).to_vec();
+                lsi_linalg::vecops::axpy(-coeff, &vj, resid.col_mut(qi));
+            }
+        }
+        let mut q_r = resid.clone();
+        let kept = lsi_linalg::qr::mgs_orthonormalize(&mut q_r);
+        let kept_cols: Vec<Vec<f64>> = (0..q)
+            .filter(|&c| kept[c])
+            .map(|c| q_r.col(c).to_vec())
+            .collect();
+        let qr_count = kept_cols.len();
+        let q_r = if qr_count > 0 {
+            DenseMatrix::from_cols(&kept_cols)?
+        } else {
+            DenseMatrix::zeros(n, 0)
+        };
+        let r_r = ops::matmul_tn(&q_r, &resid)?; // qr_count x q
+
+        // H~ = [[Sigma, 0], [TV, R_r^T]]  ((k+q) x (k+qr_count)).
+        let mut h = DenseMatrix::zeros(k + q, k + qr_count);
+        for j in 0..k {
+            h.set(j, j, self.s[j]);
+        }
+        for qi in 0..q {
+            for j in 0..k {
+                h.set(k + qi, j, tv.get(qi, j));
+            }
+            for j in 0..qr_count {
+                h.set(k + qi, k + j, r_r.get(j, qi));
+            }
+        }
+        let svd_h = jacobi_svd(&h)?;
+        let keep = k.min(svd_h.s.len());
+        let u_h = svd_h.u.truncate_cols(keep); // (k+q) x keep
+        let v_h = svd_h.v.truncate_cols(keep); // (k+qr_count) x keep
+        let sigma_new = svd_h.s[..keep].to_vec();
+
+        // U <- blockdiag(U_k, I_q) U_H.
+        let u_h_top = u_h.submatrix(0, k, 0, keep);
+        let u_h_bottom = u_h.submatrix(k, k + q, 0, keep);
+        let u_old = ops::matmul(&self.u, &u_h_top)?;
+        self.u = u_old.vcat(&u_h_bottom)?;
+        // V <- [V_k | Q_r] V_H (rotates folded-in document rows too).
+        let v_ext = self.v.hcat(&q_r)?;
+        self.v = ops::matmul(&v_ext, &v_h)?;
+        self.s = sigma_new;
+
+        // Rebuild the stored weighted matrix with the q new rows (new
+        // terms get unit global weight, mirroring fold_in_terms).
+        let old = &self.weighted;
+        let mut coo = CooMatrix::new(old.nrows() + q, old.ncols());
+        for (r, c, v) in old.iter() {
+            coo.push(r, c, v).expect("within shape");
+        }
+        for (qi, row) in t_rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate().take(old.ncols()) {
+                if v != 0.0 {
+                    coo.push(old.nrows() + qi, c, v).expect("within shape");
+                }
+            }
+        }
+        self.weighted = coo.to_csc();
+        for (name, _) in terms {
+            self.folded_terms.push(name.to_lowercase());
+            self.term_origins.push(DocOrigin::Svd);
+            self.global_weights.push(1.0);
+        }
+        Ok(())
+    }
+
+    /// SVD-update for term-weight corrections (Eq. 12):
+    /// `W = A_k + Y_j Z_jᵀ`, where `Y_j` selects the `j` re-weighted
+    /// term rows and `Z_j`'s columns hold the per-document weight
+    /// deltas.
+    ///
+    /// `changes` maps a term row index to its delta vector over the
+    /// model's documents.
+    pub fn svd_update_weights(&mut self, changes: &[(usize, Vec<f64>)]) -> Result<()> {
+        let k = self.k();
+        let n = self.n_docs();
+        if changes.is_empty() {
+            return Ok(());
+        }
+        for (term, delta) in changes {
+            if *term >= self.n_terms() {
+                return Err(Error::Inconsistent {
+                    context: format!("term row {term} out of range"),
+                });
+            }
+            if delta.len() != n {
+                return Err(Error::Inconsistent {
+                    context: format!(
+                        "delta for term {term} has {} entries, expected {n}",
+                        delta.len()
+                    ),
+                });
+            }
+        }
+
+        // W = A_k + Y Z^T with Y the unit columns selecting the
+        // re-weighted term rows and Z the per-document deltas. The
+        // paper's Eq. 12 projects both onto the current factors
+        // (Q = Sigma + U^T Y Z^T V); as with the other phases we carry
+        // the out-of-span residuals so the rank-j update of A_k is
+        // exact.
+        let j_count = changes.len();
+        let m_rows = self.n_terms();
+
+        // Y (m x j): unit columns; Yhat = U^T Y (k x j); residual
+        // RY = Y - U Yhat.
+        let mut yhat = DenseMatrix::zeros(k, j_count);
+        let mut ry = DenseMatrix::zeros(m_rows, j_count);
+        for (jj, (term, _)) in changes.iter().enumerate() {
+            let urow = self.u.row(*term);
+            for a in 0..k {
+                yhat.set(a, jj, urow[a]);
+            }
+            ry.set(*term, jj, 1.0);
+            for a in 0..k {
+                let coeff = urow[a];
+                let ua = self.u.col(a).to_vec();
+                lsi_linalg::vecops::axpy(-coeff, &ua, ry.col_mut(jj));
+            }
+        }
+        let mut qy = ry.clone();
+        let kept_y = lsi_linalg::qr::mgs_orthonormalize(&mut qy);
+        let qy_cols: Vec<Vec<f64>> = (0..j_count)
+            .filter(|&c| kept_y[c])
+            .map(|c| qy.col(c).to_vec())
+            .collect();
+        let jy = qy_cols.len();
+        let qy = if jy > 0 {
+            DenseMatrix::from_cols(&qy_cols)?
+        } else {
+            DenseMatrix::zeros(m_rows, 0)
+        };
+        let ry_coef = ops::matmul_tn(&qy, &ry)?; // jy x j
+
+        // Z (n x j): deltas; Zhat = V^T Z; residual RZ = Z - V Zhat.
+        let mut zhat = DenseMatrix::zeros(k, j_count);
+        let mut rz = DenseMatrix::zeros(n, j_count);
+        for (jj, (_, delta)) in changes.iter().enumerate() {
+            rz.col_mut(jj).copy_from_slice(delta);
+            for a in 0..k {
+                let coeff = lsi_linalg::vecops::dot(delta, self.v.col(a));
+                zhat.set(a, jj, coeff);
+                let va = self.v.col(a).to_vec();
+                lsi_linalg::vecops::axpy(-coeff, &va, rz.col_mut(jj));
+            }
+        }
+        let mut qz = rz.clone();
+        let kept_z = lsi_linalg::qr::mgs_orthonormalize(&mut qz);
+        let qz_cols: Vec<Vec<f64>> = (0..j_count)
+            .filter(|&c| kept_z[c])
+            .map(|c| qz.col(c).to_vec())
+            .collect();
+        let jz = qz_cols.len();
+        let qz = if jz > 0 {
+            DenseMatrix::from_cols(&qz_cols)?
+        } else {
+            DenseMatrix::zeros(n, 0)
+        };
+        let rz_coef = ops::matmul_tn(&qz, &rz)?; // jz x j
+
+        // K = [[Sigma, 0],[0, 0]] + [Yhat; RYcoef] [Zhat; RZcoef]^T,
+        // (k+jy) x (k+jz).
+        let ystack = yhat.vcat(&ry_coef)?; // (k+jy) x j
+        let zstack = zhat.vcat(&rz_coef)?; // (k+jz) x j
+        let mut kmat = ops::matmul_nt(&ystack, &zstack)?;
+        for a in 0..k {
+            kmat.add_to(a, a, self.s[a]);
+        }
+        let svd_k = jacobi_svd(&kmat)?;
+        let keep = k.min(svd_k.s.len());
+        let u_ext = self.u.hcat(&qy)?;
+        let v_ext = self.v.hcat(&qz)?;
+        self.u = ops::matmul(&u_ext, &svd_k.u.truncate_cols(keep))?;
+        self.v = ops::matmul(&v_ext, &svd_k.v.truncate_cols(keep))?;
+        self.s = svd_k.s[..keep].to_vec();
+
+        // Apply the deltas to the stored weighted matrix.
+        let old = &self.weighted;
+        let mut coo = CooMatrix::new(old.nrows(), old.ncols());
+        for (r, c, v) in old.iter() {
+            coo.push(r, c, v).expect("within shape");
+        }
+        for (term, delta) in changes {
+            if *term < old.nrows() {
+                for (c, &dv) in delta.iter().enumerate().take(old.ncols()) {
+                    if dv != 0.0 {
+                        coo.push(*term, c, dv).expect("within shape");
+                    }
+                }
+            }
+        }
+        self.weighted = coo.to_csc();
+        Ok(())
+    }
+
+    /// Recompute the truncated SVD from the stored (possibly grown)
+    /// weighted matrix — the paper's accuracy yardstick for the
+    /// updating methods. Folded-in document/term rows that are not part
+    /// of the stored matrix are dropped (they are re-foldable).
+    pub fn recompute(&mut self, k: usize) -> Result<()> {
+        let k = k.min(self.weighted.nrows().min(self.weighted.ncols()));
+        let operator = lsi_sparse::ops::DualFormat::from_csc(self.weighted.clone());
+        let (svd, _) = lanczos_svd(&operator, k, &LanczosOptions::default())?;
+        // Rows beyond the stored matrix (folded-in) are dropped.
+        self.u = svd.u;
+        self.s = svd.s;
+        self.v = svd.v;
+        let n_docs = self.weighted.ncols();
+        let n_terms = self.weighted.nrows();
+        self.doc_ids.truncate(n_docs);
+        self.doc_origins = vec![DocOrigin::Svd; n_docs];
+        self.folded_terms
+            .truncate(n_terms.saturating_sub(self.vocab.len()));
+        self.term_origins = vec![DocOrigin::Svd; n_terms];
+        self.global_weights.resize(n_terms, 1.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LsiOptions;
+    use lsi_linalg::ops::matmul_tn;
+    use lsi_text::{Corpus, Document, ParsingRules, TermWeighting};
+
+    fn corpus() -> Corpus {
+        Corpus::from_pairs([
+            ("d1", "apple banana apple cherry"),
+            ("d2", "banana cherry banana date"),
+            ("d3", "apple cherry date fig"),
+            ("d4", "grape fig date grape"),
+            ("d5", "fig grape apple banana"),
+            ("d6", "cherry date fig grape"),
+        ])
+    }
+
+    fn build(k: usize) -> LsiModel {
+        let options = LsiOptions {
+            k,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::none(),
+            svd_seed: 7,
+        };
+        LsiModel::build(&corpus(), &options).unwrap().0
+    }
+
+    fn orthonormality(m: &DenseMatrix) -> f64 {
+        let g = matmul_tn(m, m).unwrap();
+        g.fro_distance(&DenseMatrix::identity(m.ncols())).unwrap()
+    }
+
+    #[test]
+    fn fold_in_documents_preserves_existing_rows() {
+        let mut m = build(3);
+        let v_before = m.doc_matrix().clone();
+        let u_before = m.term_matrix().clone();
+        m.fold_in_documents(&Corpus::from_pairs([("new1", "apple banana cherry")]))
+            .unwrap();
+        assert_eq!(m.n_docs(), 7);
+        // Pre-existing rows bitwise identical: "the coordinates of the
+        // original topics stay fixed".
+        for j in 0..6 {
+            assert_eq!(m.doc_vector(j), v_before.row(j));
+        }
+        assert_eq!(m.term_matrix(), &u_before);
+        assert_eq!(m.doc_origins()[6], DocOrigin::FoldedIn);
+    }
+
+    #[test]
+    fn folding_in_existing_document_lands_on_its_vector() {
+        // At full rank, folding in a document identical to column j of A
+        // reproduces row j of V exactly (Eq. 7 inverts Eq. 1).
+        let mut m = build(6);
+        let original = m.doc_vector(0);
+        m.fold_in_documents(&Corpus::from_pairs([("copy", "apple banana apple cherry")]))
+            .unwrap();
+        let folded = m.doc_vector(m.n_docs() - 1);
+        for (a, b) in original.iter().zip(folded.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fold_in_rejects_duplicate_ids() {
+        let mut m = build(2);
+        assert!(m
+            .fold_in_documents(&Corpus::from_pairs([("d1", "apple")]))
+            .is_err());
+    }
+
+    #[test]
+    fn fold_in_terms_appends_rows() {
+        let mut m = build(3);
+        let n = m.n_docs();
+        let counts = vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        assert_eq!(counts.len(), n);
+        m.fold_in_terms(&[("kiwi".to_string(), counts)]).unwrap();
+        assert_eq!(m.n_terms(), m.vocabulary().len() + 1);
+        assert!(m.term_index("kiwi").is_some());
+        // Folding a duplicate term errors.
+        assert!(m
+            .fold_in_terms(&[("kiwi".to_string(), vec![0.0; 6])])
+            .is_err());
+        // Wrong length errors.
+        assert!(m
+            .fold_in_terms(&[("melon".to_string(), vec![0.0; 3])])
+            .is_err());
+    }
+
+    #[test]
+    fn svd_update_documents_keeps_factors_orthonormal() {
+        let mut m = build(3);
+        let d = m
+            .vocabulary()
+            .count_matrix(&Corpus::from_pairs([("n1", "apple banana fig"), ("n2", "date grape")]));
+        m.svd_update_documents(&d, &["n1".to_string(), "n2".to_string()])
+            .unwrap();
+        assert_eq!(m.n_docs(), 8);
+        assert!(orthonormality(m.term_matrix()) < 1e-9);
+        assert!(orthonormality(m.doc_matrix()) < 1e-9);
+        // Singular values stay sorted.
+        for w in m.singular_values().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_update_matches_recompute_at_full_rank() {
+        // At k = rank, SVD-updating is exact: its singular values match
+        // a fresh decomposition of the extended matrix.
+        let mut m = build(6);
+        let new = Corpus::from_pairs([("n1", "apple banana cherry date fig grape")]);
+        let d = m.vocabulary().count_matrix(&new);
+        let k = m.k();
+        m.svd_update_documents(&d, &["n1".to_string()]).unwrap();
+
+        // Oracle: dense SVD of the stored (extended) weighted matrix.
+        let oracle = lsi_linalg::dense_svd(&m.weighted_matrix().to_dense()).unwrap();
+        for (got, want) in m.singular_values().iter().zip(oracle.s.iter()).take(k) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn svd_update_documents_is_exact_for_ak_extension() {
+        // Even at truncated rank, the residual-carrying update computes
+        // the exact rank-k SVD of B = (A_k | D).
+        let mut m = build(2);
+        let ak = m.reconstruct_ak().unwrap();
+        let new = Corpus::from_pairs([("n1", "apple grape grape"), ("n2", "cherry fig")]);
+        let d = m.vocabulary().count_matrix(&new);
+        let d_dense = d.to_dense();
+        let b = ak.hcat(&d_dense).unwrap();
+        let oracle = lsi_linalg::dense_svd(&b).unwrap();
+
+        m.svd_update_documents(&d, &["n1".to_string(), "n2".to_string()])
+            .unwrap();
+        for (got, want) in m.singular_values().iter().zip(oracle.s.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs oracle {want}");
+        }
+        // Reconstruction agrees with the oracle's rank-k truncation.
+        let ours = m.reconstruct_ak().unwrap();
+        let theirs = oracle.truncate(m.k()).reconstruct().unwrap();
+        assert!(ours.fro_distance(&theirs).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn svd_update_terms_is_exact_for_ak_extension() {
+        let mut m = build(2);
+        let ak = m.reconstruct_ak().unwrap();
+        let t_counts = vec![1.0, 0.0, 2.0, 0.0, 1.0, 0.0];
+        let t_row = DenseMatrix::from_rows(std::slice::from_ref(&t_counts)).unwrap();
+        let c = ak.vcat(&t_row).unwrap();
+        let oracle = lsi_linalg::dense_svd(&c).unwrap();
+
+        m.svd_update_terms(&[("kiwi".to_string(), t_counts)]).unwrap();
+        for (got, want) in m.singular_values().iter().zip(oracle.s.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs oracle {want}");
+        }
+    }
+
+    #[test]
+    fn svd_update_weights_is_exact_for_rank_j_update() {
+        let mut m = build(2);
+        let ak = m.reconstruct_ak().unwrap();
+        let term = 1usize;
+        let delta = vec![0.5, 0.0, -0.25, 0.0, 1.0, 0.0];
+        let mut w = ak.clone();
+        for (c, &dv) in delta.iter().enumerate() {
+            w.add_to(term, c, dv);
+        }
+        let oracle = lsi_linalg::dense_svd(&w).unwrap();
+        m.svd_update_weights(&[(term, delta)]).unwrap();
+        for (got, want) in m.singular_values().iter().zip(oracle.s.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs oracle {want}");
+        }
+    }
+
+    #[test]
+    fn svd_update_moves_existing_documents() {
+        // Unlike folding-in, updating redefines the latent structure.
+        let mut m = build(2);
+        let before = m.doc_vector(0);
+        let d = m
+            .vocabulary()
+            .count_matrix(&Corpus::from_pairs([("n1", "apple apple banana banana")]));
+        m.svd_update_documents(&d, &["n1".to_string()]).unwrap();
+        let after = m.doc_vector(0);
+        let diff: f64 = before
+            .iter()
+            .zip(after.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "existing coordinates should move, diff {diff}");
+    }
+
+    #[test]
+    fn svd_update_terms_keeps_factors_orthonormal() {
+        let mut m = build(3);
+        let n = m.n_docs();
+        m.svd_update_terms(&[
+            ("kiwi".to_string(), vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0]),
+            ("melon".to_string(), vec![0.0, 1.0, 1.0, 0.0, 0.0, 0.0]),
+        ])
+        .unwrap();
+        assert_eq!(m.n_terms(), m.vocabulary().len() + 2);
+        assert_eq!(m.n_docs(), n);
+        assert!(orthonormality(m.term_matrix()) < 1e-9);
+        assert!(orthonormality(m.doc_matrix()) < 1e-9);
+        assert!(m.term_index("melon").is_some());
+    }
+
+    #[test]
+    fn svd_update_terms_exact_at_full_rank() {
+        let mut m = build(6);
+        let k = m.k();
+        m.svd_update_terms(&[("kiwi".to_string(), vec![2.0, 0.0, 1.0, 0.0, 0.0, 1.0])])
+            .unwrap();
+        let oracle = lsi_linalg::dense_svd(&m.weighted_matrix().to_dense()).unwrap();
+        for (got, want) in m.singular_values().iter().zip(oracle.s.iter()).take(k) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn weight_correction_exact_for_in_span_changes() {
+        // Build a delta that lies in span(V_k) by construction: scale an
+        // existing term row. At full rank every delta qualifies.
+        let mut m = build(6);
+        let k = m.k();
+        let term = 0usize;
+        // Delta: +0.5 to term 0's weight in every document it occurs in.
+        let csr = m.weighted_matrix().to_csr();
+        let (cols, vals) = csr.row(term);
+        let mut delta = vec![0.0; m.n_docs()];
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            delta[c] = 0.5 * v;
+        }
+        m.svd_update_weights(&[(term, delta)]).unwrap();
+        assert!(orthonormality(m.term_matrix()) < 1e-9);
+        assert!(orthonormality(m.doc_matrix()) < 1e-9);
+        let oracle = lsi_linalg::dense_svd(&m.weighted_matrix().to_dense()).unwrap();
+        for (got, want) in m.singular_values().iter().zip(oracle.s.iter()).take(k) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn weight_correction_validates_input() {
+        let mut m = build(3);
+        assert!(m.svd_update_weights(&[(999, vec![0.0; 6])]).is_err());
+        assert!(m.svd_update_weights(&[(0, vec![0.0; 2])]).is_err());
+        assert!(m.svd_update_weights(&[]).is_ok());
+    }
+
+    #[test]
+    fn recompute_restores_exact_factors() {
+        let mut m = build(3);
+        // Fold in a document (degrades the representation), then
+        // recompute: folded row is dropped, factors are fresh.
+        m.fold_in_documents(&Corpus::from_pairs([("x", "apple banana")]))
+            .unwrap();
+        assert_eq!(m.n_docs(), 7);
+        m.recompute(3).unwrap();
+        assert_eq!(m.n_docs(), 6);
+        assert!(orthonormality(m.doc_matrix()) < 1e-9);
+        let oracle = lsi_linalg::dense_svd(&m.weighted_matrix().to_dense()).unwrap();
+        for (got, want) in m.singular_values().iter().zip(oracle.s.iter()).take(3) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn update_dimension_validation() {
+        let mut m = build(3);
+        let wrong_rows = CscMatrix::zeros(2, 1);
+        assert!(m
+            .svd_update_documents(&wrong_rows, &["x".to_string()])
+            .is_err());
+        let ok_shape = CscMatrix::zeros(m.n_terms(), 1);
+        assert!(m.svd_update_documents(&ok_shape, &[]).is_err()); // id count mismatch
+        assert!(m
+            .svd_update_documents(&ok_shape, &["d1".to_string()])
+            .is_err()); // duplicate id
+    }
+
+    #[test]
+    fn queries_work_after_each_update_kind() {
+        let mut m = build(3);
+        m.fold_in_documents(&Corpus::from_pairs([("f1", "apple cherry")]))
+            .unwrap();
+        let d = m
+            .vocabulary()
+            .count_matrix(&Corpus::from_pairs([("u1", "banana date")]));
+        m.svd_update_documents(&d, &["u1".to_string()]).unwrap();
+        m.svd_update_terms(&[("kiwi".to_string(), vec![1.0; m.n_docs()])])
+            .unwrap();
+        let ranked = m.query("apple cherry").unwrap();
+        assert_eq!(ranked.matches.len(), m.n_docs());
+        // d1/d3 contain apple+cherry, should rank above d4.
+        assert!(ranked.rank_of("d1").unwrap() < ranked.rank_of("d4").unwrap());
+    }
+
+    #[test]
+    fn folded_then_updated_document_coordinates_differ() {
+        // Fold-in and SVD-update of the same document give different
+        // (but correlated) positions at truncated rank.
+        let text = "apple banana date date";
+        let mut folded = build(2);
+        folded
+            .fold_in_documents(&Corpus {
+                docs: vec![Document::new("x", text)],
+            })
+            .unwrap();
+        let f = folded.doc_vector(folded.n_docs() - 1);
+
+        let mut updated = build(2);
+        let d = updated
+            .vocabulary()
+            .count_matrix(&Corpus::from_pairs([("x", text)]));
+        updated.svd_update_documents(&d, &["x".to_string()]).unwrap();
+        let u = updated.doc_vector(updated.n_docs() - 1);
+
+        let cos = lsi_linalg::vecops::cosine(&f, &u);
+        assert!(cos.abs() > 0.5, "positions should correlate, cos {cos}");
+        let dist = lsi_linalg::vecops::distance(&f, &u);
+        assert!(dist > 1e-9, "but not coincide exactly");
+    }
+}

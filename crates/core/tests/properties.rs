@@ -1,0 +1,149 @@
+//! Property-based tests on the LSI model: factor invariants, query
+//! geometry, and updating exactness over randomly generated corpora.
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_linalg::ops::matmul_tn;
+use lsi_linalg::DenseMatrix;
+use lsi_text::{Corpus, Document, ParsingRules, TermWeighting};
+use proptest::prelude::*;
+
+/// Strategy: a corpus of `n_docs` documents over a small closed
+/// vocabulary, so min_df = 2 keeps most words.
+fn corpus_strategy() -> impl Strategy<Value = Corpus> {
+    let word = prop::sample::select(vec![
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+    ]);
+    let doc = prop::collection::vec(word, 3..12);
+    prop::collection::vec(doc, 4..10).prop_map(|docs| Corpus {
+        docs: docs
+            .into_iter()
+            .enumerate()
+            .map(|(i, words)| Document::new(format!("d{i}"), words.join(" ")))
+            .collect(),
+    })
+}
+
+fn build(corpus: &Corpus, k: usize) -> Option<LsiModel> {
+    let options = LsiOptions {
+        k,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting: TermWeighting::none(),
+        svd_seed: 9,
+    };
+    let (model, _) = LsiModel::build(corpus, &options).ok()?;
+    if model.k() == 0 {
+        None
+    } else {
+        Some(model)
+    }
+}
+
+fn orthonormality(m: &DenseMatrix) -> f64 {
+    if m.ncols() == 0 {
+        return 0.0;
+    }
+    matmul_tn(m, m)
+        .unwrap()
+        .fro_distance(&DenseMatrix::identity(m.ncols()))
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn factors_are_orthonormal_and_sigma_sorted(corpus in corpus_strategy()) {
+        let Some(model) = build(&corpus, 4) else { return Ok(()); };
+        prop_assert!(orthonormality(model.term_matrix()) < 1e-8);
+        prop_assert!(orthonormality(model.doc_matrix()) < 1e-8);
+        for w in model.singular_values().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(model.singular_values().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn query_cosines_are_bounded_and_self_retrieval_works(corpus in corpus_strategy()) {
+        let Some(model) = build(&corpus, 4) else { return Ok(()); };
+        for (j, doc) in corpus.docs.iter().enumerate().take(3) {
+            let ranked = model.query(&doc.text).unwrap();
+            for m in &ranked.matches {
+                prop_assert!(m.cosine <= 1.0 + 1e-9 && m.cosine >= -1.0 - 1e-9);
+            }
+            // Querying with a document's own text ranks that document
+            // highly (ties possible with duplicate docs).
+            let self_rank = ranked.matches.iter().position(|m| m.doc == j).unwrap();
+            let self_cos = ranked.matches[self_rank].cosine;
+            let best_cos = ranked.matches[0].cosine;
+            prop_assert!(
+                best_cos - self_cos < 1e-6 || self_rank < corpus.docs.len(),
+                "self-retrieval cosine {} vs best {}", self_cos, best_cos
+            );
+        }
+    }
+
+    #[test]
+    fn fold_in_never_moves_existing_rows(corpus in corpus_strategy()) {
+        let Some(mut model) = build(&corpus, 3) else { return Ok(()); };
+        let before: Vec<Vec<f64>> = (0..model.n_docs()).map(|j| model.doc_vector(j)).collect();
+        model
+            .fold_in_documents(&Corpus {
+                docs: vec![Document::new("fresh", "alpha beta gamma")],
+            })
+            .unwrap();
+        for (j, b) in before.iter().enumerate() {
+            prop_assert_eq!(&model.doc_vector(j), b);
+        }
+    }
+
+    #[test]
+    fn svd_update_matches_dense_oracle_of_ak_extension(corpus in corpus_strategy()) {
+        let Some(mut model) = build(&corpus, 3) else { return Ok(()); };
+        let ak = model.reconstruct_ak().unwrap();
+        let new = Corpus {
+            docs: vec![Document::new("n0", "alpha gamma epsilon epsilon")],
+        };
+        let d = model.vocabulary().count_matrix(&new);
+        let b = ak.hcat(&d.to_dense()).unwrap();
+        let oracle = lsi_linalg::dense_svd(&b).unwrap();
+        model
+            .svd_update_documents(&d, &["n0".to_string()])
+            .unwrap();
+        for (got, want) in model.singular_values().iter().zip(oracle.s.iter()) {
+            prop_assert!((got - want).abs() < 1e-8 * want.max(1.0), "{} vs {}", got, want);
+        }
+        prop_assert!(orthonormality(model.term_matrix()) < 1e-8);
+        prop_assert!(orthonormality(model.doc_matrix()) < 1e-8);
+    }
+
+    #[test]
+    fn persistence_roundtrip_is_lossless(corpus in corpus_strategy()) {
+        let Some(model) = build(&corpus, 3) else { return Ok(()); };
+        let back = LsiModel::from_json(&model.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back.singular_values(), model.singular_values());
+        prop_assert_eq!(back.doc_ids(), model.doc_ids());
+        let q = "alpha beta";
+        let r1 = model.query(q).unwrap();
+        let r2 = back.query(q).unwrap();
+        prop_assert_eq!(r1.ids(), r2.ids());
+    }
+
+    #[test]
+    fn reconstruction_error_shrinks_with_k(corpus in corpus_strategy()) {
+        let mut last_err = f64::INFINITY;
+        for k in 1..=3 {
+            let Some(model) = build(&corpus, k) else { return Ok(()); };
+            let dense = model.weighted_matrix().to_dense();
+            let err = model
+                .reconstruct_ak()
+                .unwrap()
+                .fro_distance(&dense)
+                .unwrap();
+            prop_assert!(err <= last_err + 1e-9, "error grew: {} -> {}", last_err, err);
+            last_err = err;
+        }
+    }
+}

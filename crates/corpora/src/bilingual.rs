@@ -1,0 +1,209 @@
+//! Dual-vocabulary bilingual corpus generator.
+//!
+//! Substitute for the Bellcore French/English abstract collection of the
+//! paper's §5.4 cross-language experiment (Landauer & Littman). Each
+//! underlying document has an "English" rendering and a "French"
+//! rendering over disjoint vocabularies; the training corpus is the
+//! concatenation of both renderings ("each abstract is treated as the
+//! combination of its French-English versions"), and monolingual
+//! renderings are held out for folding-in and querying.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lsi_text::{Corpus, Document};
+
+/// Generation parameters for the bilingual corpus.
+#[derive(Debug, Clone)]
+pub struct BilingualOptions {
+    /// Number of latent topics.
+    pub n_topics: usize,
+    /// Dual-language training documents per topic.
+    pub docs_per_topic: usize,
+    /// Held-out monolingual documents per topic (per language).
+    pub holdout_per_topic: usize,
+    /// Concepts private to each topic.
+    pub concepts_per_topic: usize,
+    /// Tokens per rendering.
+    pub doc_len: usize,
+    /// Tokens per query.
+    pub query_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BilingualOptions {
+    fn default() -> Self {
+        BilingualOptions {
+            n_topics: 6,
+            docs_per_topic: 10,
+            holdout_per_topic: 4,
+            concepts_per_topic: 8,
+            doc_len: 30,
+            query_len: 5,
+            seed: 0xB111,
+        }
+    }
+}
+
+/// Which language a rendering uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Language {
+    /// The `en…` vocabulary.
+    English,
+    /// The `fr…` vocabulary.
+    French,
+}
+
+/// A generated bilingual collection.
+#[derive(Debug, Clone)]
+pub struct BilingualCorpus {
+    /// Training corpus: combined English+French renderings.
+    pub training: Corpus,
+    /// Topic of each training document.
+    pub training_topics: Vec<usize>,
+    /// Held-out English-only documents.
+    pub holdout_english: Corpus,
+    /// Held-out French-only documents (parallel topics with
+    /// `holdout_english` at the same index — they are translations).
+    pub holdout_french: Corpus,
+    /// Topic of each held-out document pair.
+    pub holdout_topics: Vec<usize>,
+    /// English queries, one per topic.
+    pub queries_english: Vec<String>,
+    /// French queries, one per topic (same topics in order).
+    pub queries_french: Vec<String>,
+}
+
+fn word(lang: Language, concept: usize) -> String {
+    match lang {
+        Language::English => format!("en{concept}"),
+        Language::French => format!("fr{concept}"),
+    }
+}
+
+impl BilingualCorpus {
+    /// Generate under `options`.
+    pub fn generate(options: &BilingualOptions) -> BilingualCorpus {
+        let o = options.clone();
+        let mut rng = StdRng::seed_from_u64(o.seed);
+
+        let concepts = |rng: &mut StdRng, topic: usize, len: usize| -> Vec<usize> {
+            (0..len)
+                .map(|_| topic * o.concepts_per_topic + rng.random_range(0..o.concepts_per_topic))
+                .collect()
+        };
+        let render = |cs: &[usize], lang: Language| -> String {
+            cs.iter()
+                .map(|&c| word(lang, c))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+
+        let mut training = Corpus::new();
+        let mut training_topics = Vec::new();
+        for topic in 0..o.n_topics {
+            for d in 0..o.docs_per_topic {
+                let cs = concepts(&mut rng, topic, o.doc_len);
+                let combined = format!(
+                    "{} {}",
+                    render(&cs, Language::English),
+                    render(&cs, Language::French)
+                );
+                training.push(Document::new(format!("t{topic}b{d}"), combined));
+                training_topics.push(topic);
+            }
+        }
+
+        let mut holdout_english = Corpus::new();
+        let mut holdout_french = Corpus::new();
+        let mut holdout_topics = Vec::new();
+        for topic in 0..o.n_topics {
+            for d in 0..o.holdout_per_topic {
+                let cs = concepts(&mut rng, topic, o.doc_len);
+                holdout_english.push(Document::new(
+                    format!("t{topic}he{d}"),
+                    render(&cs, Language::English),
+                ));
+                holdout_french.push(Document::new(
+                    format!("t{topic}hf{d}"),
+                    render(&cs, Language::French),
+                ));
+                holdout_topics.push(topic);
+            }
+        }
+
+        let mut queries_english = Vec::new();
+        let mut queries_french = Vec::new();
+        for topic in 0..o.n_topics {
+            let cs = concepts(&mut rng, topic, o.query_len);
+            queries_english.push(render(&cs, Language::English));
+            let cs = concepts(&mut rng, topic, o.query_len);
+            queries_french.push(render(&cs, Language::French));
+        }
+
+        BilingualCorpus {
+            training,
+            training_topics,
+            holdout_english,
+            holdout_french,
+            holdout_topics,
+            queries_english,
+            queries_french,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_docs_mix_both_vocabularies() {
+        let b = BilingualCorpus::generate(&BilingualOptions::default());
+        for doc in &b.training.docs {
+            let has_en = doc.text.split_whitespace().any(|t| t.starts_with("en"));
+            let has_fr = doc.text.split_whitespace().any(|t| t.starts_with("fr"));
+            assert!(has_en && has_fr, "training doc must be combined");
+        }
+    }
+
+    #[test]
+    fn holdouts_are_monolingual_translations() {
+        let b = BilingualCorpus::generate(&BilingualOptions::default());
+        assert_eq!(b.holdout_english.len(), b.holdout_french.len());
+        for (e, f) in b.holdout_english.docs.iter().zip(b.holdout_french.docs.iter()) {
+            assert!(e.text.split_whitespace().all(|t| t.starts_with("en")));
+            assert!(f.text.split_whitespace().all(|t| t.starts_with("fr")));
+        }
+    }
+
+    #[test]
+    fn queries_cover_all_topics_in_both_languages() {
+        let o = BilingualOptions::default();
+        let b = BilingualCorpus::generate(&o);
+        assert_eq!(b.queries_english.len(), o.n_topics);
+        assert_eq!(b.queries_french.len(), o.n_topics);
+        for q in &b.queries_french {
+            assert!(q.split_whitespace().all(|t| t.starts_with("fr")));
+        }
+    }
+
+    #[test]
+    fn counts_match_options() {
+        let o = BilingualOptions::default();
+        let b = BilingualCorpus::generate(&o);
+        assert_eq!(b.training.len(), o.n_topics * o.docs_per_topic);
+        assert_eq!(b.holdout_english.len(), o.n_topics * o.holdout_per_topic);
+        assert_eq!(b.training_topics.len(), b.training.len());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let o = BilingualOptions::default();
+        assert_eq!(
+            BilingualCorpus::generate(&o).training,
+            BilingualCorpus::generate(&o).training
+        );
+    }
+}

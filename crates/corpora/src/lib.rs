@@ -1,0 +1,16 @@
+//! Corpora for the LSI reproduction: the paper's own MED example
+//! (embedded verbatim) and synthetic generators standing in for the
+//! collections we cannot redistribute (MEDLINE, TREC, TOEFL, the
+//! Bellcore French/English abstracts — see DESIGN.md's substitution
+//! table).
+
+pub mod bilingual;
+pub mod med;
+pub mod noise;
+pub mod spelling;
+pub mod synonyms;
+pub mod synthetic;
+pub mod treclike;
+
+pub use med::MedExample;
+pub use synthetic::{SyntheticCorpus, SyntheticOptions};

@@ -1,0 +1,191 @@
+//! Word-level noise channel simulating OCR / pen-machine input.
+//!
+//! §5.4 of the paper (Nielsen et al.): "Even though the error rates were
+//! 8.8 % at the word level, information retrieval performance using LSI
+//! was not disrupted." This channel corrupts a configurable fraction of
+//! words by a single character edit, mimicking recognizer confusions
+//! ("Dumais" → "Duniais").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lsi_text::{Corpus, Document};
+
+/// The paper's reported pen-machine word error rate.
+pub const PAPER_WORD_ERROR_RATE: f64 = 0.088;
+
+/// Kinds of single-character corruption applied to a word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EditKind {
+    Substitute,
+    Delete,
+    Insert,
+    Transpose,
+}
+
+/// Corrupt a single word with one random character edit.
+fn corrupt_word(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.is_empty() {
+        return word.to_string();
+    }
+    let kind = match rng.random_range(0..4u8) {
+        0 => EditKind::Substitute,
+        1 => EditKind::Delete,
+        2 => EditKind::Insert,
+        _ => EditKind::Transpose,
+    };
+    let letters = "abcdefghijklmnopqrstuvwxyz";
+    let rand_letter = |rng: &mut StdRng| {
+        letters
+            .chars()
+            .nth(rng.random_range(0..letters.len()))
+            .expect("index in range")
+    };
+    let mut out: Vec<char> = chars.clone();
+    match kind {
+        EditKind::Substitute => {
+            let i = rng.random_range(0..out.len());
+            out[i] = rand_letter(rng);
+        }
+        EditKind::Delete => {
+            if out.len() > 1 {
+                let i = rng.random_range(0..out.len());
+                out.remove(i);
+            } else {
+                out[0] = rand_letter(rng);
+            }
+        }
+        EditKind::Insert => {
+            let i = rng.random_range(0..=out.len());
+            out.insert(i, rand_letter(rng));
+        }
+        EditKind::Transpose => {
+            if out.len() > 1 {
+                let i = rng.random_range(0..out.len() - 1);
+                out.swap(i, i + 1);
+            } else {
+                out[0] = rand_letter(rng);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Corrupt each word of `text` independently with probability
+/// `word_error_rate`.
+pub fn corrupt_text(text: &str, word_error_rate: f64, rng: &mut StdRng) -> String {
+    text.split_whitespace()
+        .map(|w| {
+            if rng.random::<f64>() < word_error_rate {
+                corrupt_word(w, rng)
+            } else {
+                w.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Corrupt every document of a corpus; ids are preserved.
+pub fn corrupt_corpus(corpus: &Corpus, word_error_rate: f64, seed: u64) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Corpus {
+        docs: corpus
+            .docs
+            .iter()
+            .map(|d| Document::new(d.id.clone(), corrupt_text(&d.text, word_error_rate, &mut rng)))
+            .collect(),
+    }
+}
+
+/// Measured word error rate between an original and corrupted corpus
+/// (fraction of word positions that differ).
+pub fn measured_word_error_rate(original: &Corpus, corrupted: &Corpus) -> f64 {
+    let mut total = 0usize;
+    let mut errors = 0usize;
+    for (o, c) in original.docs.iter().zip(corrupted.docs.iter()) {
+        for (ow, cw) in o.text.split_whitespace().zip(c.text.split_whitespace()) {
+            total += 1;
+            if ow != cw {
+                errors += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        errors as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Corpus {
+        let text = "the quick brown fox jumps over the lazy dog again and again";
+        Corpus {
+            docs: (0..50)
+                .map(|i| Document::new(format!("d{i}"), text))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let c = sample_corpus();
+        let out = corrupt_corpus(&c, 0.0, 1);
+        assert_eq!(c, out);
+    }
+
+    #[test]
+    fn rate_one_corrupts_everything_measurably() {
+        let c = sample_corpus();
+        let out = corrupt_corpus(&c, 1.0, 1);
+        let rate = measured_word_error_rate(&c, &out);
+        // A transpose of identical letters can be a no-op, so allow a
+        // little slack below 1.0.
+        assert!(rate > 0.9, "rate {rate}");
+    }
+
+    #[test]
+    fn paper_rate_is_approximately_honored() {
+        let c = sample_corpus();
+        let out = corrupt_corpus(&c, PAPER_WORD_ERROR_RATE, 7);
+        let rate = measured_word_error_rate(&c, &out);
+        assert!(
+            (rate - PAPER_WORD_ERROR_RATE).abs() < 0.04,
+            "measured {rate} vs nominal {PAPER_WORD_ERROR_RATE}"
+        );
+    }
+
+    #[test]
+    fn corruption_is_single_edit_distance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let w = "information";
+            let c = corrupt_word(w, &mut rng);
+            let len_diff = (w.len() as i64 - c.len() as i64).abs();
+            assert!(len_diff <= 1, "{w} -> {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = sample_corpus();
+        assert_eq!(corrupt_corpus(&c, 0.3, 9), corrupt_corpus(&c, 0.3, 9));
+    }
+
+    #[test]
+    fn word_count_is_preserved() {
+        let c = sample_corpus();
+        let out = corrupt_corpus(&c, 0.5, 11);
+        for (o, n) in c.docs.iter().zip(out.docs.iter()) {
+            assert_eq!(
+                o.text.split_whitespace().count(),
+                n.text.split_whitespace().count()
+            );
+        }
+    }
+}

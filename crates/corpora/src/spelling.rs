@@ -1,0 +1,127 @@
+//! Spelling-correction dataset.
+//!
+//! Substrate for Kukich's LSI spelling application (§5.4 of the paper):
+//! a lexicon of correctly spelled words plus a generator of single-edit
+//! misspellings with known ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A compact lexicon of IR/medical-flavoured words (the domains the
+/// paper's examples come from). Large enough that bigram/trigram
+/// profiles meaningfully overlap and collide.
+pub const LEXICON: &[&str] = &[
+    "abnormalities", "algebra", "analysis", "automatic", "behavior", "biomedicine", "blood",
+    "children", "cholesterol", "christmas", "clinical", "collection", "computation", "computer",
+    "concept", "conference", "correction", "cortisone", "culture", "database", "decomposition",
+    "depressed", "diagnosis", "discharge", "disease", "doctor", "document", "documents",
+    "elephant", "engine", "engineering", "entropy", "evaluation", "experiment", "factor",
+    "fast", "feedback", "filtering", "frequency", "generation", "hospital", "indexing",
+    "information", "insulin", "intelligence", "interface", "keyword", "kidney", "language",
+    "latent", "lexical", "library", "linear", "matching", "mathematics", "matrix", "medical",
+    "medicine", "memory", "method", "model", "network", "neural", "oestrogen", "orthogonal",
+    "paper", "patient", "patients", "performance", "physician", "precision", "pressure",
+    "procedure", "processing", "protein", "query", "ranking", "recall", "research", "retrieval",
+    "science", "semantic", "similarity", "singular", "sparse", "spelling", "statistics",
+    "structure", "surgery", "symptom", "synonym", "system", "technique", "text", "theorem",
+    "treatment", "updating", "value", "vector", "vocabulary",
+];
+
+/// A misspelling with its ground-truth correction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misspelling {
+    /// The corrupted form.
+    pub written: String,
+    /// The intended lexicon word.
+    pub intended: String,
+}
+
+/// Generate `n` single-edit misspellings of random lexicon words.
+///
+/// Edits mimic typing/OCR errors: substitute, delete, insert, or
+/// transpose one character. The generator rejects corruptions that
+/// collide with another lexicon word (those are unanswerable).
+pub fn generate_misspellings(n: usize, seed: u64) -> Vec<Misspelling> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let letters: Vec<char> = "abcdefghijklmnopqrstuvwxyz".chars().collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let word = LEXICON[rng.random_range(0..LEXICON.len())];
+        let mut chars: Vec<char> = word.chars().collect();
+        match rng.random_range(0..4u8) {
+            0 => {
+                let i = rng.random_range(0..chars.len());
+                chars[i] = letters[rng.random_range(0..letters.len())];
+            }
+            1 => {
+                if chars.len() > 2 {
+                    let i = rng.random_range(0..chars.len());
+                    chars.remove(i);
+                }
+            }
+            2 => {
+                let i = rng.random_range(0..=chars.len());
+                chars.insert(i, letters[rng.random_range(0..letters.len())]);
+            }
+            _ => {
+                if chars.len() > 1 {
+                    let i = rng.random_range(0..chars.len() - 1);
+                    chars.swap(i, i + 1);
+                }
+            }
+        }
+        let written: String = chars.into_iter().collect();
+        if written == word || LEXICON.contains(&written.as_str()) {
+            continue;
+        }
+        out.push(Misspelling {
+            written,
+            intended: word.to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_is_sorted_unique_lowercase() {
+        for w in LEXICON.windows(2) {
+            assert!(w[0] < w[1], "lexicon out of order near {:?}", w);
+        }
+        for w in LEXICON {
+            assert_eq!(*w, w.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let ms = generate_misspellings(25, 1);
+        assert_eq!(ms.len(), 25);
+    }
+
+    #[test]
+    fn misspellings_differ_from_lexicon() {
+        for m in generate_misspellings(50, 2) {
+            assert_ne!(m.written, m.intended);
+            assert!(!LEXICON.contains(&m.written.as_str()));
+            assert!(LEXICON.contains(&m.intended.as_str()));
+        }
+    }
+
+    #[test]
+    fn misspellings_are_single_edits() {
+        for m in generate_misspellings(50, 3) {
+            let len_diff =
+                (m.written.chars().count() as i64 - m.intended.chars().count() as i64).abs();
+            assert!(len_diff <= 1, "{} -> {}", m.intended, m.written);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(generate_misspellings(10, 9), generate_misspellings(10, 9));
+    }
+}

@@ -1,0 +1,167 @@
+//! TOEFL-style synonym test generator.
+//!
+//! §5.4 of the paper (Landauer & Dumais): 80 multiple-choice items, each
+//! a stem word and four alternatives, exactly one a synonym; LSI scored
+//! 64 % against 33 % for word-overlap methods. The ETS test itself is
+//! proprietary, so items are generated against the synthetic corpus's
+//! planted synonym structure: the stem and correct answer are two
+//! surface forms of the same concept (they need never co-occur in one
+//! document), distractors are words of other topics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synthetic::{SyntheticCorpus, SyntheticOptions};
+
+/// One multiple-choice item.
+#[derive(Debug, Clone)]
+pub struct SynonymItem {
+    /// The stem word.
+    pub stem: String,
+    /// Four alternatives.
+    pub alternatives: [String; 4],
+    /// Index (0–3) of the correct alternative.
+    pub correct: usize,
+}
+
+/// A complete synonym test plus the corpus it is answerable from.
+#[derive(Debug, Clone)]
+pub struct SynonymTest {
+    /// The training corpus.
+    pub corpus: SyntheticCorpus,
+    /// The items.
+    pub items: Vec<SynonymItem>,
+}
+
+/// Number of items in the real TOEFL test (§5.4).
+pub const TOEFL_ITEMS: usize = 80;
+
+impl SynonymTest {
+    /// Generate a test with `n_items` items over a corpus built from
+    /// `options`. Options should have `synonyms_per_concept >= 2`.
+    pub fn generate(options: &SyntheticOptions, n_items: usize, seed: u64) -> SynonymTest {
+        assert!(
+            options.synonyms_per_concept >= 2,
+            "synonym items need at least two surface forms per concept"
+        );
+        let corpus = SyntheticCorpus::generate(options);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let o = &corpus.options;
+        let total_concepts = o.n_topics * o.concepts_per_topic;
+
+        let mut items = Vec::with_capacity(n_items);
+        for _ in 0..n_items {
+            let topic = rng.random_range(0..o.n_topics);
+            let concept =
+                topic * o.concepts_per_topic + rng.random_range(0..o.concepts_per_topic);
+            let s_stem = rng.random_range(0..o.synonyms_per_concept);
+            let mut s_ans = rng.random_range(0..o.synonyms_per_concept - 1);
+            if s_ans >= s_stem {
+                s_ans += 1;
+            }
+            let stem = format!("c{concept}syn{s_stem}");
+            let answer = format!("c{concept}syn{s_ans}");
+
+            // Distractors: concepts from *other* topics.
+            let mut distractors = Vec::with_capacity(3);
+            while distractors.len() < 3 {
+                let c = rng.random_range(0..total_concepts);
+                if c / o.concepts_per_topic == topic {
+                    continue;
+                }
+                let s = rng.random_range(0..o.synonyms_per_concept);
+                let w = format!("c{c}syn{s}");
+                if !distractors.contains(&w) {
+                    distractors.push(w);
+                }
+            }
+
+            let correct = rng.random_range(0..4usize);
+            let mut alternatives: Vec<String> = Vec::with_capacity(4);
+            let mut d_iter = distractors.into_iter();
+            for slot in 0..4 {
+                if slot == correct {
+                    alternatives.push(answer.clone());
+                } else {
+                    alternatives.push(d_iter.next().expect("three distractors"));
+                }
+            }
+            items.push(SynonymItem {
+                stem,
+                alternatives: alternatives.try_into().expect("exactly four"),
+                correct,
+            });
+        }
+
+        SynonymTest { corpus, items }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options() -> SyntheticOptions {
+        SyntheticOptions {
+            synonyms_per_concept: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_item_count() {
+        let t = SynonymTest::generate(&options(), 20, 1);
+        assert_eq!(t.items.len(), 20);
+    }
+
+    #[test]
+    fn correct_answer_shares_concept_with_stem() {
+        let t = SynonymTest::generate(&options(), 40, 2);
+        for item in &t.items {
+            let concept = |w: &str| -> usize {
+                w.strip_prefix('c')
+                    .and_then(|r| r.split("syn").next())
+                    .and_then(|s| s.parse().ok())
+                    .expect("token format")
+            };
+            let stem_c = concept(&item.stem);
+            assert_eq!(concept(&item.alternatives[item.correct]), stem_c);
+            // Stem and answer are different surface forms.
+            assert_ne!(item.stem, item.alternatives[item.correct]);
+            // Distractors are from other topics (hence other concepts).
+            for (i, alt) in item.alternatives.iter().enumerate() {
+                if i != item.correct {
+                    assert_ne!(concept(alt), stem_c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correct_position_is_varied() {
+        let t = SynonymTest::generate(&options(), 60, 3);
+        let positions: std::collections::HashSet<usize> =
+            t.items.iter().map(|i| i.correct).collect();
+        assert!(positions.len() > 1, "answers should not all share a slot");
+    }
+
+    #[test]
+    fn rejects_single_synonym_concepts() {
+        let bad = SyntheticOptions {
+            synonyms_per_concept: 1,
+            ..Default::default()
+        };
+        let r = std::panic::catch_unwind(|| SynonymTest::generate(&bad, 5, 1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = SynonymTest::generate(&options(), 10, 7);
+        let b = SynonymTest::generate(&options(), 10, 7);
+        for (x, y) in a.items.iter().zip(b.items.iter()) {
+            assert_eq!(x.stem, y.stem);
+            assert_eq!(x.correct, y.correct);
+        }
+    }
+}

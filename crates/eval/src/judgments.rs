@@ -1,0 +1,90 @@
+//! Relevance judgments.
+//!
+//! "These collections consist of a set of documents, a set of user
+//! queries, and relevance judgements (i.e., for each query every
+//! document in the collection has been judged as relevant or not to
+//! the query)" (§5.1).
+
+use std::collections::{HashMap, HashSet};
+
+/// Relevance judgments for a collection: per query, the set of relevant
+/// document indices (exhaustive judgments, as the paper's footnote 1
+/// describes for classic test collections).
+#[derive(Debug, Clone, Default)]
+pub struct RelevanceJudgments {
+    relevant: HashMap<usize, HashSet<usize>>,
+}
+
+impl RelevanceJudgments {
+    /// Empty judgment set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `doc` is relevant to `query`.
+    pub fn add(&mut self, query: usize, doc: usize) {
+        self.relevant.entry(query).or_default().insert(doc);
+    }
+
+    /// Record a whole relevant set.
+    pub fn add_all(&mut self, query: usize, docs: impl IntoIterator<Item = usize>) {
+        self.relevant.entry(query).or_default().extend(docs);
+    }
+
+    /// The relevant set for `query` (empty set if none recorded).
+    pub fn relevant(&self, query: usize) -> HashSet<usize> {
+        self.relevant.get(&query).cloned().unwrap_or_default()
+    }
+
+    /// Is `doc` relevant to `query`?
+    pub fn is_relevant(&self, query: usize, doc: usize) -> bool {
+        self.relevant
+            .get(&query)
+            .is_some_and(|s| s.contains(&doc))
+    }
+
+    /// Number of queries with at least one judgment.
+    pub fn n_queries(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// Query ids with judgments, sorted.
+    pub fn queries(&self) -> Vec<usize> {
+        let mut q: Vec<usize> = self.relevant.keys().copied().collect();
+        q.sort_unstable();
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut j = RelevanceJudgments::new();
+        j.add(0, 3);
+        j.add(0, 5);
+        j.add(2, 1);
+        assert!(j.is_relevant(0, 3));
+        assert!(!j.is_relevant(0, 4));
+        assert!(!j.is_relevant(1, 3));
+        assert_eq!(j.relevant(0).len(), 2);
+        assert_eq!(j.n_queries(), 2);
+        assert_eq!(j.queries(), vec![0, 2]);
+    }
+
+    #[test]
+    fn add_all_extends() {
+        let mut j = RelevanceJudgments::new();
+        j.add_all(1, [2, 4, 6]);
+        j.add_all(1, [6, 8]);
+        assert_eq!(j.relevant(1).len(), 4);
+    }
+
+    #[test]
+    fn missing_query_has_empty_set() {
+        let j = RelevanceJudgments::new();
+        assert!(j.relevant(9).is_empty());
+    }
+}

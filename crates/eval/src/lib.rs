@@ -1,0 +1,21 @@
+//! IR evaluation harness.
+//!
+//! §5.1 of the paper: "Two measures, precision and recall, are used to
+//! summarize retrieval performance. ... Average precision across
+//! several levels of recall can then be used as a summary measure of
+//! performance", with footnote 2 fixing the levels at 0.25, 0.50, 0.75.
+//! This crate implements those measures plus the two baselines the
+//! paper compares against: the "standard keyword vector method in
+//! SMART" and plain lexical matching (§3.2).
+
+pub mod baselines;
+pub mod curve;
+pub mod judgments;
+pub mod metrics;
+
+pub use baselines::{LexicalMatcher, VectorSpaceModel};
+pub use curve::PrecisionRecallCurve;
+pub use judgments::RelevanceJudgments;
+pub use metrics::{
+    average_precision_3pt, interpolated_precision_at, precision_at, recall_at, RetrievalScore,
+};

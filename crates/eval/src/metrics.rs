@@ -1,0 +1,248 @@
+//! Precision/recall metrics.
+//!
+//! §5.1: "Recall is the proportion of all relevant documents in the
+//! collection that are retrieved by the system; and precision is the
+//! proportion of relevant documents in the set returned to the user."
+//! Footnote 2 defines the paper's summary number: "Performance is
+//! average precision over recall levels of 0.25, 0.50 and 0.75."
+
+use std::collections::HashSet;
+
+/// The paper's three recall levels (footnote 2 of §5.2).
+pub const THREE_POINT_LEVELS: [f64; 3] = [0.25, 0.50, 0.75];
+
+/// Standard 11-point recall levels (0.0, 0.1, …, 1.0).
+pub const ELEVEN_POINT_LEVELS: [f64; 11] =
+    [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Precision within the top `z` of `ranking`.
+pub fn precision_at(ranking: &[usize], relevant: &HashSet<usize>, z: usize) -> f64 {
+    if z == 0 {
+        return 0.0;
+    }
+    let z = z.min(ranking.len());
+    if z == 0 {
+        return 0.0;
+    }
+    let hits = ranking[..z].iter().filter(|d| relevant.contains(d)).count();
+    hits as f64 / z as f64
+}
+
+/// Recall within the top `z` of `ranking`.
+pub fn recall_at(ranking: &[usize], relevant: &HashSet<usize>, z: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let z = z.min(ranking.len());
+    let hits = ranking[..z].iter().filter(|d| relevant.contains(d)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Interpolated precision at recall `level`: the maximum precision at
+/// any cutoff whose recall is ≥ `level` (the standard interpolation
+/// used with fixed recall levels).
+pub fn interpolated_precision_at(
+    ranking: &[usize],
+    relevant: &HashSet<usize>,
+    level: f64,
+) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut best = 0.0f64;
+    let mut hits = 0usize;
+    for (i, d) in ranking.iter().enumerate() {
+        if relevant.contains(d) {
+            hits += 1;
+            let recall = hits as f64 / relevant.len() as f64;
+            if recall + 1e-12 >= level {
+                let precision = hits as f64 / (i + 1) as f64;
+                best = best.max(precision);
+            }
+        }
+    }
+    best
+}
+
+/// The paper's summary measure: mean interpolated precision over recall
+/// 0.25 / 0.50 / 0.75.
+pub fn average_precision_3pt(ranking: &[usize], relevant: &HashSet<usize>) -> f64 {
+    THREE_POINT_LEVELS
+        .iter()
+        .map(|&l| interpolated_precision_at(ranking, relevant, l))
+        .sum::<f64>()
+        / THREE_POINT_LEVELS.len() as f64
+}
+
+/// Mean interpolated precision over the standard 11 recall points.
+pub fn average_precision_11pt(ranking: &[usize], relevant: &HashSet<usize>) -> f64 {
+    ELEVEN_POINT_LEVELS
+        .iter()
+        .map(|&l| interpolated_precision_at(ranking, relevant, l))
+        .sum::<f64>()
+        / ELEVEN_POINT_LEVELS.len() as f64
+}
+
+/// Non-interpolated mean average precision (precision at each relevant
+/// document's rank, averaged).
+pub fn mean_average_precision(ranking: &[usize], relevant: &HashSet<usize>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut acc = 0.0;
+    for (i, d) in ranking.iter().enumerate() {
+        if relevant.contains(d) {
+            hits += 1;
+            acc += hits as f64 / (i + 1) as f64;
+        }
+    }
+    acc / relevant.len() as f64
+}
+
+/// A per-system retrieval score averaged over queries.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RetrievalScore {
+    /// Mean 3-point average precision.
+    pub avg_precision_3pt: f64,
+    /// Mean 11-point average precision.
+    pub avg_precision_11pt: f64,
+    /// Mean non-interpolated average precision.
+    pub map: f64,
+}
+
+impl RetrievalScore {
+    /// Average the per-query metrics over `(ranking, relevant)` pairs.
+    pub fn over_queries<'a, I>(runs: I) -> RetrievalScore
+    where
+        I: IntoIterator<Item = (&'a [usize], &'a HashSet<usize>)>,
+    {
+        let mut n = 0usize;
+        let mut s3 = 0.0;
+        let mut s11 = 0.0;
+        let mut smap = 0.0;
+        for (ranking, relevant) in runs {
+            n += 1;
+            s3 += average_precision_3pt(ranking, relevant);
+            s11 += average_precision_11pt(ranking, relevant);
+            smap += mean_average_precision(ranking, relevant);
+        }
+        if n == 0 {
+            return RetrievalScore::default();
+        }
+        RetrievalScore {
+            avg_precision_3pt: s3 / n as f64,
+            avg_precision_11pt: s11 / n as f64,
+            map: smap / n as f64,
+        }
+    }
+
+    /// Relative improvement of `self` over `other` in 3-point average
+    /// precision, as a fraction (the paper's "30% better" style
+    /// numbers).
+    pub fn improvement_over(&self, other: &RetrievalScore) -> f64 {
+        if other.avg_precision_3pt == 0.0 {
+            return 0.0;
+        }
+        (self.avg_precision_3pt - other.avg_precision_3pt) / other.avg_precision_3pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(docs: &[usize]) -> HashSet<usize> {
+        docs.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_and_recall_at_cutoffs() {
+        let ranking = [1, 2, 3, 4, 5];
+        let relevant = rel(&[2, 4]);
+        assert_eq!(precision_at(&ranking, &relevant, 2), 0.5);
+        assert_eq!(precision_at(&ranking, &relevant, 4), 0.5);
+        assert_eq!(recall_at(&ranking, &relevant, 2), 0.5);
+        assert_eq!(recall_at(&ranking, &relevant, 5), 1.0);
+        assert_eq!(precision_at(&ranking, &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn perfect_ranking_has_unit_scores() {
+        let ranking = [7, 8, 1, 2];
+        let relevant = rel(&[7, 8]);
+        assert_eq!(average_precision_3pt(&ranking, &relevant), 1.0);
+        assert_eq!(mean_average_precision(&ranking, &relevant), 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_has_low_scores() {
+        let ranking = [1, 2, 3, 4, 9];
+        let relevant = rel(&[9]);
+        // Single relevant doc at rank 5: precision 0.2 at all levels.
+        assert!((average_precision_3pt(&ranking, &relevant) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolated_precision_is_monotone_in_level() {
+        let ranking = [9, 1, 8, 2, 3, 7];
+        let relevant = rel(&[7, 8, 9]);
+        let mut last = f64::INFINITY;
+        for level in [0.25, 0.5, 0.75, 1.0] {
+            let p = interpolated_precision_at(&ranking, &relevant, level);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn interpolated_precision_known_values() {
+        // Relevant at ranks 1 and 4 of 4, |relevant| = 2.
+        let ranking = [5, 1, 2, 6];
+        let relevant = rel(&[5, 6]);
+        // recall 0.5 reached at rank 1 (precision 1.0);
+        // recall 1.0 reached at rank 4 (precision 0.5).
+        assert_eq!(interpolated_precision_at(&ranking, &relevant, 0.25), 1.0);
+        assert_eq!(interpolated_precision_at(&ranking, &relevant, 0.50), 1.0);
+        assert_eq!(interpolated_precision_at(&ranking, &relevant, 0.75), 0.5);
+        let ap = average_precision_3pt(&ranking, &relevant);
+        assert!((ap - (1.0 + 1.0 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relevant_set_scores_zero() {
+        let ranking = [1, 2];
+        let relevant = rel(&[]);
+        assert_eq!(average_precision_3pt(&ranking, &relevant), 0.0);
+        assert_eq!(recall_at(&ranking, &relevant, 2), 0.0);
+    }
+
+    #[test]
+    fn over_queries_averages() {
+        let r1 = vec![1usize, 2];
+        let rel1 = rel(&[1]);
+        let r2 = vec![3usize, 4];
+        let rel2 = rel(&[4]);
+        let score = RetrievalScore::over_queries([
+            (r1.as_slice(), &rel1),
+            (r2.as_slice(), &rel2),
+        ]);
+        // Query 1 perfect (1.0), query 2 has the relevant doc at rank 2
+        // (0.5 everywhere).
+        assert!((score.avg_precision_3pt - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_is_relative() {
+        let a = RetrievalScore {
+            avg_precision_3pt: 0.6,
+            ..Default::default()
+        };
+        let b = RetrievalScore {
+            avg_precision_3pt: 0.4,
+            ..Default::default()
+        };
+        assert!((a.improvement_over(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.improvement_over(&RetrievalScore::default()), 0.0);
+    }
+}

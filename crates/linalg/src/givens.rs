@@ -1,0 +1,107 @@
+//! Givens plane rotations.
+//!
+//! Used by the bidiagonal QR sweep ([`crate::bidiag`]) and available to
+//! callers that need to restore triangular structure after low-rank
+//! updates.
+
+/// A Givens rotation `G = [[c, s], [-s, c]]` chosen so that
+/// `G^T * [a; b] = [r; 0]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Givens {
+    /// Cosine component.
+    pub c: f64,
+    /// Sine component.
+    pub s: f64,
+    /// Resulting magnitude `r = sqrt(a^2 + b^2)` (with the sign of `a`).
+    pub r: f64,
+}
+
+/// Compute the rotation annihilating `b` against `a`.
+///
+/// The formulas follow the LAPACK `dlartg` style and avoid overflow by
+/// scaling with the larger component.
+pub fn givens(a: f64, b: f64) -> Givens {
+    if b == 0.0 {
+        Givens { c: 1.0, s: 0.0, r: a }
+    } else if a == 0.0 {
+        Givens { c: 0.0, s: 1.0, r: b }
+    } else if a.abs() > b.abs() {
+        let t = b / a;
+        let u = (1.0 + t * t).sqrt().copysign(a);
+        let c = 1.0 / u;
+        Givens { c, s: t * c, r: a * u }
+    } else {
+        let t = a / b;
+        let u = (1.0 + t * t).sqrt().copysign(b);
+        let s = 1.0 / u;
+        Givens { c: t * s, s, r: b * u }
+    }
+}
+
+impl Givens {
+    /// Apply the rotation to the pair `(x, y)`, returning
+    /// `(c*x + s*y, -s*x + c*y)`.
+    #[inline]
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        (self.c * x + self.s * y, -self.s * x + self.c * y)
+    }
+
+    /// Rotate rows `i` and `j` of a pair of equal-length slices in place,
+    /// treating them as two rows of a matrix stored as separate slices.
+    pub fn apply_to_rows(&self, xi: &mut [f64], xj: &mut [f64]) {
+        debug_assert_eq!(xi.len(), xj.len());
+        for (a, b) in xi.iter_mut().zip(xj.iter_mut()) {
+            let (na, nb) = self.apply(*a, *b);
+            *a = na;
+            *b = nb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annihilates_second_component() {
+        for &(a, b) in &[(3.0, 4.0), (-2.0, 7.0), (1e-30, 1e-30), (5.0, 0.0), (0.0, 2.0)] {
+            let g = givens(a, b);
+            let (r, zero) = g.apply(a, b);
+            assert!(zero.abs() <= 1e-12 * (a.abs() + b.abs()).max(1e-300), "{a} {b} -> {zero}");
+            assert!((r.abs() - (a * a + b * b).sqrt()).abs() < 1e-12 * r.abs().max(1.0));
+            assert!((g.r - r).abs() < 1e-12 * r.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn rotation_is_orthogonal() {
+        let g = givens(1.0, 2.0);
+        assert!((g.c * g.c + g.s * g.s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn preserves_norm_of_rotated_pair() {
+        let g = givens(0.3, -0.7);
+        let (x, y) = g.apply(5.0, 12.0);
+        assert!((x * x + y * y - 169.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_to_rows_rotates_elementwise() {
+        let g = givens(1.0, 1.0);
+        let mut r1 = vec![1.0, 0.0];
+        let mut r2 = vec![1.0, 2.0];
+        g.apply_to_rows(&mut r1, &mut r2);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((r1[0] - 2.0 * s).abs() < 1e-15);
+        assert!(r2[0].abs() < 1e-15);
+        assert!((r1[1] - 2.0 * s).abs() < 1e-15);
+        assert!((r2[1] - 2.0 * s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overflow_resistant() {
+        let g = givens(1e308, 1e308);
+        assert!(g.c.is_finite() && g.s.is_finite() && g.r.is_finite());
+    }
+}

@@ -1,0 +1,460 @@
+//! Column-major dense matrix type.
+//!
+//! LSI stores term vectors (`U_k`) and document vectors (`V_k`) as dense
+//! matrices whose *columns* are accessed together during query projection
+//! and cosine ranking, so column-major storage keeps the hot loops
+//! contiguous.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// A dense, column-major, `f64` matrix.
+///
+/// Storage layout: entry `(i, j)` lives at `data[j * nrows + i]`, so each
+/// column is a contiguous slice obtainable via [`DenseMatrix::col`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Create an `nrows x ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Create the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build a matrix from a column-major data buffer.
+    ///
+    /// Returns an error if `data.len() != nrows * ncols`.
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != nrows * ncols {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "buffer of length {} cannot hold a {}x{} matrix",
+                    data.len(),
+                    nrows,
+                    ncols
+                ),
+            });
+        }
+        Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Build a matrix from row slices (each inner slice is one row).
+    ///
+    /// Returns an error if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(Error::DimensionMismatch {
+                    context: format!("row {i} has length {} but row 0 has length {ncols}", r.len()),
+                });
+            }
+        }
+        let mut m = DenseMatrix::zeros(nrows, ncols);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Build a matrix whose columns are the given vectors.
+    pub fn from_cols(cols: &[Vec<f64>]) -> Result<Self> {
+        let ncols = cols.len();
+        let nrows = cols.first().map_or(0, |c| c.len());
+        for (j, c) in cols.iter().enumerate() {
+            if c.len() != nrows {
+                return Err(Error::DimensionMismatch {
+                    context: format!(
+                        "column {j} has length {} but column 0 has length {nrows}",
+                        c.len()
+                    ),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for c in cols {
+            data.extend_from_slice(c);
+        }
+        Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Build a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = DenseMatrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Read entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[j * self.nrows + i]
+    }
+
+    /// Write entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[j * self.nrows + i] = v;
+    }
+
+    /// Add `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[j * self.nrows + i] += v;
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Copy of row `i` (non-contiguous in column-major storage).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.ncols).map(|j| self.get(i, j)).collect()
+    }
+
+    /// Iterator over column slices.
+    pub fn cols(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.nrows.max(1)).take(self.ncols)
+    }
+
+    /// The underlying column-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying column-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.ncols, self.nrows);
+        for j in 0..self.ncols {
+            let cj = self.col(j);
+            for (i, &v) in cj.iter().enumerate() {
+                t.set(j, i, v);
+            }
+        }
+        t
+    }
+
+    /// Keep only the first `k` columns.
+    pub fn truncate_cols(&self, k: usize) -> DenseMatrix {
+        let k = k.min(self.ncols);
+        DenseMatrix {
+            nrows: self.nrows,
+            ncols: k,
+            data: self.data[..self.nrows * k].to_vec(),
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hcat(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.nrows != other.nrows {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "hcat of {}x{} with {}x{}",
+                    self.nrows, self.ncols, other.nrows, other.ncols
+                ),
+            });
+        }
+        let mut data = Vec::with_capacity((self.ncols + other.ncols) * self.nrows);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(DenseMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols + other.ncols,
+            data,
+        })
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn vcat(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols != other.ncols {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "vcat of {}x{} with {}x{}",
+                    self.nrows, self.ncols, other.nrows, other.ncols
+                ),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows + other.nrows, self.ncols);
+        for j in 0..self.ncols {
+            out.col_mut(j)[..self.nrows].copy_from_slice(self.col(j));
+            out.col_mut(j)[self.nrows..].copy_from_slice(other.col(j));
+        }
+        Ok(out)
+    }
+
+    /// Append a column to the right edge of the matrix.
+    pub fn push_col(&mut self, col: &[f64]) -> Result<()> {
+        if col.len() != self.nrows {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "push_col of length {} onto matrix with {} rows",
+                    col.len(),
+                    self.nrows
+                ),
+            });
+        }
+        self.data.extend_from_slice(col);
+        self.ncols += 1;
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()))
+    }
+
+    /// True if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Elementwise difference norm `||self - other||_F`.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn fro_distance(&self, other: &DenseMatrix) -> Result<f64> {
+        if self.shape() != other.shape() {
+            return Err(Error::DimensionMismatch {
+                context: format!("fro_distance of {:?} with {:?}", self.shape(), other.shape()),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt())
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Sub-matrix copy: rows `r0..r1`, columns `c0..c1`.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> DenseMatrix {
+        assert!(r0 <= r1 && r1 <= self.nrows && c0 <= c1 && c1 <= self.ncols);
+        let mut out = DenseMatrix::zeros(r1 - r0, c1 - c0);
+        for j in c0..c1 {
+            let src = &self.col(j)[r0..r1];
+            out.col_mut(j - c0).copy_from_slice(src);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                write!(f, "{:>10.4} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_entries() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal_ones() {
+        let m = DenseMatrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.set(1, 2, 7.5);
+        assert_eq!(m.get(1, 2), 7.5);
+        m.add_to(1, 2, 0.5);
+        assert_eq!(m.get(1, 2), 8.0);
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 1), 6.0);
+        assert_eq!(m.row(1), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn from_cols_matches_indexing() {
+        let m = DenseMatrix::from_cols(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.col(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn hcat_and_vcat() {
+        let a = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[vec![3.0], vec![4.0]]).unwrap();
+        let h = a.hcat(&b).unwrap();
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.get(0, 1), 3.0);
+        let v = a.vcat(&b).unwrap();
+        assert_eq!(v.shape(), (4, 1));
+        assert_eq!(v.get(3, 0), 4.0);
+    }
+
+    #[test]
+    fn hcat_shape_mismatch_errors() {
+        let a = DenseMatrix::zeros(2, 1);
+        let b = DenseMatrix::zeros(3, 1);
+        assert!(a.hcat(&b).is_err());
+        assert!(a.vcat(&DenseMatrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn push_col_extends_matrix() {
+        let mut m = DenseMatrix::zeros(2, 1);
+        m.push_col(&[5.0, 6.0]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 1), 6.0);
+        assert!(m.push_col(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn fro_norm_of_known_matrix() {
+        let m = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert!((m.fro_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_cols_keeps_prefix() {
+        let m = DenseMatrix::from_cols(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let t = m.truncate_cols(2);
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.col(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        let s = m.submatrix(1, 3, 0, 2);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.get(0, 0), 4.0);
+        assert_eq!(s.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let d = DenseMatrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn fro_distance_detects_difference() {
+        let a = DenseMatrix::identity(2);
+        let mut b = DenseMatrix::identity(2);
+        b.set(0, 0, 4.0);
+        assert!((a.fro_distance(&b).unwrap() - 3.0).abs() < 1e-12);
+        assert!(a.fro_distance(&DenseMatrix::zeros(3, 3)).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Orthogonality diagnostics.
+//!
+//! §4.3 of the paper measures the damage folding-in does to the LSI
+//! factor matrices as `||Uhat^T Uhat - I_k||_2` and
+//! `||Vhat^T Vhat - I_k||_2`. These helpers compute exactly those
+//! quantities (spectral norm via the symmetric eigensolver, Frobenius as
+//! a cheap proxy).
+
+use crate::matrix::DenseMatrix;
+use crate::ops::matmul_tn;
+use crate::symeig::sym_eigen;
+use crate::Result;
+
+/// `Q^T Q - I` for the first `k` columns of `q` (all columns if `k`
+/// exceeds the column count).
+fn gram_defect(q: &DenseMatrix, k: usize) -> Result<DenseMatrix> {
+    let k = k.min(q.ncols());
+    let qk = q.truncate_cols(k);
+    let mut g = matmul_tn(&qk, &qk)?;
+    for i in 0..k {
+        g.add_to(i, i, -1.0);
+    }
+    Ok(g)
+}
+
+/// Spectral-norm orthogonality defect `||Q^T Q - I_k||_2` — the measure
+/// the paper proposes for monitoring folding-in distortion.
+pub fn orthogonality_defect_spectral(q: &DenseMatrix, k: usize) -> Result<f64> {
+    let g = gram_defect(q, k)?;
+    if g.nrows() == 0 {
+        return Ok(0.0);
+    }
+    let (vals, _) = sym_eigen(&g)?;
+    Ok(vals
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max(v.abs())))
+}
+
+/// Frobenius-norm orthogonality defect `||Q^T Q - I_k||_F`.
+pub fn orthogonality_defect_fro(q: &DenseMatrix, k: usize) -> Result<f64> {
+    Ok(gram_defect(q, k)?.fro_norm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defect_of_orthonormal_matrix_is_zero() {
+        let q = DenseMatrix::identity(4);
+        assert!(orthogonality_defect_spectral(&q, 4).unwrap() < 1e-12);
+        assert!(orthogonality_defect_fro(&q, 4).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn defect_of_scaled_column() {
+        // One column of norm 2: Q^T Q - I = diag(3, 0), spectral norm 3.
+        let q = DenseMatrix::from_cols(&[vec![2.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let d = orthogonality_defect_spectral(&q, 2).unwrap();
+        assert!((d - 3.0).abs() < 1e-12);
+        let f = orthogonality_defect_fro(&q, 2).unwrap();
+        assert!((f - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defect_of_correlated_columns() {
+        // Two identical unit columns: G - I = [[0,1],[1,0]], norm 1.
+        let c = std::f64::consts::FRAC_1_SQRT_2;
+        let q = DenseMatrix::from_cols(&[vec![c, c], vec![c, c]]).unwrap();
+        let d = orthogonality_defect_spectral(&q, 2).unwrap();
+        assert!((d - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn k_restricts_measured_columns() {
+        // First column orthonormal, second bad; k=1 sees no defect.
+        let q = DenseMatrix::from_cols(&[vec![1.0, 0.0], vec![5.0, 0.0]]).unwrap();
+        assert!(orthogonality_defect_spectral(&q, 1).unwrap() < 1e-12);
+        assert!(orthogonality_defect_spectral(&q, 2).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn spectral_bounded_by_frobenius() {
+        let q = DenseMatrix::from_cols(&[vec![1.0, 0.2, 0.0], vec![0.1, 1.0, 0.3]]).unwrap();
+        let s = orthogonality_defect_spectral(&q, 2).unwrap();
+        let f = orthogonality_defect_fro(&q, 2).unwrap();
+        assert!(s <= f + 1e-12);
+    }
+}

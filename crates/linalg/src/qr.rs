@@ -1,0 +1,255 @@
+//! QR factorization: Householder reflections and modified Gram–Schmidt.
+//!
+//! Householder QR is the workhorse for orthonormalizing the dense bases
+//! produced by SVD-updating; modified Gram–Schmidt (with one
+//! reorthogonalization pass — "twice is enough") is what the Lanczos
+//! driver uses to keep its basis orthogonal.
+
+use crate::matrix::DenseMatrix;
+use crate::vecops;
+use crate::{Error, Result};
+
+/// Result of a Householder QR factorization `A = Q R` with
+/// `Q` `m x n` (thin) and `R` `n x n` upper triangular (for `m >= n`).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Thin orthonormal factor (`m x min(m,n)`).
+    pub q: DenseMatrix,
+    /// Upper-triangular factor (`min(m,n) x n`).
+    pub r: DenseMatrix,
+}
+
+/// Householder QR of `a`.
+///
+/// Works for any shape; returns the thin factorization.
+pub fn householder_qr(a: &DenseMatrix) -> Result<Qr> {
+    if !a.is_finite() {
+        return Err(Error::NotFinite);
+    }
+    let m = a.nrows();
+    let n = a.ncols();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Store the reflectors: v_j has length m - j, kept in a jagged vec.
+    let mut reflectors: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the Householder vector from column j, rows j..m.
+        let col = r.col(j);
+        let x = &col[j..];
+        let alpha = -vecops::nrm2(x).copysign(if x[0] >= 0.0 { 1.0 } else { -1.0 });
+        let mut v = x.to_vec();
+        v[0] -= alpha;
+        let vnorm = vecops::nrm2(&v);
+        if vnorm > 0.0 {
+            vecops::scal(1.0 / vnorm, &mut v);
+            // Apply H = I - 2 v v^T to the trailing columns of R.
+            for jj in j..n {
+                let cjj = r.col_mut(jj);
+                let tail = &mut cjj[j..];
+                let proj = 2.0 * vecops::dot(&v, tail);
+                vecops::axpy(-proj, &v, tail);
+            }
+        }
+        reflectors.push(v);
+        // Clean the annihilated entries to exact zero for a tidy R.
+        let cj = r.col_mut(j);
+        for i in j + 1..m {
+            cj[i] = 0.0;
+        }
+    }
+
+    // Accumulate thin Q by applying the reflectors in reverse to the
+    // first k columns of the identity.
+    let mut q = DenseMatrix::zeros(m, k);
+    for j in 0..k {
+        q.set(j, j, 1.0);
+    }
+    for j in (0..k).rev() {
+        let v = &reflectors[j];
+        if vecops::nrm2(v) == 0.0 {
+            continue;
+        }
+        for jj in 0..k {
+            let cjj = q.col_mut(jj);
+            let tail = &mut cjj[j..];
+            let proj = 2.0 * vecops::dot(v, tail);
+            vecops::axpy(-proj, v, tail);
+        }
+    }
+
+    let r_thin = r.submatrix(0, k, 0, n);
+    Ok(Qr { q, r: r_thin })
+}
+
+/// Modified Gram–Schmidt orthonormalization of the columns of `a`,
+/// with a single reorthogonalization pass for numerical robustness.
+///
+/// Columns that are (numerically) linearly dependent on their
+/// predecessors come out as zero columns; the returned vector flags
+/// which columns were kept.
+pub fn mgs_orthonormalize(a: &mut DenseMatrix) -> Vec<bool> {
+    let n = a.ncols();
+    let mut kept = vec![false; n];
+    for j in 0..n {
+        let norm_before = vecops::nrm2(a.col(j));
+        for _pass in 0..2 {
+            for i in 0..j {
+                if !kept[i] {
+                    continue;
+                }
+                let proj = vecops::dot(a.col(i), a.col(j));
+                let qi = a.col(i).to_vec();
+                vecops::axpy(-proj, &qi, a.col_mut(j));
+            }
+        }
+        let norm_after = vecops::nrm2(a.col(j));
+        // Column is dependent if orthogonalization wiped it out.
+        if norm_after > 1e-12 * norm_before.max(1.0) && norm_after > 0.0 {
+            vecops::scal(1.0 / norm_after, a.col_mut(j));
+            kept[j] = true;
+        } else {
+            for v in a.col_mut(j) {
+                *v = 0.0;
+            }
+        }
+    }
+    kept
+}
+
+/// Orthogonalize vector `x` against the first `ncols` columns of `basis`
+/// (assumed orthonormal), twice. Returns the remaining norm of `x`.
+///
+/// This is the reorthogonalization step of the Lanczos iteration.
+pub fn orthogonalize_against(basis: &DenseMatrix, ncols: usize, x: &mut [f64]) -> f64 {
+    debug_assert!(ncols <= basis.ncols());
+    debug_assert_eq!(basis.nrows(), x.len());
+    for _pass in 0..2 {
+        for j in 0..ncols {
+            let proj = vecops::dot(basis.col(j), x);
+            vecops::axpy(-proj, basis.col(j), x);
+        }
+    }
+    vecops::nrm2(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matmul_tn};
+
+    fn assert_orthonormal(q: &DenseMatrix, tol: f64) {
+        let qtq = matmul_tn(q, q).unwrap();
+        let eye = DenseMatrix::identity(q.ncols());
+        assert!(
+            qtq.fro_distance(&eye).unwrap() < tol,
+            "Q^T Q deviates from identity by {}",
+            qtq.fro_distance(&eye).unwrap()
+        );
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.0],
+        ])
+        .unwrap();
+        let Qr { q, r } = householder_qr(&a).unwrap();
+        assert_eq!(q.shape(), (4, 2));
+        assert_eq!(r.shape(), (2, 2));
+        assert_orthonormal(&q, 1e-12);
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.fro_distance(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn qr_of_wide_matrix() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let Qr { q, r } = householder_qr(&a).unwrap();
+        assert_eq!(q.shape(), (2, 2));
+        assert_eq!(r.shape(), (2, 3));
+        assert_orthonormal(&q, 1e-12);
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.fro_distance(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, -1.0, 3.0],
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 5.0, 2.0],
+        ])
+        .unwrap();
+        let Qr { r, .. } = householder_qr(&a).unwrap();
+        for i in 0..r.nrows() {
+            for j in 0..i.min(r.ncols()) {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_rank_deficient_matrix_still_orthonormal() {
+        // Two identical columns.
+        let a = DenseMatrix::from_cols(&[vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]]).unwrap();
+        let Qr { q, r } = householder_qr(&a).unwrap();
+        let qr = matmul(&q, &r).unwrap();
+        assert!(qr.fro_distance(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn qr_rejects_nan() {
+        let a = DenseMatrix::from_rows(&[vec![f64::NAN]]).unwrap();
+        assert!(householder_qr(&a).is_err());
+    }
+
+    #[test]
+    fn mgs_orthonormalizes_independent_columns() {
+        let mut a =
+            DenseMatrix::from_cols(&[vec![1.0, 1.0, 0.0], vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]])
+                .unwrap();
+        let kept = mgs_orthonormalize(&mut a);
+        assert_eq!(kept, vec![true, true, true]);
+        assert_orthonormal(&a, 1e-12);
+    }
+
+    #[test]
+    fn mgs_flags_dependent_columns() {
+        let mut a = DenseMatrix::from_cols(&[
+            vec![1.0, 0.0],
+            vec![2.0, 0.0], // parallel to column 0
+            vec![0.0, 3.0],
+        ])
+        .unwrap();
+        let kept = mgs_orthonormalize(&mut a);
+        assert_eq!(kept, vec![true, false, true]);
+        assert!(vecops::nrm2(a.col(1)) == 0.0);
+    }
+
+    #[test]
+    fn orthogonalize_against_removes_components() {
+        let basis = DenseMatrix::from_cols(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]).unwrap();
+        let mut x = vec![3.0, 4.0, 5.0];
+        let rem = orthogonalize_against(&basis, 2, &mut x);
+        assert!((rem - 5.0).abs() < 1e-12);
+        assert!(x[0].abs() < 1e-12 && x[1].abs() < 1e-12);
+        assert!((x[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_handles_pathologically_close_columns() {
+        // Classical Gram-Schmidt would lose orthogonality here.
+        let e = 1e-10;
+        let a = DenseMatrix::from_cols(&[
+            vec![1.0, e, 0.0],
+            vec![1.0, 0.0, e],
+        ])
+        .unwrap();
+        let Qr { q, .. } = householder_qr(&a).unwrap();
+        assert_orthonormal(&q, 1e-10);
+    }
+}

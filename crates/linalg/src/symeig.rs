@@ -1,0 +1,216 @@
+//! Dense symmetric eigensolver.
+//!
+//! Householder tridiagonalization followed by the implicit-QL solver of
+//! [`crate::tridiag`]. Used for the small dense Gram matrices arising in
+//! SVD-updating and as an independent oracle for the SVD implementations
+//! (the eigenvalues of `A^T A` are the squared singular values of `A`).
+
+use crate::matrix::DenseMatrix;
+use crate::ops::matmul;
+use crate::tridiag::{tridiag_eigen, SymTridiag};
+use crate::{Error, Result};
+
+/// Eigen-decomposition `A = V diag(w) V^T` of a symmetric matrix.
+///
+/// Only the lower triangle of `a` is read. Eigenvalues are returned in
+/// descending order with matching eigenvector columns.
+pub fn sym_eigen(a: &DenseMatrix) -> Result<(Vec<f64>, DenseMatrix)> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::DimensionMismatch {
+            context: format!("sym_eigen of non-square {}x{} matrix", a.nrows(), a.ncols()),
+        });
+    }
+    if !a.is_finite() {
+        return Err(Error::NotFinite);
+    }
+    if n == 0 {
+        return Ok((Vec::new(), DenseMatrix::zeros(0, 0)));
+    }
+
+    // Symmetrize defensively: callers often pass products like B^T B whose
+    // floating-point asymmetry is harmless but would perturb the reduction.
+    let mut w = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            w.set(i, j, 0.5 * (a.get(i, j) + a.get(j, i)));
+        }
+    }
+
+    // Householder tridiagonalization with accumulation of the orthogonal
+    // transformation Q (so that Q^T W Q = T).
+    let mut q = DenseMatrix::identity(n);
+    let mut diag = vec![0.0; n];
+    let mut off = vec![0.0; n.saturating_sub(1)];
+
+    for k in 0..n.saturating_sub(2) {
+        // Annihilate column k below the first subdiagonal.
+        let mut x = vec![0.0; n - k - 1];
+        for i in k + 1..n {
+            x[i - k - 1] = w.get(i, k);
+        }
+        let xnorm = crate::vecops::nrm2(&x);
+        if xnorm == 0.0 {
+            continue;
+        }
+        let alpha = -xnorm.copysign(if x[0] >= 0.0 { 1.0 } else { -1.0 });
+        let mut v = x.clone();
+        v[0] -= alpha;
+        let vnorm = crate::vecops::nrm2(&v);
+        if vnorm == 0.0 {
+            continue;
+        }
+        crate::vecops::scal(1.0 / vnorm, &mut v);
+
+        // W <- H W H with H = I - 2 v v^T acting on rows/cols k+1..n.
+        // p = 2 W v (restricted), K = v^T p
+        let mut p = vec![0.0; n - k - 1];
+        for i in k + 1..n {
+            let mut s = 0.0;
+            for j in k + 1..n {
+                s += w.get(i, j) * v[j - k - 1];
+            }
+            p[i - k - 1] = 2.0 * s;
+        }
+        let kappa: f64 = v.iter().zip(p.iter()).map(|(a, b)| a * b).sum();
+        // q_vec = p - kappa v ; W <- W - v q^T - q v^T  (restricted block)
+        let qv: Vec<f64> = p.iter().zip(v.iter()).map(|(pi, vi)| pi - kappa * vi).collect();
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let delta = v[i - k - 1] * qv[j - k - 1] + qv[i - k - 1] * v[j - k - 1];
+                w.set(i, j, w.get(i, j) - delta);
+            }
+        }
+        // Column k: entries below k+1 become zero; entry (k+1, k) = alpha.
+        w.set(k + 1, k, alpha);
+        w.set(k, k + 1, alpha);
+        for i in k + 2..n {
+            w.set(i, k, 0.0);
+            w.set(k, i, 0.0);
+        }
+
+        // Accumulate Q <- Q H (apply H to columns k+1.. of Q from the right).
+        for r in 0..n {
+            let mut s = 0.0;
+            for j in k + 1..n {
+                s += q.get(r, j) * v[j - k - 1];
+            }
+            let s2 = 2.0 * s;
+            for j in k + 1..n {
+                q.set(r, j, q.get(r, j) - s2 * v[j - k - 1]);
+            }
+        }
+    }
+
+    for i in 0..n {
+        diag[i] = w.get(i, i);
+    }
+    for i in 0..n.saturating_sub(1) {
+        off[i] = w.get(i + 1, i);
+    }
+
+    let t = SymTridiag::new(diag, off)?;
+    let (vals, z) = tridiag_eigen(&t)?;
+    let vecs = matmul(&q, &z)?;
+    Ok((vals, vecs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul_tn, reconstruct};
+
+    fn check(a: &DenseMatrix, tol: f64) {
+        let (vals, vecs) = sym_eigen(a).unwrap();
+        // Residual ||A v - lambda v||.
+        let av = matmul(a, &vecs).unwrap();
+        for (j, &lam) in vals.iter().enumerate() {
+            let r: f64 = av
+                .col(j)
+                .iter()
+                .zip(vecs.col(j).iter())
+                .map(|(x, y)| (x - lam * y).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(r < tol, "residual {r} for eigenvalue {lam}");
+        }
+        // Orthonormality.
+        let vtv = matmul_tn(&vecs, &vecs).unwrap();
+        assert!(vtv.fro_distance(&DenseMatrix::identity(a.nrows())).unwrap() < tol);
+        // Reconstruction.
+        let rec = reconstruct(&vecs, &vals, &vecs).unwrap();
+        assert!(rec.fro_distance(a).unwrap() < tol * 10.0);
+        // Descending order.
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigen_of_known_3x3() {
+        // Eigenvalues of [[2,1,0],[1,2,1],[0,1,2]] are 2 ± sqrt 2 and 2.
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 2.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let (vals, _) = sym_eigen(&a).unwrap();
+        assert!((vals[0] - (2.0 + std::f64::consts::SQRT_2)).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - (2.0 - std::f64::consts::SQRT_2)).abs() < 1e-12);
+        check(&a, 1e-10);
+    }
+
+    #[test]
+    fn eigen_of_dense_symmetric() {
+        let n = 8;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = ((i * 3 + j * 7) % 11) as f64 - 5.0;
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        check(&a, 1e-9);
+    }
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = DenseMatrix::from_diag(&[3.0, -1.0, 4.0]);
+        let (vals, _) = sym_eigen(&a).unwrap();
+        assert_eq!(vals, vec![4.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn eigen_of_rank_one() {
+        // u u^T with ||u||^2 = 14 has eigenvalues {14, 0, 0}.
+        let u = [1.0, 2.0, 3.0];
+        let mut a = DenseMatrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a.set(i, j, u[i] * u[j]);
+            }
+        }
+        let (vals, _) = sym_eigen(&a).unwrap();
+        assert!((vals[0] - 14.0).abs() < 1e-10);
+        assert!(vals[1].abs() < 1e-10);
+        assert!(vals[2].abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_nonsquare() {
+        assert!(sym_eigen(&DenseMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn handles_1x1_and_2x2() {
+        let (vals, _) = sym_eigen(&DenseMatrix::from_diag(&[5.0])).unwrap();
+        assert_eq!(vals, vec![5.0]);
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let (vals, _) = sym_eigen(&a).unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-14);
+        assert!((vals[1] + 1.0).abs() < 1e-14);
+    }
+}

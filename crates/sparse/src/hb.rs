@@ -1,0 +1,389 @@
+//! Harwell–Boeing sparse-matrix I/O.
+//!
+//! SVDPACKC — the paper's reference \[4\] and the software the authors
+//! ran their TREC computations with — consumed Harwell–Boeing files.
+//! This module reads and writes the `RUA` (real, unsymmetric,
+//! assembled) subset in the standard four-header-line layout, so
+//! term-document matrices produced here can be fed to the original
+//! Fortran/C tools and vice versa.
+//!
+//! Format recap (fixed-layout ASCII):
+//!
+//! ```text
+//! line 1: TITLE (72 chars) KEY (8 chars)
+//! line 2: TOTCRD PTRCRD INDCRD VALCRD RHSCRD   (5 x I14)
+//! line 3: MXTYPE (3) <11 blanks> NROW NCOL NNZERO NELTVL (4 x I14)
+//! line 4: PTRFMT INDFMT VALFMT RHSFMT          (format strings)
+//! then column pointers (1-based), row indices (1-based), values.
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use crate::{Error, Result};
+
+/// Entries per line used by the writer.
+const PTRS_PER_LINE: usize = 8;
+const INDS_PER_LINE: usize = 8;
+const VALS_PER_LINE: usize = 4;
+
+/// Write `m` as an `RUA` Harwell–Boeing file with the given title
+/// (truncated to 72 characters) and key (truncated to 8).
+pub fn write_harwell_boeing<W: Write>(
+    m: &CscMatrix,
+    title: &str,
+    key: &str,
+    out: &mut W,
+) -> Result<()> {
+    let (nrow, ncol) = m.shape();
+    let nnz = m.nnz();
+
+    // Gather CSC arrays (1-based for the format).
+    let mut ptrs: Vec<usize> = Vec::with_capacity(ncol + 1);
+    let mut inds: Vec<usize> = Vec::with_capacity(nnz);
+    let mut vals: Vec<f64> = Vec::with_capacity(nnz);
+    ptrs.push(1);
+    for c in 0..ncol {
+        let (rows, values) = m.col(c);
+        for (&r, &v) in rows.iter().zip(values.iter()) {
+            inds.push(r + 1);
+            vals.push(v);
+        }
+        ptrs.push(inds.len() + 1);
+    }
+
+    let ptrcrd = ptrs.len().div_ceil(PTRS_PER_LINE);
+    let indcrd = inds.len().div_ceil(INDS_PER_LINE).max(if nnz == 0 { 0 } else { 1 });
+    let valcrd = vals.len().div_ceil(VALS_PER_LINE).max(if nnz == 0 { 0 } else { 1 });
+    let totcrd = ptrcrd + indcrd + valcrd;
+
+    let title72 = format!("{:<72.72}", title);
+    let key8 = format!("{:<8.8}", key);
+    writeln!(out, "{title72}{key8}")?;
+    writeln!(out, "{totcrd:14}{ptrcrd:14}{indcrd:14}{valcrd:14}{:14}", 0)?;
+    writeln!(out, "{:<14}{nrow:14}{ncol:14}{nnz:14}{:14}", "RUA", 0)?;
+    writeln!(
+        out,
+        "{:<16}{:<16}{:<20}{:<20}",
+        "(8I10)", "(8I10)", "(4E20.12)", ""
+    )?;
+
+    for chunk in ptrs.chunks(PTRS_PER_LINE) {
+        for p in chunk {
+            write!(out, "{p:10}")?;
+        }
+        writeln!(out)?;
+    }
+    for chunk in inds.chunks(INDS_PER_LINE) {
+        for i in chunk {
+            write!(out, "{i:10}")?;
+        }
+        writeln!(out)?;
+    }
+    for chunk in vals.chunks(VALS_PER_LINE) {
+        for v in chunk {
+            write!(out, "{v:20.12E}")?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Parse whitespace-separated numbers from `count` tokens spread over
+/// however many lines it takes.
+fn read_tokens<R: BufRead>(
+    input: &mut std::iter::Enumerate<std::io::Lines<R>>,
+    count: usize,
+) -> Result<Vec<String>> {
+    let mut tokens = Vec::with_capacity(count);
+    while tokens.len() < count {
+        let Some((lineno, line)) = input.next() else {
+            return Err(Error::Parse {
+                line: 0,
+                message: format!("file ended with {} of {count} values read", tokens.len()),
+            });
+        };
+        let line = line?;
+        for t in line.split_whitespace() {
+            if tokens.len() < count {
+                tokens.push(t.to_string());
+            } else {
+                return Err(Error::Parse {
+                    line: lineno + 1,
+                    message: "more values on line than expected".to_string(),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Read an `RUA`/`RSA`-assembled Harwell–Boeing stream.
+///
+/// The reader is tolerant of the numeric fields being whitespace-
+/// rather than column-aligned (all practical writers emit separators),
+/// handles Fortran `D` exponents, and mirrors symmetric (`RSA`)
+/// entries.
+pub fn read_harwell_boeing<R: BufRead>(input: R) -> Result<(CooMatrix, String, String)> {
+    let mut lines = input.lines().enumerate();
+
+    // Line 1: title + key.
+    let (_, l1) = lines.next().ok_or_else(|| Error::Parse {
+        line: 1,
+        message: "missing header line 1".to_string(),
+    })?;
+    let l1 = l1?;
+    let (title, key) = if l1.len() > 72 {
+        (l1[..72].trim().to_string(), l1[72..].trim().to_string())
+    } else {
+        (l1.trim().to_string(), String::new())
+    };
+
+    // Line 2: card counts (we only need RHSCRD presence).
+    let (_, l2) = lines.next().ok_or_else(|| Error::Parse {
+        line: 2,
+        message: "missing header line 2".to_string(),
+    })?;
+    let _ = l2?;
+
+    // Line 3: type and dimensions.
+    let (lineno3, l3) = lines.next().ok_or_else(|| Error::Parse {
+        line: 3,
+        message: "missing header line 3".to_string(),
+    })?;
+    let l3 = l3?;
+    let mut fields = l3.split_whitespace();
+    let mxtype = fields
+        .next()
+        .ok_or_else(|| Error::Parse {
+            line: lineno3 + 1,
+            message: "missing matrix type".to_string(),
+        })?
+        .to_ascii_uppercase();
+    if !(mxtype.starts_with('R') && mxtype.ends_with('A') && mxtype.len() == 3) {
+        return Err(Error::Parse {
+            line: lineno3 + 1,
+            message: format!("unsupported matrix type {mxtype} (need R_A assembled real)"),
+        });
+    }
+    let symmetric = mxtype.as_bytes()[1] == b'S';
+    let dims: Vec<usize> = fields
+        .take(3)
+        .map(|t| t.parse::<usize>())
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|e| Error::Parse {
+            line: lineno3 + 1,
+            message: format!("bad dimensions: {e}"),
+        })?;
+    if dims.len() != 3 {
+        return Err(Error::Parse {
+            line: lineno3 + 1,
+            message: "header line 3 needs NROW NCOL NNZERO".to_string(),
+        });
+    }
+    let (nrow, ncol, nnz) = (dims[0], dims[1], dims[2]);
+
+    // Line 4: formats (ignored; we parse by whitespace).
+    let (_, l4) = lines.next().ok_or_else(|| Error::Parse {
+        line: 4,
+        message: "missing header line 4".to_string(),
+    })?;
+    let _ = l4?;
+
+    // Pointers, indices, values.
+    let parse_usize = |t: &str| -> Result<usize> {
+        t.parse().map_err(|e| Error::Parse {
+            line: 0,
+            message: format!("bad integer {t:?}: {e}"),
+        })
+    };
+    let ptr_tokens = read_tokens(&mut lines, ncol + 1)?;
+    let ptrs: Vec<usize> = ptr_tokens
+        .iter()
+        .map(|t| parse_usize(t))
+        .collect::<Result<_>>()?;
+    let ind_tokens = read_tokens(&mut lines, nnz)?;
+    let inds: Vec<usize> = ind_tokens
+        .iter()
+        .map(|t| parse_usize(t))
+        .collect::<Result<_>>()?;
+    let val_tokens = read_tokens(&mut lines, nnz)?;
+    let vals: Vec<f64> = val_tokens
+        .iter()
+        .map(|t| {
+            t.replace(['D', 'd'], "E").parse::<f64>().map_err(|e| Error::Parse {
+                line: 0,
+                message: format!("bad value {t:?}: {e}"),
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    if ptrs.first() != Some(&1) || ptrs.last() != Some(&(nnz + 1)) {
+        return Err(Error::Parse {
+            line: 0,
+            message: format!(
+                "column pointers must run from 1 to nnz+1, got {:?}..{:?}",
+                ptrs.first(),
+                ptrs.last()
+            ),
+        });
+    }
+
+    let mut coo = CooMatrix::with_capacity(nrow, ncol, nnz);
+    for c in 0..ncol {
+        let lo = ptrs[c] - 1;
+        let hi = ptrs[c + 1] - 1;
+        if hi < lo || hi > nnz {
+            return Err(Error::Parse {
+                line: 0,
+                message: format!("column {c} pointer range {lo}..{hi} invalid"),
+            });
+        }
+        for idx in lo..hi {
+            let r = inds[idx];
+            if r == 0 || r > nrow {
+                return Err(Error::Parse {
+                    line: 0,
+                    message: format!("row index {r} out of 1..={nrow}"),
+                });
+            }
+            coo.push(r - 1, c, vals[idx]).expect("bounds checked");
+            if symmetric && r - 1 != c {
+                coo.push(c, r - 1, vals[idx]).map_err(|_| Error::Parse {
+                    line: 0,
+                    message: format!("symmetric mirror ({c}, {}) out of shape", r - 1),
+                })?;
+            }
+        }
+    }
+    Ok((coo, title, key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> CscMatrix {
+        let mut coo = CooMatrix::new(4, 3);
+        for (r, c, v) in [
+            (0, 0, 1.5),
+            (2, 0, -2.0),
+            (1, 1, 3.25),
+            (0, 2, 4.0),
+            (3, 2, 5e-3),
+        ] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix_and_metadata() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_harwell_boeing(&m, "test matrix", "TESTKEY", &mut buf).unwrap();
+        let (coo, title, key) = read_harwell_boeing(Cursor::new(buf)).unwrap();
+        assert_eq!(title, "test matrix");
+        assert_eq!(key, "TESTKEY");
+        let back = coo.to_csc();
+        assert_eq!(back.shape(), m.shape());
+        assert_eq!(back.nnz(), m.nnz());
+        for r in 0..4 {
+            for c in 0..3 {
+                assert!((back.get(r, c) - m.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn header_layout_is_fixed_width() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_harwell_boeing(&m, "t", "k", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0].len(), 80, "title card is 80 columns");
+        assert!(lines[2].starts_with("RUA"));
+    }
+
+    #[test]
+    fn reads_fortran_d_exponents() {
+        let text = "\
+title                                                                   KEY
+             3             1             1             1             0
+RUA                        2             2             2             0
+(8I10)          (8I10)          (4E20.12)
+         1         2         3
+         1         2
+    1.5D+00    -2.5D-01
+";
+        let (coo, _, _) = read_harwell_boeing(Cursor::new(text)).unwrap();
+        let m = coo.to_csc();
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 1), -0.25);
+    }
+
+    #[test]
+    fn mirrors_symmetric_matrices() {
+        let text = "\
+sym                                                                     KEY
+             3             1             1             1             0
+RSA                        2             2             2             0
+(8I10)          (8I10)          (4E20.12)
+         1         3         3
+         1         2
+    1.0E+00     5.0E+00
+";
+        let (coo, _, _) = read_harwell_boeing(Cursor::new(text)).unwrap();
+        let m = coo.to_csc();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn rejects_unsupported_types_and_bad_pointers() {
+        let complex = "\
+t                                                                       K
+1 1 0 0 0
+CUA 2 2 1 0
+(8I10) (8I10) (4E20.12)
+1 2 2
+1
+1.0
+";
+        assert!(read_harwell_boeing(Cursor::new(complex)).is_err());
+        let bad_ptr = "\
+t                                                                       K
+1 1 0 0 0
+RUA 2 2 1 0
+(8I10) (8I10) (4E20.12)
+2 2 2
+1
+1.0
+";
+        assert!(read_harwell_boeing(Cursor::new(bad_ptr)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = CscMatrix::zeros(3, 2);
+        let mut buf = Vec::new();
+        write_harwell_boeing(&m, "empty", "E", &mut buf).unwrap();
+        let (coo, _, _) = read_harwell_boeing(Cursor::new(buf)).unwrap();
+        assert_eq!(coo.to_csc().nnz(), 0);
+        assert_eq!(coo.to_csc().shape(), (3, 2));
+    }
+
+    #[test]
+    fn truncates_long_title_and_key() {
+        let m = sample();
+        let mut buf = Vec::new();
+        let long = "x".repeat(100);
+        write_harwell_boeing(&m, &long, &long, &mut buf).unwrap();
+        let (_, title, key) = read_harwell_boeing(Cursor::new(buf)).unwrap();
+        assert_eq!(title.len(), 72);
+        assert_eq!(key.len(), 8);
+    }
+}

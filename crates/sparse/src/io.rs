@@ -1,0 +1,245 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! SVDPACKC (the paper's reference \[4\]) consumed Harwell–Boeing files;
+//! MatrixMarket is its modern, human-readable successor and lets the
+//! term-document matrices built here be exchanged with other tools.
+
+use std::io::{BufRead, Write};
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use crate::{Error, Result};
+
+/// Write `m` in MatrixMarket coordinate format (1-based indices).
+pub fn write_matrix_market<W: Write>(m: &CscMatrix, out: &mut W) -> Result<()> {
+    writeln!(out, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(out, "% written by lsi-sparse")?;
+    writeln!(out, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(out, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Read a MatrixMarket coordinate-format stream into a [`CooMatrix`].
+///
+/// Supports `real` and `integer` fields, `general` and `symmetric`
+/// symmetry (symmetric entries are mirrored).
+pub fn read_matrix_market<R: BufRead>(input: R) -> Result<CooMatrix> {
+    let mut lines = input.lines().enumerate();
+
+    // Header line.
+    let (lineno, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+            None => {
+                return Err(Error::Parse {
+                    line: 0,
+                    message: "empty stream".to_string(),
+                })
+            }
+        }
+    };
+    let header_lower = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lower.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(Error::Parse {
+            line: lineno,
+            message: format!("bad MatrixMarket header: {header}"),
+        });
+    }
+    if fields[2] != "coordinate" {
+        return Err(Error::Parse {
+            line: lineno,
+            message: format!("only coordinate format supported, got {}", fields[2]),
+        });
+    }
+    if fields[3] != "real" && fields[3] != "integer" {
+        return Err(Error::Parse {
+            line: lineno,
+            message: format!("only real/integer fields supported, got {}", fields[3]),
+        });
+    }
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(Error::Parse {
+                line: lineno,
+                message: format!("unsupported symmetry {other}"),
+            })
+        }
+    };
+
+    // Size line (skipping comments).
+    let (size_lineno, size_line) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (i + 1, line);
+                }
+            }
+            None => {
+                return Err(Error::Parse {
+                    line: lineno,
+                    message: "missing size line".to_string(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|e| Error::Parse {
+            line: size_lineno,
+            message: format!("bad size line: {e}"),
+        })?;
+    if dims.len() != 3 {
+        return Err(Error::Parse {
+            line: size_lineno,
+            message: format!("size line has {} fields, expected 3", dims.len()),
+        });
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parse_idx = |p: Option<&str>, what: &str| -> Result<usize> {
+            p.ok_or_else(|| Error::Parse {
+                line: i + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse::<usize>()
+            .map_err(|e| Error::Parse {
+                line: i + 1,
+                message: format!("bad {what}: {e}"),
+            })
+        };
+        let r = parse_idx(parts.next(), "row index")?;
+        let c = parse_idx(parts.next(), "column index")?;
+        let v: f64 = parts
+            .next()
+            .ok_or_else(|| Error::Parse {
+                line: i + 1,
+                message: "missing value".to_string(),
+            })?
+            .parse()
+            .map_err(|e| Error::Parse {
+                line: i + 1,
+                message: format!("bad value: {e}"),
+            })?;
+        if r == 0 || c == 0 {
+            return Err(Error::Parse {
+                line: i + 1,
+                message: "MatrixMarket indices are 1-based".to_string(),
+            });
+        }
+        coo.push(r - 1, c - 1, v).map_err(|_| Error::Parse {
+            line: i + 1,
+            message: format!("index ({r}, {c}) exceeds declared shape {nrows}x{ncols}"),
+        })?;
+        if symmetric && r != c {
+            coo.push(c - 1, r - 1, v).expect("mirrored index within shape");
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(Error::Parse {
+            line: 0,
+            message: format!("declared {nnz} entries but found {seen}"),
+        });
+    }
+    Ok(coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_csc() -> CscMatrix {
+        let mut coo = CooMatrix::new(3, 2);
+        coo.push(0, 0, 1.5).unwrap();
+        coo.push(2, 1, -2.25).unwrap();
+        coo.push(1, 0, 3.0).unwrap();
+        coo.to_csc()
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let m = sample_csc();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let coo = read_matrix_market(Cursor::new(buf)).unwrap();
+        let back = coo.to_csc();
+        assert_eq!(back.shape(), m.shape());
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(back.get(i, j), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn reads_integer_field_and_comments() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n% a comment\n\n2 2 2\n1 1 3\n2 2 4\n";
+        let coo = read_matrix_market(Cursor::new(text)).unwrap();
+        let m = coo.to_csc();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn reads_symmetric_matrices() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.0\n2 1 5.0\n";
+        let coo = read_matrix_market(Cursor::new(text)).unwrap();
+        let m = coo.to_csc();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let text = "%%NotMatrixMarket nope\n1 1 0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+}

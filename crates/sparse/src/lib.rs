@@ -1,0 +1,110 @@
+//! Sparse matrix substrate for the LSI reproduction.
+//!
+//! Term-document matrices are "usually sparse" (§2.1 of the paper; the
+//! TREC matrices of §5.3 are 0.001–0.002 % dense), so everything the SVD
+//! and retrieval layers touch is built on the formats here:
+//!
+//! * [`coo::CooMatrix`] — triplet accumulator used while parsing text,
+//! * [`csr::CsrMatrix`] — row-major compressed storage, serial and
+//!   rayon-parallel `A·x`,
+//! * [`csc::CscMatrix`] — column-major compressed storage (a column is a
+//!   document), `Aᵀ·x`, and per-document access,
+//! * [`io`] — MatrixMarket coordinate-format reader/writer,
+//! * [`hb`] — Harwell–Boeing `RUA` reader/writer (SVDPACKC's native
+//!   format, the paper's reference \[4\]),
+//! * [`gen`] — random sparse generators used by the TREC-scale
+//!   experiments,
+//! * [`stats`] — density/nnz diagnostics reported by the benchmarks.
+
+// Index-based loops over parallel arrays are the clearest idiom in
+// numerical kernels; clippy's iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod gen;
+pub mod hb;
+pub mod io;
+pub mod ops;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use ops::MatVec;
+
+/// Errors reported by sparse-matrix construction and I/O.
+#[derive(Debug)]
+pub enum Error {
+    /// An index was out of bounds for the declared shape.
+    IndexOutOfBounds {
+        /// Row index supplied.
+        row: usize,
+        /// Column index supplied.
+        col: usize,
+        /// Declared shape.
+        shape: (usize, usize),
+    },
+    /// Dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description.
+        context: String,
+    },
+    /// A MatrixMarket stream could not be parsed.
+    Parse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::IndexOutOfBounds { row, col, shape } => {
+                write!(f, "index ({row}, {col}) out of bounds for {}x{}", shape.0, shape.1)
+            }
+            Error::DimensionMismatch { context } => write!(f, "dimension mismatch: {context}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Error::IndexOutOfBounds {
+            row: 7,
+            col: 2,
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("(7, 2)"));
+        let e = Error::Parse {
+            line: 12,
+            message: "bad header".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,181 @@
+//! The linear-operator abstraction consumed by the Lanczos SVD.
+//!
+//! The Lanczos driver only ever needs `A·x` and `Aᵀ·x`; abstracting them
+//! behind a trait lets the same driver run on CSR, CSC, or matrix-free
+//! operators (the flop-counting wrapper in `lsi-svd` relies on this).
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+
+/// A real linear operator exposing forward and transposed products.
+pub trait MatVec: Sync {
+    /// Number of rows of the operator.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns of the operator.
+    fn ncols(&self) -> usize;
+
+    /// `y = A·x`; `x.len() == ncols()`, `y.len() == nrows()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// `y = Aᵀ·x`; `x.len() == nrows()`, `y.len() == ncols()`.
+    fn apply_t(&self, x: &[f64], y: &mut [f64]);
+
+    /// Number of stored nonzeros, where meaningful (used by cost models).
+    fn nnz(&self) -> usize {
+        self.nrows() * self.ncols()
+    }
+}
+
+impl MatVec for CsrMatrix {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into(x, y);
+    }
+
+    fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        let r = self.matvec_t(x).expect("dimension checked by caller");
+        y.copy_from_slice(&r);
+    }
+
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+}
+
+impl MatVec for CscMatrix {
+    fn nrows(&self) -> usize {
+        CscMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CscMatrix::ncols(self)
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let r = self.matvec(x).expect("dimension checked by caller");
+        y.copy_from_slice(&r);
+    }
+
+    fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_t_into(x, y);
+    }
+
+    fn nnz(&self) -> usize {
+        CscMatrix::nnz(self)
+    }
+}
+
+/// A pair of matching formats: CSR for `A·x`, CSC for `Aᵀ·x` — each
+/// product in its cache-friendly orientation. This is what the LSI model
+/// builder hands to the Lanczos driver for large matrices.
+pub struct DualFormat {
+    /// Row-major copy.
+    pub csr: CsrMatrix,
+    /// Column-major copy.
+    pub csc: CscMatrix,
+}
+
+impl DualFormat {
+    /// Build both orientations from a CSC source.
+    pub fn from_csc(csc: CscMatrix) -> Self {
+        let csr = csc.to_csr();
+        DualFormat { csr, csc }
+    }
+}
+
+impl MatVec for DualFormat {
+    fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.csr.matvec_into(x, y);
+    }
+
+    fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        self.csc.matvec_t_into(x, y);
+    }
+
+    fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample_coo() -> CooMatrix {
+        let mut coo = CooMatrix::new(3, 2);
+        for (r, c, v) in [(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0), (2, 1, 4.0)] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo
+    }
+
+    #[test]
+    fn trait_apply_matches_inherent_methods() {
+        let csr = sample_coo().to_csr();
+        let csc = sample_coo().to_csc();
+        let x = [1.0, -1.0];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        MatVec::apply(&csr, &x, &mut y1);
+        MatVec::apply(&csc, &x, &mut y2);
+        assert_eq!(y1, y2);
+        assert_eq!(y1, vec![1.0, -2.0, -1.0]);
+
+        let xt = [1.0, 1.0, 1.0];
+        let mut z1 = vec![0.0; 2];
+        let mut z2 = vec![0.0; 2];
+        MatVec::apply_t(&csr, &xt, &mut z1);
+        MatVec::apply_t(&csc, &xt, &mut z2);
+        assert_eq!(z1, z2);
+        assert_eq!(z1, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn dual_format_agrees_with_parts() {
+        let dual = DualFormat::from_csc(sample_coo().to_csc());
+        assert_eq!(dual.nrows(), 3);
+        assert_eq!(dual.ncols(), 2);
+        assert_eq!(MatVec::nnz(&dual), 4);
+        let x = [0.5, 2.0];
+        let mut y = vec![0.0; 3];
+        dual.apply(&x, &mut y);
+        assert_eq!(y, vec![0.5, 4.0, 9.5]);
+        let xt = [1.0, 0.0, 1.0];
+        let mut z = vec![0.0; 2];
+        dual.apply_t(&xt, &mut z);
+        assert_eq!(z, vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn default_nnz_is_dense_bound() {
+        struct Dense;
+        impl MatVec for Dense {
+            fn nrows(&self) -> usize {
+                3
+            }
+            fn ncols(&self) -> usize {
+                4
+            }
+            fn apply(&self, _: &[f64], _: &mut [f64]) {}
+            fn apply_t(&self, _: &[f64], _: &mut [f64]) {}
+        }
+        assert_eq!(Dense.nnz(), 12);
+    }
+}

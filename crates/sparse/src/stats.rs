@@ -1,0 +1,124 @@
+//! Diagnostics for sparse matrices: density, nnz distribution.
+//!
+//! The paper reports its TREC matrices as "containing only .001–.002 %
+//! non-zero entries"; the benchmark harness prints the same statistics
+//! for the matrices it generates.
+
+use crate::csc::CscMatrix;
+
+/// Summary statistics of a sparse matrix's sparsity pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// `nnz / (nrows * ncols)`, in [0, 1].
+    pub density: f64,
+    /// Mean nonzeros per column (terms per document).
+    pub mean_col_nnz: f64,
+    /// Maximum nonzeros in any column.
+    pub max_col_nnz: usize,
+    /// Number of empty columns (documents with no indexed terms).
+    pub empty_cols: usize,
+    /// Number of empty rows (terms occurring in no document — should be
+    /// zero after vocabulary pruning).
+    pub empty_rows: usize,
+}
+
+impl SparsityStats {
+    /// Compute statistics for `m`.
+    pub fn of(m: &CscMatrix) -> SparsityStats {
+        let (nrows, ncols) = m.shape();
+        let nnz = m.nnz();
+        let cells = (nrows as f64) * (ncols as f64);
+        let mut max_col_nnz = 0usize;
+        let mut empty_cols = 0usize;
+        let mut row_seen = vec![false; nrows];
+        for c in 0..ncols {
+            let (rows, _) = m.col(c);
+            max_col_nnz = max_col_nnz.max(rows.len());
+            if rows.is_empty() {
+                empty_cols += 1;
+            }
+            for &r in rows {
+                row_seen[r] = true;
+            }
+        }
+        let empty_rows = row_seen.iter().filter(|&&s| !s).count();
+        SparsityStats {
+            nrows,
+            ncols,
+            nnz,
+            density: if cells > 0.0 { nnz as f64 / cells } else { 0.0 },
+            mean_col_nnz: if ncols > 0 { nnz as f64 / ncols as f64 } else { 0.0 },
+            max_col_nnz,
+            empty_cols,
+            empty_rows,
+        }
+    }
+
+    /// Density expressed as a percentage, matching the paper's
+    /// ".001–.002 %" phrasing.
+    pub fn density_percent(&self) -> f64 {
+        self.density * 100.0
+    }
+}
+
+impl std::fmt::Display for SparsityStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} matrix, {} nonzeros ({:.4}% dense), {:.1} nnz/col (max {}), {} empty cols, {} empty rows",
+            self.nrows,
+            self.ncols,
+            self.nnz,
+            self.density_percent(),
+            self.mean_col_nnz,
+            self.max_col_nnz,
+            self.empty_cols,
+            self.empty_rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    #[test]
+    fn stats_of_known_matrix() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(0, 2, 1.0).unwrap();
+        let s = SparsityStats::of(&coo.to_csc());
+        assert_eq!(s.nnz, 3);
+        assert!((s.density - 0.25).abs() < 1e-12);
+        assert_eq!(s.max_col_nnz, 2);
+        assert_eq!(s.empty_cols, 2); // columns 1 and 3
+        assert_eq!(s.empty_rows, 1); // row 2
+        assert!((s.mean_col_nnz - 0.75).abs() < 1e-12);
+        assert!((s.density_percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_matrix() {
+        let s = SparsityStats::of(&CscMatrix::zeros(0, 0));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.mean_col_nnz, 0.0);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        let text = SparsityStats::of(&coo.to_csc()).to_string();
+        assert!(text.contains("2x2"));
+        assert!(text.contains("1 nonzeros"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the sparse formats: CSR/CSC/dense agreement,
+//! transpose involution, and matvec linearity on arbitrary matrices.
+
+use lsi_sparse::{CooMatrix, MatVec};
+use proptest::prelude::*;
+
+/// Strategy: shape plus a set of triplets within that shape.
+fn coo_strategy() -> impl Strategy<Value = CooMatrix> {
+    (1usize..12, 1usize..12)
+        .prop_flat_map(|(m, n)| {
+            let triplet = (0..m, 0..n, -5.0f64..5.0);
+            (
+                Just(m),
+                Just(n),
+                prop::collection::vec(triplet, 0..40),
+            )
+        })
+        .prop_map(|(m, n, trips)| {
+            let mut coo = CooMatrix::new(m, n);
+            for (r, c, v) in trips {
+                coo.push(r, c, v).unwrap();
+            }
+            coo
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_csc_dense_all_agree(coo in coo_strategy()) {
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        let d1 = csr.to_dense();
+        let d2 = csc.to_dense();
+        prop_assert!(d1.fro_distance(&d2).unwrap() < 1e-12);
+        prop_assert_eq!(csr.nnz(), csc.nnz());
+    }
+
+    #[test]
+    fn transpose_is_involution(coo in coo_strategy()) {
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn matvec_matches_dense(coo in coo_strategy(), xseed in 0u64..1000) {
+        let csr = coo.to_csr();
+        let x: Vec<f64> = (0..csr.ncols())
+            .map(|i| ((xseed as usize + i * 37) % 13) as f64 - 6.0)
+            .collect();
+        let sparse_y = csr.matvec(&x).unwrap();
+        let dense_y = lsi_linalg::ops::matvec(&csr.to_dense(), &x).unwrap();
+        for (a, b) in sparse_y.iter().zip(dense_y.iter()) {
+            prop_assert!((a - b).abs() < 1e-10, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn matvec_t_matches_dense(coo in coo_strategy(), xseed in 0u64..1000) {
+        let csc = coo.to_csc();
+        let x: Vec<f64> = (0..csc.nrows())
+            .map(|i| ((xseed as usize + i * 17) % 11) as f64 - 5.0)
+            .collect();
+        let sparse_y = csc.matvec_t(&x).unwrap();
+        let dense_y = lsi_linalg::ops::matvec_t(&csc.to_dense(), &x).unwrap();
+        for (a, b) in sparse_y.iter().zip(dense_y.iter()) {
+            prop_assert!((a - b).abs() < 1e-10, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn matvec_is_linear(coo in coo_strategy()) {
+        let csr = coo.to_csr();
+        let n = csr.ncols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let combined: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| 2.0 * a - 3.0 * b).collect();
+        let lhs = csr.matvec(&combined).unwrap();
+        let ax = csr.matvec(&x).unwrap();
+        let ay = csr.matvec(&y).unwrap();
+        for i in 0..lhs.len() {
+            let rhs = 2.0 * ax[i] - 3.0 * ay[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial(coo in coo_strategy()) {
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        let x: Vec<f64> = (0..csr.ncols()).map(|i| i as f64 + 1.0).collect();
+        prop_assert_eq!(csr.matvec(&x).unwrap(), csr.par_matvec(&x).unwrap());
+        let xt: Vec<f64> = (0..csr.nrows()).map(|i| i as f64 - 2.0).collect();
+        prop_assert_eq!(csc.matvec_t(&xt).unwrap(), csc.par_matvec_t(&xt).unwrap());
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(coo in coo_strategy()) {
+        let csc = coo.to_csc();
+        let mut buf = Vec::new();
+        lsi_sparse::io::write_matrix_market(&csc, &mut buf).unwrap();
+        let back = lsi_sparse::io::read_matrix_market(std::io::Cursor::new(buf))
+            .unwrap()
+            .to_csc();
+        prop_assert!(back.to_dense().fro_distance(&csc.to_dense()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn trait_object_consistency(coo in coo_strategy()) {
+        // MatVec::apply through the trait equals the inherent method.
+        let csr = coo.to_csr();
+        let x: Vec<f64> = (0..csr.ncols()).map(|i| (i % 3) as f64).collect();
+        let mut y = vec![0.0; csr.nrows()];
+        MatVec::apply(&csr, &x, &mut y);
+        prop_assert_eq!(y, csr.matvec(&x).unwrap());
+    }
+}

@@ -1,0 +1,180 @@
+//! Gram-operator plumbing for the Lanczos driver.
+//!
+//! The Lanczos iteration tridiagonalizes the symmetric operator
+//! `G = AᵀA` (or `AAᵀ`, whichever is smaller). [`GramSide`] picks the
+//! orientation; [`CountingOperator`] wraps any [`MatVec`] and counts
+//! products and flops so benchmarks can report the paper's §4.2 cost
+//! terms directly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lsi_sparse::MatVec;
+
+/// Which Gram operator the Lanczos iteration runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GramSide {
+    /// `AᵀA` (dimension `ncols`): right singular vectors come out of the
+    /// Lanczos basis, left vectors via `u = A v / σ`.
+    AtA,
+    /// `AAᵀ` (dimension `nrows`): the mirror image.
+    AAt,
+}
+
+impl GramSide {
+    /// The cheaper orientation for the given shape: run on the smaller
+    /// Gram matrix.
+    pub fn auto(nrows: usize, ncols: usize) -> GramSide {
+        if ncols <= nrows {
+            GramSide::AtA
+        } else {
+            GramSide::AAt
+        }
+    }
+
+    /// Dimension of the chosen Gram operator.
+    pub fn dim(self, nrows: usize, ncols: usize) -> usize {
+        match self {
+            GramSide::AtA => ncols,
+            GramSide::AAt => nrows,
+        }
+    }
+}
+
+/// A [`MatVec`] wrapper that counts forward/transposed applications and
+/// the flops they imply (2 flops per stored nonzero per product).
+pub struct CountingOperator<'a, M: MatVec + ?Sized> {
+    inner: &'a M,
+    applies: AtomicU64,
+    applies_t: AtomicU64,
+}
+
+impl<'a, M: MatVec + ?Sized> CountingOperator<'a, M> {
+    /// Wrap `inner`.
+    pub fn new(inner: &'a M) -> Self {
+        CountingOperator {
+            inner,
+            applies: AtomicU64::new(0),
+            applies_t: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of `A·x` products performed so far.
+    pub fn apply_count(&self) -> u64 {
+        self.applies.load(Ordering::Relaxed)
+    }
+
+    /// Number of `Aᵀ·x` products performed so far.
+    pub fn apply_t_count(&self) -> u64 {
+        self.applies_t.load(Ordering::Relaxed)
+    }
+
+    /// Estimated flops spent in sparse products:
+    /// `2 · nnz · (applies + applies_t)`.
+    pub fn flops(&self) -> u64 {
+        2 * self.inner.nnz() as u64 * (self.apply_count() + self.apply_t_count())
+    }
+}
+
+impl<'a, M: MatVec + ?Sized> MatVec for CountingOperator<'a, M> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.applies.fetch_add(1, Ordering::Relaxed);
+        self.inner.apply(x, y);
+    }
+
+    fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        self.applies_t.fetch_add(1, Ordering::Relaxed);
+        self.inner.apply_t(x, y);
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+}
+
+/// Apply the Gram operator `G x` for the chosen side, using `scratch`
+/// (length `max(m, n)`) to avoid allocation in the hot loop.
+pub fn gram_apply<M: MatVec + ?Sized>(
+    a: &M,
+    side: GramSide,
+    x: &[f64],
+    y: &mut [f64],
+    scratch: &mut [f64],
+) {
+    match side {
+        GramSide::AtA => {
+            let mid = &mut scratch[..a.nrows()];
+            a.apply(x, mid);
+            a.apply_t(mid, y);
+        }
+        GramSide::AAt => {
+            let mid = &mut scratch[..a.ncols()];
+            a.apply_t(x, mid);
+            a.apply(mid, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_sparse::CooMatrix;
+
+    fn sample() -> lsi_sparse::CscMatrix {
+        let mut coo = CooMatrix::new(3, 2);
+        for (r, c, v) in [(0, 0, 1.0), (1, 0, 2.0), (2, 1, 3.0)] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn auto_side_picks_smaller_dimension() {
+        assert_eq!(GramSide::auto(10, 3), GramSide::AtA);
+        assert_eq!(GramSide::auto(3, 10), GramSide::AAt);
+        assert_eq!(GramSide::auto(5, 5), GramSide::AtA);
+        assert_eq!(GramSide::AtA.dim(10, 3), 3);
+        assert_eq!(GramSide::AAt.dim(10, 3), 10);
+    }
+
+    #[test]
+    fn counting_operator_counts() {
+        let a = sample();
+        let counter = CountingOperator::new(&a);
+        let mut y = vec![0.0; 3];
+        counter.apply(&[1.0, 1.0], &mut y);
+        counter.apply(&[0.0, 1.0], &mut y);
+        let mut z = vec![0.0; 2];
+        counter.apply_t(&[1.0, 0.0, 0.0], &mut z);
+        assert_eq!(counter.apply_count(), 2);
+        assert_eq!(counter.apply_t_count(), 1);
+        assert_eq!(counter.flops(), 2 * 3 * 3);
+    }
+
+    #[test]
+    fn gram_apply_ata_matches_explicit() {
+        let a = sample();
+        // A^T A = [[5, 0], [0, 9]].
+        let mut y = vec![0.0; 2];
+        let mut scratch = vec![0.0; 3];
+        gram_apply(&a, GramSide::AtA, &[1.0, 1.0], &mut y, &mut scratch);
+        assert_eq!(y, vec![5.0, 9.0]);
+    }
+
+    #[test]
+    fn gram_apply_aat_matches_explicit() {
+        let a = sample();
+        // A A^T = [[1,2,0],[2,4,0],[0,0,9]].
+        let mut y = vec![0.0; 3];
+        let mut scratch = vec![0.0; 3];
+        gram_apply(&a, GramSide::AAt, &[1.0, 0.0, 1.0], &mut y, &mut scratch);
+        assert_eq!(y, vec![1.0, 2.0, 9.0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: the iterative SVD drivers agree with the dense oracle
+//! on arbitrary sparse matrices.
+
+use lsi_svd::{dense_oracle, lanczos_svd, randomized_svd, LanczosOptions, RandomizedOptions};
+use lsi_sparse::CooMatrix;
+use proptest::prelude::*;
+
+fn coo_strategy() -> impl Strategy<Value = CooMatrix> {
+    (3usize..14, 3usize..14)
+        .prop_flat_map(|(m, n)| {
+            let triplet = (0..m, 0..n, 1.0f64..5.0);
+            (Just(m), Just(n), prop::collection::vec(triplet, 1..60))
+        })
+        .prop_map(|(m, n, trips)| {
+            let mut coo = CooMatrix::new(m, n);
+            for (r, c, v) in trips {
+                coo.push(r, c, v).unwrap();
+            }
+            coo
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn lanczos_singular_values_match_oracle(coo in coo_strategy(), kfrac in 1usize..4) {
+        let a = coo.to_csc();
+        let maxk = a.nrows().min(a.ncols());
+        let k = (maxk / kfrac).max(1);
+        let (svd, _) = lanczos_svd(&a, k, &LanczosOptions::default()).unwrap();
+        let oracle = dense_oracle(&a, k).unwrap();
+        let scale = oracle.s.first().copied().unwrap_or(1.0).max(1.0);
+        for (i, got) in svd.s.iter().enumerate() {
+            prop_assert!((got - oracle.s[i]).abs() < 1e-7 * scale,
+                "sigma_{}: {} vs {}", i, got, oracle.s[i]);
+        }
+        // Accepted count never exceeds the oracle's numerical rank. The
+        // Lanczos driver cannot resolve singular values below
+        // ~sqrt(eps)*sigma_1 (Gram squaring), so compare at 1e-5.
+        let oracle_rank = oracle.s.iter().filter(|&&s| s > 1e-5 * scale).count();
+        prop_assert!(svd.s.len() <= k);
+        prop_assert!(svd.s.len() >= oracle_rank.min(k).saturating_sub(0));
+    }
+
+    #[test]
+    fn lanczos_triplet_residuals_are_small(coo in coo_strategy()) {
+        let a = coo.to_csc();
+        let k = (a.nrows().min(a.ncols()) / 2).max(1);
+        let (svd, _) = lanczos_svd(&a, k, &LanczosOptions::default()).unwrap();
+        let dense = a.to_dense();
+        let scale = svd.s.first().copied().unwrap_or(1.0).max(1.0);
+        for i in 0..svd.s.len() {
+            let av = lsi_linalg::ops::matvec(&dense, svd.v.col(i)).unwrap();
+            let resid: f64 = av.iter().zip(svd.u.col(i).iter())
+                .map(|(x, y)| (x - svd.s[i] * y).powi(2)).sum::<f64>().sqrt();
+            prop_assert!(resid < 1e-7 * scale, "triplet {} residual {}", i, resid);
+            let atu = lsi_linalg::ops::matvec_t(&dense, svd.u.col(i)).unwrap();
+            let resid_t: f64 = atu.iter().zip(svd.v.col(i).iter())
+                .map(|(x, y)| (x - svd.s[i] * y).powi(2)).sum::<f64>().sqrt();
+            prop_assert!(resid_t < 1e-6 * scale, "triplet {} transposed residual {}", i, resid_t);
+        }
+    }
+
+    #[test]
+    fn randomized_with_power_iters_tracks_oracle(coo in coo_strategy()) {
+        let a = coo.to_csc();
+        let k = 2.min(a.nrows().min(a.ncols()));
+        let opts = RandomizedOptions { power_iters: 4, ..Default::default() };
+        let svd = randomized_svd(&a, k, &opts).unwrap();
+        let oracle = dense_oracle(&a, k).unwrap();
+        let scale = oracle.s.first().copied().unwrap_or(1.0).max(1.0);
+        for (got, want) in svd.s.iter().zip(oracle.s.iter()) {
+            prop_assert!((got - want).abs() < 0.02 * scale, "{} vs {}", got, want);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Character n-gram extraction.
+//!
+//! Kukich's spelling-correction application of LSI (§5.4 of the paper)
+//! builds a matrix whose *rows* are character unigrams/bigrams/trigrams
+//! and whose *columns* are correctly spelled words; a query word "is
+//! broken down into its bigrams and trigrams" and located at the
+//! weighted vector sum of those elements.
+
+/// Extract all character n-grams of length `n` from `word`, including
+/// boundary-padded grams (`^wo`, `rd$`-style) when `pad` is true —
+/// padding makes word-initial and word-final grams distinctive, which
+/// helps short words.
+pub fn char_ngrams(word: &str, n: usize, pad: bool) -> Vec<String> {
+    assert!(n >= 1, "n-gram length must be at least 1");
+    let mut chars: Vec<char> = Vec::new();
+    if pad && n > 1 {
+        chars.push('^');
+    }
+    chars.extend(word.chars());
+    if pad && n > 1 {
+        chars.push('$');
+    }
+    if chars.len() < n {
+        return Vec::new();
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// The union of bigrams and trigrams of `word` (Kukich's feature set).
+pub fn bigrams_and_trigrams(word: &str, pad: bool) -> Vec<String> {
+    let mut grams = char_ngrams(word, 2, pad);
+    grams.extend(char_ngrams(word, 3, pad));
+    grams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpadded_bigrams() {
+        assert_eq!(char_ngrams("cat", 2, false), vec!["ca", "at"]);
+    }
+
+    #[test]
+    fn padded_bigrams_mark_boundaries() {
+        assert_eq!(char_ngrams("cat", 2, true), vec!["^c", "ca", "at", "t$"]);
+    }
+
+    #[test]
+    fn trigrams() {
+        assert_eq!(char_ngrams("word", 3, false), vec!["wor", "ord"]);
+        assert_eq!(
+            char_ngrams("word", 3, true),
+            vec!["^wo", "wor", "ord", "rd$"]
+        );
+    }
+
+    #[test]
+    fn short_words_yield_empty_unpadded() {
+        assert!(char_ngrams("a", 2, false).is_empty());
+        // With padding, even one-letter words have boundary bigrams.
+        assert_eq!(char_ngrams("a", 2, true), vec!["^a", "a$"]);
+    }
+
+    #[test]
+    fn unigrams_never_pad() {
+        assert_eq!(char_ngrams("ab", 1, true), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn combined_feature_set() {
+        let grams = bigrams_and_trigrams("dumais", false);
+        assert!(grams.contains(&"du".to_string()));
+        assert!(grams.contains(&"ais".to_string()));
+        assert_eq!(grams.len(), 5 + 4);
+    }
+
+    #[test]
+    fn misspelling_shares_most_grams() {
+        // The paper's OCR example: "Dumais" vs "Duniais" share many
+        // n-grams, which is what makes LSI spelling correction work.
+        let a = bigrams_and_trigrams("dumais", false);
+        let b = bigrams_and_trigrams("duniais", false);
+        let shared = a.iter().filter(|g| b.contains(g)).count();
+        assert!(shared >= 3, "only {shared} shared grams");
+    }
+}

@@ -1,0 +1,84 @@
+//! Stop-word list.
+//!
+//! A compact English function-word list in the spirit of the SMART
+//! system's (the paper's reference \[25\]); §3.1 of the paper drops "of",
+//! "children", and "with" from the example query because they are "not
+//! indexed terms" — function words land on this list, content words like
+//! "children" are instead removed by the `min_df` parsing rule.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The embedded stop-word list, alphabetized.
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "across", "after", "again", "against", "all", "almost", "alone",
+    "along", "already", "also", "although", "always", "am", "among", "an", "and", "another",
+    "any", "anybody", "anyone", "anything", "anywhere", "are", "area", "around", "as", "ask",
+    "at", "away", "back", "be", "became", "because", "become", "becomes", "been", "before",
+    "behind", "being", "below", "between", "both", "but", "by", "came", "can", "cannot", "come",
+    "could", "did", "do", "does", "done", "down", "during", "each", "either", "else", "enough",
+    "even", "ever", "every", "everybody", "everyone", "everything", "everywhere", "few", "for",
+    "from", "further", "gave", "get", "gets", "give", "given", "goes", "going", "got", "had",
+    "has", "have", "having", "he", "her", "here", "hers", "herself", "him", "himself", "his",
+    "how", "however", "i", "if", "in", "into", "is", "it", "its", "itself", "just", "keep",
+    "kept", "knew", "know", "known", "last", "least", "less", "let", "like", "likely", "made",
+    "make", "makes", "many", "may", "me", "might", "mine", "more", "most", "much", "must", "my",
+    "myself", "near", "necessary", "need", "needs", "neither", "never", "next", "no", "nobody",
+    "none", "nor", "not", "nothing", "now", "nowhere", "of", "off", "often", "on", "once", "one",
+    "only", "onto", "or", "other", "others", "our", "ours", "ourselves", "out", "over", "own",
+    "per", "perhaps", "put", "quite", "rather", "really", "s", "said", "same", "saw", "say",
+    "says", "see", "seem", "seemed", "seeming", "seems", "seen", "several", "shall", "she",
+    "should", "since", "so", "some", "somebody", "someone", "something", "somewhere", "still",
+    "such", "take", "taken", "than", "that", "the", "their", "theirs", "them", "themselves",
+    "then", "there", "therefore", "these", "they", "this", "those", "though", "through", "thus",
+    "to", "together", "too", "toward", "towards", "under", "until", "up", "upon", "us", "use",
+    "used", "uses", "very", "was", "we", "well", "went", "were", "what", "whatever", "when",
+    "where", "whether", "which", "while", "who", "whole", "whom", "whose", "why", "will", "with",
+    "within", "without", "would", "yet", "you", "your", "yours", "yourself", "yourselves",
+];
+
+fn stopword_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Is `token` (already lowercased) a stop word?
+pub fn is_stopword(token: &str) -> bool {
+    stopword_set().contains(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_words_are_stopped() {
+        for w in ["of", "with", "the", "after", "and", "to", "by", "a", "in", "who", "s"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopped() {
+        for w in [
+            "children", "blood", "culture", "depressed", "fast", "oestrogen", "study",
+            "patients", "pressure",
+        ] {
+            assert!(!is_stopword(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "stop list out of order near {:?}", w);
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_contract() {
+        // Callers must lowercase first (the tokenizer does).
+        assert!(!is_stopword("The"));
+        assert!(is_stopword("the"));
+    }
+}

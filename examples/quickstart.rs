@@ -1,0 +1,73 @@
+//! Quickstart: index a handful of documents, run a query, inspect the
+//! semantic space.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A corpus: ids + raw text. Parsing, stop-word removal, and the
+    //    term-document matrix are handled internally.
+    let corpus = Corpus::from_pairs([
+        ("doc1", "the engine of the car roared as the driver accelerated"),
+        ("doc2", "an automobile needs a working motor and a tuned engine"),
+        ("doc3", "the driver parked the automobile and checked the motor of the car"),
+        ("doc4", "elephants and lions roam the savanna wilderness"),
+        ("doc5", "the lion stalked a herd of elephants at the waterhole"),
+        ("doc6", "wildlife of the savanna includes lions and a lion cub"),
+    ]);
+
+    // 2. Build the LSI model: vocabulary rules (terms must occur in at
+    //    least two documents), the paper's recommended log x entropy
+    //    weighting, and a truncated SVD with k factors.
+    let options = LsiOptions {
+        k: 2,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting: TermWeighting::log_entropy(),
+        svd_seed: 1,
+    };
+    let (model, report) = LsiModel::build(&corpus, &options)?;
+    println!(
+        "indexed {} terms x {} docs into {} factors ({} Lanczos steps)",
+        model.n_terms(),
+        model.n_docs(),
+        model.k(),
+        report.steps
+    );
+
+    // 3. Query. "automobile" never co-occurs with "roared", yet LSI
+    //    ranks doc1 highly: that is the latent structure at work.
+    for query in ["automobile motor", "lion savanna", "car"] {
+        let ranked = model.query(query)?;
+        let hits: Vec<String> = ranked
+            .top(3)
+            .matches
+            .iter()
+            .map(|m| format!("{} ({:.2})", m.id, m.cosine))
+            .collect();
+        println!("query {query:?} -> {}", hits.join(", "));
+    }
+
+    // 4. Term-term similarity (the automatic-thesaurus view).
+    let car = model.term_index("car").expect("indexed");
+    let engine = model.term_index("engine").expect("indexed");
+    let lions = model.term_index("lions").expect("indexed");
+    println!(
+        "sim(car, engine) = {:.2}, sim(car, lions) = {:.2}",
+        model.term_term_similarity(car, engine),
+        model.term_term_similarity(car, lions)
+    );
+
+    // 5. Persist the "LSI database" and restore it.
+    let json = model.to_json()?;
+    let restored = LsiModel::from_json(&json)?;
+    assert_eq!(restored.k(), model.k());
+    println!("round-tripped model through JSON ({} bytes)", json.len());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! LSI spelling correction (§5.4, Kukich): an n-gram × word semantic
+//! space corrects single-edit misspellings.
+//!
+//! ```text
+//! cargo run --example spelling_correction [words...]
+//! ```
+
+use lsi_apps::spelling::SpellingCorrector;
+use lsi_corpora::spelling::{generate_misspellings, LEXICON};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corrector = SpellingCorrector::build(LEXICON, 60)?;
+    println!("lexicon: {} words; LSI space over padded bigrams/trigrams\n", LEXICON.len());
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inputs: Vec<String> = if args.is_empty() {
+        vec![
+            "informaton".into(), // the classic
+            "semnatic".into(),
+            "retreival".into(),
+            "presure".into(),
+            "docment".into(),
+        ]
+    } else {
+        args
+    };
+
+    for written in &inputs {
+        let suggestions = corrector.suggest(written, 3)?;
+        let rendered: Vec<String> = suggestions
+            .iter()
+            .map(|(w, c)| format!("{w} ({c:.2})"))
+            .collect();
+        println!("{written:<14} -> {}", rendered.join(", "));
+    }
+
+    // A quick accuracy check against generated ground truth.
+    let cases = generate_misspellings(50, 99);
+    let accuracy = corrector.accuracy(&cases)?;
+    println!("\naccuracy on 50 generated single-edit misspellings: {:.0}%", accuracy * 100.0);
+    Ok(())
+}

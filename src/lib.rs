@@ -1,0 +1,21 @@
+//! `lsi-repro`: umbrella crate of the LSI reproduction workspace.
+//!
+//! The real functionality lives in the member crates; this package
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). See the README for the map.
+
+/// Workspace identity string used by smoke tests.
+pub const WORKSPACE: &str = "lsi-reproduction";
+
+/// The member crates, for documentation purposes.
+pub const CRATES: &[&str] = &[
+    "lsi-linalg",
+    "lsi-sparse",
+    "lsi-svd",
+    "lsi-text",
+    "lsi-core",
+    "lsi-eval",
+    "lsi-corpora",
+    "lsi-apps",
+    "lsi-bench",
+];
