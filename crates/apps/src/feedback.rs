@@ -96,7 +96,7 @@ mod tests {
             docs_per_topic: 8,
             synonyms_per_concept: 4,
             noise_fraction: 0.3,
-            seed: 77,
+            seed: 42,
             ..Default::default()
         });
         let options = LsiOptions {
@@ -106,7 +106,7 @@ mod tests {
                 ..Default::default()
             },
             weighting: TermWeighting::log_entropy(),
-            svd_seed: 2,
+            svd_seed: 42,
         };
         let model = LsiModel::build(&gen.corpus, &options).unwrap().0;
         (model, gen)

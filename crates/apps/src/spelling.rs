@@ -69,12 +69,11 @@ impl SpellingCorrector {
     /// Suggest the `z` nearest lexicon words for an input string.
     pub fn suggest(&self, written: &str, z: usize) -> lsi_core::Result<Vec<(String, f64)>> {
         let text = gram_text(&written.to_lowercase());
-        let ranked = self.model.query(&text)?;
+        let ranked = self.model.query_top(&text, z)?;
         Ok(ranked
             .matches
             .into_iter()
-            .take(z)
-            .map(|m| (m.id, m.cosine))
+            .map(|m| (m.id.to_string(), m.cosine))
             .collect())
     }
 

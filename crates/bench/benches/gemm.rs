@@ -1,0 +1,90 @@
+//! Blocked GEMM and Gram–Schmidt panel kernels: the BLAS-2/3 hot paths
+//! behind Lanczos reorthogonalization, Ritz assembly, SVD-updating
+//! rotations, and batched query scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsi_linalg::gemm::reference;
+use lsi_linalg::ops::{matmul, matmul_tn};
+use lsi_linalg::{panel_qt_w, panel_w_minus_qy, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(m: usize, n: usize, rng: &mut StdRng) -> DenseMatrix {
+    let data: Vec<f64> = (0..m * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    DenseMatrix::from_col_major(m, n, data).expect("shape matches buffer")
+}
+
+fn bench_square_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut group = c.benchmark_group("gemm/square");
+    group.sample_size(20);
+    for &n in &[128usize, 256] {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b).expect("gemm"))
+        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+                bch.iter(|| reference::matmul(&a, &b))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_transposed_gemm(c: &mut Criterion) {
+    // A^T B with A stored k×m — the Ritz-vector / SVD-updating shape.
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut group = c.benchmark_group("gemm/tn");
+    group.sample_size(20);
+    for &n in &[128usize, 256] {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmul_tn(&a, &b).expect("gemm_tn"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tall_gemm(c: &mut Criterion) {
+    // V · Q̂: tall-skinny times small — the batched query-scoring shape.
+    let mut rng = StdRng::seed_from_u64(44);
+    let v = random_matrix(4096, 64, &mut rng);
+    let q = random_matrix(64, 16, &mut rng);
+    c.bench_function("gemm/tall_4096x64x16", |b| {
+        b.iter(|| matmul(&v, &q).expect("gemm"))
+    });
+}
+
+fn bench_panel_kernels(c: &mut Criterion) {
+    // One CGS2 pass against a 3500×160 basis — the Lanczos
+    // reorthogonalization shape at trec_like(20) scale.
+    let mut rng = StdRng::seed_from_u64(45);
+    let dim = 3500;
+    let ncols = 160;
+    let basis = random_matrix(dim, ncols, &mut rng);
+    let w: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+    c.bench_function("gemm/panel_qt_w", |b| {
+        b.iter(|| panel_qt_w(&basis, ncols, &w))
+    });
+    let y = panel_qt_w(&basis, ncols, &w);
+    c.bench_function("gemm/panel_w_minus_qy", |b| {
+        b.iter(|| {
+            let mut wc = w.clone();
+            panel_w_minus_qy(&basis, ncols, &y, &mut wc);
+            wc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_square_gemm,
+    bench_transposed_gemm,
+    bench_tall_gemm,
+    bench_panel_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Kernel-level performance snapshot used to populate BENCH_kernels.json.
+//!
+//! Measures the three hot paths the blocked-BLAS work targets:
+//! dense GEMM throughput (GFLOP/s), Lanczos wall time at k = 50 with
+//! full reorthogonalization, and query-scoring throughput (queries/sec,
+//! both one-at-a-time and batched). Prints one JSON object to stdout so
+//! before/after runs can be diffed mechanically:
+//!
+//! ```text
+//! cargo run --release -p lsi-bench --bin perf_kernels
+//! ```
+
+use std::time::Instant;
+
+use lsi_core::{Combine, LsiModel, LsiOptions, MultiQuery};
+use lsi_corpora::treclike::trec_like;
+use lsi_corpora::{SyntheticCorpus, SyntheticOptions};
+use lsi_linalg::{ops, DenseMatrix};
+use lsi_sparse::ops::DualFormat;
+use lsi_svd::{lanczos_svd, LanczosOptions, Reorth};
+use lsi_text::{ParsingRules, TermWeighting};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(m: usize, n: usize, rng: &mut StdRng) -> DenseMatrix {
+    let mut a = DenseMatrix::zeros(m, n);
+    for j in 0..n {
+        for i in 0..m {
+            a.set(i, j, rng.random::<f64>() - 0.5);
+        }
+    }
+    a
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gemm_gflops(m: usize, k: usize, n: usize, transposed: bool, rng: &mut StdRng) -> f64 {
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    if transposed {
+        // C = A^T B with A k-rows-first so shapes line up: A is k x m.
+        let a = random_matrix(k, m, rng);
+        let b = random_matrix(k, n, rng);
+        let secs = best_secs(5, || {
+            std::hint::black_box(ops::matmul_tn(&a, &b).expect("gemm_tn"));
+        });
+        flops / secs / 1e9
+    } else {
+        let a = random_matrix(m, k, rng);
+        let b = random_matrix(k, n, rng);
+        let secs = best_secs(5, || {
+            std::hint::black_box(ops::matmul(&a, &b).expect("gemm"));
+        });
+        flops / secs / 1e9
+    }
+}
+
+fn query_model() -> (LsiModel, Vec<String>) {
+    // 10 topics x 200 docs/topic = 2000 documents.
+    let gen = SyntheticCorpus::generate(&SyntheticOptions {
+        n_topics: 10,
+        docs_per_topic: 200,
+        doc_len: 30,
+        queries_per_topic: 8,
+        seed: 77,
+        ..Default::default()
+    });
+    let options = LsiOptions {
+        k: 64,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting: TermWeighting::log_entropy(),
+        svd_seed: 7,
+    };
+    let (model, _) = LsiModel::build(&gen.corpus, &options).expect("model builds");
+    let queries = gen.queries.iter().map(|q| q.text.clone()).collect();
+    (model, queries)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+
+    // --- Dense GEMM throughput -------------------------------------
+    let gemm_nn_256 = gemm_gflops(256, 256, 256, false, &mut rng);
+    let gemm_tn_256 = gemm_gflops(256, 256, 256, true, &mut rng);
+    let gemm_nn_512 = gemm_gflops(512, 512, 512, false, &mut rng);
+    // Tall-skinny shape typical of basis updates: (4500 x 128) * (128 x 128).
+    let gemm_nn_tall = gemm_gflops(4500, 128, 128, false, &mut rng);
+
+    // --- Lanczos k = 50, full reorthogonalization ------------------
+    let matrix = trec_like(20, 7); // 4500 x 3500, TREC-shaped sparsity
+    let dual = DualFormat::from_csc(matrix);
+    let opts = LanczosOptions {
+        reorth: Reorth::Full,
+        ..Default::default()
+    };
+    let mut steps = 0usize;
+    let lanczos_secs = best_secs(3, || {
+        let (svd, report) = lanczos_svd(&dual, 50, &opts).expect("lanczos runs");
+        steps = report.steps;
+        std::hint::black_box(svd);
+    });
+
+    // --- Query scoring throughput ----------------------------------
+    let (model, queries) = query_model();
+    let qhats: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| model.project_text(q).expect("projects"))
+        .collect();
+
+    // Single-query path: full text query, top 10 of a ranked list.
+    let single_secs = best_secs(3, || {
+        for q in &queries {
+            let ranked = model.query(q).expect("query runs");
+            std::hint::black_box(ranked.top(10));
+        }
+    });
+    let single_qps = queries.len() as f64 / single_secs;
+
+    // Scoring-only path: pre-projected vectors ranked top-10. This is
+    // the loop the precomputed-norm + top-k selection work targets
+    // (rank_projected_top partitions instead of sorting the full list).
+    let score_reps = 20usize;
+    let score_secs = best_secs(3, || {
+        for _ in 0..score_reps {
+            for qhat in &qhats {
+                let ranked = model.rank_projected_top(qhat, 10).expect("ranks");
+                std::hint::black_box(ranked);
+            }
+        }
+    });
+    let batch_qps = (score_reps * qhats.len()) as f64 / score_secs;
+
+    // Multi-facet query (all facets at once) for the one-GEMM path.
+    let mq = MultiQuery::from_vectors(&model, qhats.clone()).expect("facets");
+    let multi_secs = best_secs(3, || {
+        for _ in 0..score_reps {
+            let ranked = model.query_multi(&mq, Combine::Max).expect("multi");
+            std::hint::black_box(ranked.top(10));
+        }
+    });
+    let multi_qps = (score_reps * qhats.len()) as f64 / multi_secs;
+
+    println!("{{");
+    println!("  \"gemm_nn_256_gflops\": {gemm_nn_256:.3},");
+    println!("  \"gemm_tn_256_gflops\": {gemm_tn_256:.3},");
+    println!("  \"gemm_nn_512_gflops\": {gemm_nn_512:.3},");
+    println!("  \"gemm_nn_tall_gflops\": {gemm_nn_tall:.3},");
+    println!("  \"lanczos_k50_secs\": {lanczos_secs:.4},");
+    println!("  \"lanczos_k50_steps\": {steps},");
+    println!("  \"query_single_qps\": {single_qps:.1},");
+    println!("  \"query_batch_scoring_qps\": {batch_qps:.1},");
+    println!("  \"query_multi_facet_qps\": {multi_qps:.1}");
+    println!("}}");
+}

@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn large_k_approaches_keyword_level() {
-        let sweep = run(&[96], 77);
+        let sweep = run(&[96], 13);
         let (_, at_96) = sweep.series[0];
         // Within a band of the word-based level (the paper's limiting
         // argument; exact equality needs k = rank).

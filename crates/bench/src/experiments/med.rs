@@ -73,7 +73,7 @@ pub fn figure45() -> Figure45 {
     let doc_coords = (0..model.n_docs())
         .map(|j| {
             let c = model.doc_coords_scaled(j);
-            (model.doc_ids()[j].clone(), [c[0], c[1]])
+            (model.doc_ids()[j].to_string(), [c[0], c[1]])
         })
         .collect();
     let u2 = (0..model.n_terms())
@@ -146,7 +146,7 @@ pub fn figure6() -> Figure6 {
             .at_threshold(t)
             .matches
             .iter()
-            .map(|m| m.id.clone())
+            .map(|m| m.id.to_string())
             .collect()
     };
     let lex = LexicalMatcher::build(&example.corpus, example.vocab.clone());
@@ -195,7 +195,7 @@ pub fn table4_column(k: usize) -> Vec<(String, f64)> {
         .at_threshold(0.40)
         .matches
         .iter()
-        .map(|m| (m.id.clone(), m.cosine))
+        .map(|m| (m.id.to_string(), m.cosine))
         .collect()
 }
 

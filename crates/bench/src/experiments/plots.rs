@@ -26,7 +26,7 @@ fn plot_model(title: &str, model: &LsiModel, highlight: &[&str]) -> ScatterPlot 
     }
     for j in 0..model.n_docs() {
         let c = model.doc_coords_scaled(j);
-        let id = model.doc_ids()[j].clone();
+        let id = model.doc_ids()[j].to_string();
         if highlight.contains(&id.as_str()) {
             plot.doc_highlight(c[0], c[1], id);
         } else {

@@ -195,7 +195,7 @@ pub fn run() -> Vec<Check> {
     ));
 
     // --- §5.3 ---
-    let filt = filtering::run(3000, 12);
+    let filt = filtering::run(13, 12);
     let adv = (filt.lsi_text_profile - filt.keyword_profile) / filt.keyword_profile;
     checks.push(check(
         "S5.3/filtering",

@@ -1,5 +1,7 @@
 //! The LSI model: vocabulary + weighting + truncated SVD factors.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use lsi_linalg::svd::Svd;
@@ -66,8 +68,13 @@ pub struct LsiModel {
     pub(crate) s: Vec<f64>,
     /// Document matrix `V_k` ((n + folded) × k); one row per document.
     pub(crate) v: DenseMatrix,
-    /// Document ids, parallel to rows of `v`.
-    pub(crate) doc_ids: Vec<String>,
+    /// Euclidean norm of each row of `v`, precomputed so that query
+    /// scoring is a single `V q̂` product plus a scale (the per-query
+    /// denominator `‖d_j‖` never changes between updates).
+    pub(crate) doc_norms: Vec<f64>,
+    /// Document ids, parallel to rows of `v`. Shared (`Arc`) because
+    /// every ranked result references all of them.
+    pub(crate) doc_ids: Vec<Arc<str>>,
     /// Origin of each document row.
     pub(crate) doc_origins: Vec<DocOrigin>,
     /// Term display forms that were folded in (rows appended to `u`).
@@ -131,22 +138,36 @@ impl LsiModel {
         svd.sign_normalize();
         let n_docs = counts.ncols();
         let n_terms = counts.nrows();
-        Ok((
-            LsiModel {
-                vocab,
-                weighting: options.weighting,
-                global_weights: weighted.global,
-                u: svd.u,
-                s: svd.s,
-                v: svd.v,
-                doc_ids,
-                doc_origins: vec![DocOrigin::Svd; n_docs],
-                folded_terms: Vec::new(),
-                term_origins: vec![DocOrigin::Svd; n_terms],
-                weighted: weighted.matrix,
-            },
-            report,
-        ))
+        let mut model = LsiModel {
+            vocab,
+            weighting: options.weighting,
+            global_weights: weighted.global,
+            u: svd.u,
+            s: svd.s,
+            v: svd.v,
+            doc_norms: Vec::new(),
+            doc_ids: doc_ids.into_iter().map(Arc::from).collect(),
+            doc_origins: vec![DocOrigin::Svd; n_docs],
+            folded_terms: Vec::new(),
+            term_origins: vec![DocOrigin::Svd; n_terms],
+            weighted: weighted.matrix,
+        };
+        model.refresh_doc_norms();
+        Ok((model, report))
+    }
+
+    /// Recompute the cached row norms of `V_k`. Must be called by every
+    /// operation that replaces or appends to `v`.
+    pub(crate) fn refresh_doc_norms(&mut self) {
+        self.doc_norms = (0..self.v.nrows())
+            .map(|j| vecops::nrm2(&self.v.row(j)))
+            .collect();
+    }
+
+    /// Precomputed Euclidean norms of the document vectors (rows of
+    /// `V_k`), parallel to [`LsiModel::doc_ids`].
+    pub fn doc_norms(&self) -> &[f64] {
+        &self.doc_norms
     }
 
     /// Number of factors retained (`k`; may be below the requested `k`
@@ -187,7 +208,7 @@ impl LsiModel {
     }
 
     /// Document ids in row order of `V_k`.
-    pub fn doc_ids(&self) -> &[String] {
+    pub fn doc_ids(&self) -> &[Arc<str>] {
         &self.doc_ids
     }
 
@@ -258,7 +279,7 @@ impl LsiModel {
 
     /// Look up a document's row by id.
     pub fn doc_index(&self, id: &str) -> Option<usize> {
-        self.doc_ids.iter().position(|d| d == id)
+        self.doc_ids.iter().position(|d| d.as_ref() == id)
     }
 
     /// Look up a term's row, including folded-in terms.
@@ -291,7 +312,12 @@ impl LsiModel {
 
     /// Restore an LSI database from JSON.
     pub fn from_json(json: &str) -> Result<LsiModel> {
-        serde_json::from_str(json).map_err(|e| Error::Persist(e.to_string()))
+        let mut model: LsiModel =
+            serde_json::from_str(json).map_err(|e| Error::Persist(e.to_string()))?;
+        // Norms are derived data; recompute rather than trusting the
+        // serialized copy (hand-edited or truncated files stay usable).
+        model.refresh_doc_norms();
+        Ok(model)
     }
 }
 

@@ -11,8 +11,6 @@ use crate::model::LsiModel;
 use crate::query::{Match, RankedList};
 use crate::{Error, Result};
 
-use lsi_linalg::vecops;
-
 /// How per-facet cosines combine into one document score.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Combine {
@@ -112,19 +110,23 @@ impl MultiQuery {
 
 impl LsiModel {
     /// Rank all documents against a multi-facet query.
+    ///
+    /// All facet cosines come out of a single `V Q̂` matrix product
+    /// (one GEMM for the whole batch) before the per-document combine.
     pub fn query_multi(&self, query: &MultiQuery, combine: Combine) -> Result<RankedList> {
+        let facets: Vec<&[f64]> = query.facets.iter().map(Vec::as_slice).collect();
+        let cosines = self.facet_cosines(&facets)?;
+        let nf = query.facets.len();
+        let mut row = vec![0.0; nf];
         let mut matches: Vec<Match> = (0..self.n_docs())
             .map(|j| {
-                let dv = self.doc_vector(j);
-                let cosines: Vec<f64> = query
-                    .facets
-                    .iter()
-                    .map(|f| vecops::cosine(f, &dv))
-                    .collect();
+                for f in 0..nf {
+                    row[f] = cosines.get(j, f);
+                }
                 Match {
                     doc: j,
                     id: self.doc_ids()[j].clone(),
-                    cosine: combine.combine(&cosines),
+                    cosine: combine.combine(&row),
                 }
             })
             .collect();

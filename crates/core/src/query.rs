@@ -7,23 +7,21 @@
 //! similarity is the cosine ... Typically the z closest documents or all
 //! documents exceeding some cosine threshold are returned."
 
-use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::sync::Arc;
 
-use lsi_linalg::vecops;
+use lsi_linalg::{ops, vecops, DenseMatrix};
 
 use crate::model::LsiModel;
 use crate::{Error, Result};
-
-/// Minimum document count before the ranking loop goes parallel.
-const PAR_DOC_THRESHOLD: usize = 4096;
 
 /// One retrieved document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Match {
     /// Row index in `V_k`.
     pub doc: usize,
-    /// Document id.
-    pub id: String,
+    /// Document id (shared with the model — cloning a match is cheap).
+    pub id: Arc<str>,
     /// Cosine similarity to the query.
     pub cosine: f64,
 }
@@ -58,12 +56,23 @@ impl RankedList {
 
     /// Document ids in rank order.
     pub fn ids(&self) -> Vec<&str> {
-        self.matches.iter().map(|m| m.id.as_str()).collect()
+        self.matches.iter().map(|m| m.id.as_ref()).collect()
     }
 
     /// Rank position (0-based) of a document id, if present.
     pub fn rank_of(&self, id: &str) -> Option<usize> {
-        self.matches.iter().position(|m| m.id == id)
+        self.matches.iter().position(|m| m.id.as_ref() == id)
+    }
+}
+
+/// Descending by score, ties broken by ascending document index — the
+/// ordering every ranking entry point shares.
+fn by_score_desc(scores: &[f64]) -> impl Fn(&usize, &usize) -> Ordering + '_ {
+    move |&a: &usize, &b: &usize| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores are finite")
+            .then_with(|| a.cmp(&b))
     }
 }
 
@@ -120,44 +129,108 @@ impl LsiModel {
         self.project_counts(&counts)
     }
 
+    /// Cosine of every document against every facet, computed as one
+    /// `V Q̂` matrix product (n_docs × n_facets) scaled by the
+    /// precomputed document norms. Facets with no mass (or documents
+    /// with a zero vector) score 0, matching [`vecops::cosine`].
+    pub(crate) fn facet_cosines(&self, facets: &[&[f64]]) -> Result<DenseMatrix> {
+        let k = self.k();
+        let n = self.n_docs();
+        for f in facets {
+            if f.len() != k {
+                return Err(Error::Inconsistent {
+                    context: format!(
+                        "projected query has {} dimensions but the model has {k} factors",
+                        f.len()
+                    ),
+                });
+            }
+        }
+        let nf = facets.len();
+        if k == 0 || n == 0 {
+            return Ok(DenseMatrix::zeros(n, nf));
+        }
+        let mut scores = if nf == 1 {
+            // One facet is a GEMV: skip the GEMM's operand packing,
+            // which would copy all of V for a single right-hand side.
+            DenseMatrix::from_col_major(n, 1, ops::matvec(&self.v, facets[0])?)?
+        } else {
+            let qdata: Vec<f64> = facets.iter().flat_map(|f| f.iter().copied()).collect();
+            let qmat = DenseMatrix::from_col_major(k, nf, qdata)?;
+            ops::matmul(&self.v, &qmat)?
+        };
+        for (f, facet) in facets.iter().enumerate() {
+            let qnorm = vecops::nrm2(facet);
+            let col = scores.col_mut(f);
+            for (s, &dnorm) in col.iter_mut().zip(self.doc_norms.iter()) {
+                *s = if qnorm > 0.0 && dnorm > 0.0 {
+                    *s / (dnorm * qnorm)
+                } else {
+                    0.0
+                };
+            }
+        }
+        Ok(scores)
+    }
+
+    fn make_match(&self, j: usize, cosine: f64) -> Match {
+        Match {
+            doc: j,
+            id: self.doc_ids[j].clone(),
+            cosine,
+        }
+    }
+
     /// Rank all documents by cosine to the projected query vector.
     pub fn rank_projected(&self, qhat: &[f64]) -> Result<RankedList> {
-        if qhat.len() != self.k() {
-            return Err(Error::Inconsistent {
-                context: format!(
-                    "projected query has {} dimensions but the model has {} factors",
-                    qhat.len(),
-                    self.k()
-                ),
-            });
-        }
+        let scores = self.facet_cosines(&[qhat])?;
+        let scores = scores.col(0);
+        let mut order: Vec<usize> = (0..self.n_docs()).collect();
+        order.sort_by(by_score_desc(scores));
+        Ok(RankedList {
+            matches: order
+                .into_iter()
+                .map(|j| self.make_match(j, scores[j]))
+                .collect(),
+        })
+    }
+
+    /// The `z` best documents for a projected query, without sorting
+    /// the full collection: a `select_nth` partition around rank `z`
+    /// followed by a sort of the `z` survivors. "Typically the z
+    /// closest documents ... are returned" — this is the entry point
+    /// for that typical case.
+    pub fn rank_projected_top(&self, qhat: &[f64], z: usize) -> Result<RankedList> {
+        let scores = self.facet_cosines(&[qhat])?;
+        let scores = scores.col(0);
         let n = self.n_docs();
-        let score = |j: usize| -> Match {
-            let dv = self.v.row(j);
-            Match {
-                doc: j,
-                id: self.doc_ids[j].clone(),
-                cosine: vecops::cosine(&dv, qhat),
-            }
-        };
-        let mut matches: Vec<Match> = if n >= PAR_DOC_THRESHOLD {
-            (0..n).into_par_iter().map(score).collect()
-        } else {
-            (0..n).map(score).collect()
-        };
-        matches.sort_by(|a, b| {
-            b.cosine
-                .partial_cmp(&a.cosine)
-                .expect("cosines are finite")
-                .then_with(|| a.doc.cmp(&b.doc))
-        });
-        Ok(RankedList { matches })
+        let z = z.min(n);
+        let cmp = by_score_desc(scores);
+        let mut order: Vec<usize> = (0..n).collect();
+        if z > 0 && z < n {
+            order.select_nth_unstable_by(z - 1, &cmp);
+        }
+        order.truncate(z);
+        order.sort_by(&cmp);
+        Ok(RankedList {
+            matches: order
+                .into_iter()
+                .map(|j| self.make_match(j, scores[j]))
+                .collect(),
+        })
     }
 
     /// Query by free text: project and rank.
     pub fn query(&self, text: &str) -> Result<RankedList> {
         let qhat = self.project_text(text)?;
         self.rank_projected(&qhat)
+    }
+
+    /// Query by free text, returning only the top `z` documents
+    /// (partition + partial sort instead of a full ranking).
+    pub fn query_top(&self, text: &str, z: usize) -> Result<RankedList> {
+        let qhat = self.project_text(text)?;
+        self.rank_projected_top(&qhat, z)
     }
 
     /// Rank documents against an existing *document* (query-by-example;

@@ -78,10 +78,11 @@ impl LsiModel {
                 }
             }
             new_rows.push(dhat);
-            self.doc_ids.push(doc.id.clone());
+            self.doc_ids.push(doc.id.as_str().into());
             self.doc_origins.push(DocOrigin::FoldedIn);
         }
         self.v = append_rows(&self.v, &new_rows);
+        self.refresh_doc_norms();
         Ok(())
     }
 
@@ -240,8 +241,9 @@ impl LsiModel {
         self.v = v_old.vcat(&v_f_bottom)?;
         self.s = sigma_new;
 
+        self.refresh_doc_norms();
         for id in ids {
-            self.doc_ids.push(id.clone());
+            self.doc_ids.push(id.as_str().into());
             self.doc_origins.push(DocOrigin::Svd);
         }
         // Grow the stored weighted matrix for later recomputation /
@@ -354,6 +356,7 @@ impl LsiModel {
         let v_ext = self.v.hcat(&q_r)?;
         self.v = ops::matmul(&v_ext, &v_h)?;
         self.s = sigma_new;
+        self.refresh_doc_norms();
 
         // Rebuild the stored weighted matrix with the q new rows (new
         // terms get unit global weight, mirroring fold_in_terms).
@@ -487,6 +490,7 @@ impl LsiModel {
         self.u = ops::matmul(&u_ext, &svd_k.u.truncate_cols(keep))?;
         self.v = ops::matmul(&v_ext, &svd_k.v.truncate_cols(keep))?;
         self.s = svd_k.s[..keep].to_vec();
+        self.refresh_doc_norms();
 
         // Apply the deltas to the stored weighted matrix.
         let old = &self.weighted;
@@ -527,6 +531,7 @@ impl LsiModel {
             .truncate(n_terms.saturating_sub(self.vocab.len()));
         self.term_origins = vec![DocOrigin::Svd; n_terms];
         self.global_weights.resize(n_terms, 1.0);
+        self.refresh_doc_norms();
         Ok(())
     }
 }

@@ -1,0 +1,488 @@
+//! Cache-blocked, register-tiled GEMM and the panel kernels behind
+//! Gram–Schmidt reorthogonalization.
+//!
+//! The layout follows the classic Goto/BLIS decomposition: the output
+//! is tiled into `MR x NR` register blocks; operand panels are packed
+//! into contiguous micro-panels so the innermost loop streams both
+//! operands sequentially regardless of transposition; and the three
+//! outer loops block for cache (`MC x KC` packed A resident in L2,
+//! `KC x NR` slivers of packed B streaming through L1). Transposed
+//! products (`A^T B`, `A B^T`) reuse the same kernel — transposition is
+//! absorbed by the packing routines, never by strided inner loops.
+//!
+//! Parallelism splits the *output columns* across cores (each worker
+//! owns a contiguous block of `C`'s column-major storage, so writes are
+//! disjoint and allocation-free). The threshold is deliberately high:
+//! the threading shim spawns scoped OS threads per call (no pool), and
+//! on small containers a spawn can cost on the order of a millisecond,
+//! so only products with tens of megaflops amortize it.
+//!
+//! The panel kernels (`panel_qt_w`, `panel_w_minus_qy`) are the BLAS-2
+//! building blocks of classical Gram–Schmidt: `y = Q^T w` fuses four
+//! column dot products per sweep of `w`, and `w -= Q y` fuses four
+//! AXPYs per sweep, quartering the traffic over `w` compared to
+//! column-at-a-time MGS.
+
+use rayon::prelude::*;
+
+use crate::matrix::DenseMatrix;
+
+/// Register tile height (rows of C per micro-kernel call).
+const MR: usize = 8;
+/// Register tile width (columns of C per micro-kernel call).
+const NR: usize = 4;
+/// Rows of A packed per cache block (the `MC x KC` panel targets L2).
+const MC: usize = 128;
+/// Depth of one packed panel pair.
+const KC: usize = 256;
+/// Columns of B packed per cache block.
+const NC: usize = 512;
+
+/// Flop count (2·m·n·k) below which GEMM stays serial. Spawning scoped
+/// threads (the shim has no persistent pool) measures ~1.7 ms per call
+/// on this class of container; at the ~4 GFLOP/s the serial blocked
+/// kernel sustains, a 2-way split only breaks even past roughly
+/// 2 × 1.7 ms ≈ 14 MFLOP of work. 1<<25 (33.5 MFLOP, i.e. a 256³
+/// product) leaves a margin so borderline shapes don't regress.
+pub const GEMM_PAR_MIN_FLOPS: usize = 1 << 25;
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A possibly-transposed read view of column-major storage: element
+/// `(r, c)` of the *effective* operand. Transposition swaps the roles
+/// of the row index and the column stride, so both cases are one
+/// multiply-add address computation.
+#[derive(Clone, Copy)]
+pub(crate) struct View<'a> {
+    data: &'a [f64],
+    ld: usize,
+    trans: bool,
+}
+
+impl<'a> View<'a> {
+    /// The matrix as stored.
+    pub(crate) fn normal(a: &'a DenseMatrix) -> View<'a> {
+        View { data: a.data(), ld: a.nrows().max(1), trans: false }
+    }
+
+    /// The transpose of the matrix as stored.
+    pub(crate) fn transposed(a: &'a DenseMatrix) -> View<'a> {
+        View { data: a.data(), ld: a.nrows().max(1), trans: true }
+    }
+
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        if self.trans {
+            self.data[r * self.ld + c]
+        } else {
+            self.data[c * self.ld + r]
+        }
+    }
+}
+
+// SAFETY: View is a read-only borrow of a f64 slice.
+unsafe impl Send for View<'_> {}
+unsafe impl Sync for View<'_> {}
+
+/// Pack the `mc x kc` block of `a` starting at `(i0, p0)` into MR-row
+/// micro-panels: panel `ib` holds rows `i0 + ib*MR ..` laid out as `kc`
+/// consecutive groups of `MR` values. Rows past `mc` pad with zeros so
+/// the micro-kernel never branches on edges.
+fn pack_a(a: View<'_>, i0: usize, mc: usize, p0: usize, kc: usize, buf: &mut [f64]) {
+    let mb = mc.div_ceil(MR);
+    for ib in 0..mb {
+        let rows = (mc - ib * MR).min(MR);
+        let panel = &mut buf[ib * kc * MR..(ib * kc + kc) * MR];
+        for l in 0..kc {
+            let dst = &mut panel[l * MR..l * MR + MR];
+            for i in 0..rows {
+                dst[i] = a.at(i0 + ib * MR + i, p0 + l);
+            }
+            for d in dst[rows..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Pack the `kc x nc` block of `b` starting at `(p0, j0)` into NR-column
+/// micro-panels, zero-padded past `nc`.
+fn pack_b(b: View<'_>, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut [f64]) {
+    let nb = nc.div_ceil(NR);
+    for jb in 0..nb {
+        let cols = (nc - jb * NR).min(NR);
+        let panel = &mut buf[jb * kc * NR..(jb * kc + kc) * NR];
+        for l in 0..kc {
+            let dst = &mut panel[l * NR..l * NR + NR];
+            for j in 0..cols {
+                dst[j] = b.at(p0 + l, j0 + jb * NR + j);
+            }
+            for d in dst[cols..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// The register tile: `MR x NR` accumulators updated along the packed
+/// `kc` dimension. Both operands stream contiguously; the accumulators
+/// live in registers across the whole loop.
+#[inline(always)]
+fn micro_kernel(kc: usize, apanel: &[f64], bpanel: &[f64]) -> [[f64; MR]; NR] {
+    let mut acc = [[0.0f64; MR]; NR];
+    for l in 0..kc {
+        // Fixed-size array views let the compiler drop bounds checks and
+        // keep the 32 accumulators in vector registers.
+        let av: &[f64; MR] = apanel[l * MR..l * MR + MR].try_into().expect("MR chunk");
+        let bv: &[f64; NR] = bpanel[l * NR..l * NR + NR].try_into().expect("NR chunk");
+        for j in 0..NR {
+            let b = bv[j];
+            for i in 0..MR {
+                acc[j][i] += av[i] * b;
+            }
+        }
+    }
+    acc
+}
+
+/// Serial blocked GEMM for output columns `jc0 .. jc0 + n_span`,
+/// accumulating into `c_span` (the column-major storage of exactly
+/// those columns, assumed zero-initialized).
+fn gemm_span(
+    c_span: &mut [f64],
+    m: usize,
+    n_span: usize,
+    k: usize,
+    jc0: usize,
+    a: View<'_>,
+    b: View<'_>,
+) {
+    if m == 0 || n_span == 0 || k == 0 {
+        return;
+    }
+    let mut apack = vec![0.0f64; MC.div_ceil(MR) * MR * KC];
+    let mut bpack = vec![0.0f64; n_span.min(NC).div_ceil(NR) * NR * KC];
+
+    for jc in (0..n_span).step_by(NC) {
+        let nc = (n_span - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            pack_b(b, pc, kc, jc0 + jc, nc, &mut bpack);
+            for ic in (0..m).step_by(MC) {
+                let mc = (m - ic).min(MC);
+                pack_a(a, ic, mc, pc, kc, &mut apack);
+                for jb in 0..nc.div_ceil(NR) {
+                    let cols = (nc - jb * NR).min(NR);
+                    for ib in 0..mc.div_ceil(MR) {
+                        let rows = (mc - ib * MR).min(MR);
+                        let acc = micro_kernel(
+                            kc,
+                            &apack[ib * kc * MR..(ib * kc + kc) * MR],
+                            &bpack[jb * kc * NR..(jb * kc + kc) * NR],
+                        );
+                        for j in 0..cols {
+                            let col0 = (jc + jb * NR + j) * m + ic + ib * MR;
+                            let out = &mut c_span[col0..col0 + rows];
+                            for i in 0..rows {
+                                out[i] += acc[j][i];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked `C = op(A) * op(B)` producing column-major storage for an
+/// `m x n` result with inner dimension `k`. Parallelizes across
+/// contiguous blocks of output columns when the flop count warrants it.
+pub(crate) fn gemm(m: usize, n: usize, k: usize, a: View<'_>, b: View<'_>) -> Vec<f64> {
+    let mut c = vec![0.0f64; m * n];
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    let nthreads = workers();
+    if flops >= GEMM_PAR_MIN_FLOPS && nthreads > 1 && n > 1 {
+        let cols_per = n.div_ceil(nthreads);
+        c.par_chunks_mut(m * cols_per)
+            .enumerate()
+            .for_each(|(w, span)| {
+                let ncols = span.len() / m;
+                gemm_span(span, m, ncols, k, w * cols_per, a, b);
+            });
+    } else {
+        gemm_span(&mut c, m, n, k, 0, a, b);
+    }
+    c
+}
+
+/// Four column dot products fused over one sweep of `w`:
+/// `out[j] = Q[:, j0 + j] . w` for the block of columns.
+#[inline(always)]
+fn dot_block(q: &[f64], m: usize, j0: usize, cols: usize, w: &[f64], out: &mut [f64]) {
+    debug_assert!(cols <= 4);
+    match cols {
+        4 => {
+            let c0 = &q[j0 * m..(j0 + 1) * m];
+            let c1 = &q[(j0 + 1) * m..(j0 + 2) * m];
+            let c2 = &q[(j0 + 2) * m..(j0 + 3) * m];
+            let c3 = &q[(j0 + 3) * m..(j0 + 4) * m];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for i in 0..m {
+                let wi = w[i];
+                s0 += c0[i] * wi;
+                s1 += c1[i] * wi;
+                s2 += c2[i] * wi;
+                s3 += c3[i] * wi;
+            }
+            out[0] = s0;
+            out[1] = s1;
+            out[2] = s2;
+            out[3] = s3;
+        }
+        _ => {
+            for j in 0..cols {
+                let c = &q[(j0 + j) * m..(j0 + j + 1) * m];
+                let mut s = 0.0;
+                for i in 0..m {
+                    s += c[i] * w[i];
+                }
+                out[j] = s;
+            }
+        }
+    }
+}
+
+/// Panel BLAS-2: `y = Q[:, :ncols]^T w`, four fused column dot products
+/// per sweep of `w`. Deliberately serial: the largest Lanczos panel in
+/// this codebase (~4500 × 300) sweeps in under 2 ms, well below the
+/// ~3.4 ms of work a per-call thread spawn needs to pay for itself.
+pub fn panel_qt_w(q: &DenseMatrix, ncols: usize, w: &[f64]) -> Vec<f64> {
+    debug_assert!(ncols <= q.ncols());
+    debug_assert_eq!(q.nrows(), w.len());
+    let m = q.nrows();
+    let mut y = vec![0.0f64; ncols];
+    if ncols == 0 || m == 0 {
+        return y;
+    }
+    let qdata = q.data();
+    let mut j = 0;
+    while j < ncols {
+        let cols = (ncols - j).min(4);
+        dot_block(qdata, m, j, cols, w, &mut y[j..j + cols]);
+        j += cols;
+    }
+    y
+}
+
+/// Four fused AXPYs over one sweep of `w`:
+/// `w[i] -= sum_j y[j] * Q[i, j0 + j]`.
+#[inline(always)]
+fn axpy_block(q: &[f64], m: usize, j0: usize, cols: usize, y: &[f64], w: &mut [f64]) {
+    debug_assert!(cols <= 4);
+    let rows = w.len();
+    match cols {
+        4 => {
+            let c0 = &q[j0 * m..j0 * m + rows];
+            let c1 = &q[(j0 + 1) * m..(j0 + 1) * m + rows];
+            let c2 = &q[(j0 + 2) * m..(j0 + 2) * m + rows];
+            let c3 = &q[(j0 + 3) * m..(j0 + 3) * m + rows];
+            let (y0, y1, y2, y3) = (y[j0], y[j0 + 1], y[j0 + 2], y[j0 + 3]);
+            for i in 0..rows {
+                w[i] -= y0 * c0[i] + y1 * c1[i] + y2 * c2[i] + y3 * c3[i];
+            }
+        }
+        _ => {
+            for j in 0..cols {
+                let c = &q[(j0 + j) * m..(j0 + j) * m + rows];
+                let yj = y[j0 + j];
+                for i in 0..rows {
+                    w[i] -= yj * c[i];
+                }
+            }
+        }
+    }
+}
+
+/// Panel BLAS-2 update: `w -= Q[:, :ncols] * y`, four fused AXPYs per
+/// sweep of `w`. Serial for the same spawn-cost reason as
+/// [`panel_qt_w`].
+pub fn panel_w_minus_qy(q: &DenseMatrix, ncols: usize, y: &[f64], w: &mut [f64]) {
+    debug_assert!(ncols <= q.ncols());
+    debug_assert_eq!(q.nrows(), w.len());
+    debug_assert_eq!(y.len(), ncols);
+    let m = q.nrows();
+    if ncols == 0 || m == 0 {
+        return;
+    }
+    let qdata = q.data();
+    let mut j = 0;
+    while j < ncols {
+        let cols = (ncols - j).min(4);
+        axpy_block(qdata, m, j, cols, y, w);
+        j += cols;
+    }
+}
+
+/// Straightforward triple-loop reference implementations. These are the
+/// oracles the blocked kernels are property-tested against; they are
+/// deliberately naive and never called on hot paths.
+pub mod reference {
+    use crate::matrix::DenseMatrix;
+
+    /// `C = A * B` by direct summation.
+    pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(a.ncols(), b.nrows());
+        let mut c = DenseMatrix::zeros(a.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            for i in 0..a.nrows() {
+                let mut s = 0.0;
+                for l in 0..a.ncols() {
+                    s += a.get(i, l) * b.get(l, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    /// `C = A^T * B` by direct summation.
+    pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(a.nrows(), b.nrows());
+        let mut c = DenseMatrix::zeros(a.ncols(), b.ncols());
+        for j in 0..b.ncols() {
+            for i in 0..a.ncols() {
+                let mut s = 0.0;
+                for l in 0..a.nrows() {
+                    s += a.get(l, i) * b.get(l, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    /// `C = A * B^T` by direct summation.
+    pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(a.ncols(), b.ncols());
+        let mut c = DenseMatrix::zeros(a.nrows(), b.nrows());
+        for j in 0..b.nrows() {
+            for i in 0..a.nrows() {
+                let mut s = 0.0;
+                for l in 0..a.ncols() {
+                    s += a.get(i, l) * b.get(j, l);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(m: usize, n: usize, rng: &mut StdRng) -> DenseMatrix {
+        let data: Vec<f64> = (0..m * n).map(|_| rng.random::<f64>() - 0.5).collect();
+        DenseMatrix::from_col_major(m, n, data).unwrap()
+    }
+
+    #[test]
+    fn blocked_gemm_matches_reference_on_odd_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Shapes chosen to hit every edge: below one tile, exact
+        // multiples, one past a block boundary.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (MR, KC, NR),
+            (MR + 1, 3, NR + 1),
+            (MC + 3, KC + 5, NR * 3 + 2),
+            (130, 70, 33),
+        ] {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let c = gemm(m, n, k, View::normal(&a), View::normal(&b));
+            let want = reference::matmul(&a, &b);
+            let got = DenseMatrix::from_col_major(m, n, c).unwrap();
+            assert!(
+                got.fro_distance(&want).unwrap() < 1e-12 * (m * n) as f64,
+                "({m},{k},{n}) mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_views_match_explicit_transposes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_matrix(37, 19, &mut rng);
+        let b = random_matrix(37, 23, &mut rng);
+        // A^T B via the view against explicit transposition.
+        let c = gemm(19, 23, 37, View::transposed(&a), View::normal(&b));
+        let want = reference::matmul(&a.transpose(), &b);
+        let got = DenseMatrix::from_col_major(19, 23, c).unwrap();
+        assert!(got.fro_distance(&want).unwrap() < 1e-12);
+        // A B^T via the view.
+        let bt = random_matrix(23, 19, &mut rng);
+        let c = gemm(37, 23, 19, View::normal(&a), View::transposed(&bt));
+        let want = reference::matmul(&a, &bt.transpose());
+        let got = DenseMatrix::from_col_major(37, 23, c).unwrap();
+        assert!(got.fro_distance(&want).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn zero_inner_dimension_yields_zero_matrix() {
+        let a = DenseMatrix::zeros(4, 0);
+        let b = DenseMatrix::zeros(0, 3);
+        let c = gemm(4, 3, 0, View::normal(&a), View::normal(&b));
+        assert!(c.iter().all(|&x| x == 0.0));
+        assert_eq!(c.len(), 12);
+    }
+
+    #[test]
+    fn panel_qt_w_matches_per_column_dots() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, n) in &[(5usize, 1usize), (64, 7), (301, 13)] {
+            let q = random_matrix(m, n, &mut rng);
+            let w: Vec<f64> = (0..m).map(|_| rng.random::<f64>() - 0.5).collect();
+            let y = panel_qt_w(&q, n, &w);
+            for j in 0..n {
+                let want = crate::vecops::dot(q.col(j), &w);
+                assert!((y[j] - want).abs() < 1e-12, "col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_w_minus_qy_matches_axpy_loop() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(m, n) in &[(5usize, 1usize), (64, 6), (301, 11)] {
+            let q = random_matrix(m, n, &mut rng);
+            let y: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+            let mut w: Vec<f64> = (0..m).map(|_| rng.random::<f64>() - 0.5).collect();
+            let mut want = w.clone();
+            panel_w_minus_qy(&q, n, &y, &mut w);
+            for j in 0..n {
+                crate::vecops::axpy(-y[j], q.col(j), &mut want);
+            }
+            for i in 0..m {
+                assert!((w[i] - want[i]).abs() < 1e-12, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_panels_are_no_ops() {
+        let q = DenseMatrix::zeros(4, 2);
+        let mut w = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(panel_qt_w(&q, 0, &w).is_empty());
+        panel_w_minus_qy(&q, 0, &[], &mut w);
+        assert_eq!(w, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -4,7 +4,8 @@
 //! LSI pipeline of Berry, Dumais & Letsche (SC '95) depends on:
 //!
 //! * a column-major [`DenseMatrix`] with BLAS-1/2/3 style kernels
-//!   ([`ops`], [`vecops`]),
+//!   ([`ops`], [`vecops`]), backed by a cache-blocked, register-tiled
+//!   GEMM and Gram–Schmidt panel kernels ([`gemm`]),
 //! * Householder QR factorization and modified Gram–Schmidt ([`qr`]),
 //! * a symmetric tridiagonal eigensolver (implicit QL with Wilkinson
 //!   shifts, plus Sturm-sequence bisection) ([`tridiag`]),
@@ -25,6 +26,7 @@
 
 
 pub mod bidiag;
+pub mod gemm;
 pub mod givens;
 pub mod jacobi;
 pub mod matrix;
@@ -37,12 +39,13 @@ pub mod tridiag;
 pub mod vecops;
 
 pub use bidiag::golub_kahan_svd;
+pub use gemm::{panel_qt_w, panel_w_minus_qy};
 pub use jacobi::jacobi_svd;
 pub use matrix::DenseMatrix;
 pub use ortho::{orthogonality_defect_fro, orthogonality_defect_spectral};
 pub use svd::{dense_svd, Svd};
 pub use symeig::sym_eigen;
-pub use tridiag::{tridiag_eigen, SymTridiag};
+pub use tridiag::{tridiag_eigen, tridiag_eigen_last_row, SymTridiag};
 
 /// Machine-precision scale used for convergence thresholds throughout the
 /// crate. Routines use multiples of this rather than hard-coded constants.

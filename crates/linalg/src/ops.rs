@@ -1,32 +1,53 @@
-//! BLAS-2/3 style dense matrix kernels, serial and rayon-parallel.
+//! BLAS-2/3 style dense matrix kernels.
 //!
 //! The SVD-updating phases of the paper (§4.2) are dominated by dense
-//! products of the form `U_k * U_F` with tall-skinny operands; `matmul`
-//! parallelizes over output columns, which are independent and contiguous
-//! in the column-major layout.
+//! products of the form `U_k * U_F` with tall-skinny operands. All
+//! three product shapes (`A B`, `A^T B`, `A B^T`) route through the
+//! cache-blocked, register-tiled kernel in [`crate::gemm`], which packs
+//! operand panels so transposition never produces a strided inner loop
+//! and splits output columns across cores for large products.
 
-use rayon::prelude::*;
-
+use crate::gemm::{self, View};
 use crate::matrix::DenseMatrix;
 use crate::vecops;
 use crate::{Error, Result};
 
-/// Columns-per-task threshold below which `matmul` stays serial; spawning
-/// rayon tasks for tiny products costs more than the product itself.
-const PAR_MIN_WORK: usize = 1 << 14;
-
-/// `y = A * x` (dense GEMV).
+/// `y = A * x` (dense GEMV). Columns with a zero coefficient are
+/// skipped, which matters for sparse query vectors; dense stretches of
+/// four columns are fused into one sweep of `y`.
 pub fn matvec(a: &DenseMatrix, x: &[f64]) -> Result<Vec<f64>> {
     if a.ncols() != x.len() {
         return Err(Error::DimensionMismatch {
             context: format!("matvec: {}x{} with vector {}", a.nrows(), a.ncols(), x.len()),
         });
     }
-    let mut y = vec![0.0; a.nrows()];
-    for (j, &xj) in x.iter().enumerate() {
-        if xj != 0.0 {
-            vecops::axpy(xj, a.col(j), &mut y);
+    let m = a.nrows();
+    let mut y = vec![0.0; m];
+    let data = a.data();
+    let mut j = 0;
+    while j < x.len() {
+        let block = (x.len() - j).min(4);
+        if x[j..j + block].iter().all(|&v| v == 0.0) {
+            j += block;
+            continue;
         }
+        if block == 4 {
+            let (x0, x1, x2, x3) = (x[j], x[j + 1], x[j + 2], x[j + 3]);
+            let c0 = &data[j * m..(j + 1) * m];
+            let c1 = &data[(j + 1) * m..(j + 2) * m];
+            let c2 = &data[(j + 2) * m..(j + 3) * m];
+            let c3 = &data[(j + 3) * m..(j + 4) * m];
+            for i in 0..m {
+                y[i] += x0 * c0[i] + x1 * c1[i] + x2 * c2[i] + x3 * c3[i];
+            }
+        } else {
+            for jj in j..j + block {
+                if x[jj] != 0.0 {
+                    vecops::axpy(x[jj], a.col(jj), &mut y);
+                }
+            }
+        }
+        j += block;
     }
     Ok(y)
 }
@@ -41,8 +62,9 @@ pub fn matvec_t(a: &DenseMatrix, x: &[f64]) -> Result<Vec<f64>> {
     Ok((0..a.ncols()).map(|j| vecops::dot(a.col(j), x)).collect())
 }
 
-/// Dense `C = A * B`, parallelized over columns of `C` when the product is
-/// large enough to amortize task spawning.
+/// Dense `C = A * B` via the cache-blocked kernel, parallelized over
+/// blocks of output columns when the product is large enough to
+/// amortize task spawning.
 pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     if a.ncols() != b.nrows() {
         return Err(Error::DimensionMismatch {
@@ -55,32 +77,13 @@ pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
             ),
         });
     }
-    let m = a.nrows();
-    let n = b.ncols();
-    let mut c = DenseMatrix::zeros(m, n);
-    let work = m * n * a.ncols();
-    let fill_col = |j: usize, out: &mut [f64]| {
-        let bj = b.col(j);
-        for (l, &blj) in bj.iter().enumerate() {
-            if blj != 0.0 {
-                vecops::axpy(blj, a.col(l), out);
-            }
-        }
-    };
-    if work >= PAR_MIN_WORK && n > 1 {
-        c.data_mut()
-            .par_chunks_mut(m)
-            .enumerate()
-            .for_each(|(j, out)| fill_col(j, out));
-    } else {
-        for j in 0..n {
-            fill_col(j, c.col_mut(j));
-        }
-    }
-    Ok(c)
+    let (m, n, k) = (a.nrows(), b.ncols(), a.ncols());
+    let c = gemm::gemm(m, n, k, View::normal(a), View::normal(b));
+    DenseMatrix::from_col_major(m, n, c)
 }
 
-/// `C = A^T * B` without materializing the transpose.
+/// `C = A^T * B` without materializing the transpose: the packing step
+/// of the blocked kernel absorbs the transposition.
 pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     if a.nrows() != b.nrows() {
         return Err(Error::DimensionMismatch {
@@ -93,30 +96,13 @@ pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
             ),
         });
     }
-    let m = a.ncols();
-    let n = b.ncols();
-    let mut c = DenseMatrix::zeros(m, n);
-    let work = m * n * a.nrows();
-    let fill_col = |j: usize, out: &mut [f64]| {
-        let bj = b.col(j);
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = vecops::dot(a.col(i), bj);
-        }
-    };
-    if work >= PAR_MIN_WORK && n > 1 {
-        c.data_mut()
-            .par_chunks_mut(m)
-            .enumerate()
-            .for_each(|(j, out)| fill_col(j, out));
-    } else {
-        for j in 0..n {
-            fill_col(j, c.col_mut(j));
-        }
-    }
-    Ok(c)
+    let (m, n, k) = (a.ncols(), b.ncols(), a.nrows());
+    let c = gemm::gemm(m, n, k, View::transposed(a), View::normal(b));
+    DenseMatrix::from_col_major(m, n, c)
 }
 
-/// `C = A * B^T` without materializing the transpose.
+/// `C = A * B^T` without materializing the transpose: the packing step
+/// of the blocked kernel absorbs the transposition.
 pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     if a.ncols() != b.ncols() {
         return Err(Error::DimensionMismatch {
@@ -129,19 +115,9 @@ pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
             ),
         });
     }
-    let m = a.nrows();
-    let n = b.nrows();
-    let mut c = DenseMatrix::zeros(m, n);
-    for l in 0..a.ncols() {
-        let al = a.col(l);
-        let bl = b.col(l);
-        for (j, &blj) in bl.iter().enumerate() {
-            if blj != 0.0 {
-                vecops::axpy(blj, al, c.col_mut(j));
-            }
-        }
-    }
-    Ok(c)
+    let (m, n, k) = (a.nrows(), b.nrows(), a.ncols());
+    let c = gemm::gemm(m, n, k, View::normal(a), View::transposed(b));
+    DenseMatrix::from_col_major(m, n, c)
 }
 
 /// Scale column `j` of `a` by `s[j]` (i.e. `A * diag(s)`), in place.

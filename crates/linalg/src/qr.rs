@@ -1,10 +1,11 @@
 //! QR factorization: Householder reflections and modified Gram–Schmidt.
 //!
 //! Householder QR is the workhorse for orthonormalizing the dense bases
-//! produced by SVD-updating; modified Gram–Schmidt (with one
-//! reorthogonalization pass — "twice is enough") is what the Lanczos
-//! driver uses to keep its basis orthogonal.
+//! produced by SVD-updating; two-pass classical Gram–Schmidt ("twice is
+//! enough"), built on blocked panel kernels, is what the Lanczos driver
+//! uses to keep its basis orthogonal.
 
+use crate::gemm;
 use crate::matrix::DenseMatrix;
 use crate::vecops;
 use crate::{Error, Result};
@@ -117,13 +118,64 @@ pub fn mgs_orthonormalize(a: &mut DenseMatrix) -> Vec<bool> {
     kept
 }
 
+/// DGKS reorthogonalization threshold: a classical Gram–Schmidt pass
+/// that keeps at least this fraction of the input norm lost no
+/// significant digits to cancellation, so one pass already leaves the
+/// result orthogonal to working precision (Daniel–Gragg–Kaufman–
+/// Stewart). Below it, a second pass is required.
+const DGKS_ETA: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
 /// Orthogonalize vector `x` against the first `ncols` columns of `basis`
-/// (assumed orthonormal), twice. Returns the remaining norm of `x`.
+/// (assumed orthonormal). Returns the remaining norm of `x`.
 ///
-/// This is the reorthogonalization step of the Lanczos iteration.
+/// This is the reorthogonalization step of the Lanczos iteration,
+/// implemented as adaptive *classical* Gram–Schmidt (CGS2 with the DGKS
+/// criterion): each pass computes all projection coefficients at once
+/// (`y = Q^T x`) and then applies them in one panel update (`x -= Q y`).
+/// If the first pass keeps at least `DGKS_ETA` of the norm — the common
+/// case inside full-reorthogonalization Lanczos, where the three-term
+/// recurrence already removed almost all of the projection — once is
+/// enough and the second pass is skipped. Otherwise a second pass runs
+/// ("twice is enough"). Either way the work is BLAS-2 panel kernels —
+/// four fused columns per sweep of `x` — instead of `2·ncols` dependent
+/// dot/axpy pairs.
+///
+/// The DGKS reading is only meaningful when the basis really is
+/// orthonormal; callers whose basis may have degenerated (sparse
+/// periodic reorthogonalization, restarts) must use
+/// [`orthogonalize_against_robust`] instead.
 pub fn orthogonalize_against(basis: &DenseMatrix, ncols: usize, x: &mut [f64]) -> f64 {
     debug_assert!(ncols <= basis.ncols());
     debug_assert_eq!(basis.nrows(), x.len());
+    let norm_in = vecops::nrm2(x);
+    cgs_pass(basis, ncols, x);
+    let norm1 = vecops::nrm2(x);
+    if norm1 >= DGKS_ETA * norm_in && norm1 <= norm_in * (1.0 + 1e-12) {
+        return norm1;
+    }
+    cgs_pass(basis, ncols, x);
+    vecops::nrm2(x)
+}
+
+/// Like [`orthogonalize_against`], but safe against a basis that may
+/// have *lost* orthonormality (the periodic-reorthogonalization ghost
+/// regime, and restarts under sparse policies). Always runs both CGS
+/// passes — a degenerate basis makes the single-pass DGKS reading
+/// meaningless — and falls back to two MGS sweeps if the pair of
+/// passes *grew* the norm, which an orthonormal basis can never do.
+pub fn orthogonalize_against_robust(basis: &DenseMatrix, ncols: usize, x: &mut [f64]) -> f64 {
+    debug_assert!(ncols <= basis.ncols());
+    debug_assert_eq!(basis.nrows(), x.len());
+    let norm_in = vecops::nrm2(x);
+    cgs_pass(basis, ncols, x);
+    cgs_pass(basis, ncols, x);
+    let norm_out = vecops::nrm2(x);
+    if norm_out <= norm_in * (1.0 + 1e-12) {
+        return norm_out;
+    }
+    // Degenerate basis: redo the cleanup with modified Gram–Schmidt.
+    // (The CGS passes above only added components inside the basis's
+    // span, which the MGS sweep removes along with the originals.)
     for _pass in 0..2 {
         for j in 0..ncols {
             let proj = vecops::dot(basis.col(j), x);
@@ -131,6 +183,14 @@ pub fn orthogonalize_against(basis: &DenseMatrix, ncols: usize, x: &mut [f64]) -
         }
     }
     vecops::nrm2(x)
+}
+
+/// One classical Gram–Schmidt pass on the panel kernels:
+/// `x -= Q (Qᵀ x)`.
+#[inline]
+fn cgs_pass(basis: &DenseMatrix, ncols: usize, x: &mut [f64]) {
+    let y = gemm::panel_qt_w(basis, ncols, x);
+    gemm::panel_w_minus_qy(basis, ncols, &y, x);
 }
 
 #[cfg(test)]

@@ -2,9 +2,10 @@
 //! factorizations reconstruct their inputs, and eigen/SVD invariants hold
 //! on arbitrary matrices.
 
-use lsi_linalg::ops::{matmul, matmul_tn, reconstruct};
-use lsi_linalg::qr::householder_qr;
-use lsi_linalg::{golub_kahan_svd, jacobi_svd, sym_eigen, DenseMatrix};
+use lsi_linalg::gemm::reference;
+use lsi_linalg::ops::{matmul, matmul_nt, matmul_tn, reconstruct};
+use lsi_linalg::qr::{householder_qr, orthogonalize_against};
+use lsi_linalg::{golub_kahan_svd, jacobi_svd, sym_eigen, vecops, DenseMatrix};
 use proptest::prelude::*;
 
 /// Strategy: a matrix with entries in [-10, 10] and modest dimensions.
@@ -120,4 +121,93 @@ proptest! {
         let scale = ab_c.fro_norm().max(1.0);
         prop_assert!(ab_c.fro_distance(&a_bc).unwrap() < 1e-9 * scale);
     }
+}
+
+/// Strategy: an (m×k, k×n) pair with arbitrary shapes, including inner
+/// dimensions of 0 and 1 and sizes that are not multiples of the GEMM
+/// register-tile (8×4) or cache-block sizes.
+fn gemm_pair_strategy() -> impl Strategy<Value = (DenseMatrix, DenseMatrix)> {
+    (1..=33usize, 0..=19usize, 1..=21usize).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-10.0f64..10.0, m * k),
+            prop::collection::vec(-10.0f64..10.0, k * n),
+        )
+            .prop_map(move |(adata, bdata)| {
+                (
+                    DenseMatrix::from_col_major(m, k, adata).unwrap(),
+                    DenseMatrix::from_col_major(k, n, bdata).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_gemm_matches_naive_oracle(ab in gemm_pair_strategy()) {
+        let (a, b) = ab;
+        let blocked = matmul(&a, &b).unwrap();
+        let naive = reference::matmul(&a, &b);
+        let scale = a.fro_norm().max(1.0) * b.fro_norm().max(1.0);
+        prop_assert!(blocked.fro_distance(&naive).unwrap() <= 1e-12 * scale);
+    }
+
+    #[test]
+    fn blocked_gemm_tn_matches_naive_oracle(ab in gemm_pair_strategy()) {
+        let (a, b) = ab;
+        // A^T B with A stored k×m: reuse the pair as (Aᵀ stored, B).
+        let at = a.transpose();
+        let blocked = matmul_tn(&at, &b).unwrap();
+        let naive = reference::matmul_tn(&at, &b);
+        let scale = a.fro_norm().max(1.0) * b.fro_norm().max(1.0);
+        prop_assert!(blocked.fro_distance(&naive).unwrap() <= 1e-12 * scale);
+    }
+
+    #[test]
+    fn blocked_gemm_nt_matches_naive_oracle(ab in gemm_pair_strategy()) {
+        let (a, b) = ab;
+        let bt = b.transpose();
+        let blocked = matmul_nt(&a, &bt).unwrap();
+        let naive = reference::matmul_nt(&a, &bt);
+        let scale = a.fro_norm().max(1.0) * b.fro_norm().max(1.0);
+        prop_assert!(blocked.fro_distance(&naive).unwrap() <= 1e-12 * scale);
+    }
+}
+
+/// Grow a basis for 200 steps with the panel CGS2 reorthogonalization
+/// and check it stays numerically orthonormal throughout — the
+/// "twice is enough" property the Lanczos driver depends on.
+#[test]
+fn cgs2_keeps_200_step_basis_orthonormal() {
+    let dim = 240;
+    let steps = 200;
+    // Deterministic, seedless pseudo-random input vectors (xorshift).
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut basis = DenseMatrix::zeros(dim, steps);
+    for j in 0..steps {
+        let mut w: Vec<f64> = (0..dim).map(|_| next()).collect();
+        let norm = orthogonalize_against(&basis, j, &mut w);
+        assert!(norm > 0.0, "random vector degenerate at step {j}");
+        vecops::scal(1.0 / norm, &mut w);
+        basis.col_mut(j).copy_from_slice(&w);
+    }
+    let gram = matmul_tn(&basis, &basis).unwrap();
+    let mut max_dev = 0.0f64;
+    for i in 0..steps {
+        for j in 0..steps {
+            let want = if i == j { 1.0 } else { 0.0 };
+            max_dev = max_dev.max((gram.get(i, j) - want).abs());
+        }
+    }
+    assert!(
+        max_dev <= 1e-10,
+        "max |QᵀQ − I| = {max_dev:.3e} after {steps} CGS2 steps"
+    );
 }

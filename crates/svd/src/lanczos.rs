@@ -6,19 +6,25 @@
 //! tridiagonal eigenproblem, and extract each accepted triplet's other
 //! singular vector with one extra sparse product (`u = A v / σ`).
 //!
-//! Full reorthogonalization (two passes of modified Gram–Schmidt against
-//! the whole basis per step) is used instead of `las2`'s selective
-//! scheme: at the scales exercised here the `O(I² · dim)` cost is small
-//! next to the sparse products, and it eliminates spurious duplicate
-//! Ritz values entirely. The ablation benchmark
+//! Full reorthogonalization (two-pass classical Gram–Schmidt against
+//! the whole basis per step, run on blocked panel kernels — `y = Qᵀw`
+//! then `w -= Q y`) is used instead of `las2`'s selective scheme: at
+//! the scales exercised here the `O(I² · dim)` cost is small next to
+//! the sparse products, and it eliminates spurious duplicate Ritz
+//! values entirely. The ablation benchmark
 //! `lsi-bench/benches/lanczos_scale.rs` quantifies that trade-off.
+//! Ritz vectors are assembled with one blocked GEMM (`Y = Q S`), and
+//! the report carries per-phase flop and wall-time accounting.
+
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use lsi_linalg::qr::orthogonalize_against;
+use lsi_linalg::ops::matmul;
+use lsi_linalg::qr::{orthogonalize_against, orthogonalize_against_robust};
 use lsi_linalg::svd::Svd;
-use lsi_linalg::tridiag::{tridiag_eigen, SymTridiag};
+use lsi_linalg::tridiag::{tridiag_eigen, tridiag_eigen_last_row, SymTridiag};
 use lsi_linalg::{vecops, DenseMatrix};
 use lsi_sparse::MatVec;
 
@@ -36,8 +42,9 @@ use crate::{Error, Result};
 /// demonstrated in this module's tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Reorth {
-    /// Two MGS passes against the whole basis each step (robust
-    /// default; what SVDPACK calls full reorthogonalization).
+    /// Two classical Gram–Schmidt panel passes against the whole basis
+    /// each step (robust default; what SVDPACK calls full
+    /// reorthogonalization).
     #[default]
     Full,
     /// Reorthogonalize only every `n`-th step (plus the recurrence's
@@ -81,8 +88,34 @@ impl Default for LanczosOptions {
     }
 }
 
-/// Execution report: the quantities of the paper's cost model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Flop and wall-clock accounting for one phase of the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseStats {
+    /// Floating-point operations attributed to the phase.
+    pub flops: f64,
+    /// Wall-clock seconds spent in the phase.
+    pub secs: f64,
+}
+
+impl PhaseStats {
+    fn add(&mut self, flops: f64, secs: f64) {
+        self.flops += flops;
+        self.secs += secs;
+    }
+
+    /// Effective throughput in MFLOP/s (0 if the phase never ran).
+    pub fn mflops(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.flops / self.secs / 1e6
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Execution report: the quantities of the paper's cost model, plus
+/// per-phase flop/time accounting for the kernel work.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LanczosReport {
     /// Lanczos iterations performed — the `I` of §4.2's
     /// `I × cost(GᵀG x) + trp × cost(G x)`.
@@ -95,6 +128,14 @@ pub struct LanczosReport {
     pub restarts: usize,
     /// Which Gram side was used.
     pub side_is_ata: bool,
+    /// Sparse Gram-operator applies (`w = G q`, 4·nnz flops each).
+    pub gram: PhaseStats,
+    /// Reorthogonalization work: the CGS2 panel sweeps of every step,
+    /// restart cleanups, and the other-side incremental cleanup.
+    pub reorth: PhaseStats,
+    /// Ritz-vector assembly (`Y = Q S`, one blocked GEMM) plus the
+    /// other-side recovery products.
+    pub ritz: PhaseStats,
 }
 
 /// Truncated SVD: the `k` largest singular triplets of `a`.
@@ -124,6 +165,9 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
         accepted: 0,
         restarts: 0,
         side_is_ata: side == GramSide::AtA,
+        gram: PhaseStats::default(),
+        reorth: PhaseStats::default(),
+        ritz: PhaseStats::default(),
     };
     if k == 0 || dim == 0 {
         return Ok((
@@ -162,32 +206,52 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
     let mut theta_max_est = 0.0f64;
     let mut steps = 0usize;
     let mut converged = 0usize;
+    let mut gram_stats = PhaseStats::default();
+    let mut reorth_stats = PhaseStats::default();
+    let mut ritz_stats = PhaseStats::default();
+    let gram_apply_flops = 4.0 * a.nnz() as f64;
+    // One CGS2 sweep against `c` basis columns: two passes of
+    // (y = Qᵀw, w -= Q y), each 4·c·dim flops.
+    let cgs2_flops = |c: usize| 8.0 * c as f64 * dim as f64;
 
     while steps < max_basis {
         let j = steps;
         // w = G q_j
+        let t0 = Instant::now();
         gram_apply(a, side, basis.col(j), &mut w, &mut scratch);
+        gram_stats.add(gram_apply_flops, t0.elapsed().as_secs_f64());
         let alpha = vecops::dot(basis.col(j), &w);
         alphas.push(alpha);
         theta_max_est = theta_max_est.max(alpha.abs());
         // Three-term recurrence then full reorthogonalization (the
         // reorthogonalization subsumes the recurrence's subtraction, but
         // doing the explicit subtraction first keeps the corrections
-        // small and cheap).
-        {
-            let qj = basis.col(j).to_vec();
-            vecops::axpy(-alpha, &qj, &mut w);
-            if j > 0 {
-                let beta_prev = betas[j - 1];
-                let qprev = basis.col(j - 1).to_vec();
-                vecops::axpy(-beta_prev, &qprev, &mut w);
-            }
+        // small and cheap). `w` is separate storage, so the basis
+        // columns are borrowed in place — no copies.
+        vecops::axpy(-alpha, basis.col(j), &mut w);
+        if j > 0 {
+            vecops::axpy(-betas[j - 1], basis.col(j - 1), &mut w);
         }
+        let t0 = Instant::now();
         let beta = match opts.reorth {
-            Reorth::Full => orthogonalize_against(&basis, j + 1, &mut w),
+            Reorth::Full => {
+                let b = orthogonalize_against(&basis, j + 1, &mut w);
+                reorth_stats.add(cgs2_flops(j + 1), t0.elapsed().as_secs_f64());
+                b
+            }
             Reorth::Periodic(n) => {
                 if n != 0 && j % n == n - 1 {
-                    orthogonalize_against(&basis, j + 1, &mut w)
+                    // Period 1 never lets the basis drift, so it shares
+                    // Full's adaptive path (and stays bit-identical to
+                    // it). Sparser periods drift between sweeps, where
+                    // the single-pass DGKS shortcut is not sound.
+                    let b = if n == 1 {
+                        orthogonalize_against(&basis, j + 1, &mut w)
+                    } else {
+                        orthogonalize_against_robust(&basis, j + 1, &mut w)
+                    };
+                    reorth_stats.add(cgs2_flops(j + 1), t0.elapsed().as_secs_f64());
+                    b
                 } else {
                     vecops::nrm2(&w)
                 }
@@ -209,7 +273,13 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
                     for v in fresh.iter_mut() {
                         *v = rng.random::<f64>() - 0.5;
                     }
-                    let rem = orthogonalize_against(&basis, steps, &mut fresh);
+                    let t0 = Instant::now();
+                    // A restart vector is random, so most of it lies in
+                    // the basis's span; use the robust variant (the
+                    // basis may also have drifted under sparse
+                    // reorthogonalization policies).
+                    let rem = orthogonalize_against_robust(&basis, steps, &mut fresh);
+                    reorth_stats.add(cgs2_flops(steps), t0.elapsed().as_secs_f64());
                     if rem > 1e-8 {
                         vecops::normalize(&mut fresh);
                         ok = true;
@@ -238,12 +308,15 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
         if steps >= k && (steps.is_multiple_of(opts.check_every) || at_end || breakdown) {
             let t = SymTridiag::new(alphas.clone(), betas[..steps - 1].to_vec())
                 .expect("consistent lengths by construction");
-            let (theta, s) = tridiag_eigen(&t)?;
+            // The residual bound only reads the last eigenvector row,
+            // so the O(n²) last-row solver suffices here; the full
+            // O(n³) decomposition runs once, at final extraction.
+            let (theta, s_last) = tridiag_eigen_last_row(&t)?;
             let beta_last = if at_end || breakdown { 0.0 } else { beta };
             let theta_scale = theta.first().copied().unwrap_or(0.0).abs().max(1e-300);
             converged = 0;
             for i in 0..k.min(theta.len()) {
-                let bound = (beta_last * s.get(steps - 1, i)).abs();
+                let bound = (beta_last * s_last[i]).abs();
                 if bound <= opts.tol * theta_scale {
                     converged += 1;
                 } else {
@@ -262,17 +335,18 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
     let (theta, s) = tridiag_eigen(&t)?;
     let keep = k.min(theta.len());
 
-    // Ritz vectors y_i = Q s_i.
+    // Ritz vectors Y = Q S, assembled in one blocked GEMM over the
+    // retained eigenvector columns.
     let basis_used = basis.truncate_cols(steps);
-    let mut ritz = DenseMatrix::zeros(dim, keep);
+    let t0 = Instant::now();
+    let mut ritz = matmul(&basis_used, &s.truncate_cols(keep)).map_err(Error::Linalg)?;
     for i in 0..keep {
-        let si = s.col(i);
-        let yi = ritz.col_mut(i);
-        for (jj, &sji) in si.iter().enumerate() {
-            vecops::axpy(sji, basis_used.col(jj), yi);
-        }
-        vecops::normalize(yi);
+        vecops::normalize(ritz.col_mut(i));
     }
+    ritz_stats.add(
+        2.0 * dim as f64 * steps as f64 * keep as f64,
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Singular values; drop triplets whose Ritz value sits at the noise
     // floor of the Gram operator. Working on AᵀA squares the spectrum,
@@ -301,14 +375,21 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
     let mut other = DenseMatrix::zeros(other_len, rank_cut);
     let mut tmp = vec![0.0; other_len];
     for i in 0..rank_cut {
+        let t0 = Instant::now();
         match side {
             GramSide::AtA => a.apply(ritz.col(i), &mut tmp),
             GramSide::AAt => a.apply_t(ritz.col(i), &mut tmp),
         }
+        ritz_stats.add(2.0 * a.nnz() as f64, t0.elapsed().as_secs_f64());
         vecops::scal(1.0 / sigma[i], &mut tmp);
         // Clean residual non-orthogonality against previous columns.
         if i > 0 {
-            orthogonalize_against(&other, i, &mut tmp);
+            let t0 = Instant::now();
+            orthogonalize_against_robust(&other, i, &mut tmp);
+            reorth_stats.add(
+                8.0 * i as f64 * other_len as f64,
+                t0.elapsed().as_secs_f64(),
+            );
             vecops::normalize(&mut tmp);
         }
         other.col_mut(i).copy_from_slice(&tmp);
@@ -325,6 +406,9 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
         accepted: rank_cut,
         restarts,
         side_is_ata: side == GramSide::AtA,
+        gram: gram_stats,
+        reorth: reorth_stats,
+        ritz: ritz_stats,
     };
     Ok((Svd { u, s: sigma, v }, report))
 }
@@ -528,6 +612,42 @@ mod tests {
     }
 
     #[test]
+    fn full_cgs2_has_no_ghost_duplicates_where_three_term_only_does() {
+        // Regression for the panel-CGS2 rewrite of Reorth::Full: the
+        // adaptive one-or-two-pass orthogonalization must still keep
+        // every Ritz value distinct on a run long enough that bare
+        // three-term Lanczos manufactures ghost copies of sigma_1.
+        let (a, _) = planted_spectrum(120, 100, &[50.0, 10.0, 5.0, 2.0, 1.0, 0.5, 0.2], 4);
+        let run = |reorth: Reorth| {
+            let opts = LanczosOptions {
+                reorth,
+                max_steps: Some(90),
+                tol: 1e-14,
+                ..Default::default()
+            };
+            lanczos_svd(&a, 7, &opts).unwrap().0
+        };
+        let dup_count = |s: &[f64]| {
+            s.windows(2)
+                .filter(|w| (w[0] - w[1]).abs() < 1e-6 * s[0].max(1.0))
+                .count()
+        };
+        let full = run(Reorth::Full);
+        let bare = run(Reorth::ThreeTermOnly);
+        assert_eq!(
+            dup_count(&full.s),
+            0,
+            "full CGS2 reorthogonalization admitted a duplicate: {:?}",
+            full.s
+        );
+        assert!(
+            dup_count(&bare.s) > 0,
+            "expected ghost duplicates without reorthogonalization: {:?}",
+            bare.s
+        );
+    }
+
+    #[test]
     fn three_term_only_degrades_basis_orthogonality() {
         // The classic Lanczos pathology: without reorthogonalization the
         // computed factors lose orthogonality once extreme Ritz values
@@ -560,5 +680,32 @@ mod tests {
         assert!(report.steps >= 5);
         assert!(report.steps <= 40);
         assert!(report.side_is_ata);
+    }
+
+    #[test]
+    fn report_accounts_per_phase_flops() {
+        let a = random_term_doc(60, 50, 0.1, RowProfile::Uniform, 3, 8);
+        let (_, report) = lanczos_svd(&a, 5, &LanczosOptions::default()).unwrap();
+        // Every phase ran and did arithmetic.
+        assert_eq!(report.gram.flops, report.steps as f64 * 4.0 * a.nnz() as f64);
+        assert!(report.reorth.flops > 0.0, "full reorth accounted");
+        assert!(report.ritz.flops > 0.0, "ritz assembly accounted");
+        assert!(report.gram.secs >= 0.0 && report.reorth.secs >= 0.0);
+        for phase in [report.gram, report.reorth, report.ritz] {
+            assert!(phase.mflops().is_finite());
+        }
+        // ThreeTermOnly performs no panel reorthogonalization at all.
+        let bare = lanczos_svd(
+            &a,
+            5,
+            &LanczosOptions {
+                reorth: Reorth::ThreeTermOnly,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .1;
+        // (Other-side cleanup still contributes, so compare step work.)
+        assert!(bare.reorth.flops < report.reorth.flops);
     }
 }

@@ -24,7 +24,7 @@ pub mod lanczos;
 pub mod operator;
 pub mod randomized;
 
-pub use lanczos::{lanczos_svd, LanczosOptions, LanczosReport, Reorth};
+pub use lanczos::{lanczos_svd, LanczosOptions, LanczosReport, PhaseStats, Reorth};
 pub use operator::{CountingOperator, GramSide};
 pub use randomized::{randomized_svd, RandomizedOptions};
 

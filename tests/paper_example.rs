@@ -65,7 +65,7 @@ fn singular_values_and_query_match_figure5_within_tolerance() {
 fn lsi_retrieves_m9_first_lexical_matching_misses_it() {
     let (example, model) = example_model(2);
     let ranked = model.query(med::QUERY).unwrap();
-    assert_eq!(ranked.matches[0].id, "M9");
+    assert_eq!(ranked.matches[0].id.as_ref(), "M9");
     assert!(ranked.matches[0].cosine > 0.99);
 
     let lex = LexicalMatcher::build(&example.corpus, example.vocab.clone());
@@ -83,7 +83,7 @@ fn lsi_retrieves_m9_first_lexical_matching_misses_it() {
 fn table4_k2_ranking_reproduces_paper_order_closely() {
     let (_, model) = example_model(2);
     let ranked = model.query(med::QUERY).unwrap().at_threshold(0.40);
-    let ours: Vec<&str> = ranked.matches.iter().map(|m| m.id.as_str()).collect();
+    let ours: Vec<&str> = ranked.matches.iter().map(|m| m.id.as_ref()).collect();
     // Every paper-listed doc is returned.
     for (d, _) in med::PAPER_TABLE4_K2 {
         assert!(ours.contains(&d), "{d} missing");
@@ -94,7 +94,7 @@ fn table4_k2_ranking_reproduces_paper_order_closely() {
         let got = ranked
             .matches
             .iter()
-            .find(|m| m.id == d)
+            .find(|m| m.id.as_ref() == d)
             .map(|m| m.cosine)
             .unwrap();
         assert!(

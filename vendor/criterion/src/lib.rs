@@ -1,0 +1,295 @@
+//! Offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!`
+//! macros — measured with plain `std::time::Instant` wall clocks.
+//! There is no statistical analysis or HTML report; each benchmark
+//! prints one line with the mean iteration time.
+//!
+//! `--test` (what `cargo bench -- --test` passes) and `--profile-time`
+//! switch to quick mode: every benchmark body runs exactly once, which
+//! is how CI smoke-checks that benches still compile and run.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work behind it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs setup
+/// before every routine call regardless (setup time is excluded from
+/// measurement either way), so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to create.
+    SmallInput,
+    /// Inputs are expensive to create.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement harness handed to bench closures.
+pub struct Bencher {
+    quick: bool,
+    measure: Duration,
+    /// (iterations, total time) recorded by the last `iter*` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `f` called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up / calibration: find an iteration count that fills the
+        // measurement window, doubling from 1.
+        let mut iters: u64 = 1;
+        let total = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure || iters >= 1 << 20 {
+                break elapsed;
+            }
+            iters *= 2;
+        };
+        self.result = Some((iters, total));
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        let mut iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        // Fixed batches until the window fills; inputs are rebuilt
+        // outside the timed section.
+        while total < self.measure && iters < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), total));
+    }
+}
+
+fn format_time(t: Duration) -> String {
+    let ns = t.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    quick: bool,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { quick: false, measure: Duration::from_millis(120) }
+    }
+}
+
+impl Criterion {
+    /// Build from the process's CLI arguments (`cargo bench` passes
+    /// them through after `--`). `--test` / `--profile-time` select
+    /// quick single-iteration mode.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--profile-time");
+        Criterion { quick, ..Criterion::default() }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.run_one(&name, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { quick: self.quick, measure: self.measure, result: None };
+        f(&mut b);
+        match b.result {
+            Some((1, _)) if self.quick => println!("{name}: ok (quick mode)"),
+            Some((iters, total)) => {
+                let per = total / iters.max(1) as u32;
+                println!("{name}: {} /iter ({iters} iters)", format_time(per));
+            }
+            None => println!("{name}: no measurement recorded"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes its sample
+    /// window by wall clock, not sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Same, for measurement time: shrink/grow the measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure = t;
+        self
+    }
+
+    /// Benchmark a function within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    /// Benchmark a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing happens as benches run).
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions under one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_body_once() {
+        let mut calls = 0u32;
+        let mut c = Criterion { quick: true, measure: Duration::from_millis(10) };
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn normal_mode_measures_at_least_once() {
+        let mut c = Criterion { quick: false, measure: Duration::from_micros(200) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| {
+            b.iter(|| {
+                ran = true;
+                black_box(n * 2)
+            })
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            quick: false,
+            measure: Duration::from_micros(100),
+            result: None,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        let (iters, _) = b.result.unwrap();
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

@@ -1,0 +1,460 @@
+//! Offline, dependency-free stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of rayon's API this workspace uses —
+//! `par_iter_mut`, `par_chunks_mut`, `into_par_iter` on ranges, and the
+//! `map / enumerate / for_each / collect` adaptors — with real
+//! parallelism via `std::thread::scope`. Work is split into one
+//! contiguous span per available core; there is no work stealing, which
+//! is adequate for the regular, data-parallel loops in the numerical
+//! kernels here.
+//!
+//! Unlike upstream rayon there is no global thread pool: each parallel
+//! call spawns scoped threads. The callers gate parallelism behind size
+//! thresholds, so the ~10 µs spawn cost is amortized whenever these
+//! paths run.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for a job of `len` independent items.
+fn workers_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Run `f(chunk_index)` for spans `[start, end)` covering `0..len`,
+/// split across threads. `f` receives `(span_start, span_end)`.
+fn par_spans<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
+    let workers = workers_for(len);
+    if workers <= 1 || len == 0 {
+        f(0, len);
+        return;
+    }
+    let per = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for w in 0..workers {
+            let start = w * per;
+            let end = ((w + 1) * per).min(len);
+            if start >= end {
+                break;
+            }
+            scope.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Entry points that mirror `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelSliceMut, ParallelSliceRef, ParallelVecMut,
+    };
+}
+
+// ---------------------------------------------------------------------
+// par_iter_mut / par_iter over slices and vectors
+// ---------------------------------------------------------------------
+
+/// `par_iter_mut()` provider for `Vec<T>` (upstream: `IntoParallelRefMutIterator`).
+pub trait ParallelVecMut<T> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelVecMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { data: self }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { data: self }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ParChunksMut { data: self, size }
+    }
+}
+
+/// `par_iter` over shared slices.
+pub trait ParallelSliceRef<T> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSliceRef<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { data: self }
+    }
+}
+
+impl<T: Sync> ParallelSliceRef<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { data: self }
+    }
+}
+
+/// Parallel iterator over `&mut T` items of a slice.
+pub struct ParIterMut<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { data: self.data }
+    }
+
+    /// Apply `f` to every item in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, v)| f(v));
+    }
+}
+
+/// Enumerated parallel iterator over `(usize, &mut T)`.
+pub struct EnumerateMut<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumerateMut<'a, T> {
+    /// Apply `f` to every `(index, item)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        let len = self.data.len();
+        let base = self.data.as_mut_ptr() as usize;
+        par_spans(len, |start, end| {
+            // Spans are disjoint, so the aliasing is safe; going through
+            // a raw pointer sidesteps scoped-borrow splitting plumbing.
+            let ptr = base as *mut T;
+            for i in start..end {
+                f((i, unsafe { &mut *ptr.add(i) }));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct ParIter<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> EnumerateRef<'a, T> {
+        EnumerateRef { data: self.data }
+    }
+
+    /// Apply `f` to every item in parallel.
+    pub fn for_each<F: Fn(&T) + Sync>(self, f: F) {
+        let data = self.data;
+        par_spans(data.len(), |start, end| {
+            for v in &data[start..end] {
+                f(v);
+            }
+        });
+    }
+
+}
+
+/// Enumerated parallel iterator over `(usize, &T)`.
+pub struct EnumerateRef<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> EnumerateRef<'a, T> {
+    /// Apply `f` to every `(index, item)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &T)) + Sync>(self, f: F) {
+        let data = self.data;
+        par_spans(data.len(), |start, end| {
+            for (i, v) in data[start..end].iter().enumerate() {
+                f((start + i, v));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            data: self.data,
+            size: self.size,
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated parallel iterator over `(usize, &mut [T])` chunks.
+pub struct EnumerateChunksMut<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    /// Apply `f` to every `(chunk_index, chunk)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let len = self.data.len();
+        let size = self.size;
+        let n_chunks = len.div_ceil(size.max(1));
+        let base = self.data.as_mut_ptr() as usize;
+        par_spans(n_chunks, |start, end| {
+            let ptr = base as *mut T;
+            for c in start..end {
+                let lo = c * size;
+                let hi = (lo + size).min(len);
+                // Chunks are disjoint across the whole index space.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.add(lo), hi - lo) };
+                f((c, chunk));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// into_par_iter over ranges
+// ---------------------------------------------------------------------
+
+/// Conversion into a parallel iterator (upstream: `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl<T: Send + 'static> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { data: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    /// Map each index and keep ordering.
+    pub fn map<U, F: Fn(usize) -> U + Sync>(self, f: F) -> ParRangeMap<F> {
+        ParRangeMap {
+            start: self.start,
+            end: self.end,
+            f,
+        }
+    }
+
+    /// Apply `f` to every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let offset = self.start;
+        par_spans(self.end.saturating_sub(self.start), |lo, hi| {
+            for i in lo..hi {
+                f(offset + i);
+            }
+        });
+    }
+}
+
+/// Mapped parallel range iterator.
+pub struct ParRangeMap<F> {
+    start: usize,
+    end: usize,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Evaluate in parallel, preserving index order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+        C: FromOrderedVec<U>,
+    {
+        let len = self.end.saturating_sub(self.start);
+        let mut out: Vec<Option<U>> = Vec::with_capacity(len);
+        out.resize_with(len, || None);
+        let offset = self.start;
+        let base = out.as_mut_ptr() as usize;
+        let f = &self.f;
+        par_spans(len, |lo, hi| {
+            let ptr = base as *mut Option<U>;
+            for i in lo..hi {
+                // Disjoint spans: each index written exactly once.
+                unsafe { ptr.add(i).write(Some(f(offset + i))) };
+            }
+        });
+        C::from_ordered_vec(out.into_iter().map(|v| v.expect("all slots filled")).collect())
+    }
+}
+
+/// Parallel iterator over an owned vector.
+pub struct ParVec<T> {
+    data: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Map each element and keep ordering.
+    pub fn map<U, F: Fn(T) -> U + Sync>(self, f: F) -> ParVecMap<T, F> {
+        ParVecMap { data: self.data, f }
+    }
+}
+
+/// Mapped parallel vector iterator.
+pub struct ParVecMap<T, F> {
+    data: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParVecMap<T, F> {
+    /// Evaluate in parallel, preserving order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromOrderedVec<U>,
+    {
+        let mut slots: Vec<Option<U>> = Vec::with_capacity(self.data.len());
+        slots.resize_with(self.data.len(), || None);
+        let inputs: Vec<Option<T>> = self.data.into_iter().map(Some).collect();
+        let in_base = inputs.as_ptr() as usize;
+        let out_base = slots.as_mut_ptr() as usize;
+        let f = &self.f;
+        par_spans(inputs.len(), |lo, hi| {
+            let ip = in_base as *mut Option<T>;
+            let op = out_base as *mut Option<U>;
+            for i in lo..hi {
+                let v = unsafe { (*ip.add(i)).take().expect("input present") };
+                unsafe { op.add(i).write(Some(f(v))) };
+            }
+        });
+        drop(inputs);
+        C::from_ordered_vec(slots.into_iter().map(|v| v.expect("all slots filled")).collect())
+    }
+}
+
+/// Collection targets for ordered parallel collects.
+pub trait FromOrderedVec<T> {
+    /// Build from an in-order vector of results.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromOrderedVec<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        rb = Some(hb.join().expect("joined thread panicked"));
+        ra
+    });
+    (ra, rb.expect("spawned branch completed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![0usize; 1000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_chunks_in_order() {
+        let mut v = vec![0usize; 103];
+        v.as_mut_slice()
+            .par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(c, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = c;
+                }
+            });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i / 10);
+        }
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (5..205).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 200);
+        for (j, v) in out.iter().enumerate() {
+            assert_eq!(*v, (j + 5) * (j + 5));
+        }
+    }
+
+    #[test]
+    fn for_each_runs_once_per_index() {
+        let count = AtomicUsize::new(0);
+        (0..577usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 577);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut v: Vec<u8> = Vec::new();
+        v.par_iter_mut().for_each(|_| unreachable!());
+        let out: Vec<usize> = (3..3).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports the two shapes this workspace actually derives on:
+//!
+//! * structs with named fields → serialized as a map of field values,
+//! * enums whose variants are all unit variants → serialized as the
+//!   variant name string.
+//!
+//! The input is parsed directly from the token stream (no `syn`, which
+//! is unavailable offline); anything outside the supported shapes
+//! panics at compile time with a pointed message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the deriving type.
+enum Shape {
+    /// Struct name + field names, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit-variant names, in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Consume leading attributes (`#[...]`, including doc comments) from
+/// the front of `toks`.
+fn skip_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive: malformed attribute near {other:?}"),
+        }
+    }
+}
+
+/// Consume a leading visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+                "serde_derive: generic type `{name}` is not supported by the vendored derive"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => panic!(
+                "serde_derive: unit/tuple struct `{name}` is not supported by the vendored derive"
+            ),
+            Some(_) => continue,
+            None => panic!("serde_derive: `{name}` has no braced body"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Shape::Struct(name, parse_named_fields(body.stream())),
+        "enum" => Shape::Enum(name, parse_unit_variants(body.stream())),
+        other => panic!("serde_derive: cannot derive on `{other}` items"),
+    }
+}
+
+/// Field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive: tuple structs are not supported (expected `:`, found {other:?})"
+            ),
+        }
+        // Skip the field type: angle brackets nest via plain punct
+        // tokens, so track their depth to find the separating comma.
+        let mut angle_depth = 0usize;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// Variant names from an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(name);
+                break;
+            }
+            other => panic!(
+                "serde_derive: only unit enum variants are supported \
+                 (variant `{name}` is followed by {other:?})"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(\
+                             match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(map, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let map = v.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\
+                                 \"expected map for struct {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             ::std::option::Option::Some(s) => match s {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::Error::custom(format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::std::option::Option::None => \
+                                 ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated impl parses")
+}
