@@ -3,12 +3,18 @@
 //! Measures the three hot paths the blocked-BLAS work targets:
 //! dense GEMM throughput (GFLOP/s), Lanczos wall time at k = 50 with
 //! full reorthogonalization, and query-scoring throughput (queries/sec,
-//! both one-at-a-time and batched). Prints one JSON object to stdout so
-//! before/after runs can be diffed mechanically:
+//! both one-at-a-time and batched). Prints one JSON run report to
+//! stdout (the lsi-obs `RunReport` schema: `name`/`meta`/`results`/
+//! `metrics`) so before/after runs can be diffed mechanically:
 //!
 //! ```text
-//! cargo run --release -p lsi-bench --bin perf_kernels
+//! cargo run --release -p lsi-bench --bin perf_kernels           # full sizes
+//! cargo run --release -p lsi-bench --bin perf_kernels -- --quick  # CI smoke
 //! ```
+//!
+//! `--quick` shrinks every problem size so the whole run takes a few
+//! seconds; the report keys are identical, only the numbers are not
+//! comparable to full-size runs (meta records `"quick": true`).
 
 use std::time::Instant;
 
@@ -16,11 +22,60 @@ use lsi_core::{Combine, LsiModel, LsiOptions, MultiQuery};
 use lsi_corpora::treclike::trec_like;
 use lsi_corpora::{SyntheticCorpus, SyntheticOptions};
 use lsi_linalg::{ops, DenseMatrix};
+use lsi_obs::Json;
 use lsi_sparse::ops::DualFormat;
 use lsi_svd::{lanczos_svd, LanczosOptions, Reorth};
 use lsi_text::{ParsingRules, TermWeighting};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Problem sizes for one run; `--quick` selects the small set.
+struct Sizes {
+    gemm_square_small: usize,
+    gemm_square_large: usize,
+    gemm_tall: (usize, usize, usize),
+    trec_scale: usize,
+    lanczos_k: usize,
+    topics: usize,
+    docs_per_topic: usize,
+    model_k: usize,
+    time_reps: usize,
+    score_reps: usize,
+}
+
+impl Sizes {
+    fn full() -> Sizes {
+        Sizes {
+            gemm_square_small: 256,
+            gemm_square_large: 512,
+            // Tall-skinny shape typical of basis updates.
+            gemm_tall: (4500, 128, 128),
+            trec_scale: 20, // 4500 x 3500, TREC-shaped sparsity
+            lanczos_k: 50,
+            topics: 10,
+            docs_per_topic: 200,
+            model_k: 64,
+            time_reps: 3,
+            score_reps: 20,
+        }
+    }
+
+    fn quick() -> Sizes {
+        Sizes {
+            gemm_square_small: 96,
+            gemm_square_large: 128,
+            gemm_tall: (600, 48, 48),
+            // trec_like's scale is a divisor: larger scale = smaller matrix.
+            trec_scale: 200,
+            lanczos_k: 20,
+            topics: 4,
+            docs_per_topic: 30,
+            model_k: 16,
+            time_reps: 1,
+            score_reps: 2,
+        }
+    }
+}
 
 fn random_matrix(m: usize, n: usize, rng: &mut StdRng) -> DenseMatrix {
     let mut a = DenseMatrix::zeros(m, n);
@@ -43,38 +98,37 @@ fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-fn gemm_gflops(m: usize, k: usize, n: usize, transposed: bool, rng: &mut StdRng) -> f64 {
+fn gemm_gflops(m: usize, k: usize, n: usize, transposed: bool, reps: usize, rng: &mut StdRng) -> f64 {
     let flops = 2.0 * m as f64 * k as f64 * n as f64;
     if transposed {
         // C = A^T B with A k-rows-first so shapes line up: A is k x m.
         let a = random_matrix(k, m, rng);
         let b = random_matrix(k, n, rng);
-        let secs = best_secs(5, || {
+        let secs = best_secs(reps, || {
             std::hint::black_box(ops::matmul_tn(&a, &b).expect("gemm_tn"));
         });
         flops / secs / 1e9
     } else {
         let a = random_matrix(m, k, rng);
         let b = random_matrix(k, n, rng);
-        let secs = best_secs(5, || {
+        let secs = best_secs(reps, || {
             std::hint::black_box(ops::matmul(&a, &b).expect("gemm"));
         });
         flops / secs / 1e9
     }
 }
 
-fn query_model() -> (LsiModel, Vec<String>) {
-    // 10 topics x 200 docs/topic = 2000 documents.
+fn query_model(s: &Sizes) -> (LsiModel, Vec<String>) {
     let gen = SyntheticCorpus::generate(&SyntheticOptions {
-        n_topics: 10,
-        docs_per_topic: 200,
+        n_topics: s.topics,
+        docs_per_topic: s.docs_per_topic,
         doc_len: 30,
         queries_per_topic: 8,
         seed: 77,
         ..Default::default()
     });
     let options = LsiOptions {
-        k: 64,
+        k: s.model_k,
         rules: ParsingRules {
             min_df: 2,
             ..Default::default()
@@ -88,38 +142,58 @@ fn query_model() -> (LsiModel, Vec<String>) {
 }
 
 fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let s = if quick { Sizes::quick() } else { Sizes::full() };
+    // LSI_NO_OBS=1 measures the uninstrumented baseline (the metrics
+    // section of the report then comes out empty).
+    if std::env::var_os("LSI_NO_OBS").is_none() {
+        lsi_obs::set_enabled(true);
+    }
     let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let run_start = Instant::now();
 
     // --- Dense GEMM throughput -------------------------------------
-    let gemm_nn_256 = gemm_gflops(256, 256, 256, false, &mut rng);
-    let gemm_tn_256 = gemm_gflops(256, 256, 256, true, &mut rng);
-    let gemm_nn_512 = gemm_gflops(512, 512, 512, false, &mut rng);
-    // Tall-skinny shape typical of basis updates: (4500 x 128) * (128 x 128).
-    let gemm_nn_tall = gemm_gflops(4500, 128, 128, false, &mut rng);
+    let (gemm_nn_small, gemm_tn_small, gemm_nn_large, gemm_nn_tall) = {
+        let _span = lsi_obs::span("bench.gemm");
+        let sq = s.gemm_square_small;
+        let lg = s.gemm_square_large;
+        let (tm, tk, tn) = s.gemm_tall;
+        (
+            gemm_gflops(sq, sq, sq, false, 5, &mut rng),
+            gemm_gflops(sq, sq, sq, true, 5, &mut rng),
+            gemm_gflops(lg, lg, lg, false, 5, &mut rng),
+            gemm_gflops(tm, tk, tn, false, 5, &mut rng),
+        )
+    };
 
-    // --- Lanczos k = 50, full reorthogonalization ------------------
-    let matrix = trec_like(20, 7); // 4500 x 3500, TREC-shaped sparsity
+    // --- Lanczos, full reorthogonalization -------------------------
+    let matrix = trec_like(s.trec_scale, 7);
+    let corpus_shape = format!("trec_like({}) {}x{}", s.trec_scale, matrix.nrows(), matrix.ncols());
     let dual = DualFormat::from_csc(matrix);
     let opts = LanczosOptions {
         reorth: Reorth::Full,
         ..Default::default()
     };
     let mut steps = 0usize;
-    let lanczos_secs = best_secs(3, || {
-        let (svd, report) = lanczos_svd(&dual, 50, &opts).expect("lanczos runs");
-        steps = report.steps;
-        std::hint::black_box(svd);
-    });
+    let lanczos_secs = {
+        let _span = lsi_obs::span("bench.lanczos");
+        best_secs(s.time_reps, || {
+            let (svd, report) = lanczos_svd(&dual, s.lanczos_k, &opts).expect("lanczos runs");
+            steps = report.steps;
+            std::hint::black_box(svd);
+        })
+    };
 
     // --- Query scoring throughput ----------------------------------
-    let (model, queries) = query_model();
+    let _query_span = lsi_obs::span("bench.query");
+    let (model, queries) = query_model(&s);
     let qhats: Vec<Vec<f64>> = queries
         .iter()
         .map(|q| model.project_text(q).expect("projects"))
         .collect();
 
     // Single-query path: full text query, top 10 of a ranked list.
-    let single_secs = best_secs(3, || {
+    let single_secs = best_secs(s.time_reps, || {
         for q in &queries {
             let ranked = model.query(q).expect("query runs");
             std::hint::black_box(ranked.top(10));
@@ -130,36 +204,41 @@ fn main() {
     // Scoring-only path: pre-projected vectors ranked top-10. This is
     // the loop the precomputed-norm + top-k selection work targets
     // (rank_projected_top partitions instead of sorting the full list).
-    let score_reps = 20usize;
-    let score_secs = best_secs(3, || {
-        for _ in 0..score_reps {
+    let score_secs = best_secs(s.time_reps, || {
+        for _ in 0..s.score_reps {
             for qhat in &qhats {
                 let ranked = model.rank_projected_top(qhat, 10).expect("ranks");
                 std::hint::black_box(ranked);
             }
         }
     });
-    let batch_qps = (score_reps * qhats.len()) as f64 / score_secs;
+    let batch_qps = (s.score_reps * qhats.len()) as f64 / score_secs;
 
     // Multi-facet query (all facets at once) for the one-GEMM path.
     let mq = MultiQuery::from_vectors(&model, qhats.clone()).expect("facets");
-    let multi_secs = best_secs(3, || {
-        for _ in 0..score_reps {
+    let multi_secs = best_secs(s.time_reps, || {
+        for _ in 0..s.score_reps {
             let ranked = model.query_multi(&mq, Combine::Max).expect("multi");
             std::hint::black_box(ranked.top(10));
         }
     });
-    let multi_qps = (score_reps * qhats.len()) as f64 / multi_secs;
+    let multi_qps = (s.score_reps * qhats.len()) as f64 / multi_secs;
+    drop(_query_span);
 
-    println!("{{");
-    println!("  \"gemm_nn_256_gflops\": {gemm_nn_256:.3},");
-    println!("  \"gemm_tn_256_gflops\": {gemm_tn_256:.3},");
-    println!("  \"gemm_nn_512_gflops\": {gemm_nn_512:.3},");
-    println!("  \"gemm_nn_tall_gflops\": {gemm_nn_tall:.3},");
-    println!("  \"lanczos_k50_secs\": {lanczos_secs:.4},");
-    println!("  \"lanczos_k50_steps\": {steps},");
-    println!("  \"query_single_qps\": {single_qps:.1},");
-    println!("  \"query_batch_scoring_qps\": {batch_qps:.1},");
-    println!("  \"query_multi_facet_qps\": {multi_qps:.1}");
-    println!("}}");
+    let mut report = lsi_obs::RunReport::new("perf_kernels")
+        .meta("k", Json::Num(s.lanczos_k as f64))
+        .meta("corpus", Json::Str(corpus_shape))
+        .meta("quick", Json::Bool(quick))
+        .meta("wall_secs", Json::Num(run_start.elapsed().as_secs_f64()));
+    report.result("gemm_nn_256_gflops", Json::Num(gemm_nn_small));
+    report.result("gemm_tn_256_gflops", Json::Num(gemm_tn_small));
+    report.result("gemm_nn_512_gflops", Json::Num(gemm_nn_large));
+    report.result("gemm_nn_tall_gflops", Json::Num(gemm_nn_tall));
+    report.result("lanczos_k50_secs", Json::Num(lanczos_secs));
+    report.result("lanczos_k50_steps", Json::Num(steps as f64));
+    report.result("query_single_qps", Json::Num(single_qps));
+    report.result("query_batch_scoring_qps", Json::Num(batch_qps));
+    report.result("query_multi_facet_qps", Json::Num(multi_qps));
+    report.snapshot = lsi_obs::snapshot();
+    print!("{}", report.to_json().to_string_pretty());
 }

@@ -3,11 +3,19 @@
 //! ```text
 //! cargo run --release -p lsi-bench --bin repro            # everything
 //! cargo run --release -p lsi-bench --bin repro -- --table4 --figure6
+//! cargo run --release -p lsi-bench --bin repro -- --json --table4
 //! ```
+//!
+//! `--json` swaps the plain-text tables for one machine-readable run
+//! report (the lsi-obs `RunReport` schema): per-section wall times
+//! under `results`, git sha and the section list under `meta`, and the
+//! collected span/flop metrics under `metrics`. Stdout is then exactly
+//! one JSON document.
 //!
 //! Section names follow DESIGN.md's experiment index.
 
 use lsi_bench::experiments::*;
+use lsi_obs::Json;
 
 struct Section {
     flag: &'static str,
@@ -149,14 +157,20 @@ fn sections() -> Vec<Section> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = {
+        let before = args.len();
+        args.retain(|a| a != "--json");
+        args.len() != before
+    };
     let all = sections();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("repro: regenerate the paper's tables and figures\n");
-        println!("usage: repro [--list] [FLAGS...]   (no flags = run everything)\n");
+        println!("usage: repro [--list] [--json] [FLAGS...]   (no flags = run everything)\n");
         for s in &all {
             println!("  {:<12} {}", s.flag, s.description);
         }
+        println!("  {:<12} {}", "--json", "emit one JSON run report instead of text");
         return;
     }
     if args.iter().any(|a| a == "--list") {
@@ -165,20 +179,46 @@ fn main() {
         }
         return;
     }
+    if json {
+        lsi_obs::set_enabled(true);
+    }
+    let mut report = lsi_obs::RunReport::new("repro");
+    let mut section_names: Vec<Json> = Vec::new();
     let mut ran_any = false;
     let mut seen = std::collections::HashSet::new();
     for s in &all {
         let selected = args.is_empty() || args.iter().any(|a| a == s.flag);
         if selected {
-            let output = (s.run)();
-            if seen.insert(output.clone()) {
+            let name = s.flag.trim_start_matches('-');
+            let start = std::time::Instant::now();
+            let output = {
+                let _span = lsi_obs::span(name);
+                (s.run)()
+            };
+            let fresh = seen.insert(output.clone());
+            if json {
+                // Aliases (--figure5, --figure8/9) rerun the same
+                // section; report wall time only for the first run.
+                if fresh {
+                    section_names.push(Json::Str(name.to_string()));
+                    report.result(
+                        &format!("{name}_secs"),
+                        Json::Num(start.elapsed().as_secs_f64()),
+                    );
+                }
+            } else if fresh {
                 println!("{output}");
             }
             ran_any = true;
         }
     }
     if !ran_any {
-        eprintln!("no known section among {args:?}; try --help");
+        lsi_obs::error!("no known section among {args:?}; try --help");
         std::process::exit(2);
+    }
+    if json {
+        let mut report = report.meta("sections", Json::Arr(section_names));
+        report.snapshot = lsi_obs::snapshot();
+        print!("{}", report.to_json().to_string_pretty());
     }
 }

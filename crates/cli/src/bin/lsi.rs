@@ -1,11 +1,10 @@
 //! The `lsi` command-line tool. See `lsi --help`.
 
-use lsi_cli::args::{parse_args, Command, USAGE};
+use lsi_cli::args::{parse_args, take_metrics, Command, MetricsMode, USAGE};
 use lsi_cli::commands;
 
-fn run() -> lsi_cli::Result<String> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&argv)? {
+fn run(argv: &[String]) -> lsi_cli::Result<String> {
+    match parse_args(argv)? {
         Command::Help => Ok(USAGE.to_string()),
         Command::Index {
             inputs,
@@ -32,11 +31,43 @@ fn run() -> lsi_cli::Result<String> {
     }
 }
 
+/// Print the collected metrics to stderr so stdout stays exactly the
+/// command's report (pipelines keep working with `--metrics` on).
+fn report_metrics(mode: MetricsMode) {
+    use std::io::Write as _;
+    let snapshot = lsi_obs::snapshot();
+    let text = match mode {
+        MetricsMode::Off => return,
+        MetricsMode::Table => lsi_obs::render_table(&snapshot),
+        MetricsMode::Json => {
+            let mut s = lsi_obs::snapshot_to_json(&snapshot).to_string_compact();
+            s.push('\n');
+            s
+        }
+    };
+    let _ = std::io::stderr().write_all(text.as_bytes());
+}
+
 fn main() {
-    match run() {
-        Ok(output) => print!("{output}"),
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = match take_metrics(&mut argv) {
+        Ok(mode) => mode,
         Err(e) => {
-            eprintln!("lsi: {e}");
+            lsi_obs::error!("lsi: {e}");
+            std::process::exit(e.code);
+        }
+    };
+    if metrics != MetricsMode::Off {
+        lsi_obs::set_enabled(true);
+    }
+    match run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            report_metrics(metrics);
+        }
+        Err(e) => {
+            lsi_obs::error!("lsi: {e}");
+            report_metrics(metrics);
             std::process::exit(e.code);
         }
     }

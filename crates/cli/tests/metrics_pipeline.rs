@@ -1,0 +1,127 @@
+//! End-to-end metrics coverage: the full CLI pipeline on the paper's
+//! MED example must report every stage with nonzero wall time and flop
+//! counts, via the same JSON exporter `lsi --metrics=json` prints.
+
+use lsi_cli::commands;
+use lsi_corpora::MedExample;
+
+/// The stages the ISSUE acceptance criterion enumerates: parsing,
+/// matrix build, SVD (with its Lanczos phase breakdown), database
+/// assembly, query, and folding-in.
+const REQUIRED_STAGES: &[&str] = &[
+    "build.parse",
+    "build.matrix",
+    "build.svd",
+    "build.assemble",
+    "query",
+    "fold_in",
+];
+
+const LANCZOS_PHASES: &[&str] = &[
+    "build.svd.lanczos.gram",
+    "build.svd.lanczos.reorth",
+    "build.svd.lanczos.ritz",
+];
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lsi-metrics-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn med_pipeline_reports_all_six_stages_with_nonzero_work() {
+    // One test body: the obs registry is process-global, so the whole
+    // pipeline runs under a single enable/snapshot cycle.
+    lsi_obs::reset();
+    lsi_obs::set_enabled(true);
+
+    let ex = MedExample::build();
+    let dir = tmpdir();
+    let tsv_path = dir.join("med.tsv");
+    let mut tsv = String::new();
+    for doc in &ex.corpus.docs {
+        tsv.push_str(&format!("{}\t{}\n", doc.id, doc.text.replace('\n', " ")));
+    }
+    std::fs::write(&tsv_path, &tsv).unwrap();
+    let tsv_path = tsv_path.to_string_lossy().into_owned();
+    let db = dir.join("med.json").to_string_lossy().into_owned();
+
+    // index → query → add (fold): the three commands that touch every
+    // stage of the span taxonomy.
+    commands::cmd_index(&[tsv_path], &db, 8, 2, "log-entropy", false).unwrap();
+    let hits = commands::cmd_query(&db, "the generation of blood cells", 5, None).unwrap();
+    assert!(!hits.trim().is_empty(), "query produced no output");
+    let new_doc = dir.join("fresh.txt");
+    std::fs::write(
+        &new_doc,
+        "fibrin products of the blood and their measurement in pressure chambers",
+    )
+    .unwrap();
+    let db2 = dir.join("med2.json").to_string_lossy().into_owned();
+    commands::cmd_add(
+        &db,
+        &[new_doc.to_string_lossy().into_owned()],
+        &db2,
+        "fold",
+    )
+    .unwrap();
+
+    let snapshot = lsi_obs::snapshot();
+    lsi_obs::set_enabled(false);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Validate through the JSON exporter — the exact document
+    // `lsi --metrics=json` emits — not the in-memory snapshot.
+    let text = lsi_obs::snapshot_to_json(&snapshot).to_string_compact();
+    let json = lsi_obs::parse_json(&text).unwrap();
+    let spans = json.get("spans").expect("report has a spans section");
+
+    for stage in REQUIRED_STAGES {
+        let span = spans
+            .get(stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}; report: {text}"));
+        let secs = span.get("secs").unwrap().as_f64().unwrap();
+        let flops = span.get("flops").unwrap().as_f64().unwrap();
+        let calls = span.get("calls").unwrap().as_f64().unwrap();
+        assert!(secs > 0.0, "{stage} reports zero wall time");
+        assert!(flops > 0.0, "{stage} reports zero flops");
+        assert!(calls >= 1.0, "{stage} reports zero calls");
+    }
+
+    // The SVD stage additionally breaks down into Lanczos phases.
+    for phase in LANCZOS_PHASES {
+        let span = spans
+            .get(phase)
+            .unwrap_or_else(|| panic!("missing lanczos phase {phase}; report: {text}"));
+        assert!(
+            span.get("secs").unwrap().as_f64().unwrap() > 0.0,
+            "{phase} reports zero wall time"
+        );
+    }
+
+    // Stage flops must roll up: the parent build span holds at least
+    // the sum of what its children attributed.
+    let build = spans.get("build").expect("missing build span");
+    let build_flops = build.get("flops").unwrap().as_f64().unwrap();
+    let child_sum: f64 = ["build.parse", "build.matrix", "build.svd", "build.assemble"]
+        .iter()
+        .map(|s| spans.get(s).unwrap().get("flops").unwrap().as_f64().unwrap())
+        .sum();
+    assert!(
+        build_flops >= child_sum * (1.0 - 1e-9),
+        "parent flops {build_flops} < sum of children {child_sum}"
+    );
+
+    // Query latency histogram recorded at least the one query.
+    let hist = json
+        .get("histograms")
+        .unwrap()
+        .get("query.time.us")
+        .expect("query latency histogram present");
+    assert!(hist.get("count").unwrap().as_f64().unwrap() >= 1.0);
+}

@@ -93,8 +93,17 @@ impl LsiModel {
     /// matrix's numerical rank is below `k`, the model retains that
     /// smaller rank (the paper's `k ≤ r` regime).
     pub fn build(corpus: &Corpus, options: &LsiOptions) -> Result<(LsiModel, LanczosReport)> {
-        let vocab = Vocabulary::build(corpus, &options.rules);
-        let counts = vocab.count_matrix(corpus);
+        let _build_span = lsi_obs::span("build");
+        let (vocab, counts) = {
+            let _parse_span = lsi_obs::span("parse");
+            let vocab = Vocabulary::build(corpus, &options.rules);
+            let counts = vocab.count_matrix(corpus);
+            // Parsing does no arithmetic; account one unit of work per
+            // (term, document) cell inserted so throughput is derivable.
+            lsi_obs::add_flops(counts.nnz() as f64);
+            lsi_obs::count("core.parse.docs.count", corpus.docs.len() as u64);
+            (vocab, counts)
+        };
         let doc_ids = corpus.docs.iter().map(|d| d.id.clone()).collect();
         Self::from_counts(vocab, counts, doc_ids, options)
     }
@@ -124,20 +133,30 @@ impl LsiModel {
                 ),
             });
         }
-        let weighted = options.weighting.apply(&counts);
-        let k = options.k.min(counts.nrows().min(counts.ncols()));
-        let operator = DualFormat::from_csc(weighted.matrix.clone());
-        let lanczos_opts = LanczosOptions {
-            seed: options.svd_seed,
-            ..Default::default()
+        let weighted = {
+            let _matrix_span = lsi_obs::span("matrix");
+            lsi_obs::count("core.matrix.nnz.count", counts.nnz() as u64);
+            options.weighting.apply(&counts)
         };
-        let (mut svd, report) = lanczos_svd(&operator, k, &lanczos_opts)?;
+        let k = options.k.min(counts.nrows().min(counts.ncols()));
+        let (mut svd, report) = {
+            let _svd_span = lsi_obs::span("svd");
+            let operator = DualFormat::from_csc(weighted.matrix.clone());
+            let lanczos_opts = LanczosOptions {
+                seed: options.svd_seed,
+                ..Default::default()
+            };
+            lanczos_svd(&operator, k, &lanczos_opts)?
+        };
+        let _assemble_span = lsi_obs::span("assemble");
         // Canonical signs (largest-magnitude U entry positive per
         // column) so coordinates are comparable across runs and with
         // published figures.
         svd.sign_normalize();
         let n_docs = counts.ncols();
         let n_terms = counts.nrows();
+        // Sign pass over both factors plus the document-norm cache.
+        lsi_obs::add_flops(((n_terms + 3 * n_docs) * k) as f64);
         let mut model = LsiModel {
             vocab,
             weighting: options.weighting,

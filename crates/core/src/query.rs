@@ -92,6 +92,7 @@ impl LsiModel {
                 ),
             });
         }
+        lsi_obs::add_flops((2 * self.k() + 2) as f64 * counts.len() as f64);
         // Weight: local transform on counts, stored global weights.
         // Folded-in terms (if any) carry global weight 1.
         let mut weighted = Vec::with_capacity(counts.len());
@@ -150,6 +151,9 @@ impl LsiModel {
         if k == 0 || n == 0 {
             return Ok(DenseMatrix::zeros(n, nf));
         }
+        // The V·Q̂ product plus the per-cell norm scaling.
+        lsi_obs::add_flops(((2 * k + 3) * n * nf) as f64);
+        lsi_obs::count("query.facets.count", nf as u64);
         let mut scores = if nf == 1 {
             // One facet is a GEMV: skip the GEMM's operand packing,
             // which would copy all of V for a single right-hand side.
@@ -222,21 +226,33 @@ impl LsiModel {
 
     /// Query by free text: project and rank.
     pub fn query(&self, text: &str) -> Result<RankedList> {
+        let _span = lsi_obs::span("query");
+        let t0 = std::time::Instant::now();
         let qhat = self.project_text(text)?;
-        self.rank_projected(&qhat)
+        let ranked = self.rank_projected(&qhat)?;
+        lsi_obs::count("query.count", 1);
+        lsi_obs::observe("query.time.us", t0.elapsed().as_secs_f64() * 1e6);
+        Ok(ranked)
     }
 
     /// Query by free text, returning only the top `z` documents
     /// (partition + partial sort instead of a full ranking).
     pub fn query_top(&self, text: &str, z: usize) -> Result<RankedList> {
+        let _span = lsi_obs::span("query");
+        let t0 = std::time::Instant::now();
         let qhat = self.project_text(text)?;
-        self.rank_projected_top(&qhat, z)
+        let ranked = self.rank_projected_top(&qhat, z)?;
+        lsi_obs::count("query.count", 1);
+        lsi_obs::observe("query.time.us", t0.elapsed().as_secs_f64() * 1e6);
+        Ok(ranked)
     }
 
     /// Rank documents against an existing *document* (query-by-example;
     /// relevance feedback replaces the query with relevant documents'
     /// vectors, §5.1).
     pub fn query_by_doc(&self, doc: usize) -> Result<RankedList> {
+        let _span = lsi_obs::span("query");
+        lsi_obs::count("query.count", 1);
         if doc >= self.n_docs() {
             return Err(Error::Inconsistent {
                 context: format!("document {doc} out of range ({} docs)", self.n_docs()),

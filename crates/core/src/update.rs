@@ -60,6 +60,13 @@ impl LsiModel {
     /// `d̂ = dᵀ U_k Σ_k⁻¹` and appended to `V_k`. Existing coordinates
     /// are untouched.
     pub fn fold_in_documents(&mut self, corpus: &Corpus) -> Result<()> {
+        let _span = lsi_obs::span("fold_in");
+        // Table 7: folding in p documents costs 2mkp flops.
+        lsi_obs::add_flops(
+            crate::complexity::CostParams::with_defaults(self.n_terms(), self.n_docs(), self.k())
+                .fold_in_documents(corpus.len()) as f64,
+        );
+        lsi_obs::count("update.fold_in_docs.count", corpus.len() as u64);
         let mut new_rows = Vec::with_capacity(corpus.len());
         for doc in &corpus.docs {
             if self.doc_index(&doc.id).is_some() {
@@ -93,6 +100,13 @@ impl LsiModel {
     /// `counts` maps each new term name to its occurrence counts over
     /// the first [`LsiModel::n_docs`] documents.
     pub fn fold_in_terms(&mut self, terms: &[(String, Vec<f64>)]) -> Result<()> {
+        let _span = lsi_obs::span("fold_in");
+        // Table 7: folding in q terms costs 2nkq flops.
+        lsi_obs::add_flops(
+            crate::complexity::CostParams::with_defaults(self.n_terms(), self.n_docs(), self.k())
+                .fold_in_terms(terms.len()) as f64,
+        );
+        lsi_obs::count("update.fold_in_terms.count", terms.len() as u64);
         let n = self.n_docs();
         let mut new_rows = Vec::with_capacity(terms.len());
         for (name, counts) in terms {
@@ -134,6 +148,12 @@ impl LsiModel {
     /// `model.vocabulary().count_matrix(&new_corpus)`); weighting is
     /// applied internally with the stored global weights.
     pub fn svd_update_documents(&mut self, d_counts: &CscMatrix, ids: &[String]) -> Result<()> {
+        let _span = lsi_obs::span("update");
+        lsi_obs::add_flops(
+            crate::complexity::CostParams::with_defaults(self.n_terms(), self.n_docs(), self.k())
+                .svd_update_documents(d_counts.ncols(), d_counts.nnz()) as f64,
+        );
+        lsi_obs::count("update.svd_update_docs.count", d_counts.ncols() as u64);
         let m = self.n_terms();
         let k = self.k();
         let p = d_counts.ncols();
@@ -267,6 +287,16 @@ impl LsiModel {
     /// Each entry gives a new term's name and its raw counts over the
     /// model's documents (length [`LsiModel::n_docs`]).
     pub fn svd_update_terms(&mut self, terms: &[(String, Vec<f64>)]) -> Result<()> {
+        let _span = lsi_obs::span("update");
+        let nnz_t: usize = terms
+            .iter()
+            .map(|(_, c)| c.iter().filter(|&&v| v != 0.0).count())
+            .sum();
+        lsi_obs::add_flops(
+            crate::complexity::CostParams::with_defaults(self.n_terms(), self.n_docs(), self.k())
+                .svd_update_terms(terms.len(), nnz_t) as f64,
+        );
+        lsi_obs::count("update.svd_update_terms.count", terms.len() as u64);
         let n = self.n_docs();
         let k = self.k();
         let q = terms.len();
@@ -389,6 +419,16 @@ impl LsiModel {
     /// `changes` maps a term row index to its delta vector over the
     /// model's documents.
     pub fn svd_update_weights(&mut self, changes: &[(usize, Vec<f64>)]) -> Result<()> {
+        let _span = lsi_obs::span("update");
+        let nnz_z: usize = changes
+            .iter()
+            .map(|(_, d)| d.iter().filter(|&&v| v != 0.0).count())
+            .sum();
+        lsi_obs::add_flops(
+            crate::complexity::CostParams::with_defaults(self.n_terms(), self.n_docs(), self.k())
+                .svd_update_weights(changes.len(), nnz_z) as f64,
+        );
+        lsi_obs::count("update.svd_update_weights.count", changes.len() as u64);
         let k = self.k();
         let n = self.n_docs();
         if changes.is_empty() {
@@ -516,6 +556,7 @@ impl LsiModel {
     /// updating methods. Folded-in document/term rows that are not part
     /// of the stored matrix are dropped (they are re-foldable).
     pub fn recompute(&mut self, k: usize) -> Result<()> {
+        let _span = lsi_obs::span("recompute");
         let k = k.min(self.weighted.nrows().min(self.weighted.ncols()));
         let operator = lsi_sparse::ops::DualFormat::from_csc(self.weighted.clone());
         let (svd, _) = lanczos_svd(&operator, k, &LanczosOptions::default())?;

@@ -205,7 +205,10 @@ pub(crate) fn gemm(m: usize, n: usize, k: usize, a: View<'_>, b: View<'_>) -> Ve
     let mut c = vec![0.0f64; m * n];
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     let nthreads = workers();
+    lsi_obs::add_flops(flops as f64);
+    lsi_obs::observe("linalg.gemm.flops", flops as f64);
     if flops >= GEMM_PAR_MIN_FLOPS && nthreads > 1 && n > 1 {
+        lsi_obs::count("linalg.gemm.parallel.count", 1);
         let cols_per = n.div_ceil(nthreads);
         c.par_chunks_mut(m * cols_per)
             .enumerate()
@@ -214,6 +217,7 @@ pub(crate) fn gemm(m: usize, n: usize, k: usize, a: View<'_>, b: View<'_>) -> Ve
                 gemm_span(span, m, ncols, k, w * cols_per, a, b);
             });
     } else {
+        lsi_obs::count("linalg.gemm.serial.count", 1);
         gemm_span(&mut c, m, n, k, 0, a, b);
     }
     c
@@ -268,6 +272,8 @@ pub fn panel_qt_w(q: &DenseMatrix, ncols: usize, w: &[f64]) -> Vec<f64> {
     if ncols == 0 || m == 0 {
         return y;
     }
+    lsi_obs::add_flops(2.0 * m as f64 * ncols as f64);
+    lsi_obs::count("linalg.panel_qt_w.count", 1);
     let qdata = q.data();
     let mut j = 0;
     while j < ncols {
@@ -318,6 +324,8 @@ pub fn panel_w_minus_qy(q: &DenseMatrix, ncols: usize, y: &[f64], w: &mut [f64])
     if ncols == 0 || m == 0 {
         return;
     }
+    lsi_obs::add_flops(2.0 * m as f64 * ncols as f64);
+    lsi_obs::count("linalg.panel_w_minus_qy.count", 1);
     let qdata = q.data();
     let mut j = 0;
     while j < ncols {

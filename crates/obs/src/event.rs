@@ -1,0 +1,197 @@
+//! Leveled diagnostic events (the `eprintln!` replacement).
+//!
+//! Events go to stderr when their level passes the filter. The filter
+//! comes from `RUST_LSI_LOG` (`off`, `error`, `warn`, `info`, `debug`,
+//! `trace`), read once per process; the default is `warn`, so existing
+//! error/warning output stays byte-compatible while `info` and below
+//! are opt-in. Output at the default level is the bare message — no
+//! timestamps or level prefixes — so call sites migrated from
+//! `eprintln!` keep identical stderr bytes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or user-facing failures.
+    Error = 1,
+    /// Suspicious conditions worth surfacing by default.
+    Warn = 2,
+    /// Progress and lifecycle messages.
+    Info = 3,
+    /// Per-stage diagnostic detail.
+    Debug = 4,
+    /// Per-call diagnostic detail.
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            5 => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Parse a `RUST_LSI_LOG` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+
+    /// Lowercase name, as accepted by `RUST_LSI_LOG`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// 0 = off; otherwise a `Level` discriminant. Initialized lazily from
+/// the environment, overridable via [`set_max_level`].
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+static ENV_LEVEL: OnceLock<u8> = OnceLock::new();
+
+fn env_level() -> u8 {
+    *ENV_LEVEL.get_or_init(|| {
+        match std::env::var("RUST_LSI_LOG") {
+            Ok(v) => match Level::parse(&v) {
+                Some(None) => 0,
+                Some(Some(l)) => l as u8,
+                // An unparseable filter must not silence errors.
+                None => Level::Warn as u8,
+            },
+            Err(_) => Level::Warn as u8,
+        }
+    })
+}
+
+/// The most verbose level currently emitted, if any.
+pub fn max_level() -> Option<Level> {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    let v = if v == u8::MAX { env_level() } else { v };
+    Level::from_u8(v)
+}
+
+/// Override the level filter (`None` silences everything). Wins over
+/// `RUST_LSI_LOG` from the moment it is called.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether an event at `level` would currently be emitted.
+pub fn level_enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Emit one event (used by the level macros; callable directly).
+///
+/// `Error`/`Warn` print the bare message for byte-compatibility with
+/// the `eprintln!` call sites they replaced; verbose levels carry a
+/// `level:` prefix since nothing asserts on their bytes.
+pub fn event(level: Level, args: fmt::Arguments<'_>) {
+    if !level_enabled(level) {
+        return;
+    }
+    crate::registry()
+        .counter(&format!("events.{}.count", level.name()))
+        .inc();
+    if level <= Level::Warn {
+        eprintln!("{args}");
+    } else {
+        eprintln!("{}: {args}", level.name());
+    }
+}
+
+/// Emit an [`Level::Error`] event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::event($crate::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Emit a [`Level::Warn`] event.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::event($crate::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Emit an [`Level::Info`] event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::event($crate::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Emit a [`Level::Debug`] event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::event($crate::Level::Debug, format_args!($($arg)*)) };
+}
+
+/// Emit a [`Level::Trace`] event.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => { $crate::event($crate::Level::Trace, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn parse_accepts_all_names_and_off() {
+        assert_eq!(Level::parse("ERROR"), Some(Some(Level::Error)));
+        assert_eq!(Level::parse("warn"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("warning"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse(" info "), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("debug"), Some(Some(Level::Debug)));
+        assert_eq!(Level::parse("trace"), Some(Some(Level::Trace)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("0"), Some(None));
+        assert_eq!(Level::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn set_max_level_filters() {
+        // Serialize against other tests that touch the global filter.
+        set_max_level(Some(Level::Warn));
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        set_max_level(None);
+        assert!(!level_enabled(Level::Error));
+        set_max_level(Some(Level::Trace));
+        assert!(level_enabled(Level::Trace));
+    }
+}

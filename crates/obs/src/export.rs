@@ -1,0 +1,296 @@
+//! Exporters: human-readable metric tables and structured JSON run
+//! reports (the schema behind `BENCH_*.json` and `lsi --metrics=json`).
+
+use crate::json::Json;
+use crate::metrics::Snapshot;
+
+/// Render a snapshot as aligned, human-readable tables (spans first,
+/// then counters, gauges, histograms). Sections with no data are
+/// omitted; an empty snapshot renders as an explanatory one-liner.
+pub fn render_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("spans (wall time, attributed work):\n");
+        let width = snap.spans.iter().map(|(p, _)| p.len()).max().unwrap_or(4);
+        out.push_str(&format!(
+            "  {:<width$}  {:>5}  {:>10}  {:>12}  {:>9}\n",
+            "path", "calls", "secs", "flops", "mflop/s"
+        ));
+        for (path, s) in &snap.spans {
+            out.push_str(&format!(
+                "  {:<width$}  {:>5}  {:>10.6}  {:>12.3e}  {:>9.1}\n",
+                path,
+                s.calls,
+                s.secs,
+                s.flops,
+                s.mflops()
+            ));
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = snap.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<width$}  {v}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let width = snap.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<width$}  {v}\n"));
+        }
+    }
+    if !snap.hists.is_empty() {
+        out.push_str("histograms:\n");
+        let width = snap.hists.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+        out.push_str(&format!(
+            "  {:<width$}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "name", "count", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &snap.hists {
+            out.push_str(&format!(
+                "  {:<width$}  {:>7}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}\n",
+                name, h.count, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no metrics recorded (instrumentation disabled?)\n");
+    }
+    out
+}
+
+/// Convert a snapshot into a JSON object:
+/// `{"spans": {path: {calls, secs, flops, bytes, mflops}},
+///   "counters": {..}, "gauges": {..},
+///   "histograms": {name: {count, sum, min, max, p50, p90, p99}}}`.
+pub fn snapshot_to_json(snap: &Snapshot) -> Json {
+    let spans = snap
+        .spans
+        .iter()
+        .map(|(path, s)| {
+            (
+                path.clone(),
+                Json::obj(vec![
+                    ("calls", Json::Num(s.calls as f64)),
+                    ("secs", Json::Num(s.secs)),
+                    ("flops", Json::Num(s.flops)),
+                    ("bytes", Json::Num(s.bytes)),
+                    ("mflops", Json::Num(s.mflops())),
+                ]),
+            )
+        })
+        .collect();
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+        .collect();
+    let gauges = snap
+        .gauges
+        .iter()
+        .map(|(n, v)| (n.clone(), Json::Num(*v)))
+        .collect();
+    let hists = snap
+        .hists
+        .iter()
+        .map(|(n, h)| {
+            (
+                n.clone(),
+                Json::obj(vec![
+                    ("count", Json::Num(h.count as f64)),
+                    ("sum", Json::Num(h.sum)),
+                    ("min", Json::Num(h.min)),
+                    ("max", Json::Num(h.max)),
+                    ("p50", Json::Num(h.p50)),
+                    ("p90", Json::Num(h.p90)),
+                    ("p99", Json::Num(h.p99)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("spans", Json::Obj(spans)),
+        ("counters", Json::Obj(counters)),
+        ("gauges", Json::Obj(gauges)),
+        ("histograms", Json::Obj(hists)),
+    ])
+}
+
+/// A structured run report: tool name, run metadata (git sha, corpus,
+/// parameters), headline results, and the full metric snapshot. This
+/// is the one schema `lsi --metrics=json`, `perf_kernels`, and `repro`
+/// share, and the shape future `BENCH_*.json` trajectory entries embed.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Emitting tool (`"lsi"`, `"perf_kernels"`, `"repro"`).
+    pub name: String,
+    /// Run metadata: git sha, corpus, k, machine, flags.
+    pub meta: Vec<(String, Json)>,
+    /// Headline results (throughput numbers, section outputs).
+    pub results: Vec<(String, Json)>,
+    /// Full metric snapshot at the end of the run.
+    pub snapshot: Snapshot,
+}
+
+impl RunReport {
+    /// Start a report for `name`, pre-populated with the git sha when
+    /// the working directory is a checkout.
+    pub fn new(name: &str) -> RunReport {
+        let mut report = RunReport {
+            name: name.to_string(),
+            ..RunReport::default()
+        };
+        if let Some(sha) = git_sha() {
+            report.meta.push(("git_sha".to_string(), Json::Str(sha)));
+        }
+        report
+    }
+
+    /// Attach a metadata entry.
+    pub fn meta(mut self, key: &str, value: Json) -> RunReport {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
+    /// Attach a headline result.
+    pub fn result(&mut self, key: &str, value: Json) {
+        self.results.push((key.to_string(), value));
+    }
+
+    /// Serialize: `{"name", "meta": {..}, "results": {..},
+    /// "metrics": {..}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("meta", Json::Obj(self.meta.clone())),
+            ("results", Json::Obj(self.results.clone())),
+            ("metrics", snapshot_to_json(&self.snapshot)),
+        ])
+    }
+}
+
+/// The current git commit sha, read straight from `.git` (no
+/// subprocess — this must work in sandboxes without a `git` binary).
+/// Walks up from the current directory to find the repository root;
+/// resolves one level of `ref:` indirection, including packed refs.
+pub fn git_sha() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    let git_dir = loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            break candidate;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    };
+    let head = std::fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(sha) = std::fs::read_to_string(git_dir.join(refname)) {
+            return Some(sha.trim().to_string());
+        }
+        let packed = std::fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(sha) = line.strip_suffix(refname) {
+                return Some(sha.trim().to_string());
+            }
+        }
+        None
+    } else if head.len() >= 40 {
+        Some(head.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::stats::PhaseStats;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("linalg.gemm.calls").add(7);
+        r.gauge("svd.k").set(50.0);
+        r.histogram("query.time.us").record(120.0);
+        r.histogram("query.time.us").record(480.0);
+        r.record_span("build.svd", &PhaseStats::once(2.5e9, 1.25));
+        r
+    }
+
+    #[test]
+    fn table_renders_every_section() {
+        let table = render_table(&sample_registry().snapshot());
+        assert!(table.contains("build.svd"));
+        assert!(table.contains("linalg.gemm.calls"));
+        assert!(table.contains("svd.k"));
+        assert!(table.contains("query.time.us"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_hint() {
+        let table = render_table(&Registry::new().snapshot());
+        assert!(table.contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_parser() {
+        let json = snapshot_to_json(&sample_registry().snapshot());
+        let text = json.to_string_pretty();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(parsed, json);
+        let span = parsed.get("spans").unwrap().get("build.svd").unwrap();
+        assert_eq!(span.get("calls").unwrap().as_f64(), Some(1.0));
+        assert_eq!(span.get("secs").unwrap().as_f64(), Some(1.25));
+        assert_eq!(span.get("flops").unwrap().as_f64(), Some(2.5e9));
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("linalg.gemm.calls")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+        let hist = parsed
+            .get("histograms")
+            .unwrap()
+            .get("query.time.us")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn run_report_embeds_meta_results_and_metrics() {
+        let mut report = RunReport::new("perf_kernels").meta("k", Json::Num(50.0));
+        report.result("lanczos_k50_secs", Json::Num(0.8));
+        report.snapshot = sample_registry().snapshot();
+        let json = report.to_json();
+        assert_eq!(json.get("name").unwrap().as_str(), Some("perf_kernels"));
+        assert_eq!(json.get("meta").unwrap().get("k").unwrap().as_f64(), Some(50.0));
+        assert_eq!(
+            json.get("results")
+                .unwrap()
+                .get("lanczos_k50_secs")
+                .unwrap()
+                .as_f64(),
+            Some(0.8)
+        );
+        assert!(json.get("metrics").unwrap().get("spans").is_some());
+        let text = json.to_string_pretty();
+        assert_eq!(crate::json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn git_sha_resolves_in_this_checkout() {
+        // The workspace is a git repository, so this must produce a
+        // 40-hex sha.
+        let sha = git_sha().expect("repo checkout has .git");
+        assert_eq!(sha.len(), 40, "sha = {sha}");
+        assert!(sha.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

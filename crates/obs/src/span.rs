@@ -1,0 +1,125 @@
+//! Hierarchical timed spans.
+//!
+//! A span names a region of work; nesting builds a dotted path
+//! (`build.svd.lanczos`). Each thread keeps its own span stack, so
+//! instrumented code needs no handles — [`crate::span`] opens a span
+//! and the returned guard closes it on drop, crediting elapsed wall
+//! time plus any flops/bytes attributed inside (via
+//! [`crate::add_flops`]/[`crate::add_bytes`]) to the registry under the
+//! full path. Flops and bytes also propagate to the parent frame, so a
+//! stage's totals include its children's; seconds do not propagate —
+//! the parent's own clock already covers child wall time.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::stats::{PhaseStats, MIN_PHASE_SECS};
+
+thread_local! {
+    static STACK: RefCell<SpanStack> = RefCell::new(SpanStack::default());
+}
+
+#[derive(Default)]
+struct SpanStack {
+    /// Dotted path of all open frames, e.g. `build.svd.lanczos`.
+    path: String,
+    frames: Vec<Frame>,
+}
+
+struct Frame {
+    /// Length of `path` before this frame's segment was appended.
+    prefix_len: usize,
+    flops: f64,
+    bytes: f64,
+}
+
+/// RAII guard for one open span. Created by [`crate::span`]; closing
+/// (dropping) records the span and pops it off the thread's stack.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    pub(crate) fn noop() -> SpanGuard {
+        SpanGuard { start: None }
+    }
+
+    pub(crate) fn open(name: &str) -> SpanGuard {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let prefix_len = s.path.len();
+            if prefix_len > 0 {
+                s.path.push('.');
+            }
+            s.path.push_str(name);
+            s.frames.push(Frame {
+                prefix_len,
+                flops: 0.0,
+                bytes: 0.0,
+            });
+        });
+        SpanGuard {
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        // Clamp so even spans finishing inside one timer tick report
+        // nonzero wall time (stage reports must never show 0s of work
+        // that demonstrably ran).
+        let secs = start.elapsed().as_secs_f64().max(MIN_PHASE_SECS);
+        let (path, stats) = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let frame = s
+                .frames
+                .pop()
+                .expect("span guard dropped with empty span stack");
+            let path = s.path.clone();
+            s.path.truncate(frame.prefix_len);
+            // Children's work counts toward the parent stage.
+            if let Some(parent) = s.frames.last_mut() {
+                parent.flops += frame.flops;
+                parent.bytes += frame.bytes;
+            }
+            (
+                path,
+                PhaseStats {
+                    calls: 1,
+                    flops: frame.flops,
+                    bytes: frame.bytes,
+                    secs,
+                },
+            )
+        });
+        crate::registry().record_span(&path, &stats);
+    }
+}
+
+/// Attribute `flops` to the innermost open span on this thread (no-op
+/// outside any span).
+pub(crate) fn add_flops_here(flops: f64) {
+    STACK.with(|s| {
+        if let Some(frame) = s.borrow_mut().frames.last_mut() {
+            frame.flops += flops;
+        }
+    });
+}
+
+/// Attribute `bytes` to the innermost open span on this thread (no-op
+/// outside any span).
+pub(crate) fn add_bytes_here(bytes: f64) {
+    STACK.with(|s| {
+        if let Some(frame) = s.borrow_mut().frames.last_mut() {
+            frame.bytes += bytes;
+        }
+    });
+}
+
+/// Current dotted span path on this thread (empty outside any span).
+pub(crate) fn current_path() -> String {
+    STACK.with(|s| s.borrow().path.clone())
+}

@@ -1,0 +1,125 @@
+//! Unified work accounting: calls, flops, bytes, wall-clock seconds.
+//!
+//! [`PhaseStats`] generalizes the per-phase flop/time accounting that
+//! the Lanczos driver used to carry privately (`LanczosReport`'s
+//! phases): every instrumented region of the pipeline — a parsing
+//! pass, a GEMM, a whole stage — aggregates into one of these, and the
+//! registry keys them by hierarchical span path.
+
+/// Smallest wall-clock duration a phase is credited with, in seconds.
+///
+/// `Instant` resolution on the containers this workspace targets is a
+/// few tens of nanoseconds; a sub-microsecond phase can legitimately
+/// measure zero elapsed time. Clamping the denominator keeps derived
+/// rates ([`PhaseStats::mflops`]) finite and meaningful instead of
+/// collapsing to zero (or infinity) for work that completed inside one
+/// timer tick.
+pub const MIN_PHASE_SECS: f64 = 1e-9;
+
+/// Work and wall-clock accounting for one phase, stage, or span.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseStats {
+    /// Times the phase ran.
+    pub calls: u64,
+    /// Floating-point operations attributed to the phase. Stages that
+    /// do no arithmetic (parsing) account their unit work here instead
+    /// (e.g. one unit per token inserted), so throughput is still
+    /// derivable.
+    pub flops: f64,
+    /// Bytes moved or materialized by the phase (I/O stages).
+    pub bytes: f64,
+    /// Wall-clock seconds spent in the phase.
+    pub secs: f64,
+}
+
+impl PhaseStats {
+    /// One-shot constructor for a single timed call.
+    pub fn once(flops: f64, secs: f64) -> PhaseStats {
+        PhaseStats {
+            calls: 1,
+            flops,
+            bytes: 0.0,
+            secs,
+        }
+    }
+
+    /// Account one more run of the phase.
+    pub fn add(&mut self, flops: f64, secs: f64) {
+        self.calls += 1;
+        self.flops += flops;
+        self.secs += secs;
+    }
+
+    /// Fold another accumulator into this one.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.calls += other.calls;
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+        self.secs += other.secs;
+    }
+
+    /// Effective throughput in MFLOP/s.
+    ///
+    /// The elapsed time is clamped to [`MIN_PHASE_SECS`] so that
+    /// phases finishing inside one timer tick (`secs == 0.0`) report a
+    /// large-but-finite rate rather than dividing by zero; a phase
+    /// that did no arithmetic reports 0.
+    pub fn mflops(&self) -> f64 {
+        if self.flops <= 0.0 {
+            0.0
+        } else {
+            self.flops / self.secs.max(MIN_PHASE_SECS) / 1e6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_and_counts_calls() {
+        let mut s = PhaseStats::default();
+        s.add(100.0, 0.5);
+        s.add(300.0, 1.5);
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.flops, 400.0);
+        assert_eq!(s.secs, 2.0);
+        assert!((s.mflops() - 400.0 / 2.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_all_fields() {
+        let mut a = PhaseStats::once(10.0, 0.1);
+        let mut b = PhaseStats::once(20.0, 0.2);
+        b.bytes = 64.0;
+        a.merge(&b);
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.flops, 30.0);
+        assert_eq!(a.bytes, 64.0);
+        assert!((a.secs - 0.3).abs() < 1e-12);
+    }
+
+    // Regression: a sub-microsecond phase with nonzero flops used to
+    // report 0 MFLOP/s (the rate collapsed whenever `secs == 0.0`).
+    // The clamped denominator keeps the rate finite and positive.
+    #[test]
+    fn mflops_is_finite_and_positive_for_zero_second_phases() {
+        let s = PhaseStats {
+            calls: 1,
+            flops: 1e6,
+            bytes: 0.0,
+            secs: 0.0,
+        };
+        let r = s.mflops();
+        assert!(r.is_finite(), "zero-duration phase must not divide by zero");
+        assert!(r > 0.0, "work happened, so the rate must be positive");
+        assert_eq!(r, 1e6 / MIN_PHASE_SECS / 1e6);
+    }
+
+    #[test]
+    fn mflops_zero_flops_is_zero_even_with_zero_secs() {
+        let s = PhaseStats::default();
+        assert_eq!(s.mflops(), 0.0);
+    }
+}

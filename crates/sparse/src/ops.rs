@@ -101,10 +101,14 @@ impl MatVec for DualFormat {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        lsi_obs::count("sparse.matvec.count", 1);
+        lsi_obs::add_flops(2.0 * self.csr.nnz() as f64);
         self.csr.matvec_into(x, y);
     }
 
     fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        lsi_obs::count("sparse.matvec_t.count", 1);
+        lsi_obs::add_flops(2.0 * self.csc.nnz() as f64);
         self.csc.matvec_t_into(x, y);
     }
 

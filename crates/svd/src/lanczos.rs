@@ -89,29 +89,13 @@ impl Default for LanczosOptions {
 }
 
 /// Flop and wall-clock accounting for one phase of the driver.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct PhaseStats {
-    /// Floating-point operations attributed to the phase.
-    pub flops: f64,
-    /// Wall-clock seconds spent in the phase.
-    pub secs: f64,
-}
-
-impl PhaseStats {
-    fn add(&mut self, flops: f64, secs: f64) {
-        self.flops += flops;
-        self.secs += secs;
-    }
-
-    /// Effective throughput in MFLOP/s (0 if the phase never ran).
-    pub fn mflops(&self) -> f64 {
-        if self.secs > 0.0 {
-            self.flops / self.secs / 1e6
-        } else {
-            0.0
-        }
-    }
-}
+///
+/// Since the observability refactor this is `lsi-obs`'s unified
+/// [`PhaseStats`] (which adds call counts, byte accounting, and a
+/// clamped [`PhaseStats::mflops`] that stays finite on sub-tick
+/// phases); the re-export keeps the historical `lsi_svd::PhaseStats`
+/// path working.
+pub use lsi_obs::PhaseStats;
 
 /// Execution report: the quantities of the paper's cost model, plus
 /// per-phase flop/time accounting for the kernel work.
@@ -148,6 +132,7 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
     k: usize,
     opts: &LanczosOptions,
 ) -> Result<(Svd, LanczosReport)> {
+    let _lanczos_span = lsi_obs::span("lanczos");
     let m = a.nrows();
     let n = a.ncols();
     let max_rank = m.min(n);
@@ -399,6 +384,16 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
         GramSide::AtA => (other, ritz),
         GramSide::AAt => (ritz, other),
     };
+
+    // Publish the per-phase breakdown under the open span (e.g.
+    // `build.svd.lanczos.gram` when the model builder drives this).
+    // These phases were timed out-of-band, so they sit alongside the
+    // span's own totals rather than adding into them.
+    lsi_obs::record_phase("gram", &gram_stats);
+    lsi_obs::record_phase("reorth", &reorth_stats);
+    lsi_obs::record_phase("ritz", &ritz_stats);
+    lsi_obs::count("svd.lanczos.steps.count", steps as u64);
+    lsi_obs::count("svd.lanczos.restarts.count", restarts as u64);
 
     let report = LanczosReport {
         steps,

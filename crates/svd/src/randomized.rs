@@ -46,6 +46,7 @@ pub fn randomized_svd<M: MatVec + ?Sized>(
     k: usize,
     opts: &RandomizedOptions,
 ) -> Result<Svd> {
+    let _span = lsi_obs::span("randomized_svd");
     let m = a.nrows();
     let n = a.ncols();
     let max_rank = m.min(n);

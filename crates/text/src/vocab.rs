@@ -139,6 +139,9 @@ impl Vocabulary {
         let doc_freq: Vec<usize> = keys.iter().map(|k| df[k]).collect();
         let global_freq: Vec<usize> = keys.iter().map(|k| gf[k]).collect();
 
+        lsi_obs::count("text.vocab.terms.count", keys.len() as u64);
+        lsi_obs::count("text.vocab.docs.count", n_docs as u64);
+
         Vocabulary {
             rules: rules.clone(),
             displays,
@@ -274,7 +277,9 @@ impl Vocabulary {
                 }
             }
         }
-        coo.to_csc()
+        let csc = coo.to_csc();
+        lsi_obs::count("text.count_matrix.nnz.count", csc.nnz() as u64);
+        csc
     }
 }
 

@@ -157,6 +157,8 @@ impl TermWeighting {
     /// Weight a raw count matrix, returning the weighted matrix and the
     /// global weight vector (needed to weight queries consistently).
     pub fn apply(&self, counts: &CscMatrix) -> WeightedMatrix {
+        lsi_obs::add_flops(2.0 * counts.nnz() as f64);
+        lsi_obs::count("text.weighting.nnz.count", counts.nnz() as u64);
         let global = self.global_weights(counts);
         let mut weighted = counts.clone();
         let local = self.local;

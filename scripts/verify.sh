@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, tests, a quick perf_kernels smoke run
+# (checks the JSON report keys), and a lint rejecting new bare
+# eprintln! call sites (diagnostics must go through lsi-obs events).
+#
+# usage: scripts/verify.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== smoke: perf_kernels --quick JSON report"
+out=$(./target/release/perf_kernels --quick)
+for key in \
+    gemm_nn_256_gflops gemm_tn_256_gflops gemm_nn_512_gflops \
+    gemm_nn_tall_gflops lanczos_k50_secs lanczos_k50_steps \
+    query_single_qps query_batch_scoring_qps query_multi_facet_qps \
+    git_sha '"metrics"' '"spans"'; do
+  if ! grep -q -- "$key" <<<"$out"; then
+    echo "FAIL: perf_kernels --quick output is missing $key" >&2
+    exit 1
+  fi
+done
+
+echo "== lint: no bare eprintln! outside lsi-obs and tests"
+# The obs crate owns stderr; everything else routes diagnostics
+# through lsi_obs events (error!/warn!/...) so levels and counters
+# apply. Test code is exempt.
+if grep -rn 'eprintln!' crates src examples 2>/dev/null \
+    | grep -v '^crates/obs/' \
+    | grep -v '/tests/' \
+    | grep -v 'mod tests' \
+    ; then
+  echo "FAIL: bare eprintln! found (use lsi_obs::error!/warn!/... instead)" >&2
+  exit 1
+fi
+
+echo "verify: OK"
