@@ -10,11 +10,18 @@
 //! ```text
 //! cargo run --release -p lsi-bench --bin perf_kernels           # full sizes
 //! cargo run --release -p lsi-bench --bin perf_kernels -- --quick  # CI smoke
+//! cargo run --release -p lsi-bench --bin perf_kernels -- --pool   # BENCH_pool.json
 //! ```
 //!
 //! `--quick` shrinks every problem size so the whole run takes a few
 //! seconds; the report keys are identical, only the numbers are not
 //! comparable to full-size runs (meta records `"quick": true`).
+//!
+//! `--pool` switches to the thread-pool snapshot used to populate
+//! BENCH_pool.json: pooled dispatch latency vs the scoped-spawn cost it
+//! replaced, the nnz-balanced SpMV speedup on a Zipf-skewed matrix, and
+//! the Lanczos k = 50 wall time (comparable to `lanczos_k50_secs` in
+//! BENCH_kernels.json). Combines with `--quick` for a smoke run.
 
 use std::time::Instant;
 
@@ -141,8 +148,111 @@ fn query_model(s: &Sizes) -> (LsiModel, Vec<String>) {
     (model, queries)
 }
 
+/// The `--pool` report: dispatch latency, SpMV skew behavior, Lanczos
+/// wall time. Everything the pool acceptance criteria need in one JSON.
+fn pool_report(quick: bool) {
+    use rayon::prelude::*;
+
+    let run_start = Instant::now();
+    let threads = rayon::current_num_threads();
+
+    // --- Dispatch latency --------------------------------------------
+    // Warm the pool (first parallel call spawns the workers), then time
+    // empty parallel regions: all that remains is publish + wake +
+    // chunk-claim + quiesce, i.e. pure dispatch.
+    (0..threads * 4).into_par_iter().for_each(|_| {});
+    let reps = if quick { 200 } else { 2000 };
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        (0..threads * 4).into_par_iter().for_each(|_| {});
+    }
+    let pool_dispatch_us = t0.elapsed().as_secs_f64() / reps as f64 * 1e6;
+
+    // The cost the pool replaced: one scoped OS-thread spawn + join per
+    // parallel region (what the shim did before it had a pool).
+    let sreps = if quick { 10 } else { 50 };
+    let t0 = Instant::now();
+    for _ in 0..sreps {
+        std::thread::scope(|s| {
+            s.spawn(|| {});
+        });
+    }
+    let spawn_dispatch_us = t0.elapsed().as_secs_f64() / sreps as f64 * 1e6;
+
+    // --- SpMV on a Zipf-skewed matrix --------------------------------
+    // Term-frequency rows follow a Zipf law, so a handful of rows hold
+    // a large share of the nonzeros — the shape that made row-count
+    // partitioning lopsided and motivated the nnz-balanced spans.
+    // Both sizes must stay above PAR_NNZ_THRESHOLD or the "parallel"
+    // column silently measures the serial fallback.
+    let (tm, tn, density) = if quick { (8000, 4000, 0.012) } else { (20000, 8000, 0.012) };
+    let csc = lsi_sparse::gen::random_term_doc(
+        tm,
+        tn,
+        density,
+        lsi_sparse::gen::RowProfile::Zipf { s: 1.1 },
+        8,
+        99,
+    );
+    let csr = csc.to_csr();
+    let nnz = csr.nnz();
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let x: Vec<f64> = (0..tn).map(|_| rng.random::<f64>() - 0.5).collect();
+    let mut y = vec![0.0; tm];
+    let mreps = if quick { 5 } else { 50 };
+    let serial_secs = best_secs(mreps, || {
+        csr.matvec_into(&x, &mut y);
+        std::hint::black_box(&y);
+    });
+    let par_secs = best_secs(mreps, || {
+        csr.par_matvec_into(&x, &mut y);
+        std::hint::black_box(&y);
+    });
+
+    // --- Lanczos wall time -------------------------------------------
+    // Same shape and options as the kernels bench, so lanczos_k50_secs
+    // is directly comparable to the PR 1 BENCH_kernels.json baseline.
+    let s = if quick { Sizes::quick() } else { Sizes::full() };
+    let matrix = trec_like(s.trec_scale, 7);
+    let corpus_shape = format!("trec_like({}) {}x{}", s.trec_scale, matrix.nrows(), matrix.ncols());
+    let dual = DualFormat::from_csc(matrix);
+    let opts = LanczosOptions {
+        reorth: Reorth::Full,
+        ..Default::default()
+    };
+    let mut steps = 0usize;
+    let lanczos_secs = best_secs(s.time_reps, || {
+        let (svd, report) = lanczos_svd(&dual, s.lanczos_k, &opts).expect("lanczos runs");
+        steps = report.steps;
+        std::hint::black_box(svd);
+    });
+
+    let mut report = lsi_obs::RunReport::new("perf_pool")
+        .meta("quick", Json::Bool(quick))
+        .meta("corpus", Json::Str(corpus_shape))
+        .meta("spmv_shape", Json::Str(format!("{tm}x{tn} zipf(1.1) nnz={nnz}")))
+        .meta("wall_secs", Json::Num(run_start.elapsed().as_secs_f64()));
+    report.result("pool_threads", Json::Num(threads as f64));
+    report.result("pool_dispatch_us", Json::Num(pool_dispatch_us));
+    report.result("spawn_dispatch_us", Json::Num(spawn_dispatch_us));
+    report.result("spmv_skewed_serial_secs", Json::Num(serial_secs));
+    report.result("spmv_skewed_par_secs", Json::Num(par_secs));
+    report.result("spmv_skewed_speedup", Json::Num(serial_secs / par_secs));
+    report.result("lanczos_k50_secs", Json::Num(lanczos_secs));
+    report.result("lanczos_k50_steps", Json::Num(steps as f64));
+    report.snapshot = lsi_obs::snapshot();
+    print!("{}", report.to_json().to_string_pretty());
+}
+
 fn main() {
     let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    if std::env::args().skip(1).any(|a| a == "--pool") {
+        if std::env::var_os("LSI_NO_OBS").is_none() {
+            lsi_obs::set_enabled(true);
+        }
+        pool_report(quick);
+        return;
+    }
     let s = if quick { Sizes::quick() } else { Sizes::full() };
     // LSI_NO_OBS=1 measures the uninstrumented baseline (the metrics
     // section of the report then comes out empty).

@@ -11,6 +11,7 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 use lsi_linalg::{ops, vecops, DenseMatrix};
+use rayon::prelude::*;
 
 use crate::model::LsiModel;
 use crate::{Error, Result};
@@ -100,11 +101,10 @@ impl LsiModel {
             let g = self.global_weights.get(i).copied().unwrap_or(1.0);
             weighted.push(self.weighting.local.apply(c) * g);
         }
-        // q^T U_k, then divide by sigma.
-        let mut qhat = vec![0.0; self.k()];
-        for (j, q) in qhat.iter_mut().enumerate() {
-            *q = vecops::dot(&weighted, self.u.col(j));
-        }
+        // q^T U_k (k independent vocabulary-length dots — matvec_t
+        // splits them across the pool for large vocabularies), then
+        // divide by sigma.
+        let mut qhat = ops::matvec_t(&self.u, &weighted)?;
         for (q, &s) in qhat.iter_mut().zip(self.s.iter()) {
             if s > 0.0 {
                 *q /= s;
@@ -157,6 +157,8 @@ impl LsiModel {
         let mut scores = if nf == 1 {
             // One facet is a GEMV: skip the GEMM's operand packing,
             // which would copy all of V for a single right-hand side.
+            // The GEMV itself splits document rows across the pool for
+            // large collections (single-query scoring hot path).
             DenseMatrix::from_col_major(n, 1, ops::matvec(&self.v, facets[0])?)?
         } else {
             let qdata: Vec<f64> = facets.iter().flat_map(|f| f.iter().copied()).collect();
@@ -271,7 +273,10 @@ impl LsiModel {
                 context: "projected vector dimension mismatch".to_string(),
             });
         }
+        // One cosine per term row of U — independent, so split across
+        // the pool (the thesaurus sweep touches every vocabulary term).
         let mut scored: Vec<(usize, String, f64)> = (0..self.n_terms())
+            .into_par_iter()
             .map(|i| {
                 let name = if i < self.vocab.len() {
                     self.vocab.term(i).to_string()
@@ -399,6 +404,40 @@ mod tests {
                     .contains(n),
                 "unexpected car-domain term {n} near elephant"
             );
+        }
+    }
+
+    #[test]
+    fn top_z_selection_matches_full_ranking() {
+        // The select_nth fast path must return exactly the head of the
+        // fully sorted list — same docs, same cosines, same order.
+        let m = model();
+        let qhat = m.project_text("car lion").unwrap();
+        let full = m.rank_projected(&qhat).unwrap();
+        for z in [1usize, 3, 6, 10] {
+            let top = m.rank_projected_top(&qhat, z).unwrap();
+            assert_eq!(top.matches.len(), z.min(full.matches.len()));
+            for (a, b) in top.matches.iter().zip(full.matches.iter()) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.cosine, b.cosine);
+            }
+        }
+    }
+
+    #[test]
+    fn scoring_is_bit_reproducible_across_repeats() {
+        // Scoring runs on the pool (GEMV row spans, projection column
+        // dots); the determinism contract says repeated queries return
+        // identical bits no matter how the spans are scheduled.
+        let m = model();
+        let first = m.query("automobile engine").unwrap();
+        for _ in 0..10 {
+            let again = m.query("automobile engine").unwrap();
+            assert_eq!(first.matches.len(), again.matches.len());
+            for (a, b) in first.matches.iter().zip(again.matches.iter()) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.cosine, b.cosine);
+            }
         }
     }
 

@@ -12,10 +12,11 @@
 //!
 //! Parallelism splits the *output columns* across cores (each worker
 //! owns a contiguous block of `C`'s column-major storage, so writes are
-//! disjoint and allocation-free). The threshold is deliberately high:
-//! the threading shim spawns scoped OS threads per call (no pool), and
-//! on small containers a spawn can cost on the order of a millisecond,
-//! so only products with tens of megaflops amortize it.
+//! disjoint and allocation-free). Dispatch now goes through the
+//! persistent pool in `vendor/rayon` (~40 µs per parallel region on
+//! this container, vs ~0.6–1.7 ms for the scoped spawns it replaced),
+//! so the thresholds below admit megaflop-scale products instead of
+//! requiring tens of megaflops.
 //!
 //! The panel kernels (`panel_qt_w`, `panel_w_minus_qy`) are the BLAS-2
 //! building blocks of classical Gram–Schmidt: `y = Q^T w` fuses four
@@ -38,19 +39,33 @@ const KC: usize = 256;
 /// Columns of B packed per cache block.
 const NC: usize = 512;
 
-/// Flop count (2·m·n·k) below which GEMM stays serial. Spawning scoped
-/// threads (the shim has no persistent pool) measures ~1.7 ms per call
-/// on this class of container; at the ~4 GFLOP/s the serial blocked
-/// kernel sustains, a 2-way split only breaks even past roughly
-/// 2 × 1.7 ms ≈ 14 MFLOP of work. 1<<25 (33.5 MFLOP, i.e. a 256³
-/// product) leaves a margin so borderline shapes don't regress.
-pub const GEMM_PAR_MIN_FLOPS: usize = 1 << 25;
+/// Flop count (2·m·n·k) below which GEMM stays serial.
+///
+/// Calibration: `cargo test -p rayon --release -- --ignored
+/// --nocapture dispatch` measures ~38 µs per pooled parallel region on
+/// this 2-core container (versus ~0.6 ms per scoped spawn, and the
+/// ~1.7 ms PR 1 measured on a colder container — the number that
+/// forced the old 1<<25 threshold). At the ~4 GFLOP/s the serial
+/// blocked kernel sustains, 1<<21 flops ≈ 525 µs of work: a 2-way
+/// split spends 262 µs + 38 µs dispatch ≈ 1.75x speedup, and anything
+/// smaller decays toward break-even (2 × 38 µs ≈ 300 KFLOP).
+pub const GEMM_PAR_MIN_FLOPS: usize = 1 << 21;
 
-fn workers() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
+/// Flop count (2·m·ncols) below which the panel BLAS-2 kernels stay
+/// serial. Same dispatch measurement as [`GEMM_PAR_MIN_FLOPS`], plus a
+/// direct kernel sweep (`cargo test -p lsi-linalg --release --test
+/// par_kernels -- --ignored --nocapture`): the fused 4-column panels
+/// sustain ~7–9 GFLOP/s serial when the basis is cache-resident — far
+/// above the ~1.8 GFLOP/s a cold-memory estimate suggests — so a panel
+/// burns through 1<<18 flops in ~40 µs, comparable to one dispatch.
+/// At that setting the pooled Lanczos reorth stage measured 1.6x
+/// *slower* than serial (interleaved calls park the workers; realized
+/// per-dispatch overhead ~30 µs). 1<<20 flops ≈ 120–140 µs of serial
+/// sweep clears the overhead (~1.15x warm at 896 KFLOP, growing with
+/// size). For the 3500-row Lanczos gram basis this admits panels past
+/// ~150 columns — only the widest late-iteration reorth sweeps, which
+/// is where the time actually is.
+pub const PANEL_PAR_MIN_FLOPS: usize = 1 << 20;
 
 /// A possibly-transposed read view of column-major storage: element
 /// `(r, c)` of the *effective* operand. Transposition swaps the roles
@@ -204,7 +219,7 @@ fn gemm_span(
 pub(crate) fn gemm(m: usize, n: usize, k: usize, a: View<'_>, b: View<'_>) -> Vec<f64> {
     let mut c = vec![0.0f64; m * n];
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
-    let nthreads = workers();
+    let nthreads = rayon::current_num_threads();
     lsi_obs::add_flops(flops as f64);
     lsi_obs::observe("linalg.gemm.flops", flops as f64);
     if flops >= GEMM_PAR_MIN_FLOPS && nthreads > 1 && n > 1 {
@@ -261,9 +276,10 @@ fn dot_block(q: &[f64], m: usize, j0: usize, cols: usize, w: &[f64], out: &mut [
 }
 
 /// Panel BLAS-2: `y = Q[:, :ncols]^T w`, four fused column dot products
-/// per sweep of `w`. Deliberately serial: the largest Lanczos panel in
-/// this codebase (~4500 × 300) sweeps in under 2 ms, well below the
-/// ~3.4 ms of work a per-call thread spawn needs to pay for itself.
+/// per sweep of `w`. Above [`PANEL_PAR_MIN_FLOPS`] the 4-column blocks
+/// of `y` are split across the pool; each `y[j]` is still produced by
+/// exactly one `dot_block` call identical to the serial one, so the
+/// result is bit-for-bit independent of the thread count.
 pub fn panel_qt_w(q: &DenseMatrix, ncols: usize, w: &[f64]) -> Vec<f64> {
     debug_assert!(ncols <= q.ncols());
     debug_assert_eq!(q.nrows(), w.len());
@@ -272,9 +288,16 @@ pub fn panel_qt_w(q: &DenseMatrix, ncols: usize, w: &[f64]) -> Vec<f64> {
     if ncols == 0 || m == 0 {
         return y;
     }
-    lsi_obs::add_flops(2.0 * m as f64 * ncols as f64);
+    let flops = 2 * m * ncols;
+    lsi_obs::add_flops(flops as f64);
     lsi_obs::count("linalg.panel_qt_w.count", 1);
     let qdata = q.data();
+    if flops >= PANEL_PAR_MIN_FLOPS && rayon::current_num_threads() > 1 && ncols > 4 {
+        y.par_chunks_mut(4).enumerate().for_each(|(b, out)| {
+            dot_block(qdata, m, b * 4, out.len(), w, out);
+        });
+        return y;
+    }
     let mut j = 0;
     while j < ncols {
         let cols = (ncols - j).min(4);
@@ -284,18 +307,20 @@ pub fn panel_qt_w(q: &DenseMatrix, ncols: usize, w: &[f64]) -> Vec<f64> {
     y
 }
 
-/// Four fused AXPYs over one sweep of `w`:
-/// `w[i] -= sum_j y[j] * Q[i, j0 + j]`.
+/// Four fused AXPYs over one sweep of a row span of `w`:
+/// `w[i] -= sum_j y[j0 + j] * Q[r0 + i, j0 + j]`. `r0` is the row the
+/// span starts at, so the parallel path can hand disjoint row spans of
+/// `w` to different workers against the matching slices of Q's columns.
 #[inline(always)]
-fn axpy_block(q: &[f64], m: usize, j0: usize, cols: usize, y: &[f64], w: &mut [f64]) {
+fn axpy_block(q: &[f64], m: usize, j0: usize, cols: usize, y: &[f64], r0: usize, w: &mut [f64]) {
     debug_assert!(cols <= 4);
     let rows = w.len();
     match cols {
         4 => {
-            let c0 = &q[j0 * m..j0 * m + rows];
-            let c1 = &q[(j0 + 1) * m..(j0 + 1) * m + rows];
-            let c2 = &q[(j0 + 2) * m..(j0 + 2) * m + rows];
-            let c3 = &q[(j0 + 3) * m..(j0 + 3) * m + rows];
+            let c0 = &q[j0 * m + r0..j0 * m + r0 + rows];
+            let c1 = &q[(j0 + 1) * m + r0..(j0 + 1) * m + r0 + rows];
+            let c2 = &q[(j0 + 2) * m + r0..(j0 + 2) * m + r0 + rows];
+            let c3 = &q[(j0 + 3) * m + r0..(j0 + 3) * m + r0 + rows];
             let (y0, y1, y2, y3) = (y[j0], y[j0 + 1], y[j0 + 2], y[j0 + 3]);
             for i in 0..rows {
                 w[i] -= y0 * c0[i] + y1 * c1[i] + y2 * c2[i] + y3 * c3[i];
@@ -303,7 +328,7 @@ fn axpy_block(q: &[f64], m: usize, j0: usize, cols: usize, y: &[f64], w: &mut [f
         }
         _ => {
             for j in 0..cols {
-                let c = &q[(j0 + j) * m..(j0 + j) * m + rows];
+                let c = &q[(j0 + j) * m + r0..(j0 + j) * m + r0 + rows];
                 let yj = y[j0 + j];
                 for i in 0..rows {
                     w[i] -= yj * c[i];
@@ -314,8 +339,12 @@ fn axpy_block(q: &[f64], m: usize, j0: usize, cols: usize, y: &[f64], w: &mut [f
 }
 
 /// Panel BLAS-2 update: `w -= Q[:, :ncols] * y`, four fused AXPYs per
-/// sweep of `w`. Serial for the same spawn-cost reason as
-/// [`panel_qt_w`].
+/// sweep of `w`. Above [`PANEL_PAR_MIN_FLOPS`] the *rows* of `w` are
+/// split across the pool (the columns carry a sequential dependence in
+/// `y`, the rows do not). Each row span runs the same j-block loop in
+/// the same order as the serial code, so every `w[i]` sees an
+/// identical operation sequence and the result is bit-for-bit
+/// independent of the thread count.
 pub fn panel_w_minus_qy(q: &DenseMatrix, ncols: usize, y: &[f64], w: &mut [f64]) {
     debug_assert!(ncols <= q.ncols());
     debug_assert_eq!(q.nrows(), w.len());
@@ -324,13 +353,30 @@ pub fn panel_w_minus_qy(q: &DenseMatrix, ncols: usize, y: &[f64], w: &mut [f64])
     if ncols == 0 || m == 0 {
         return;
     }
-    lsi_obs::add_flops(2.0 * m as f64 * ncols as f64);
+    let flops = 2 * m * ncols;
+    lsi_obs::add_flops(flops as f64);
     lsi_obs::count("linalg.panel_w_minus_qy.count", 1);
     let qdata = q.data();
+    let nthreads = rayon::current_num_threads();
+    if flops >= PANEL_PAR_MIN_FLOPS && nthreads > 1 && m > 1 {
+        // Two spans per thread keeps the pool's chunker from handing
+        // the whole vector to one worker while staying cache-friendly.
+        let span = m.div_ceil(nthreads * 2).max(1);
+        w.par_chunks_mut(span).enumerate().for_each(|(ci, wspan)| {
+            let r0 = ci * span;
+            let mut j = 0;
+            while j < ncols {
+                let cols = (ncols - j).min(4);
+                axpy_block(qdata, m, j, cols, y, r0, wspan);
+                j += cols;
+            }
+        });
+        return;
+    }
     let mut j = 0;
     while j < ncols {
         let cols = (ncols - j).min(4);
-        axpy_block(qdata, m, j, cols, y, w);
+        axpy_block(qdata, m, j, cols, y, 0, w);
         j += cols;
     }
 }

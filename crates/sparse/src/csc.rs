@@ -2,8 +2,9 @@
 //!
 //! A CSC column is a document vector, so the text pipeline and the
 //! folding-in machinery (which consume documents one at a time) work on
-//! this format; `Aᵀ·x` is a per-column dot product that parallelizes the
-//! same way CSR's `A·x` does.
+//! this format; `Aᵀ·x` is a per-column dot product that parallelizes
+//! over nnz-balanced column spans the same way CSR's `A·x` does over
+//! row spans.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -11,10 +12,8 @@ use serde::{Deserialize, Serialize};
 use lsi_linalg::DenseMatrix;
 
 use crate::csr::CsrMatrix;
-use crate::{Error, Result};
-
-/// Number of nonzeros below which parallel kernels stay serial.
-const PAR_NNZ_THRESHOLD: usize = 1 << 14;
+use crate::spans::{nnz_balanced_spans, SyncMutPtr};
+use crate::{Error, Result, PAR_NNZ_THRESHOLD};
 
 /// A compressed sparse column matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -149,20 +148,50 @@ impl CscMatrix {
         Ok(y)
     }
 
+    /// One column span of `y = Aᵀ·x`: columns `c0 .. c0 + y.len()` into
+    /// the matching slice of `y`. Shared by the serial and parallel
+    /// paths, so each `y[c]` is one identical dot product regardless of
+    /// thread count (bit-for-bit determinism).
+    #[inline]
+    fn matvec_t_cols(&self, x: &[f64], c0: usize, y: &mut [f64]) {
+        for (i, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for idx in self.indptr[c0 + i]..self.indptr[c0 + i + 1] {
+                acc += self.values[idx] * x[self.indices[idx]];
+            }
+            *out = acc;
+        }
+    }
+
     /// `y = Aᵀ·x` into a caller-provided buffer.
     pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.nrows);
         debug_assert_eq!(y.len(), self.ncols);
-        for c in 0..self.ncols {
-            let mut acc = 0.0;
-            for idx in self.indptr[c]..self.indptr[c + 1] {
-                acc += self.values[idx] * x[self.indices[idx]];
-            }
-            y[c] = acc;
-        }
+        self.matvec_t_cols(x, 0, y);
     }
 
-    /// Parallel `y = Aᵀ·x` (rayon over columns).
+    /// `y = Aᵀ·x` into a caller-provided buffer, parallelized over
+    /// nnz-balanced column spans (long documents are the CSC analogue
+    /// of dense term rows); serial below [`PAR_NNZ_THRESHOLD`] or on a
+    /// single thread.
+    pub fn par_matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.nrows);
+        debug_assert_eq!(y.len(), self.ncols);
+        let nthreads = rayon::current_num_threads();
+        if self.nnz() < PAR_NNZ_THRESHOLD || nthreads <= 1 {
+            return self.matvec_t_cols(x, 0, y);
+        }
+        let spans = nnz_balanced_spans(&self.indptr, nthreads * 2);
+        let yptr = SyncMutPtr(y.as_mut_ptr());
+        spans.par_iter().for_each(|&(lo, hi)| {
+            // SAFETY: spans partition 0..ncols disjointly, so each
+            // worker writes a non-overlapping slice of y.
+            let yspan = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(lo), hi - lo) };
+            self.matvec_t_cols(x, lo, yspan);
+        });
+    }
+
+    /// Parallel `y = Aᵀ·x` over nnz-balanced column spans.
     pub fn par_matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.nrows {
             return Err(Error::DimensionMismatch {
@@ -172,17 +201,8 @@ impl CscMatrix {
                 ),
             });
         }
-        if self.nnz() < PAR_NNZ_THRESHOLD {
-            return self.matvec_t(x);
-        }
         let mut y = vec![0.0; self.ncols];
-        y.par_iter_mut().enumerate().for_each(|(c, out)| {
-            let mut acc = 0.0;
-            for idx in self.indptr[c]..self.indptr[c + 1] {
-                acc += self.values[idx] * x[self.indices[idx]];
-            }
-            *out = acc;
-        });
+        self.par_matvec_t_into(x, &mut y);
         Ok(y)
     }
 

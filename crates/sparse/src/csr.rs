@@ -1,8 +1,9 @@
 //! Compressed sparse row storage.
 //!
 //! CSR is the format for the Lanczos hot loop `y = A·x`: each output row
-//! is an independent sparse dot product, which parallelizes over rows
-//! with no synchronization (rayon `par_chunks_mut` over `y`).
+//! is an independent sparse dot product, which parallelizes over
+//! nnz-balanced row spans (see [`crate::spans`]) with no
+//! synchronization — each span owns a disjoint slice of `y`.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -10,10 +11,8 @@ use serde::{Deserialize, Serialize};
 use lsi_linalg::DenseMatrix;
 
 use crate::csc::CscMatrix;
-use crate::{Error, Result};
-
-/// Number of nonzeros below which the parallel matvec stays serial.
-const PAR_NNZ_THRESHOLD: usize = 1 << 14;
+use crate::spans::{nnz_balanced_spans, SyncMutPtr};
+use crate::{Error, Result, PAR_NNZ_THRESHOLD};
 
 /// A compressed sparse row matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -161,24 +160,58 @@ impl CsrMatrix {
         Ok(y)
     }
 
+    /// One row span of `y = A·x`: rows `r0 .. r0 + y.len()` into the
+    /// matching slice of `y`. Both the serial and parallel paths run
+    /// this exact loop, so each `y[r]` is produced by one identical
+    /// reduction regardless of thread count (bit-for-bit determinism).
+    #[inline]
+    fn matvec_rows(&self, x: &[f64], r0: usize, y: &mut [f64]) {
+        for (i, out) in y.iter_mut().enumerate() {
+            let lo = self.indptr[r0 + i];
+            let hi = self.indptr[r0 + i + 1];
+            let mut acc = 0.0;
+            for idx in lo..hi {
+                acc += self.values[idx] * x[self.indices[idx]];
+            }
+            *out = acc;
+        }
+    }
+
     /// Serial `y = A·x` into a caller-provided buffer (no allocation —
     /// this is the Lanczos inner loop).
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.ncols);
         debug_assert_eq!(y.len(), self.nrows);
-        for r in 0..self.nrows {
-            let lo = self.indptr[r];
-            let hi = self.indptr[r + 1];
-            let mut acc = 0.0;
-            for idx in lo..hi {
-                acc += self.values[idx] * x[self.indices[idx]];
-            }
-            y[r] = acc;
-        }
+        self.matvec_rows(x, 0, y);
     }
 
-    /// Parallel `y = A·x` (rayon over rows); falls back to serial for
-    /// small matrices.
+    /// `y = A·x` into a caller-provided buffer, parallelized over
+    /// nnz-balanced row spans when the matrix is large enough; serial
+    /// below [`PAR_NNZ_THRESHOLD`] or on a single thread. Row-count
+    /// partitioning would let one dense term row (Zipf head) serialize
+    /// the whole product; the spans are cut from `indptr` so every
+    /// worker gets the same share of nonzeros.
+    pub fn par_matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.ncols);
+        debug_assert_eq!(y.len(), self.nrows);
+        let nthreads = rayon::current_num_threads();
+        if self.nnz() < PAR_NNZ_THRESHOLD || nthreads <= 1 {
+            return self.matvec_rows(x, 0, y);
+        }
+        // Two spans per thread: balanced by construction, and cheap to
+        // compute (a handful of binary searches on indptr per call).
+        let spans = nnz_balanced_spans(&self.indptr, nthreads * 2);
+        let yptr = SyncMutPtr(y.as_mut_ptr());
+        spans.par_iter().for_each(|&(lo, hi)| {
+            // SAFETY: spans partition 0..nrows disjointly, so each
+            // worker writes a non-overlapping slice of y.
+            let yspan = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(lo), hi - lo) };
+            self.matvec_rows(x, lo, yspan);
+        });
+    }
+
+    /// Parallel `y = A·x` over nnz-balanced row spans; falls back to
+    /// serial for small matrices.
     pub fn par_matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.ncols {
             return Err(Error::DimensionMismatch {
@@ -188,19 +221,8 @@ impl CsrMatrix {
                 ),
             });
         }
-        if self.nnz() < PAR_NNZ_THRESHOLD {
-            return self.matvec(x);
-        }
         let mut y = vec![0.0; self.nrows];
-        y.par_iter_mut().enumerate().for_each(|(r, out)| {
-            let lo = self.indptr[r];
-            let hi = self.indptr[r + 1];
-            let mut acc = 0.0;
-            for idx in lo..hi {
-                acc += self.values[idx] * x[self.indices[idx]];
-            }
-            *out = acc;
-        });
+        self.par_matvec_into(x, &mut y);
         Ok(y)
     }
 

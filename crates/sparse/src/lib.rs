@@ -28,12 +28,38 @@ pub mod gen;
 pub mod hb;
 pub mod io;
 pub mod ops;
+pub mod spans;
 pub mod stats;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use ops::MatVec;
+pub use spans::nnz_balanced_spans;
+
+/// Number of stored nonzeros below which the parallel matvecs stay
+/// serial.
+///
+/// Calibration, two measurements on this 2-core container:
+///
+/// * `cargo test -p rayon --release -- --ignored --nocapture dispatch`
+///   puts a warm pooled parallel region at ~38 µs (vs ~0.6 ms per
+///   scoped spawn).
+/// * `cargo test -p lsi-sparse --release --test par_consistency --
+///   --ignored --nocapture` sweeps serial vs pooled SpMV: cache-warm
+///   kernels run ~0.9–1.5 Gnnz/s, tie near ~30 K nnz, and reach 1.3x
+///   at ~150 K nnz.
+///
+/// The warm tie point is NOT the right threshold: inside Lanczos the
+/// matvecs interleave with serial scalar work, workers park between
+/// calls, and the realized per-dispatch cost (wakeup + steal traffic)
+/// is ~30 µs on top of the region itself — at 1<<15 the pooled gram
+/// stage measured 2.2x *slower* than serial (47 µs of work per
+/// product, trec_like corpus). 1<<17 nnz ≈ 130–170 µs of serial work
+/// clears that overhead with margin (~1.3x warm, ~1.4x projected
+/// cold); the old spawn-per-call cost (~0.6–1.7 ms) would have
+/// demanded megabyte-scale matrices.
+pub const PAR_NNZ_THRESHOLD: usize = 1 << 17;
 
 /// Errors reported by sparse-matrix construction and I/O.
 #[derive(Debug)]

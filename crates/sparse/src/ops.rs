@@ -37,10 +37,12 @@ impl MatVec for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.matvec_into(x, y);
+        self.par_matvec_into(x, y);
     }
 
     fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        // The CSR transposed product is a scatter (racy to split), so
+        // it stays serial; DualFormat holds a CSC copy for this case.
         let r = self.matvec_t(x).expect("dimension checked by caller");
         y.copy_from_slice(&r);
     }
@@ -65,7 +67,7 @@ impl MatVec for CscMatrix {
     }
 
     fn apply_t(&self, x: &[f64], y: &mut [f64]) {
-        self.matvec_t_into(x, y);
+        self.par_matvec_t_into(x, y);
     }
 
     fn nnz(&self) -> usize {
@@ -103,13 +105,13 @@ impl MatVec for DualFormat {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         lsi_obs::count("sparse.matvec.count", 1);
         lsi_obs::add_flops(2.0 * self.csr.nnz() as f64);
-        self.csr.matvec_into(x, y);
+        self.csr.par_matvec_into(x, y);
     }
 
     fn apply_t(&self, x: &[f64], y: &mut [f64]) {
         lsi_obs::count("sparse.matvec_t.count", 1);
         lsi_obs::add_flops(2.0 * self.csc.nnz() as f64);
-        self.csc.matvec_t_into(x, y);
+        self.csc.par_matvec_t_into(x, y);
     }
 
     fn nnz(&self) -> usize {

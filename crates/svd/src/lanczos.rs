@@ -15,6 +15,14 @@
 //! `lsi-bench/benches/lanczos_scale.rs` quantifies that trade-off.
 //! Ritz vectors are assembled with one blocked GEMM (`Y = Q S`), and
 //! the report carries per-phase flop and wall-time accounting.
+//!
+//! Every hot phase runs on the persistent thread pool once the problem
+//! crosses the calibrated thresholds: the Gram products use the
+//! nnz-balanced sparse matvecs (`lsi-sparse`), the reorthogonalization
+//! sweeps ride the parallel panel kernels (`lsi-linalg::gemm`), and
+//! the Ritz GEMM splits output columns. All of them are element-
+//! deterministic, so results are bit-identical for any
+//! `LSI_NUM_THREADS` setting.
 
 use std::time::Instant;
 

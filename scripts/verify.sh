@@ -11,8 +11,15 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: cargo build --release"
 cargo build --release
 
-echo "== tier-1: cargo test -q"
+# The suite runs twice: once on the persistent pool (default) and once
+# fully serial. LSI_NUM_THREADS=1 must reproduce pooled results
+# bit-for-bit, and every parallel kernel has a serial fallback that the
+# second pass exercises.
+echo "== tier-1: cargo test -q (pooled)"
 cargo test -q
+
+echo "== tier-1: cargo test -q (LSI_NUM_THREADS=1)"
+LSI_NUM_THREADS=1 cargo test -q
 
 echo "== smoke: perf_kernels --quick JSON report"
 out=$(./target/release/perf_kernels --quick)
@@ -26,6 +33,20 @@ for key in \
     exit 1
   fi
 done
+
+echo "== smoke: perf_kernels --pool --quick JSON report"
+out=$(./target/release/perf_kernels --pool --quick)
+for key in \
+    pool_threads pool_dispatch_us spawn_dispatch_us \
+    spmv_skewed_serial_secs spmv_skewed_par_secs spmv_skewed_speedup \
+    lanczos_k50_secs lanczos_k50_steps '"metrics"'; do
+  if ! grep -q -- "$key" <<<"$out"; then
+    echo "FAIL: perf_kernels --pool --quick output is missing $key" >&2
+    exit 1
+  fi
+done
+# Refresh the committed pool benchmark with a full run via:
+#   ./target/release/perf_kernels --pool > BENCH_pool.json
 
 echo "== lint: no bare eprintln! outside lsi-obs and tests"
 # The obs crate owns stderr; everything else routes diagnostics

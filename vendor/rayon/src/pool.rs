@@ -1,0 +1,376 @@
+//! The persistent work-stealing thread pool behind every parallel
+//! entry point of this shim.
+//!
+//! The previous implementation spawned scoped OS threads *per parallel
+//! call*; a spawn measures ~1.7 ms on the containers this workspace
+//! targets, which forced callers to gate parallelism behind
+//! tens-of-megaflops thresholds. This pool brings dispatch down to the
+//! microsecond range:
+//!
+//! * **Lazy global pool** — built on first use inside a `OnceLock`,
+//!   `LSI_NUM_THREADS` (or `available_parallelism()`, read once)
+//!   workers in total. The submitting thread is one of them, so the
+//!   pool spawns `threads - 1` OS threads, parked on a condvar when
+//!   idle.
+//! * **Chunked shared-queue stealing** — a job is a half-open range of
+//!   `len` tasks plus a shared atomic cursor. Every participant
+//!   (submitter and woken workers) repeatedly *steals* the next chunk
+//!   of tasks with one `fetch_add`; chunk size is
+//!   `len / (threads * CHUNKS_PER_THREAD)`, so a skewed task costs at
+//!   most one chunk of imbalance and claiming stays contention-free.
+//!   This is the "chunked injector queue" flavour of work stealing:
+//!   instead of per-worker Chase–Lev deques (whose owner/thief races
+//!   need fences we cannot property-test offline), all participants
+//!   act as thieves on one queue, which is linearizable by
+//!   construction — no task can be claimed twice or lost.
+//! * **Scoped execution** — the job (and the closure it points to)
+//!   lives on the submitter's stack. Workers may only obtain the job
+//!   pointer under the pool mutex while the job is registered, and
+//!   each registers itself in `active` before releasing the mutex; the
+//!   submitter unregisters the job and waits for `active == 0` before
+//!   returning, so the borrow never escapes.
+//! * **Determinism** — every entry point built on [`parallel_for`]
+//!   assigns each output element to exactly one task and executes each
+//!   task sequentially, so results are bit-identical for every thread
+//!   count, including `LSI_NUM_THREADS=1` (which runs everything
+//!   inline on the caller with no pool at all).
+//!
+//! Nested parallel calls (from inside a pool task) and calls issued
+//! while another job occupies the slot run inline and serially on the
+//! caller; both are counted (`pool.serial_inline.count`) so saturation
+//! is visible in `--metrics`.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Oversubscription factor for chunk claiming: each thread's fair share
+/// is split into this many chunks so late-arriving or slow workers can
+/// steal the tail of a skewed job.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// A unit of scoped parallel work: `f(lo, hi)` must process tasks
+/// `lo..hi`. The raw pointer is a type-erased `&(dyn Fn(usize, usize)
+/// + Sync)` borrowed from the submitting frame; see the module docs for
+/// the protocol that keeps it alive while workers can reach it.
+struct Job {
+    f: *const (dyn Fn(usize, usize) + Sync),
+    /// Total number of tasks.
+    len: usize,
+    /// Tasks claimed per `fetch_add`.
+    chunk: usize,
+    /// Next unclaimed task index (may overshoot `len` by one failed
+    /// claim per participant).
+    next: AtomicUsize,
+    /// Pool workers currently executing chunks of this job.
+    active: AtomicUsize,
+}
+
+// SAFETY: the closure behind `f` is `Sync` and the submitter outlives
+// every access (enforced by the registration protocol below).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Erase the lifetime of a scoped job closure so it can sit in a
+/// [`Job`]. The `*const dyn` type implicitly demands `'static`, which a
+/// scoped borrow cannot satisfy — the registration protocol is what
+/// actually guarantees the closure outlives every dereference.
+///
+/// # Safety
+/// The caller must not let the referent drop while any participant can
+/// still reach the job (i.e. before the job is unregistered and its
+/// `active` count has drained).
+unsafe fn erase(f: &(dyn Fn(usize, usize) + Sync)) -> *const (dyn Fn(usize, usize) + Sync) {
+    unsafe {
+        std::mem::transmute::<
+            &(dyn Fn(usize, usize) + Sync),
+            *const (dyn Fn(usize, usize) + Sync),
+        >(f)
+    }
+}
+
+/// Mutex-guarded slot holding the currently registered job, if any.
+struct Shared {
+    job: Option<*const Job>,
+}
+
+// SAFETY: the pointer is only dereferenced under the protocol above.
+unsafe impl Send for Shared {}
+
+/// The persistent pool: worker threads plus the job slot they serve.
+pub(crate) struct Pool {
+    /// Total concurrency including the submitting thread.
+    threads: usize,
+    shared: Mutex<Shared>,
+    /// Workers park here between jobs.
+    job_cv: Condvar,
+    /// Submitters park here waiting for stragglers to finish.
+    done_cv: Condvar,
+}
+
+thread_local! {
+    /// Set inside pool worker threads (and while a submitter executes a
+    /// task) so nested parallel calls degrade to inline-serial instead
+    /// of deadlocking on the single job slot.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Configured thread count: `LSI_NUM_THREADS` if set (values < 1 are
+/// treated as 1), else `available_parallelism()`. Read exactly once —
+/// the old shim re-queried `available_parallelism()` on every parallel
+/// call, which is a syscall on Linux.
+pub fn num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        match std::env::var("LSI_NUM_THREADS") {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+            Err(_) => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// The global pool, built on first parallel call. `None` when the
+/// configuration is single-threaded (everything runs inline).
+fn global() -> Option<&'static Pool> {
+    static POOL: OnceLock<Option<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = num_threads();
+        if threads <= 1 {
+            return None;
+        }
+        let pool = Pool {
+            threads,
+            shared: Mutex::new(Shared { job: None }),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        };
+        Some(pool)
+    })
+    .as_ref()
+    .inspect(|pool| spawn_workers(pool))
+}
+
+/// Spawn the worker threads exactly once (separate from pool
+/// construction because workers need the `'static` pool reference).
+fn spawn_workers(pool: &'static Pool) {
+    static SPAWNED: OnceLock<()> = OnceLock::new();
+    SPAWNED.get_or_init(|| {
+        for _ in 0..pool.threads - 1 {
+            std::thread::Builder::new()
+                .name("lsi-pool-worker".into())
+                .spawn(move || worker_loop(pool))
+                .expect("spawning pool worker");
+        }
+        lsi_obs::gauge_set("pool.threads", pool.threads as f64);
+    });
+}
+
+/// Worker body: park until a job with unclaimed tasks is registered,
+/// register as active, drain chunks, deregister, repeat forever. The
+/// threads are never joined — the pool lives for the process.
+fn worker_loop(pool: &'static Pool) {
+    IN_POOL_TASK.with(|f| f.set(true));
+    loop {
+        let job_ptr = {
+            let mut shared = pool.shared.lock().expect("pool mutex");
+            loop {
+                if let Some(ptr) = shared.job {
+                    // SAFETY: registered jobs are live (module docs).
+                    let job = unsafe { &*ptr };
+                    if job.next.load(Ordering::Relaxed) < job.len {
+                        // Register *under the mutex* so the submitter
+                        // cannot observe `active == 0` and free the job
+                        // while we hold the pointer.
+                        job.active.fetch_add(1, Ordering::Relaxed);
+                        break ptr;
+                    }
+                }
+                shared = pool.job_cv.wait(shared).expect("pool mutex");
+            }
+        };
+        // SAFETY: `active` registration keeps the job alive.
+        let job = unsafe { &*job_ptr };
+        let stolen = run_chunks(job);
+        lsi_obs::count("pool.steals.count", stolen);
+        // Deregister under the mutex (pairs with the submitter's wait).
+        let _shared = pool.shared.lock().expect("pool mutex");
+        if job.active.fetch_sub(1, Ordering::Relaxed) == 1 {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+/// Claim and execute chunks of `job` until the queue is empty. Returns
+/// the number of chunks executed.
+///
+/// A panic inside the closure aborts the process: the job lives on the
+/// submitter's stack, and unwinding past the registration protocol
+/// would leave other participants holding a dangling pointer. The
+/// numerical kernels dispatched here never panic on valid input.
+fn run_chunks(job: &Job) -> u64 {
+    let f = unsafe { &*job.f };
+    let mut chunks = 0u64;
+    loop {
+        let lo = job.next.fetch_add(job.chunk, Ordering::Relaxed);
+        if lo >= job.len {
+            break;
+        }
+        let hi = (lo + job.chunk).min(job.len);
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(lo, hi))).is_err() {
+            eprintln!("lsi-pool: task panicked; aborting (scoped job cannot unwind)");
+            std::process::abort();
+        }
+        chunks += 1;
+    }
+    chunks
+}
+
+/// Run `f(lo, hi)` over disjoint spans covering `0..len`, on the pool
+/// when it is available and idle, inline otherwise. Every task index in
+/// `0..len` is passed to exactly one invocation of `f`, in ascending
+/// order within each span — callers rely on this for bit-determinism.
+pub(crate) fn parallel_for<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
+    let Some(pool) = global() else {
+        f(0, len);
+        return;
+    };
+    if len <= 1 || IN_POOL_TASK.with(|flag| flag.get()) {
+        // Single task, or already inside a pool task: inline. (The
+        // latter also avoids deadlocking on the single job slot.)
+        lsi_obs::count("pool.serial_inline.count", 1);
+        f(0, len);
+        return;
+    }
+    let obs = lsi_obs::enabled();
+    let t_submit = if obs { Some(Instant::now()) } else { None };
+    let chunk = len.div_ceil(pool.threads * CHUNKS_PER_THREAD).max(1);
+    let job = Job {
+        // SAFETY: this frame unregisters the job and drains `active`
+        // before returning, so `f` outlives every dereference.
+        f: unsafe { erase(&f) },
+        len,
+        chunk,
+        next: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+    };
+    {
+        let mut shared = pool.shared.lock().expect("pool mutex");
+        if shared.job.is_some() {
+            // Another submitter owns the slot; don't queue behind it —
+            // doing the work serially right now is both simpler and
+            // usually faster than waiting for an unrelated job.
+            drop(shared);
+            lsi_obs::count("pool.serial_inline.count", 1);
+            f(0, len);
+            return;
+        }
+        shared.job = Some(&job as *const Job);
+        pool.job_cv.notify_all();
+    }
+    if let Some(t0) = t_submit {
+        // Time from entry to "workers can start": the dispatch cost a
+        // caller pays over running serially (histogram in µs).
+        lsi_obs::observe("pool.dispatch.us", t0.elapsed().as_secs_f64() * 1e6);
+    }
+    // The submitter is a participant too — it claims chunks like any
+    // thief, so a job never waits on a descheduled worker to start.
+    IN_POOL_TASK.with(|flag| flag.set(true));
+    let chunks = run_chunks(&job);
+    IN_POOL_TASK.with(|flag| flag.set(false));
+    // Unregister: after this block no worker can newly reach the job,
+    // and `active == 0` means none still does.
+    {
+        let mut shared = pool.shared.lock().expect("pool mutex");
+        shared.job = None;
+        while job.active.load(Ordering::Relaxed) > 0 {
+            shared = pool.done_cv.wait(shared).expect("pool mutex");
+        }
+    }
+    if obs {
+        lsi_obs::count("pool.jobs.count", 1);
+        lsi_obs::count("pool.tasks.count", chunks);
+        lsi_obs::gauge_set("pool.last_job.tasks", len as f64);
+        if let Some(t0) = t_submit {
+            lsi_obs::observe("pool.job.us", t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+/// Run `a` on the caller and `b` on a pool worker when one is
+/// available, returning both results. Publishes the `b` job *before*
+/// running `a`, so the two closures genuinely overlap; falls back to
+/// serial `(a(), b())` when the pool is absent, nested, or busy.
+pub(crate) fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = match global() {
+        Some(pool) if !IN_POOL_TASK.with(|flag| flag.get()) => pool,
+        _ => return (a(), b()),
+    };
+    // Type-erase the FnOnce through a take-once slot: the single task
+    // of the job runs `b`, claimed by whichever participant gets there
+    // first (a parked worker, or the caller after `a` finishes).
+    let b_slot = Mutex::new(Some(b));
+    let rb_slot: Mutex<Option<RB>> = Mutex::new(None);
+    let run_b = |_lo: usize, _hi: usize| {
+        if let Some(b) = b_slot.lock().expect("join slot").take() {
+            *rb_slot.lock().expect("join result") = Some(b());
+        }
+    };
+    let job = Job {
+        // SAFETY: drained and unregistered before this frame returns.
+        f: unsafe { erase(&run_b) },
+        len: 1,
+        chunk: 1,
+        next: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+    };
+    let published = {
+        let mut shared = pool.shared.lock().expect("pool mutex");
+        if shared.job.is_some() {
+            false
+        } else {
+            shared.job = Some(&job as *const Job);
+            pool.job_cv.notify_one();
+            true
+        }
+    };
+    if !published {
+        lsi_obs::count("pool.serial_inline.count", 1);
+        let ra = a();
+        let b = b_slot
+            .into_inner()
+            .expect("join slot mutex")
+            .expect("b not yet taken");
+        return (ra, b());
+    }
+    // Run `a` under catch_unwind: the registered job must be drained
+    // and unregistered before this frame may unwind.
+    let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
+    // Help out: if no worker claimed `b` yet, the caller runs it now.
+    run_chunks(&job);
+    {
+        let mut shared = pool.shared.lock().expect("pool mutex");
+        shared.job = None;
+        while job.active.load(Ordering::Relaxed) > 0 {
+            shared = pool.done_cv.wait(shared).expect("pool mutex");
+        }
+    }
+    let ra = match ra {
+        Ok(ra) => ra,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    let rb = rb_slot
+        .into_inner()
+        .expect("join result mutex")
+        .expect("b executed");
+    (ra, rb)
+}
