@@ -167,6 +167,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
             let out = take_value(&mut args, "--out")?
                 .ok_or_else(|| CliError::usage("index requires --out FILE"))?;
             let k = parse_usize(take_value(&mut args, "--k")?, 100, "--k")?;
+            if k == 0 {
+                return Err(CliError::usage("--k must be at least 1"));
+            }
             let min_df = parse_usize(take_value(&mut args, "--min-df")?, 2, "--min-df")?;
             let weighting =
                 take_value(&mut args, "--weighting")?.unwrap_or_else(|| "log-entropy".into());
@@ -193,9 +196,17 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
             let top = parse_usize(take_value(&mut args, "--top")?, 10, "--top")?;
             let threshold = match take_value(&mut args, "--threshold")? {
                 None => None,
-                Some(v) => Some(v.parse().map_err(|_| {
-                    CliError::usage(format!("--threshold expects a number, got {v:?}"))
-                })?),
+                Some(v) => {
+                    let t: f64 = v.parse().map_err(|_| {
+                        CliError::usage(format!("--threshold expects a number, got {v:?}"))
+                    })?;
+                    if !t.is_finite() {
+                        return Err(CliError::usage(format!(
+                            "--threshold must be finite, got {v:?}"
+                        )));
+                    }
+                    Some(t)
+                }
             };
             reject_unknown_flags(&args)?;
             if args.len() < 2 {
@@ -358,6 +369,13 @@ mod tests {
             _ => panic!(),
         }
         assert!(parse_args(&v(&["query", "db", "q", "--threshold", "high"])).is_err());
+        assert!(parse_args(&v(&["query", "db", "q", "--threshold", "NaN"])).is_err());
+        assert!(parse_args(&v(&["query", "db", "q", "--threshold", "inf"])).is_err());
+    }
+
+    #[test]
+    fn index_rejects_zero_k() {
+        assert!(parse_args(&v(&["index", "a.txt", "--out", "x", "--k", "0"])).is_err());
     }
 
     #[test]

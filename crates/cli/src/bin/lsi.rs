@@ -48,6 +48,23 @@ fn report_metrics(mode: MetricsMode) {
     let _ = std::io::stderr().write_all(text.as_bytes());
 }
 
+/// Write the report to stdout without panicking on a closed pipe:
+/// `lsi query ... | head -1` must exit 0 when `head` hangs up early.
+fn write_report(output: &str) -> i32 {
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let result = lock.write_all(output.as_bytes()).and_then(|()| lock.flush());
+    match result {
+        Ok(()) => 0,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
+        Err(e) => {
+            lsi_obs::error!("lsi: cannot write to stdout: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let metrics = match take_metrics(&mut argv) {
@@ -60,15 +77,32 @@ fn main() {
     if metrics != MetricsMode::Off {
         lsi_obs::set_enabled(true);
     }
-    match run(&argv) {
-        Ok(output) => {
-            print!("{output}");
+    // Last-resort panic boundary: a bug (or an armed `panic` failpoint)
+    // anywhere below must still exit with a diagnostic and a
+    // conventional code (EX_SOFTWARE), not an abort trace. The panic
+    // hook already printed the message/backtrace to stderr.
+    let outcome = std::panic::catch_unwind(|| run(&argv));
+    let code = match outcome {
+        Ok(Ok(output)) => {
+            let code = write_report(&output);
             report_metrics(metrics);
+            code
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             lsi_obs::error!("lsi: {e}");
             report_metrics(metrics);
-            std::process::exit(e.code);
+            e.code
         }
-    }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            lsi_obs::error!("lsi: internal error: {msg}");
+            report_metrics(metrics);
+            70
+        }
+    };
+    std::process::exit(code);
 }

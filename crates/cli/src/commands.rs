@@ -63,12 +63,28 @@ pub fn load_model(db: &str) -> Result<LsiModel> {
     Ok(LsiModel::from_json(&json)?)
 }
 
-/// Save a database.
+/// Save a database atomically: write to a sibling temp file, sync, then
+/// rename over the target. A crash or injected fault mid-write leaves
+/// either the old database or nothing at the target path — never a
+/// truncated file (which the checksum trailer would reject on load,
+/// but the previous good database would already be gone).
 pub fn save_model(model: &LsiModel, out: &str) -> Result<()> {
     let json = model.to_json()?;
-    let mut file = std::fs::File::create(out)
-        .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
-    file.write_all(json.as_bytes())?;
+    let out_path = Path::new(out);
+    let tmp_path = std::path::PathBuf::from(format!("{out}.tmp"));
+    let write_err =
+        |e: std::io::Error| CliError::runtime(format!("cannot write {out}: {e}"));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp_path)?;
+        file.write_all(json.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp_path, out_path)
+    })();
+    if let Err(e) = result {
+        std::fs::remove_file(&tmp_path).ok();
+        return Err(write_err(e));
+    }
     Ok(())
 }
 

@@ -78,6 +78,12 @@ pub enum Error {
     },
     /// (De)serialization failed.
     Persist(String),
+    /// A non-finite value (NaN/Inf) was detected at a crate boundary —
+    /// weighting output, SVD factors, or query scores.
+    NonFinite {
+        /// Where it was detected.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -88,6 +94,9 @@ impl std::fmt::Display for Error {
             Error::Sparse(e) => write!(f, "sparse matrix failure: {e}"),
             Error::Inconsistent { context } => write!(f, "inconsistent input: {context}"),
             Error::Persist(msg) => write!(f, "persistence failure: {msg}"),
+            Error::NonFinite { context } => {
+                write!(f, "non-finite value detected: {context}")
+            }
         }
     }
 }

@@ -8,7 +8,7 @@ use lsi_linalg::svd::Svd;
 use lsi_linalg::{vecops, DenseMatrix};
 use lsi_sparse::ops::DualFormat;
 use lsi_sparse::CscMatrix;
-use lsi_svd::{lanczos_svd, LanczosOptions, LanczosReport};
+use lsi_svd::{robust_svd, LanczosOptions, LanczosReport, RobustOptions};
 use lsi_text::{Corpus, ParsingRules, TermWeighting, Vocabulary};
 
 use crate::{Error, Result};
@@ -138,15 +138,29 @@ impl LsiModel {
             lsi_obs::count("core.matrix.nnz.count", counts.nnz() as u64);
             options.weighting.apply(&counts)
         };
+        // Boundary guard at the matrix-span exit: a single zero-count
+        // pathology in the weighting (log of a negative, 0/0 entropy)
+        // would otherwise propagate NaN into every factor downstream.
+        if !weighted.global.iter().all(|w| w.is_finite()) {
+            return Err(Error::NonFinite {
+                context: "global term weights (weighting scheme output)".into(),
+            });
+        }
         let k = options.k.min(counts.nrows().min(counts.ncols()));
         let (mut svd, report) = {
             let _svd_span = lsi_obs::span("svd");
             let operator = DualFormat::from_csc(weighted.matrix.clone());
-            let lanczos_opts = LanczosOptions {
-                seed: options.svd_seed,
+            // The robust driver: Lanczos under a stagnation watchdog,
+            // degrading to randomized/dense rungs rather than failing
+            // (the report's `fallback` field says which rung served).
+            let robust_opts = RobustOptions {
+                lanczos: LanczosOptions {
+                    seed: options.svd_seed,
+                    ..RobustOptions::default().lanczos
+                },
                 ..Default::default()
             };
-            lanczos_svd(&operator, k, &lanczos_opts)?
+            robust_svd(&operator, k, &robust_opts)?
         };
         let _assemble_span = lsi_obs::span("assemble");
         // Canonical signs (largest-magnitude U entry positive per
@@ -324,20 +338,189 @@ impl LsiModel {
         Ok(svd.reconstruct()?)
     }
 
-    /// Serialize the LSI database to JSON.
+    /// Serialize the LSI database to JSON, with an integrity trailer.
+    ///
+    /// The output is the model's JSON document followed by one line of
+    /// the form `#lsi1 len=<bytes> fnv=<16-hex>` — the body length and
+    /// its FNV-1a-64 checksum. [`LsiModel::from_json`] validates the
+    /// trailer when present, so truncation and bit-rot are caught
+    /// before a half-loaded model can serve queries.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| Error::Persist(e.to_string()))
+        if lsi_fault::should_fail(lsi_fault::points::CORE_PERSIST_SAVE) {
+            return Err(Error::Persist(format!(
+                "fault injected at failpoint `{}`",
+                lsi_fault::points::CORE_PERSIST_SAVE
+            )));
+        }
+        let body = serde_json::to_string(self).map_err(|e| Error::Persist(e.to_string()))?;
+        let sum = fnv1a64(body.as_bytes());
+        Ok(format!("{body}\n{TRAILER_TAG} len={} fnv={sum:016x}", body.len()))
     }
 
     /// Restore an LSI database from JSON.
+    ///
+    /// Accepts both trailer-carrying output of [`LsiModel::to_json`]
+    /// (validated) and legacy trailer-less files. Beyond the checksum,
+    /// every structural invariant the query/update paths rely on is
+    /// checked here, so corrupted or hand-edited files fail with a
+    /// typed [`Error::Persist`] instead of panicking mid-query.
     pub fn from_json(json: &str) -> Result<LsiModel> {
+        if lsi_fault::should_fail(lsi_fault::points::CORE_PERSIST_LOAD) {
+            return Err(Error::Persist(format!(
+                "fault injected at failpoint `{}`",
+                lsi_fault::points::CORE_PERSIST_LOAD
+            )));
+        }
+        let body = validate_trailer(json)?;
         let mut model: LsiModel =
-            serde_json::from_str(json).map_err(|e| Error::Persist(e.to_string()))?;
+            serde_json::from_str(body).map_err(|e| Error::Persist(e.to_string()))?;
+        model.validate_shape()?;
         // Norms are derived data; recompute rather than trusting the
-        // serialized copy (hand-edited or truncated files stay usable).
+        // serialized copy (hand-edited files stay usable).
         model.refresh_doc_norms();
         Ok(model)
     }
+
+    /// Check every dimensional invariant between the model's parallel
+    /// arrays. Only called on deserialized models — construction and
+    /// update paths maintain these by design.
+    fn validate_shape(&self) -> Result<()> {
+        let fail = |context: String| Err(Error::Persist(format!("invalid model: {context}")));
+        let k = self.s.len();
+        let (u_rows, u_cols) = self.u.shape();
+        let (v_rows, v_cols) = self.v.shape();
+        if u_cols != k || v_cols != k {
+            return fail(format!(
+                "U is {u_rows}x{u_cols} and V is {v_rows}x{v_cols}, but {k} singular values"
+            ));
+        }
+        if self.u.data().len() != u_rows * u_cols {
+            return fail(format!(
+                "U buffer holds {} entries for a {u_rows}x{u_cols} matrix",
+                self.u.data().len()
+            ));
+        }
+        if self.v.data().len() != v_rows * v_cols {
+            return fail(format!(
+                "V buffer holds {} entries for a {v_rows}x{v_cols} matrix",
+                self.v.data().len()
+            ));
+        }
+        if self.doc_ids.len() != v_rows || self.doc_origins.len() != v_rows {
+            return fail(format!(
+                "{} doc ids and {} doc origins for {v_rows} document rows",
+                self.doc_ids.len(),
+                self.doc_origins.len()
+            ));
+        }
+        if self.term_origins.len() != u_rows {
+            return fail(format!(
+                "{} term origins for {u_rows} term rows",
+                self.term_origins.len()
+            ));
+        }
+        if self.vocab.len() + self.folded_terms.len() != u_rows {
+            return fail(format!(
+                "{} vocabulary terms + {} folded terms != {u_rows} term rows",
+                self.vocab.len(),
+                self.folded_terms.len()
+            ));
+        }
+        if self.global_weights.len() != u_rows {
+            // Build sets one weight per vocabulary term; both term-add
+            // paths push a unit weight per appended row, so the vector
+            // always tracks the rows of U.
+            return fail(format!(
+                "{} global weights for {u_rows} term rows",
+                self.global_weights.len()
+            ));
+        }
+        if !self.s.iter().all(|s| s.is_finite() && *s >= 0.0) {
+            return fail("singular values must be finite and non-negative".into());
+        }
+        if !self.u.data().iter().all(|x| x.is_finite())
+            || !self.v.data().iter().all(|x| x.is_finite())
+        {
+            return fail("factor matrices contain non-finite entries".into());
+        }
+        self.weighted
+            .check_invariants()
+            .map_err(|e| Error::Persist(format!("invalid model: weighted matrix: {e}")))?;
+        // The stored weighted matrix covers exactly the SVD-derived
+        // rows and columns: folding-in appends factor rows without
+        // touching it, while SVD-updating grows it in step.
+        let svd_terms = self
+            .term_origins
+            .iter()
+            .filter(|o| matches!(o, DocOrigin::Svd))
+            .count();
+        let svd_docs = self
+            .doc_origins
+            .iter()
+            .filter(|o| matches!(o, DocOrigin::Svd))
+            .count();
+        if self.weighted.shape() != (svd_terms, svd_docs) {
+            return fail(format!(
+                "weighted matrix is {:?} but origins say {svd_terms} SVD terms x {svd_docs} SVD docs",
+                self.weighted.shape()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Tag introducing the integrity trailer line of a serialized model.
+const TRAILER_TAG: &str = "#lsi1";
+
+/// FNV-1a 64-bit — tiny, dependency-free, and plenty for detecting
+/// truncation and accidental corruption (this is an integrity check,
+/// not an authenticity one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Split off and verify the `#lsi1` trailer, returning the JSON body.
+/// Inputs without a trailer (legacy files) pass through unchanged.
+fn validate_trailer(json: &str) -> Result<&str> {
+    let Some((body, trailer)) = json.trim_end().rsplit_once('\n') else {
+        return Ok(json);
+    };
+    let Some(fields) = trailer.strip_prefix(TRAILER_TAG) else {
+        // No trailer tag: treat the whole input as body (legacy).
+        return Ok(json);
+    };
+    let mut expect_len: Option<usize> = None;
+    let mut expect_fnv: Option<u64> = None;
+    for field in fields.split_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            expect_len = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("fnv=") {
+            expect_fnv = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    let (Some(len), Some(fnv)) = (expect_len, expect_fnv) else {
+        return Err(Error::Persist(
+            "model trailer is malformed (expected `#lsi1 len=<n> fnv=<hex>`)".into(),
+        ));
+    };
+    if body.len() != len {
+        return Err(Error::Persist(format!(
+            "model file truncated or padded: trailer says {len} bytes, found {}",
+            body.len()
+        )));
+    }
+    let actual = fnv1a64(body.as_bytes());
+    if actual != fnv {
+        return Err(Error::Persist(format!(
+            "model checksum mismatch: trailer says {fnv:016x}, computed {actual:016x}"
+        )));
+    }
+    Ok(body)
 }
 
 #[cfg(test)]
@@ -457,6 +640,86 @@ mod tests {
             .unwrap()
             .abs()
             < 1e-15);
+    }
+
+    #[test]
+    fn serialized_model_carries_a_valid_trailer() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let json = m.to_json().unwrap();
+        let (body, trailer) = json.rsplit_once('\n').unwrap();
+        assert!(trailer.starts_with(TRAILER_TAG));
+        assert!(trailer.contains(&format!("len={}", body.len())));
+        assert!(trailer.contains(&format!("fnv={:016x}", fnv1a64(body.as_bytes()))));
+    }
+
+    #[test]
+    fn truncated_model_file_is_rejected() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let json = m.to_json().unwrap();
+        // Chop bytes out of the body while keeping the trailer: the
+        // length check must catch it before serde sees broken JSON.
+        let (body, trailer) = json.rsplit_once('\n').unwrap();
+        let truncated = format!("{}\n{trailer}", &body[..body.len() - 10]);
+        let err = LsiModel::from_json(&truncated).unwrap_err();
+        assert!(matches!(err, Error::Persist(_)), "got {err}");
+        assert!(err.to_string().contains("truncated"), "got {err}");
+    }
+
+    #[test]
+    fn bit_flipped_model_file_is_rejected() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let json = m.to_json().unwrap();
+        // Swap one digit for another somewhere in the body — same
+        // length, still valid JSON, but the checksum must catch it.
+        let pos = json.find("\"s\":").unwrap();
+        let mut bytes = json.into_bytes();
+        let target = bytes[pos + 5];
+        bytes[pos + 5] = if target == b'1' { b'2' } else { b'1' };
+        let corrupted = String::from_utf8(bytes).unwrap();
+        let err = LsiModel::from_json(&corrupted).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "got {err}");
+    }
+
+    #[test]
+    fn malformed_trailer_is_rejected() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(2)).unwrap();
+        let json = m.to_json().unwrap();
+        let (body, _) = json.rsplit_once('\n').unwrap();
+        let mangled = format!("{body}\n{TRAILER_TAG} len=oops fnv=xyz");
+        let err = LsiModel::from_json(&mangled).unwrap_err();
+        assert!(err.to_string().contains("malformed"), "got {err}");
+    }
+
+    #[test]
+    fn legacy_trailerless_json_still_loads() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let json = m.to_json().unwrap();
+        let (body, _) = json.rsplit_once('\n').unwrap();
+        let back = LsiModel::from_json(body).unwrap();
+        assert_eq!(back.k(), m.k());
+        assert_eq!(back.singular_values(), m.singular_values());
+    }
+
+    #[test]
+    fn shape_violations_in_loaded_json_are_rejected() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let json = m.to_json().unwrap();
+        let (body, _) = json.rsplit_once('\n').unwrap();
+        // Drop a document id: parallel arrays now disagree with V.
+        let chopped = body.replacen("\"d1\",", "", 1);
+        let err = LsiModel::from_json(&chopped).unwrap_err();
+        assert!(err.to_string().contains("invalid model"), "got {err}");
+        // Smuggle a NaN into the singular values.
+        let poisoned = body.replacen("\"s\":[", "\"s\":[null,", 1);
+        assert!(LsiModel::from_json(&poisoned).is_err());
+    }
+
+    #[test]
+    fn garbage_input_yields_typed_persist_errors() {
+        for garbage in ["", "{", "not json at all", "[1,2,3]", "{\"s\":[1.0]}"] {
+            let err = LsiModel::from_json(garbage).unwrap_err();
+            assert!(matches!(err, Error::Persist(_)), "input {garbage:?} gave {err}");
+        }
     }
 
     #[test]

@@ -69,10 +69,13 @@ impl RankedList {
 /// Descending by score, ties broken by ascending document index — the
 /// ordering every ranking entry point shares.
 fn by_score_desc(scores: &[f64]) -> impl Fn(&usize, &usize) -> Ordering + '_ {
+    // `unwrap_or(Equal)` instead of `expect`: scores are guarded at the
+    // facet_cosines boundary, but a comparator must never panic — a NaN
+    // that slips through degrades the ordering, not the process.
     move |&a: &usize, &b: &usize| {
         scores[b]
             .partial_cmp(&scores[a])
-            .expect("scores are finite")
+            .unwrap_or(Ordering::Equal)
             .then_with(|| a.cmp(&b))
     }
 }
@@ -175,6 +178,31 @@ impl LsiModel {
                     0.0
                 };
             }
+        }
+        // Scoring boundary guard: everything downstream (sorting,
+        // thresholding, CLI output) assumes finite cosines, so a NaN or
+        // Inf produced here — by a corrupted model or an armed failpoint
+        // — becomes a typed error instead of silently scrambled ranks.
+        match lsi_fault::eval(lsi_fault::points::CORE_QUERY_SCORE) {
+            Some(lsi_fault::Fired::ReturnErr) => {
+                return Err(Error::Inconsistent {
+                    context: format!(
+                        "fault injected at failpoint `{}`",
+                        lsi_fault::points::CORE_QUERY_SCORE
+                    ),
+                });
+            }
+            Some(lsi_fault::Fired::InjectNan) => {
+                if let Some(first) = scores.data_mut().first_mut() {
+                    *first = f64::NAN;
+                }
+            }
+            None => {}
+        }
+        if !scores.data().iter().all(|s| s.is_finite()) {
+            return Err(Error::NonFinite {
+                context: "cosine scores (query scoring boundary)".into(),
+            });
         }
         Ok(scores)
     }
@@ -286,7 +314,11 @@ impl LsiModel {
                 (i, name, vecops::cosine(&self.u.row(i), qhat))
             })
             .collect();
-        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite").then_with(|| a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
         scored.truncate(z);
         Ok(scored)
     }

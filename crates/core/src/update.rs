@@ -26,7 +26,7 @@
 
 use lsi_linalg::{jacobi_svd, ops, DenseMatrix};
 use lsi_sparse::{CooMatrix, CscMatrix};
-use lsi_svd::{lanczos_svd, LanczosOptions};
+use lsi_svd::{robust_svd, RobustOptions};
 use lsi_text::Corpus;
 
 use crate::model::{DocOrigin, LsiModel};
@@ -559,7 +559,7 @@ impl LsiModel {
         let _span = lsi_obs::span("recompute");
         let k = k.min(self.weighted.nrows().min(self.weighted.ncols()));
         let operator = lsi_sparse::ops::DualFormat::from_csc(self.weighted.clone());
-        let (svd, _) = lanczos_svd(&operator, k, &LanczosOptions::default())?;
+        let (svd, _) = robust_svd(&operator, k, &RobustOptions::default())?;
         // Rows beyond the stored matrix (folded-in) are dropped.
         self.u = svd.u;
         self.s = svd.s;

@@ -1,0 +1,112 @@
+//! End-to-end fault-injection tests for the lsi-core boundaries.
+//!
+//! Failpoints are process-global, so these tests live in their own
+//! integration binary (cargo gives it a dedicated process) and
+//! serialize on a mutex so concurrently scheduled test threads never
+//! see each other's armed failpoints.
+
+use std::sync::Mutex;
+
+use lsi_core::{Error, LsiModel, LsiOptions};
+use lsi_fault::{points, Action};
+use lsi_svd::Fallback;
+use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn corpus() -> Corpus {
+    Corpus::from_pairs([
+        ("d1", "apple banana apple cherry"),
+        ("d2", "banana cherry banana date"),
+        ("d3", "apple cherry date fig"),
+        ("d4", "grape fig date grape"),
+        ("d5", "fig grape apple banana"),
+    ])
+}
+
+fn options() -> LsiOptions {
+    LsiOptions {
+        k: 2,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting: TermWeighting::none(),
+        svd_seed: 7,
+    }
+}
+
+fn model() -> LsiModel {
+    LsiModel::build(&corpus(), &options()).unwrap().0
+}
+
+#[test]
+fn forced_query_score_error_is_typed() {
+    let _g = guard();
+    let m = model();
+    lsi_fault::arm(points::CORE_QUERY_SCORE, Action::ReturnErr, Some(1));
+    let err = m.query("apple").unwrap_err();
+    lsi_fault::disarm(points::CORE_QUERY_SCORE);
+    assert!(
+        err.to_string().contains("core.query.score"),
+        "got {err}"
+    );
+    // The failpoint self-disarmed after one firing; queries recover.
+    assert!(m.query("apple").is_ok());
+}
+
+#[test]
+fn injected_nan_score_is_caught_by_the_boundary_guard() {
+    let _g = guard();
+    let m = model();
+    lsi_fault::arm(points::CORE_QUERY_SCORE, Action::InjectNan, Some(1));
+    let err = m.query("banana").unwrap_err();
+    lsi_fault::disarm(points::CORE_QUERY_SCORE);
+    assert!(matches!(err, Error::NonFinite { .. }), "got {err}");
+    assert!(m.query("banana").is_ok());
+}
+
+#[test]
+fn forced_persist_faults_are_typed_errors() {
+    let _g = guard();
+    let m = model();
+    lsi_fault::arm(points::CORE_PERSIST_SAVE, Action::ReturnErr, Some(1));
+    let err = m.to_json().unwrap_err();
+    assert!(matches!(err, Error::Persist(_)), "got {err}");
+    let json = m.to_json().unwrap();
+
+    lsi_fault::arm(points::CORE_PERSIST_LOAD, Action::ReturnErr, Some(1));
+    let err = LsiModel::from_json(&json).unwrap_err();
+    assert!(matches!(err, Error::Persist(_)), "got {err}");
+    assert!(LsiModel::from_json(&json).is_ok());
+}
+
+#[test]
+fn lanczos_faults_during_build_degrade_to_a_fallback_rung() {
+    let _g = guard();
+    // Every Lanczos iteration fails, so the robust ladder must hand the
+    // build to the randomized rung — the model still comes out usable.
+    lsi_fault::arm(points::SVD_LANCZOS_ITER, Action::ReturnErr, None);
+    let built = LsiModel::build(&corpus(), &options());
+    lsi_fault::disarm(points::SVD_LANCZOS_ITER);
+    let (m, report) = built.unwrap();
+    assert_ne!(report.fallback, Fallback::None);
+    assert_eq!(m.k(), 2);
+    let ranked = m.query("apple banana").unwrap();
+    assert_eq!(ranked.matches.len(), 5);
+}
+
+#[test]
+fn nan_injection_during_lanczos_also_degrades_gracefully() {
+    let _g = guard();
+    lsi_fault::arm(points::SVD_LANCZOS_ITER, Action::InjectNan, None);
+    let built = LsiModel::build(&corpus(), &options());
+    lsi_fault::disarm(points::SVD_LANCZOS_ITER);
+    let (m, report) = built.unwrap();
+    assert_ne!(report.fallback, Fallback::None);
+    assert!(m.query("cherry").is_ok());
+}

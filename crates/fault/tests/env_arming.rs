@@ -1,0 +1,30 @@
+//! Regression test: failpoints armed *only* through `LSI_FAILPOINTS`
+//! must fire. This lives in its own integration-test binary so the
+//! registry is cold — the bug this guards against was a fast path that
+//! bailed on "not armed" before the env spec had ever been parsed,
+//! which unit tests (arming programmatically) could never catch.
+
+use lsi_fault::{eval, should_fail, Fired};
+
+#[test]
+fn env_spec_arms_failpoints_without_any_programmatic_call() {
+    // Set before the first eval() in this process; the registry
+    // initializes lazily on that first call.
+    std::env::set_var(
+        "LSI_FAILPOINTS",
+        "test.env.a=return-err:2,test.env.b=inject-nan",
+    );
+
+    // The very first evaluation must already see the env arming.
+    assert_eq!(eval("test.env.a"), Some(Fired::ReturnErr));
+    assert_eq!(eval("test.env.a"), Some(Fired::ReturnErr));
+    // Count exhausted: self-disarmed.
+    assert_eq!(eval("test.env.a"), None);
+
+    // Unlimited entry from the same spec keeps firing.
+    assert_eq!(eval("test.env.b"), Some(Fired::InjectNan));
+    assert!(should_fail("test.env.b"));
+
+    // Unrelated names stay silent.
+    assert_eq!(eval("test.env.other"), None);
+}

@@ -95,6 +95,57 @@ impl CscMatrix {
         self.values.len()
     }
 
+    /// Verify the compressed-storage invariants.
+    ///
+    /// Matrices built through this crate's constructors always satisfy
+    /// them; this exists for matrices that arrive from *outside* the
+    /// type system's guarantees — deserialized model files, hand-built
+    /// test fixtures — where a violated invariant would otherwise
+    /// surface later as an out-of-bounds panic in a matvec.
+    pub fn check_invariants(&self) -> Result<()> {
+        let fail = |context: String| Err(Error::DimensionMismatch { context });
+        if self.indptr.len() != self.ncols + 1 {
+            return fail(format!(
+                "indptr has {} entries for {} columns",
+                self.indptr.len(),
+                self.ncols
+            ));
+        }
+        if self.indptr[0] != 0 || self.indptr[self.ncols] != self.indices.len() {
+            return fail("indptr endpoints do not bracket the index array".into());
+        }
+        if self.indices.len() != self.values.len() {
+            return fail(format!(
+                "{} indices vs {} values",
+                self.indices.len(),
+                self.values.len()
+            ));
+        }
+        for c in 0..self.ncols {
+            if self.indptr[c] > self.indptr[c + 1] {
+                return fail(format!("indptr not monotone at column {c}"));
+            }
+            let rows = &self.indices[self.indptr[c]..self.indptr[c + 1]];
+            for w in rows.windows(2) {
+                if w[0] >= w[1] {
+                    return fail(format!("row indices not strictly sorted in column {c}"));
+                }
+            }
+            if let Some(&last) = rows.last() {
+                if last >= self.nrows {
+                    return fail(format!(
+                        "row index {last} out of bounds in column {c} ({} rows)",
+                        self.nrows
+                    ));
+                }
+            }
+        }
+        if !self.values.iter().all(|v| v.is_finite()) {
+            return fail("non-finite stored value".into());
+        }
+        Ok(())
+    }
+
     /// Entry accessor; `0.0` when absent.
     pub fn get(&self, row: usize, col: usize) -> f64 {
         assert!(row < self.nrows && col < self.ncols, "index out of bounds");

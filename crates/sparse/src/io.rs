@@ -26,6 +26,20 @@ pub fn write_matrix_market<W: Write>(m: &CscMatrix, out: &mut W) -> Result<()> {
 /// Supports `real` and `integer` fields, `general` and `symmetric`
 /// symmetry (symmetric entries are mirrored).
 pub fn read_matrix_market<R: BufRead>(input: R) -> Result<CooMatrix> {
+    match lsi_fault::eval(lsi_fault::points::SPARSE_IO_READ) {
+        Some(_) => {
+            // Both return-err and inject-nan surface as a read failure:
+            // there is no buffer to poison before parsing begins.
+            return Err(Error::Parse {
+                line: 0,
+                message: format!(
+                    "fault injected at failpoint `{}`",
+                    lsi_fault::points::SPARSE_IO_READ
+                ),
+            });
+        }
+        None => {}
+    }
     let mut lines = input.lines().enumerate();
 
     // Header line.
@@ -109,6 +123,12 @@ pub fn read_matrix_market<R: BufRead>(input: R) -> Result<CooMatrix> {
         });
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    if symmetric && nrows != ncols {
+        return Err(Error::Parse {
+            line: size_lineno,
+            message: format!("symmetric matrix must be square, got {nrows}x{ncols}"),
+        });
+    }
 
     let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
     let mut seen = 0usize;
@@ -154,7 +174,13 @@ pub fn read_matrix_market<R: BufRead>(input: R) -> Result<CooMatrix> {
             message: format!("index ({r}, {c}) exceeds declared shape {nrows}x{ncols}"),
         })?;
         if symmetric && r != c {
-            coo.push(c - 1, r - 1, v).expect("mirrored index within shape");
+            // The matrix is square (checked at the size line) and the
+            // direct entry was in range, so the mirror is too — but a
+            // parser must never panic on its input, so map the error.
+            coo.push(c - 1, r - 1, v).map_err(|_| Error::Parse {
+                line: i + 1,
+                message: format!("mirrored index ({c}, {r}) exceeds declared shape"),
+            })?;
         }
         seen += 1;
     }
@@ -241,5 +267,14 @@ mod tests {
     fn rejects_array_format() {
         let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
         assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square_symmetric_matrices() {
+        // The mirrored entry (1, 3) would land outside a 3x2 shape —
+        // this used to panic in the mirror push; now it is a parse error.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 2 1\n3 1 1.0\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("square"), "got {err}");
     }
 }

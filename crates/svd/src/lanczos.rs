@@ -82,6 +82,14 @@ pub struct LanczosOptions {
     pub check_every: usize,
     /// Reorthogonalization policy.
     pub reorth: Reorth,
+    /// Stagnation watchdog: abort with [`Error::Stalled`] after this
+    /// many consecutive convergence checks in which the count of
+    /// converged triplets never reached a new maximum. `None` (the
+    /// default) disables the watchdog and preserves the historical
+    /// accept-what-we-have behaviour; [`crate::robust_svd`] arms it so
+    /// a wedged iteration falls through to the next rung of the
+    /// fallback ladder instead of burning the full basis budget.
+    pub stall_after: Option<usize>,
 }
 
 impl Default for LanczosOptions {
@@ -92,8 +100,24 @@ impl Default for LanczosOptions {
             seed: 0x5EED,
             check_every: 8,
             reorth: Reorth::Full,
+            stall_after: None,
         }
     }
+}
+
+/// Which rung of the staged SVD ladder produced the result (see
+/// [`crate::robust_svd`]). Plain [`lanczos_svd`] always reports
+/// [`Fallback::None`]; the robust driver upgrades the flag when the
+/// Lanczos attempt failed and a lower rung served the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fallback {
+    /// The Lanczos driver itself produced the decomposition.
+    #[default]
+    None,
+    /// Lanczos failed; randomized subspace iteration served the request.
+    Randomized,
+    /// Both iterative drivers failed; the dense Jacobi oracle served it.
+    Dense,
 }
 
 /// Flop and wall-clock accounting for one phase of the driver.
@@ -128,6 +152,9 @@ pub struct LanczosReport {
     /// Ritz-vector assembly (`Y = Q S`, one blocked GEMM) plus the
     /// other-side recovery products.
     pub ritz: PhaseStats,
+    /// Which rung of the staged fallback ladder produced the result
+    /// ([`Fallback::None`] unless [`crate::robust_svd`] degraded).
+    pub fallback: Fallback,
 }
 
 /// Truncated SVD: the `k` largest singular triplets of `a`.
@@ -161,6 +188,7 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
         gram: PhaseStats::default(),
         reorth: PhaseStats::default(),
         ritz: PhaseStats::default(),
+        fallback: Fallback::None,
     };
     if k == 0 || dim == 0 {
         return Ok((
@@ -207,13 +235,43 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
     // (y = Qᵀw, w -= Q y), each 4·c·dim flops.
     let cgs2_flops = |c: usize| 8.0 * c as f64 * dim as f64;
 
+    // Stagnation watchdog state: checks since `converged` last reached
+    // a new maximum (the ratchet ignores transient dips, which happen
+    // when a new direction perturbs an almost-settled Ritz pair).
+    let mut max_converged = 0usize;
+    let mut checks_since_progress = 0usize;
+
     while steps < max_basis {
         let j = steps;
         // w = G q_j
+        let inject_nan = match lsi_fault::eval(lsi_fault::points::SVD_LANCZOS_ITER) {
+            Some(lsi_fault::Fired::ReturnErr) => {
+                return Err(Error::Fault {
+                    point: lsi_fault::points::SVD_LANCZOS_ITER,
+                })
+            }
+            Some(lsi_fault::Fired::InjectNan) => true,
+            None => false,
+        };
         let t0 = Instant::now();
         gram_apply(a, side, basis.col(j), &mut w, &mut scratch);
         gram_stats.add(gram_apply_flops, t0.elapsed().as_secs_f64());
+        if inject_nan {
+            w[0] = f64::NAN;
+        }
+        // No debug_assert on `w` here: a non-finite Gram product is
+        // *expected* hostile input (adversarial operator, injected
+        // fault), handled by the checked alpha/beta guards below.
         let alpha = vecops::dot(basis.col(j), &w);
+        // A single NaN/Inf escaping the operator poisons `alpha` (a dot
+        // over all of `w`), so this one scalar check guards the whole
+        // product without touching the hot loop's memory traffic.
+        if !alpha.is_finite() {
+            return Err(Error::NonFinite {
+                what: "Lanczos diagonal alpha",
+                step: j,
+            });
+        }
         alphas.push(alpha);
         theta_max_est = theta_max_est.max(alpha.abs());
         // Three-term recurrence then full reorthogonalization (the
@@ -251,6 +309,12 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
             }
             Reorth::ThreeTermOnly => vecops::nrm2(&w),
         };
+        if !beta.is_finite() {
+            return Err(Error::NonFinite {
+                what: "Lanczos off-diagonal beta",
+                step: j,
+            });
+        }
         steps += 1;
 
         let breakdown = beta <= f64::EPSILON * theta_max_est.max(1.0) * 16.0;
@@ -318,6 +382,22 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
             }
             if converged >= k || breakdown && steps >= dim {
                 break;
+            }
+            // Stagnation watchdog: a healthy run keeps ratcheting the
+            // converged count upward; a wedged one (non-symmetric or
+            // inconsistent operator, hopeless tolerance) stops making
+            // progress long before the basis budget runs out.
+            if converged > max_converged {
+                max_converged = converged;
+                checks_since_progress = 0;
+            } else {
+                checks_since_progress += 1;
+                if let Some(limit) = opts.stall_after {
+                    if checks_since_progress >= limit {
+                        lsi_obs::count("svd.lanczos.stalls.count", 1);
+                        return Err(Error::Stalled { converged });
+                    }
+                }
             }
         }
     }
@@ -412,6 +492,7 @@ pub fn lanczos_svd<M: MatVec + ?Sized>(
         gram: gram_stats,
         reorth: reorth_stats,
         ritz: ritz_stats,
+        fallback: Fallback::None,
     };
     Ok((Svd { u, s: sigma, v }, report))
 }

@@ -14,6 +14,11 @@
 //!   modern baseline used in the ablation benchmarks.
 //! * [`dense_oracle`] — dense Jacobi SVD of a sparse matrix, the
 //!   ground-truth oracle for tests and small problems.
+//! * [`robust::robust_svd`] — the hardened production entry point: runs
+//!   Lanczos under a non-finite/stagnation watchdog and degrades down a
+//!   staged ladder (Lanczos → randomized → dense) instead of failing,
+//!   reporting which rung served the request via
+//!   [`lanczos::LanczosReport::fallback`].
 
 // Index-based loops over parallel arrays are the clearest idiom in
 // numerical kernels; clippy's iterator rewrites obscure them.
@@ -23,10 +28,12 @@
 pub mod lanczos;
 pub mod operator;
 pub mod randomized;
+pub mod robust;
 
-pub use lanczos::{lanczos_svd, LanczosOptions, LanczosReport, PhaseStats, Reorth};
+pub use lanczos::{lanczos_svd, Fallback, LanczosOptions, LanczosReport, PhaseStats, Reorth};
 pub use operator::{CountingOperator, GramSide};
 pub use randomized::{randomized_svd, RandomizedOptions};
+pub use robust::{robust_svd, RobustOptions};
 
 use lsi_linalg::svd::Svd;
 use lsi_sparse::CscMatrix;
@@ -50,6 +57,20 @@ pub enum Error {
         /// Triplets converged before the stall.
         converged: usize,
     },
+    /// A non-finite value (NaN/Inf) escaped the operator or a recurrence
+    /// scalar — the iteration's state is unusable from this point on.
+    NonFinite {
+        /// Which quantity went non-finite.
+        what: &'static str,
+        /// Lanczos step at which it was detected.
+        step: usize,
+    },
+    /// An armed `lsi-fault` failpoint forced this failure (test/ops
+    /// fault injection, never spontaneous).
+    Fault {
+        /// Name of the failpoint that fired.
+        point: &'static str,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -61,6 +82,12 @@ impl std::fmt::Display for Error {
             Error::Linalg(e) => write!(f, "dense kernel failure: {e}"),
             Error::Stalled { converged } => {
                 write!(f, "Lanczos stalled with only {converged} converged triplets")
+            }
+            Error::NonFinite { what, step } => {
+                write!(f, "non-finite {what} at Lanczos step {step}")
+            }
+            Error::Fault { point } => {
+                write!(f, "fault injected at failpoint `{point}`")
             }
         }
     }

@@ -507,6 +507,55 @@ mod tests {
     }
 
     #[test]
+    fn panic_in_one_task_propagates_and_pool_recovers() {
+        // The panic-policy stress test: 1 of N tasks panics. The job
+        // must fail with the original payload on the submitting thread
+        // (no abort), and the pool must serve subsequent jobs as if
+        // nothing happened.
+        for round in 0..10 {
+            let err = std::panic::catch_unwind(|| {
+                (0..512usize).into_par_iter().for_each(|i| {
+                    if i == 313 {
+                        panic!("task {i} failed on purpose");
+                    }
+                });
+            })
+            .expect_err("the poisoned job must fail");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("313"), "wrong payload: {msg}");
+            // The very next job runs to completion with correct results.
+            let n = 200 + round * 31;
+            let sq: Vec<usize> = (0..n).into_par_iter().map(|i| i * i).collect();
+            assert_eq!(sq.len(), n);
+            for (i, s) in sq.iter().enumerate() {
+                assert_eq!(*s, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        let err = std::panic::catch_unwind(|| {
+            super::join(|| 1usize, || -> usize { panic!("side b failed") })
+        })
+        .expect_err("b's panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("side b"), "wrong payload: {msg}");
+        let err = std::panic::catch_unwind(|| {
+            super::join(|| -> usize { panic!("side a failed") }, || 2usize)
+        })
+        .expect_err("a's panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("side a"), "wrong payload: {msg}");
+        // And join still works afterwards.
+        let (a, b) = super::join(|| 6 * 7, || "fine");
+        assert_eq!((a, b), (42, "fine"));
+    }
+
+    #[test]
     fn join_overlaps_and_returns_both_results() {
         // Repeated joins with work on both sides: exercises the
         // publish-before-a ordering and the caller-helps drain.

@@ -39,10 +39,20 @@
 //! while another job occupies the slot run inline and serially on the
 //! caller; both are counted (`pool.serial_inline.count`) so saturation
 //! is visible in `--metrics`.
+//!
+//! **Panic policy** — a panic in any task poisons its job (remaining
+//! chunks are skipped), the first payload is captured on the job, and
+//! the submitter re-throws it after the normal drain, so the panic
+//! surfaces on the thread that asked for the work. Workers unwind only
+//! to their chunk loop and go back to parking: one panicking task out
+//! of N fails that job, never the process or the pool. Each task also
+//! evaluates the `pool.task` failpoint (see `lsi-fault`) so this
+//! recovery path stays testable end to end.
 
+use std::any::Any;
 use std::cell::Cell;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -66,6 +76,37 @@ struct Job {
     next: AtomicUsize,
     /// Pool workers currently executing chunks of this job.
     active: AtomicUsize,
+    /// Set when any chunk panicked: participants stop claiming new
+    /// chunks and the submitter re-throws after the drain.
+    poisoned: AtomicBool,
+    /// First captured panic payload (first panic wins; later ones from
+    /// chunks already in flight are dropped).
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Job {
+    fn new(f: *const (dyn Fn(usize, usize) + Sync), len: usize, chunk: usize) -> Job {
+        Job {
+            f,
+            len,
+            chunk,
+            next: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Take the captured panic payload, if any chunk panicked.
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        if !self.poisoned.load(Ordering::Acquire) {
+            return None;
+        }
+        self.panic
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+    }
 }
 
 // SAFETY: the closure behind `f` is `Sync` and the submitter outlives
@@ -204,25 +245,52 @@ fn worker_loop(pool: &'static Pool) {
     }
 }
 
-/// Claim and execute chunks of `job` until the queue is empty. Returns
-/// the number of chunks executed.
+/// Claim and execute chunks of `job` until the queue is empty or the
+/// job is poisoned. Returns the number of chunks executed.
 ///
-/// A panic inside the closure aborts the process: the job lives on the
-/// submitter's stack, and unwinding past the registration protocol
-/// would leave other participants holding a dangling pointer. The
-/// numerical kernels dispatched here never panic on valid input.
+/// A panic inside the closure is *captured*, not propagated and not
+/// fatal: the job lives on the submitter's stack, and unwinding past
+/// the registration protocol would leave other participants holding a
+/// dangling pointer — so each participant unwinds only to this frame,
+/// records the payload on the job, and keeps following the protocol
+/// (deregister, park). The submitter re-throws the payload after the
+/// drain, so the panic surfaces on the thread that asked for the work
+/// and the pool stays healthy for the next job.
 fn run_chunks(job: &Job) -> u64 {
     let f = unsafe { &*job.f };
     let mut chunks = 0u64;
     loop {
+        if job.poisoned.load(Ordering::Acquire) {
+            // Another chunk already failed; the job's results will be
+            // discarded, so claiming more work only burns CPU.
+            break;
+        }
         let lo = job.next.fetch_add(job.chunk, Ordering::Relaxed);
         if lo >= job.len {
             break;
         }
         let hi = (lo + job.chunk).min(job.len);
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(lo, hi))).is_err() {
-            eprintln!("lsi-pool: task panicked; aborting (scoped job cannot unwind)");
-            std::process::abort();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if lsi_fault::eval(lsi_fault::points::POOL_TASK).is_some() {
+                // `return-err`/`inject-nan` have no meaning for a
+                // type-erased task; escalate to the panic path so a
+                // forced fault is never a silent no-op.
+                panic!("lsi-fault: forced failure at failpoint `pool.task`");
+            }
+            f(lo, hi)
+        }));
+        if let Err(payload) = result {
+            let mut slot = job
+                .panic
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            drop(slot);
+            job.poisoned.store(true, Ordering::Release);
+            lsi_obs::count("pool.task_panics.count", 1);
+            break;
         }
         chunks += 1;
     }
@@ -235,28 +303,22 @@ fn run_chunks(job: &Job) -> u64 {
 /// order within each span — callers rely on this for bit-determinism.
 pub(crate) fn parallel_for<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
     let Some(pool) = global() else {
-        f(0, len);
+        serial_task(len, &f);
         return;
     };
     if len <= 1 || IN_POOL_TASK.with(|flag| flag.get()) {
         // Single task, or already inside a pool task: inline. (The
         // latter also avoids deadlocking on the single job slot.)
         lsi_obs::count("pool.serial_inline.count", 1);
-        f(0, len);
+        serial_task(len, &f);
         return;
     }
     let obs = lsi_obs::enabled();
     let t_submit = if obs { Some(Instant::now()) } else { None };
     let chunk = len.div_ceil(pool.threads * CHUNKS_PER_THREAD).max(1);
-    let job = Job {
-        // SAFETY: this frame unregisters the job and drains `active`
-        // before returning, so `f` outlives every dereference.
-        f: unsafe { erase(&f) },
-        len,
-        chunk,
-        next: AtomicUsize::new(0),
-        active: AtomicUsize::new(0),
-    };
+    // SAFETY: this frame unregisters the job and drains `active`
+    // before returning, so `f` outlives every dereference.
+    let job = Job::new(unsafe { erase(&f) }, len, chunk);
     {
         let mut shared = pool.shared.lock().expect("pool mutex");
         if shared.job.is_some() {
@@ -265,7 +327,7 @@ pub(crate) fn parallel_for<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
             // usually faster than waiting for an unrelated job.
             drop(shared);
             lsi_obs::count("pool.serial_inline.count", 1);
-            f(0, len);
+            serial_task(len, &f);
             return;
         }
         shared.job = Some(&job as *const Job);
@@ -298,6 +360,25 @@ pub(crate) fn parallel_for<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
             lsi_obs::observe("pool.job.us", t0.elapsed().as_secs_f64() * 1e6);
         }
     }
+    // Re-throw any captured task panic *after* the protocol above has
+    // fully unregistered and drained the job: the pool is already
+    // healthy again, and the panic surfaces on the submitting thread
+    // exactly as if the closure had been run inline.
+    if let Some(payload) = job.take_panic() {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Inline execution used whenever the pool is absent, nested, or busy.
+/// Evaluates the `pool.task` failpoint first so fault coverage does not
+/// depend on a pool actually being configured (`LSI_NUM_THREADS=1` runs
+/// exercise the same injection site); a forced panic propagates on the
+/// caller, matching the pooled re-throw semantics.
+fn serial_task(len: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    if lsi_fault::eval(lsi_fault::points::POOL_TASK).is_some() {
+        panic!("lsi-fault: forced failure at failpoint `pool.task`");
+    }
+    f(0, len);
 }
 
 /// Run `a` on the caller and `b` on a pool worker when one is
@@ -325,14 +406,8 @@ where
             *rb_slot.lock().expect("join result") = Some(b());
         }
     };
-    let job = Job {
-        // SAFETY: drained and unregistered before this frame returns.
-        f: unsafe { erase(&run_b) },
-        len: 1,
-        chunk: 1,
-        next: AtomicUsize::new(0),
-        active: AtomicUsize::new(0),
-    };
+    // SAFETY: drained and unregistered before this frame returns.
+    let job = Job::new(unsafe { erase(&run_b) }, 1, 1);
     let published = {
         let mut shared = pool.shared.lock().expect("pool mutex");
         if shared.job.is_some() {
@@ -364,10 +439,16 @@ where
             shared = pool.done_cv.wait(shared).expect("pool mutex");
         }
     }
+    // Both sides are drained; re-throw `a`'s panic first (it ran on
+    // this thread), then `b`'s captured payload — the pool itself is
+    // already serviceable again either way.
     let ra = match ra {
         Ok(ra) => ra,
         Err(payload) => std::panic::resume_unwind(payload),
     };
+    if let Some(payload) = job.take_panic() {
+        std::panic::resume_unwind(payload);
+    }
     let rb = rb_slot
         .into_inner()
         .expect("join result mutex")

@@ -1,0 +1,89 @@
+//! Fault-injection tests for the pool's `pool.task` failpoint.
+//!
+//! These live in their own integration-test binary (own process) and
+//! serialize on a mutex: the failpoint registry is process-global, so
+//! an armed `pool.task` would otherwise fire inside whatever unrelated
+//! test happens to submit the next parallel job.
+
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A representative parallel job with a checkable result.
+fn squares(n: usize) -> Vec<usize> {
+    (0..n).into_par_iter().map(|i| i * i).collect()
+}
+
+/// Panic payloads are `String` (format panics) or `&'static str`
+/// (literal panics); normalize for assertions.
+fn payload_msg(err: &(dyn std::any::Any + Send)) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn forced_pool_task_panic_fails_job_and_pool_recovers() {
+    let _g = guard();
+    lsi_fault::arm(lsi_fault::points::POOL_TASK, lsi_fault::Action::Panic, Some(1));
+    let err = std::panic::catch_unwind(|| squares(400)).expect_err("forced panic must fail the job");
+    let msg = payload_msg(&*err);
+    assert!(msg.contains("pool.task"), "payload: {msg}");
+    lsi_fault::clear();
+    // Workers stayed parked and reusable: the next job is correct.
+    let sq = squares(400);
+    for (i, s) in sq.iter().enumerate() {
+        assert_eq!(*s, i * i);
+    }
+}
+
+#[test]
+fn forced_return_err_escalates_to_job_failure() {
+    let _g = guard();
+    // A type-erased pool task has no error channel, so `return-err`
+    // (and `inject-nan`) escalate to the captured-panic path rather
+    // than silently doing nothing.
+    lsi_fault::arm(
+        lsi_fault::points::POOL_TASK,
+        lsi_fault::Action::ReturnErr,
+        Some(1),
+    );
+    let err = std::panic::catch_unwind(|| squares(256)).expect_err("forced fault must surface");
+    let msg = payload_msg(&*err);
+    assert!(msg.contains("pool.task"), "payload: {msg}");
+    lsi_fault::clear();
+    assert_eq!(squares(16).len(), 16);
+}
+
+#[test]
+fn forced_delay_only_slows_the_job() {
+    let _g = guard();
+    lsi_fault::arm(
+        lsi_fault::points::POOL_TASK,
+        lsi_fault::Action::DelayMs(20),
+        Some(1),
+    );
+    let sq = squares(300);
+    lsi_fault::clear();
+    for (i, s) in sq.iter().enumerate() {
+        assert_eq!(*s, i * i);
+    }
+}
+
+#[test]
+fn repeated_forced_failures_never_wedge_the_pool() {
+    let _g = guard();
+    for _ in 0..20 {
+        lsi_fault::arm(lsi_fault::points::POOL_TASK, lsi_fault::Action::Panic, Some(1));
+        let _ = std::panic::catch_unwind(|| squares(128));
+        lsi_fault::clear();
+        let sq = squares(128);
+        assert_eq!(sq[127], 127 * 127);
+    }
+}
