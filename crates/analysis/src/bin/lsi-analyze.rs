@@ -1,0 +1,334 @@
+//! `lsi-analyze` — run the workspace's static-analysis rules.
+//!
+//! ```text
+//! usage: lsi-analyze [--ci] [--json] [--write-baseline]
+//!                    [--baseline <path>] [--root <path>]
+//!                    [--explain <rule>] [--list-rules]
+//!
+//! exit codes (the workspace CLI convention):
+//!   0  clean — no findings above the committed baseline
+//!   1  findings above baseline (details on stdout)
+//!   2  usage error
+//! ```
+//!
+//! Default mode prints every finding plus a per-rule summary table;
+//! `--ci` prints only what fails the ratchet (the mode verify.sh
+//! runs); `--json` emits the shared RunReport schema instead.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lsi_analyze::{all_rules, analyze, compare, engine, find_workspace_root, rule_by_name};
+use lsi_analyze::{Analysis, Baseline, Comparison};
+use lsi_obs::{Json, RunReport};
+
+const USAGE: &str = "usage: lsi-analyze [--ci] [--json] [--write-baseline] \
+[--baseline <path>] [--root <path>] [--explain <rule>] [--list-rules]";
+
+struct Options {
+    ci: bool,
+    json: bool,
+    write_baseline: bool,
+    baseline: Option<PathBuf>,
+    root: Option<PathBuf>,
+    explain: Option<String>,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        ci: false,
+        json: false,
+        write_baseline: false,
+        baseline: None,
+        root: None,
+        explain: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ci" => opts.ci = true,
+            "--json" => opts.json = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a path")?,
+                ));
+            }
+            "--root" => {
+                opts.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?));
+            }
+            "--explain" => {
+                opts.explain = Some(it.next().ok_or("--explain needs a rule name")?.clone());
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            // --help: the usage text is the program output.
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            lsi_obs::error!("lsi-analyze: {msg}");
+            lsi_obs::error!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in all_rules() {
+            println!("{:<22} {:<8} {}", rule.name(), rule.severity().as_str(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &opts.explain {
+        return explain(name);
+    }
+
+    let root = match find_workspace_root(opts.root.clone()) {
+        Ok(root) => root,
+        Err(e) => {
+            lsi_obs::error!("lsi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(engine::BASELINE_FILE));
+
+    let t0 = Instant::now();
+    let analysis = match analyze(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            lsi_obs::error!("lsi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    if opts.write_baseline {
+        let new = Baseline::from_analysis(&analysis);
+        if let Err(e) = new.save(&baseline_path) {
+            lsi_obs::error!("lsi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} findings across {} (rule, file) pairs) — commit only shrinkage",
+            baseline_path.display(),
+            analysis.findings.len(),
+            new.counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            lsi_obs::error!("lsi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cmp = compare(&analysis, &baseline);
+
+    if opts.json {
+        print!("{}", report_json(&analysis, &cmp, &baseline, elapsed).to_string_pretty());
+    } else {
+        print_human(&analysis, &cmp, &baseline, opts.ci, elapsed);
+    }
+    if cmp.over.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn explain(name: &str) -> ExitCode {
+    match rule_by_name(name) {
+        Some(rule) => {
+            println!("{} ({})", rule.name(), rule.severity().as_str());
+            println!("  {}", rule.summary());
+            println!();
+            for line in wrap(rule.rationale(), 72) {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = all_rules().iter().map(|r| r.name()).collect();
+            lsi_obs::error!(
+                "lsi-analyze: unknown rule `{name}` (known: {})",
+                known.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Minimal greedy word wrap for `--explain` output.
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        if !line.is_empty() && line.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut line));
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(word);
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+fn print_human(
+    analysis: &Analysis,
+    cmp: &Comparison,
+    baseline: &Baseline,
+    ci: bool,
+    elapsed: f64,
+) {
+    // In --ci mode only the pairs that fail the ratchet are itemized;
+    // the full listing is the interactive default.
+    if ci {
+        for gap in &cmp.over {
+            println!(
+                "ABOVE BASELINE: [{}] {} — {} findings (baseline allows {})",
+                gap.rule, gap.file, gap.current, gap.baseline
+            );
+            for f in &analysis.findings {
+                if f.rule == gap.rule && f.file == gap.file {
+                    println!("  {}:{}: {} {}", f.file, f.line, f.severity.as_str(), f.message);
+                }
+            }
+        }
+    } else {
+        for f in &analysis.findings {
+            println!(
+                "{}:{}: {} [{}] {}",
+                f.file,
+                f.line,
+                f.severity.as_str(),
+                f.rule,
+                f.message
+            );
+        }
+    }
+
+    // Per-rule summary.
+    println!("rules:");
+    println!(
+        "  {:<22} {:>8} {:>10} {:>15}",
+        "rule", "findings", "baselined", "above-baseline"
+    );
+    for rule in all_rules() {
+        let total = analysis.findings.iter().filter(|f| f.rule == rule.name()).count() as u64;
+        let over: u64 = cmp
+            .over
+            .iter()
+            .filter(|g| g.rule == rule.name())
+            .map(|g| g.current - g.baseline)
+            .sum();
+        println!(
+            "  {:<22} {:>8} {:>10} {:>15}",
+            rule.name(),
+            total,
+            total - over,
+            over
+        );
+    }
+    println!(
+        "scanned {} files, {} lines in {:.3}s",
+        analysis.files_scanned, analysis.lines_scanned, elapsed
+    );
+    if !baseline.exists {
+        println!("note: no {} found — every finding counts as above baseline", engine::BASELINE_FILE);
+    }
+    if !cmp.under.is_empty() {
+        let paid: u64 = cmp.under.iter().map(|g| g.baseline - g.current).sum();
+        println!(
+            "ratchet: {} baselined finding(s) paid down across {} (rule, file) pair(s) — \
+             run `lsi-analyze --write-baseline` and commit the smaller baseline",
+            paid,
+            cmp.under.len()
+        );
+    }
+    let over_total: u64 = cmp.over.iter().map(|g| g.current - g.baseline).sum();
+    if over_total == 0 {
+        println!("lsi-analyze: OK ({} findings, all baselined)", analysis.findings.len());
+    } else {
+        println!(
+            "lsi-analyze: FAIL — {over_total} finding(s) above baseline (fix them or add \
+             an `lsi-analyze: allow(<rule>)` justification; never grow the baseline)"
+        );
+    }
+}
+
+fn report_json(
+    analysis: &Analysis,
+    cmp: &Comparison,
+    baseline: &Baseline,
+    elapsed: f64,
+) -> Json {
+    let mut report = RunReport::new("lsi-analyze");
+    report.result("files_scanned", Json::Num(analysis.files_scanned as f64));
+    report.result("lines_scanned", Json::Num(analysis.lines_scanned as f64));
+    report.result("findings_total", Json::Num(analysis.findings.len() as f64));
+    let over_total: u64 = cmp.over.iter().map(|g| g.current - g.baseline).sum();
+    report.result("findings_above_baseline", Json::Num(over_total as f64));
+    report.result(
+        "baseline_pairs",
+        Json::Num(baseline.counts.len() as f64),
+    );
+    report.result("elapsed_secs", Json::Num(elapsed));
+    let mut per_rule = Vec::new();
+    for rule in all_rules() {
+        let total = analysis.findings.iter().filter(|f| f.rule == rule.name()).count() as f64;
+        let over: u64 = cmp
+            .over
+            .iter()
+            .filter(|g| g.rule == rule.name())
+            .map(|g| g.current - g.baseline)
+            .sum();
+        per_rule.push((
+            rule.name().to_string(),
+            Json::obj(vec![
+                ("severity", Json::Str(rule.severity().as_str().to_string())),
+                ("findings", Json::Num(total)),
+                ("above_baseline", Json::Num(over as f64)),
+            ]),
+        ));
+    }
+    report.result("rules", Json::Obj(per_rule));
+    let findings: Vec<Json> = analysis
+        .findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("file", Json::Str(f.file.clone())),
+                ("line", Json::Num(f.line as f64)),
+                ("rule", Json::Str(f.rule.to_string())),
+                ("severity", Json::Str(f.severity.as_str().to_string())),
+                ("message", Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    report.result("findings", Json::Arr(findings));
+    report.snapshot = lsi_obs::snapshot();
+    report.to_json()
+}

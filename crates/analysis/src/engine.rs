@@ -1,0 +1,460 @@
+//! Workspace walking, the baseline ratchet, and run orchestration.
+//!
+//! The engine walks every `.rs` file under `crates/`, `src/`,
+//! `examples/`, and `vendor/rayon/` (the one vendored crate with real
+//! code in it — the other vendor stubs are API shims), runs every rule
+//! over the lexed files, and compares per-`(rule, file)` finding
+//! counts against the committed `analysis_baseline.json`.
+//!
+//! **The ratchet:** a finding count *at or below* its baseline entry is
+//! pre-existing debt and passes; a count *above* fails. The baseline
+//! may only shrink — fix debt, run `lsi-analyze --write-baseline`,
+//! commit the smaller file. Growing it to admit new debt defeats the
+//! tool and will be caught in review (the file is small and diffable
+//! on purpose).
+//!
+//! **Suppression:** a justified permanent exception carries an
+//! `lsi-analyze: allow(<rule>)` comment on the finding's line or the
+//! line above; suppressed findings never appear and never count.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use lsi_obs::Json;
+
+use crate::rules::all_rules;
+use crate::{Finding, SourceFile};
+
+/// Directories (relative to the workspace root) the analyzer walks.
+pub const WALK_ROOTS: &[&str] = &["crates", "src", "examples", "vendor/rayon"];
+
+/// The committed baseline's file name at the workspace root.
+pub const BASELINE_FILE: &str = "analysis_baseline.json";
+
+/// Errors from the engine (I/O, malformed baseline, lost root).
+#[derive(Debug)]
+pub enum Error {
+    /// Reading a file or directory failed.
+    Io {
+        /// What was being read.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// No workspace root found walking up from `start`.
+    RootNotFound {
+        /// Where the search started.
+        start: PathBuf,
+    },
+    /// The baseline file exists but cannot be used.
+    Baseline {
+        /// The baseline path.
+        path: PathBuf,
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io { path, source } => {
+                write!(f, "io error at {}: {source}", path.display())
+            }
+            Error::RootNotFound { start } => write!(
+                f,
+                "no workspace root (Cargo.toml + crates/) found walking up from {}",
+                start.display()
+            ),
+            Error::Baseline { path, message } => {
+                write!(f, "bad baseline {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Every (unsuppressed) finding, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+    /// Total source lines lexed.
+    pub lines_scanned: usize,
+}
+
+impl Analysis {
+    /// Finding counts keyed by `(rule, file)`.
+    pub fn counts(&self) -> BTreeMap<(String, String), u64> {
+        let mut map = BTreeMap::new();
+        for f in &self.findings {
+            *map.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` (or the
+/// current directory) containing both `Cargo.toml` and a `crates/`
+/// directory.
+pub fn find_workspace_root(start: Option<PathBuf>) -> Result<PathBuf, Error> {
+    let origin = match start {
+        Some(p) => p,
+        None => std::env::current_dir().map_err(|source| Error::Io {
+            path: PathBuf::from("."),
+            source,
+        })?,
+    };
+    let mut dir = origin.clone();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(Error::RootNotFound { start: origin });
+        }
+    }
+}
+
+/// Collect every `.rs` file under the walk roots, sorted for
+/// deterministic reports and baselines. `target/` and dot-directories
+/// are skipped.
+pub fn walk_workspace(root: &Path) -> Result<Vec<PathBuf>, Error> {
+    let mut files = Vec::new();
+    for sub in WALK_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk_dir(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), Error> {
+    let entries = std::fs::read_dir(dir).map_err(|source| Error::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| Error::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over every workspace file. Findings suppressed by an
+/// `lsi-analyze: allow(<rule>)` comment (same line or the line above)
+/// are dropped here.
+pub fn analyze(root: &Path) -> Result<Analysis, Error> {
+    let _span = lsi_obs::span("analyze");
+    let rules = all_rules();
+    let mut analysis = Analysis::default();
+    for path in walk_workspace(root)? {
+        let src = std::fs::read_to_string(&path).map_err(|source| Error::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = SourceFile::from_source(&rel, &src);
+        analysis.files_scanned += 1;
+        analysis.lines_scanned += file.lexed.lines.len();
+        for rule in &rules {
+            let found = rule.check(&file);
+            analysis
+                .findings
+                .extend(found.into_iter().filter(|f| !is_suppressed(&file, f)));
+        }
+    }
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    lsi_obs::count("analyze.files.count", analysis.files_scanned as u64);
+    lsi_obs::count("analyze.lines.count", analysis.lines_scanned as u64);
+    for f in &analysis.findings {
+        lsi_obs::count(&format!("analyze.findings.{}.count", f.rule), 1);
+    }
+    Ok(analysis)
+}
+
+/// Check the finding's line and the line above for an
+/// `lsi-analyze: allow(<rule>)` suppression comment.
+fn is_suppressed(file: &SourceFile, finding: &Finding) -> bool {
+    let marker = format!("lsi-analyze: allow({})", finding.rule);
+    let idx = finding.line - 1;
+    let lo = idx.saturating_sub(1);
+    file.lexed.lines[lo..=idx]
+        .iter()
+        .any(|l| l.comment.contains(&marker))
+}
+
+/// The committed per-`(rule, file)` debt ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// `(rule, file) -> allowed count`.
+    pub counts: BTreeMap<(String, String), u64>,
+    /// Whether a baseline file was actually present on disk.
+    pub exists: bool,
+}
+
+impl Baseline {
+    /// Load from `path`; a missing file yields an empty baseline (so
+    /// every finding is above baseline — the bootstrap state).
+    pub fn load(path: &Path) -> Result<Baseline, Error> {
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let text = std::fs::read_to_string(path).map_err(|source| Error::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let json = lsi_obs::parse_json(&text).map_err(|e| Error::Baseline {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let counts_node = json.get("counts").ok_or_else(|| Error::Baseline {
+            path: path.to_path_buf(),
+            message: "missing `counts` object".to_string(),
+        })?;
+        let mut counts = BTreeMap::new();
+        if let Json::Obj(rules) = counts_node {
+            for (rule, files) in rules {
+                if let Json::Obj(entries) = files {
+                    for (file, n) in entries {
+                        let n = n.as_f64().unwrap_or(0.0);
+                        if n > 0.0 {
+                            counts.insert((rule.clone(), file.clone()), n as u64);
+                        }
+                    }
+                }
+            }
+        } else {
+            return Err(Error::Baseline {
+                path: path.to_path_buf(),
+                message: "`counts` is not an object".to_string(),
+            });
+        }
+        Ok(Baseline {
+            counts,
+            exists: true,
+        })
+    }
+
+    /// Serialize the ledger (`{"version": 1, "counts": {rule: {file:
+    /// n}}}`), keys sorted so the committed file is diffable.
+    pub fn to_json(&self) -> Json {
+        let mut by_rule: BTreeMap<&str, Vec<(String, Json)>> = BTreeMap::new();
+        for ((rule, file), n) in &self.counts {
+            by_rule
+                .entry(rule)
+                .or_default()
+                .push((file.clone(), Json::Num(*n as f64)));
+        }
+        let rules: Vec<(String, Json)> = by_rule
+            .into_iter()
+            .map(|(rule, files)| (rule.to_string(), Json::Obj(files)))
+            .collect();
+        Json::obj(vec![
+            ("version", Json::Num(1.0)),
+            ("counts", Json::Obj(rules)),
+        ])
+    }
+
+    /// Build a baseline that exactly absorbs `analysis`.
+    pub fn from_analysis(analysis: &Analysis) -> Baseline {
+        Baseline {
+            counts: analysis.counts(),
+            exists: true,
+        }
+    }
+
+    /// Write to `path` (pretty, trailing newline — the repo JSON
+    /// style).
+    pub fn save(&self, path: &Path) -> Result<(), Error> {
+        std::fs::write(path, self.to_json().to_string_pretty()).map_err(|source| Error::Io {
+            path: path.to_path_buf(),
+            source,
+        })
+    }
+}
+
+/// One `(rule, file)` pair whose current count differs from baseline.
+#[derive(Debug, Clone)]
+pub struct Gap {
+    /// Rule name.
+    pub rule: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// Count in this run.
+    pub current: u64,
+    /// Count the baseline allows.
+    pub baseline: u64,
+}
+
+/// Current counts versus the ratchet.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Pairs over baseline — these fail the run.
+    pub over: Vec<Gap>,
+    /// Pairs under baseline — debt was paid down; the baseline should
+    /// be regenerated and committed smaller (never a failure).
+    pub under: Vec<Gap>,
+    /// Total findings at or below baseline (pre-existing debt).
+    pub baselined: u64,
+}
+
+/// Compare a run against the committed baseline.
+pub fn compare(analysis: &Analysis, baseline: &Baseline) -> Comparison {
+    let current = analysis.counts();
+    let mut cmp = Comparison::default();
+    for ((rule, file), &cur) in &current {
+        let base = baseline
+            .counts
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if cur > base {
+            cmp.over.push(Gap {
+                rule: rule.clone(),
+                file: file.clone(),
+                current: cur,
+                baseline: base,
+            });
+            cmp.baselined += base;
+        } else {
+            cmp.baselined += cur;
+            if cur < base {
+                cmp.under.push(Gap {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    current: cur,
+                    baseline: base,
+                });
+            }
+        }
+    }
+    // Baseline entries for pairs that no longer produce findings at
+    // all (file deleted or fully cleaned) are also shrink candidates.
+    for ((rule, file), &base) in &baseline.counts {
+        if !current.contains_key(&(rule.clone(), file.clone())) {
+            cmp.under.push(Gap {
+                rule: rule.clone(),
+                file: file.clone(),
+                current: 0,
+                baseline: base,
+            });
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn finding(rule: &'static str, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn ratchet_passes_at_baseline_and_fails_above() {
+        let mut analysis = Analysis::default();
+        analysis.findings.push(finding("panic-surface", "a.rs", 1));
+        analysis.findings.push(finding("panic-surface", "a.rs", 2));
+        let baseline = Baseline::from_analysis(&analysis);
+        assert!(compare(&analysis, &baseline).over.is_empty());
+
+        analysis.findings.push(finding("panic-surface", "a.rs", 3));
+        let cmp = compare(&analysis, &baseline);
+        assert_eq!(cmp.over.len(), 1);
+        assert_eq!(cmp.over[0].current, 3);
+        assert_eq!(cmp.over[0].baseline, 2);
+    }
+
+    #[test]
+    fn paid_down_debt_is_reported_as_under() {
+        let mut analysis = Analysis::default();
+        analysis.findings.push(finding("unsafe-audit", "b.rs", 1));
+        analysis.findings.push(finding("unsafe-audit", "b.rs", 2));
+        let baseline = Baseline::from_analysis(&analysis);
+        analysis.findings.pop();
+        let cmp = compare(&analysis, &baseline);
+        assert!(cmp.over.is_empty());
+        assert_eq!(cmp.under.len(), 1);
+        // Fully cleaned pairs surface too.
+        analysis.findings.clear();
+        let cmp = compare(&analysis, &baseline);
+        assert_eq!(cmp.under.len(), 1);
+        assert_eq!(cmp.under[0].current, 0);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let mut analysis = Analysis::default();
+        analysis.findings.push(finding("panic-surface", "a.rs", 1));
+        analysis.findings.push(finding("unsafe-audit", "b/c.rs", 9));
+        analysis.findings.push(finding("unsafe-audit", "b/c.rs", 12));
+        let baseline = Baseline::from_analysis(&analysis);
+        let text = baseline.to_json().to_string_pretty();
+        let dir = std::env::temp_dir().join("lsi_analyze_baseline_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(BASELINE_FILE);
+        std::fs::write(&path, &text).expect("write temp baseline");
+        let loaded = Baseline::load(&path).expect("load temp baseline");
+        assert_eq!(loaded.counts, baseline.counts);
+        assert!(loaded.exists);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_baseline_is_empty_not_error() {
+        let loaded =
+            Baseline::load(Path::new("/nonexistent/lsi/baseline.json")).expect("empty baseline");
+        assert!(loaded.counts.is_empty());
+        assert!(!loaded.exists);
+    }
+
+    #[test]
+    fn suppression_comment_drops_finding() {
+        let src = "// lsi-analyze: allow(eprintln-lint)\neprintln!(\"x\");\n";
+        let file = SourceFile::from_source("crates/foo/src/lib.rs", src);
+        let f = finding("eprintln-lint", "crates/foo/src/lib.rs", 2);
+        assert!(is_suppressed(&file, &f));
+        let f2 = finding("panic-surface", "crates/foo/src/lib.rs", 2);
+        assert!(!is_suppressed(&file, &f2));
+    }
+}

@@ -1,0 +1,627 @@
+//! A hand-rolled Rust lexer that classifies every character of a
+//! source file as *code*, *comment*, or *literal content*, and marks
+//! the line ranges that belong to `#[cfg(test)]` / `#[test]` items.
+//!
+//! The rules in this crate are string searches over source text, and
+//! string searches over *raw* source text are exactly the fragility
+//! this crate exists to retire (a `"SAFETY"` inside a string literal,
+//! an `unwrap()` in a doc example, a `/*` inside a `"..."`). So the
+//! lexer does the one hard part once: it walks the file with a real
+//! tokenizer state machine — nested block comments, escaped strings,
+//! raw strings with arbitrary `#` fences, byte/C-string prefixes, and
+//! the `'a'`-char-literal versus `'a`-lifetime ambiguity — and emits a
+//! per-line *masked* view:
+//!
+//! * [`Line::code`] — the source line with comment text and the entire
+//!   extent of string/char literals replaced by spaces (columns are
+//!   preserved, so match offsets map straight back to the file);
+//! * [`Line::comment`] — the complement: only comment characters
+//!   survive (including the `//` / `/*` markers);
+//! * [`Line::doc_comment`] — whether the comment on the line is a doc
+//!   comment (`///`, `//!`, `/**`, `/*!`);
+//! * [`Line::in_test`] — whether the line lies inside an item
+//!   decorated with `#[test]` or `#[cfg(test)]` (tracked by brace
+//!   matching on the masked code, so braces in strings can't derail
+//!   the region).
+//!
+//! Rules then search `code` for code patterns and `comment` for
+//! justification markers, and both searches are immune to literals by
+//! construction. Literal *content* appears in neither view — a string
+//! containing `SAFETY` satisfies nothing, and a string containing
+//! `.unwrap()` trips nothing.
+
+/// One source line, split into its masked views.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code characters only; comments and literals are spaces.
+    pub code: String,
+    /// Comment characters only (markers included); the rest is spaces.
+    pub comment: String,
+    /// True when the comment text on this line belongs to a doc
+    /// comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc_comment: bool,
+    /// True when the line is inside a `#[test]`/`#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// Whether the line carries any comment text at all.
+    pub fn has_comment(&self) -> bool {
+        self.comment.chars().any(|c| !c.is_whitespace())
+    }
+}
+
+/// A fully lexed file: per-line masked views plus test-region flags.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// The lines, in file order.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state that can span line boundaries.
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside `//`-style comment (ends at newline).
+    LineComment { doc: bool },
+    /// Inside `/* ... */`, tracking nesting depth.
+    BlockComment { depth: usize, doc: bool },
+    /// Inside `"..."` (escapes honored).
+    Str { escaped: bool },
+    /// Inside `r"..."` / `r#"..."#` with the given fence length.
+    RawStr { hashes: usize },
+    /// Inside `'...'` char/byte literal (escapes honored).
+    CharLit { escaped: bool },
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl LexedFile {
+    /// Lex `src` into masked per-line views and mark test regions.
+    pub fn lex(src: &str) -> LexedFile {
+        let mut lines = lex_masked(src);
+        mark_test_regions(&mut lines);
+        LexedFile { lines }
+    }
+
+    /// The masked code of all lines joined with `\n`, plus the byte
+    /// offset at which each line starts in the joined string — for
+    /// rules whose patterns span lines (method chains, attributes).
+    pub fn joined_code(&self) -> (String, Vec<usize>) {
+        let mut joined = String::new();
+        let mut starts = Vec::with_capacity(self.lines.len());
+        for line in &self.lines {
+            starts.push(joined.len());
+            joined.push_str(&line.code);
+            joined.push('\n');
+        }
+        (joined, starts)
+    }
+
+    /// Map a byte offset in [`LexedFile::joined_code`] to a 0-based
+    /// line index.
+    pub fn line_of_offset(starts: &[usize], offset: usize) -> usize {
+        match starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+}
+
+/// Pass 1: the character state machine producing masked views.
+fn lex_masked(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut doc_line = false;
+    let mut state = State::Code;
+    let mut i = 0;
+
+    macro_rules! push_line {
+        () => {{
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                doc_comment: doc_line,
+                in_test: false,
+            });
+            // Reassigned, not read, after the final line — fine.
+            #[allow(unused_assignments)]
+            {
+                doc_line = false;
+            }
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if let State::LineComment { .. } = state {
+                state = State::Code;
+            }
+            push_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // `///x` is doc, `////` is a plain divider, `//!`
+                    // is inner doc.
+                    let c2 = chars.get(i + 2).copied();
+                    let doc = c2 == Some('!')
+                        || (c2 == Some('/') && chars.get(i + 3).copied() != Some('/'));
+                    state = State::LineComment { doc };
+                    doc_line = doc_line || doc;
+                    comment.push_str("//");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    let c2 = chars.get(i + 2).copied();
+                    let doc = c2 == Some('!') || (c2 == Some('*') && chars.get(i + 3) != Some(&'/'));
+                    state = State::BlockComment { depth: 1, doc };
+                    doc_line = doc_line || doc;
+                    comment.push_str("/*");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { escaped: false };
+                    code.push(' ');
+                    comment.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal or lifetime? `'\...` and `'x'` are
+                    // literals; `'ident` (not closed by `'`) is a
+                    // lifetime/label and stays code.
+                    let c1 = chars.get(i + 1).copied();
+                    let c2 = chars.get(i + 2).copied();
+                    if c1 == Some('\\') {
+                        state = State::CharLit { escaped: false };
+                        code.push(' ');
+                        comment.push(' ');
+                        i += 1;
+                    } else if c1.is_some() && c1 != Some('\'') && c2 == Some('\'') {
+                        // 'x' — a one-char literal.
+                        code.push_str("   ");
+                        comment.push_str("   ");
+                        i += 3;
+                    } else {
+                        // Lifetime (or malformed literal): keep as code.
+                        code.push(c);
+                        comment.push(' ');
+                        i += 1;
+                    }
+                } else if matches!(c, 'r' | 'b' | 'c')
+                    && (i == 0 || !is_ident(chars[i - 1]))
+                    && literal_prefix_len(&chars, i).is_some()
+                {
+                    // A string-literal prefix: `r`, `b`, `c`, `br`,
+                    // `cr`, possibly with a `#` fence. Mask the prefix
+                    // and enter the right string state.
+                    if let Some((plen, raw_hashes)) = literal_prefix_len(&chars, i) {
+                        for _ in 0..plen {
+                            code.push(' ');
+                            comment.push(' ');
+                        }
+                        i += plen;
+                        state = match raw_hashes {
+                            Some(h) => State::RawStr { hashes: h },
+                            None => State::Str { escaped: false },
+                        };
+                    }
+                } else {
+                    code.push(c);
+                    comment.push(' ');
+                    i += 1;
+                }
+            }
+            State::LineComment { doc } => {
+                doc_line = doc_line || doc;
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment { depth, doc } => {
+                doc_line = doc_line || doc;
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment {
+                        depth: depth + 1,
+                        doc,
+                    };
+                    comment.push_str("/*");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    comment.push_str("*/");
+                    code.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1, doc }
+                    };
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                code.push(' ');
+                comment.push(' ');
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr { hashes } => {
+                code.push(' ');
+                comment.push(' ');
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    // Mask the fence too.
+                    for _ in 0..hashes {
+                        code.push(' ');
+                        comment.push(' ');
+                    }
+                    i += 1 + hashes;
+                    state = State::Code;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit { escaped } => {
+                code.push(' ');
+                comment.push(' ');
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                } else if c == '\\' {
+                    state = State::CharLit { escaped: true };
+                } else if c == '\'' {
+                    state = State::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    // Final line without trailing newline.
+    if !code.is_empty() || !comment.is_empty() || lines.is_empty() {
+        push_line!();
+    }
+    lines
+}
+
+/// If position `i` starts a string-literal prefix (`r"`, `r#"`, `b"`,
+/// `br#"`, `c"`, `cr"`, ...), return the prefix length (everything up
+/// to and including the opening quote) and `Some(hashes)` when it is a
+/// raw string (no escape processing), else `None` for a normal string.
+fn literal_prefix_len(chars: &[char], i: usize) -> Option<(usize, Option<usize>)> {
+    let mut j = i;
+    let mut saw_r = false;
+    // At most two prefix letters: b/c optionally followed by r.
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                saw_r = true;
+                j += 1;
+                break;
+            }
+            Some('b') | Some('c') if !saw_r => {
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    if j == i {
+        return None;
+    }
+    if saw_r {
+        let mut hashes = 0;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) == Some(&'"') {
+            return Some((j + 1 - i, Some(hashes)));
+        }
+        return None;
+    }
+    if chars.get(j) == Some(&'"') {
+        return Some((j + 1 - i, None));
+    }
+    None
+}
+
+/// Does the `"` at position `i` close a raw string with `hashes` fence
+/// characters (i.e. is it followed by that many `#`)?
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Pass 2: find `#[test]` / `#[cfg(test)]` attributes in the masked
+/// code and mark the decorated item's line extent (attribute line
+/// through the item's closing brace or terminating `;`) as test code.
+/// Inner attributes (`#![cfg(test)]`) mark the whole file.
+fn mark_test_regions(lines: &mut [Line]) {
+    let joined: String = {
+        let mut s = String::new();
+        for line in lines.iter() {
+            s.push_str(&line.code);
+            s.push('\n');
+        }
+        s
+    };
+    let chars: Vec<char> = joined.chars().collect();
+    // Line index of each char.
+    let mut line_of = Vec::with_capacity(chars.len());
+    {
+        let mut ln = 0;
+        for &c in &chars {
+            line_of.push(ln);
+            if c == '\n' {
+                ln += 1;
+            }
+        }
+    }
+    let n = chars.len();
+    let mut i = 0;
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut whole_file = false;
+    while i < n {
+        if chars[i] != '#' {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = chars.get(j) == Some(&'!');
+        if inner {
+            j += 1;
+        }
+        while j < n && chars[j].is_whitespace() {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'[') {
+            i += 1;
+            continue;
+        }
+        // Capture the attribute body up to the matching `]`.
+        let mut depth = 0usize;
+        let mut body = String::new();
+        let mut k = j;
+        while k < n {
+            let c = chars[k];
+            if c == '[' {
+                depth += 1;
+                if depth > 1 {
+                    body.push(c);
+                }
+            } else if c == ']' {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                body.push(c);
+            } else if depth >= 1 {
+                body.push(c);
+            }
+            k += 1;
+        }
+        if k >= n {
+            break;
+        }
+        if is_test_attr(&body) {
+            if inner {
+                whole_file = true;
+            } else if let Some(end) = item_extent(&chars, k + 1) {
+                regions.push((line_of[i], line_of[end.min(n - 1)]));
+            } else {
+                // Attribute at EOF without an item: mark to file end.
+                regions.push((line_of[i], lines.len().saturating_sub(1)));
+            }
+        }
+        i = k + 1;
+    }
+    if whole_file {
+        for line in lines.iter_mut() {
+            line.in_test = true;
+        }
+        return;
+    }
+    for (lo, hi) in regions {
+        for line in lines.iter_mut().take(hi + 1).skip(lo) {
+            line.in_test = true;
+        }
+    }
+}
+
+/// Is the attribute body (text inside `#[...]`) a test marker?
+/// Recognizes `test`, `cfg(test)`, and `cfg(any/all(... test ...))`;
+/// rejects `cfg(not(test))` (that's the *non*-test half) and
+/// `cfg_attr` (which decorates an item that exists unconditionally).
+fn is_test_attr(body: &str) -> bool {
+    let body = body.trim();
+    if body == "test" {
+        return true;
+    }
+    if !body.starts_with("cfg") || body.starts_with("cfg_attr") {
+        return false;
+    }
+    has_word(body, "test") && !body.contains("not")
+}
+
+/// Word-boundary substring search.
+fn has_word(haystack: &str, word: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident(bytes[start - 1] as char);
+        let after_ok = end == bytes.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// From position `start` (just past a test attribute's `]`), find the
+/// char index where the decorated item ends: the matching `}` of its
+/// body, or a `;` for braceless items. Skips any further attributes.
+/// `;`, `{`, and `}` inside parentheses/brackets (array types, default
+/// const-generic braces) do not count.
+fn item_extent(chars: &[char], start: usize) -> Option<usize> {
+    let n = chars.len();
+    let mut i = start;
+    // Skip whitespace and subsequent attributes.
+    loop {
+        while i < n && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i < n && chars[i] == '#' {
+            let mut depth = 0usize;
+            while i < n {
+                match chars[i] {
+                    '[' => depth += 1,
+                    ']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    // Find the body `{` (or terminating `;`) at paren/bracket depth 0.
+    let mut pd = 0isize;
+    while i < n {
+        match chars[i] {
+            '(' | '[' => pd += 1,
+            ')' | ']' => pd -= 1,
+            ';' if pd == 0 => return Some(i),
+            '{' if pd == 0 => {
+                let mut bd = 1usize;
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '{' => bd += 1,
+                        '}' => {
+                            bd -= 1;
+                            if bd == 0 {
+                                return Some(i);
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> LexedFile {
+        LexedFile::lex(src)
+    }
+
+    #[test]
+    fn strings_are_masked_out_of_code_and_comment() {
+        let f = lex("let x = \"SAFETY unwrap() // not a comment\";");
+        assert!(!f.lines[0].code.contains("SAFETY"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[0].comment.contains("SAFETY"));
+        assert!(f.lines[0].code.contains("let x ="));
+        assert!(f.lines[0].code.ends_with(';'));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_do_not_end_early() {
+        let f = lex("let s = r#\"z \" q\"#; call()");
+        assert!(f.lines[0].code.contains("call()"));
+        assert!(!f.lines[0].code.contains('z'));
+        assert!(!f.lines[0].code.contains('q'));
+        let f = lex("let s = br##\"x\"# y\"##; tail()");
+        assert!(f.lines[0].code.contains("tail()"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        // `var` ends in `r` but the following `"` starts an ordinary
+        // string, and the identifier itself must stay code.
+        let f = lex("let y = var; let s = \"v\"; done()");
+        let code = &f.lines[0].code;
+        assert!(code.contains("let y = var;"));
+        assert!(code.contains("done()"));
+        assert!(!code.contains('v') || code.contains("var"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let f = lex("a(); /* outer /* inner */ still comment */ b();");
+        let code = &f.lines[0].code;
+        assert!(code.contains("a();"));
+        assert!(code.contains("b();"));
+        assert!(!code.contains("inner"));
+        assert!(!code.contains("still"));
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn char_literal_versus_lifetime() {
+        let f = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let code = &f.lines[0].code;
+        // Lifetimes survive as code; char-literal contents do not.
+        assert!(code.contains("<'a>"));
+        assert!(code.contains("&'a str"));
+        assert!(!code.contains("'x'"));
+        assert!(!code.contains("'\\''"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod_and_stops_after() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test, "library fn before region");
+        assert!(f.lines[1].in_test, "attribute line");
+        assert!(f.lines[2].in_test && f.lines[3].in_test && f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "code after the closing brace");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = lex("#[cfg(not(test))]\nfn real() {}\n");
+        assert!(!f.lines[1].in_test);
+    }
+
+    #[test]
+    fn doc_comment_flag() {
+        let f = lex("/// docs here\n// plain\n//! inner docs\n");
+        assert!(f.lines[0].doc_comment);
+        assert!(!f.lines[1].doc_comment);
+        assert!(f.lines[2].doc_comment);
+    }
+}

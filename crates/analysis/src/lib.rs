@@ -1,0 +1,108 @@
+//! `lsi-analyze` — in-repo static analysis for the LSI workspace.
+//!
+//! The workspace's correctness story rests on conventions that no
+//! compiler checks: `unsafe` blocks carry `// SAFETY:` justifications,
+//! library code returns typed errors instead of panicking, atomic
+//! orderings cite why they are sufficient, diagnostics flow through
+//! `lsi-obs` events, and every parallelism threshold documents the
+//! calibration harness that produced it. Until this crate, two of
+//! those conventions were enforced by shell greps in
+//! `scripts/verify.sh` (which could not tell a call site from a string
+//! literal or a doc example) and the rest by review alone.
+//!
+//! This crate replaces the greps with a token-aware analyzer:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer that masks comments and
+//!   string/char literals out of the code view (and vice versa), and
+//!   tracks `#[cfg(test)]` / `#[test]` item extents;
+//! * [`rules`] — the rule catalog (six rules at present; DESIGN.md §3e
+//!   documents each and how to add more);
+//! * [`engine`] — workspace walking, the committed-baseline ratchet
+//!   (`analysis_baseline.json`), and comparison logic.
+//!
+//! Pre-existing debt is *ratcheted*, not blocking: every finding is
+//! compared against a committed per-`(rule, file)` baseline, and only
+//! counts **above** the baseline fail the run. The baseline may shrink
+//! over time (fix debt, regenerate with `--write-baseline`, commit the
+//! smaller file) but must never grow — that is the ratchet.
+//!
+//! The `lsi-analyze` binary follows the workspace CLI convention:
+//! exit 0 clean, 1 findings above baseline, 2 usage error; `--json`
+//! emits the shared [`lsi_obs::RunReport`] schema.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze, compare, find_workspace_root, Analysis, Baseline, Comparison, Error, Gap};
+pub use lexer::LexedFile;
+pub use rules::{all_rules, rule_by_name, Rule};
+
+/// How serious a finding is. The baseline ratchet gates on *any*
+/// above-baseline finding regardless of severity; severity exists to
+/// order triage (errors are invariant violations, warnings are
+/// review-this flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A violated workspace invariant.
+    Error,
+    /// A pattern that needs justification or review.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (kebab-case, stable — baselines key on it).
+    pub rule: &'static str,
+    /// Triage severity.
+    pub severity: Severity,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A lexed source file plus the path context rules filter on.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub rel_path: String,
+    /// Masked per-line views.
+    pub lexed: LexedFile,
+    /// Whole file is test code (lives under a `tests/` or `benches/`
+    /// directory), so per-line `in_test` tracking is moot.
+    pub test_file: bool,
+}
+
+impl SourceFile {
+    /// Lex `src` as the file at `rel_path`.
+    pub fn from_source(rel_path: &str, src: &str) -> SourceFile {
+        let test_file = rel_path
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches");
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lexed: LexedFile::lex(src),
+            test_file,
+        }
+    }
+
+    /// Is line `idx` (0-based) non-test code this crate's library
+    /// rules should look at?
+    pub fn is_lib_line(&self, idx: usize) -> bool {
+        !self.test_file && !self.lexed.lines[idx].in_test
+    }
+}

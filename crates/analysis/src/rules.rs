@@ -1,0 +1,656 @@
+//! The rule catalog.
+//!
+//! Each rule is a pure function from a lexed [`SourceFile`] to
+//! findings; the engine owns walking, suppression, and the baseline
+//! ratchet. Rules search the *masked* views from [`crate::lexer`], so
+//! string literals and comments can never produce false call sites.
+//!
+//! To add a rule (the full recipe is in DESIGN.md §3e):
+//! 1. implement [`Rule`] below — `name` must be a stable kebab-case
+//!    identifier (baselines key on it), `rationale` is what
+//!    `lsi-analyze --explain <rule>` prints;
+//! 2. register it in [`all_rules`];
+//! 3. add fixture tests in `tests/rule_fixtures.rs` (one positive and
+//!    one negative case minimum);
+//! 4. run `lsi-analyze --write-baseline` to absorb pre-existing debt,
+//!    and eyeball the new baseline entries before committing them.
+
+use crate::{Finding, Severity, SourceFile};
+
+/// A single static-analysis rule.
+pub trait Rule {
+    /// Stable kebab-case identifier (baseline key, `--explain` arg).
+    fn name(&self) -> &'static str;
+    /// Severity attached to this rule's findings.
+    fn severity(&self) -> Severity;
+    /// One-line summary for rule listings.
+    fn summary(&self) -> &'static str;
+    /// The full rationale printed by `--explain`.
+    fn rationale(&self) -> &'static str;
+    /// Run the rule over one file.
+    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+
+    /// Helper: build a finding for this rule (line is 0-based here,
+    /// reported 1-based).
+    fn finding(&self, file: &SourceFile, line_idx: usize, message: String) -> Finding {
+        Finding {
+            rule: self.name(),
+            severity: self.severity(),
+            file: file.rel_path.clone(),
+            line: line_idx + 1,
+            message,
+        }
+    }
+}
+
+/// Every registered rule, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(UnsafeAudit),
+        Box::new(PanicSurface),
+        Box::new(FloatSafety),
+        Box::new(AtomicsAudit),
+        Box::new(EprintlnLint),
+        Box::new(ThresholdProvenance),
+    ]
+}
+
+/// Look up a rule by its stable name.
+pub fn rule_by_name(name: &str) -> Option<Box<dyn Rule>> {
+    all_rules().into_iter().find(|r| r.name() == name)
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of every occurrence of `pat` in `hay` whose preceding
+/// character is not an identifier character (so `eprint!` never
+/// matches inside `eprintln!`, `panic!` never inside `my_panic!`).
+fn find_word_starts(hay: &str, pat: &str) -> Vec<usize> {
+    // Patterns opening with a non-identifier char (`.unwrap()`) need
+    // no leading boundary: `v.unwrap()` must still match.
+    let ident_start = pat.chars().next().is_some_and(is_ident);
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(pat) {
+        let start = from + pos;
+        let boundary = !ident_start
+            || start == 0
+            || !is_ident(hay[..start].chars().next_back().unwrap_or(' '));
+        if boundary {
+            out.push(start);
+        }
+        from = start + pat.len().max(1);
+    }
+    out
+}
+
+/// Library-code path filter shared by `panic-surface` and
+/// `float-safety`: the bench harness is a binary crate of experiments
+/// and `examples/` are teaching code — neither is library surface.
+fn is_library_path(path: &str) -> bool {
+    !path.starts_with("crates/bench/") && !path.starts_with("examples/")
+}
+
+// ---------------------------------------------------------------------
+// unsafe-audit
+// ---------------------------------------------------------------------
+
+/// Every `unsafe` site must carry a nearby SAFETY justification.
+pub struct UnsafeAudit;
+
+/// How many lines above an `unsafe` token the SAFETY comment may sit
+/// (covers `/// # Safety` doc sections above `unsafe fn` signatures).
+const UNSAFE_COMMENT_WINDOW: usize = 5;
+
+impl Rule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "every `unsafe` block/fn/impl must carry a SAFETY comment"
+    }
+    fn rationale(&self) -> &'static str {
+        "The pool's scoped-job protocol, the nnz-balanced SpMV span \
+         writes, and the GEMM packing views all rely on unsafe code \
+         whose soundness argument lives in prose, not in the type \
+         system. An `unsafe` site without a written invariant is a \
+         site the next refactor breaks silently. Every `unsafe` \
+         keyword in non-test code must have a comment containing \
+         `SAFETY` (conventionally `// SAFETY: ...`, or a `# Safety` \
+         doc section for `unsafe fn`) on the same line or within the \
+         5 lines above it."
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (idx, line) in file.lexed.lines.iter().enumerate() {
+            if !file.is_lib_line(idx) {
+                continue;
+            }
+            for _ in find_word_starts(&line.code, "unsafe")
+                .iter()
+                .filter(|&&s| {
+                    // Trailing boundary too: `unsafe` is a keyword,
+                    // not a prefix of one.
+                    !line.code[s + 6..].starts_with(|c: char| is_ident(c))
+                })
+            {
+                let lo = idx.saturating_sub(UNSAFE_COMMENT_WINDOW);
+                let justified = file.lexed.lines[lo..=idx].iter().any(|l| {
+                    l.comment.to_ascii_lowercase().contains("safety")
+                });
+                if !justified {
+                    out.push(self.finding(
+                        file,
+                        idx,
+                        "`unsafe` without a `// SAFETY:` justification within 5 lines"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// panic-surface
+// ---------------------------------------------------------------------
+
+/// Panicking constructs are budgeted in non-test library code.
+pub struct PanicSurface;
+
+/// The panicking constructs the rule counts. `.expect(` is included:
+/// the workspace's error contract (DESIGN.md §3d) is typed errors end
+/// to end, and an expect on a lock or invariant still needs to be
+/// visible debt.
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+impl Rule for PanicSurface {
+    fn name(&self) -> &'static str {
+        "panic-surface"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/unreachable! budget in non-test library code"
+    }
+    fn rationale(&self) -> &'static str {
+        "Library code returns typed errors; panics belong to tests and \
+         to deliberately-designed boundaries (the pool's panic \
+         containment, the CLI panic shield). PR 4 hardened every layer \
+         to uphold that contract, and the old verify.sh grep guarded \
+         only bare `.unwrap()` — and could not see strings, comments, \
+         or `#[cfg(test)]` regions. This rule counts `.unwrap()`, \
+         `.expect(`, `panic!`, `unreachable!`, `todo!`, and \
+         `unimplemented!` in non-test library code (the bench \
+         experiment harness and examples are exempt). Existing sites \
+         are baselined; new ones must justify themselves with an \
+         `lsi-analyze: allow(panic-surface)` comment or use a typed \
+         error."
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        if !is_library_path(&file.rel_path) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (idx, line) in file.lexed.lines.iter().enumerate() {
+            if !file.is_lib_line(idx) {
+                continue;
+            }
+            for pat in PANIC_PATTERNS {
+                for _ in find_word_starts(&line.code, pat) {
+                    out.push(self.finding(
+                        file,
+                        idx,
+                        format!("`{pat}` in non-test library code (return a typed error)"),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// float-safety
+// ---------------------------------------------------------------------
+
+/// NaN-unsafe float handling in scoring/ranking paths.
+pub struct FloatSafety;
+
+impl Rule for FloatSafety {
+    fn name(&self) -> &'static str {
+        "float-safety"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "float ==/!= comparisons and NaN-unsafe partial_cmp().unwrap()"
+    }
+    fn rationale(&self) -> &'static str {
+        "Cosine scores, singular values, and convergence estimates are \
+         all f64, and a NaN that reaches a comparator either panics \
+         (`partial_cmp(..).unwrap()`) or silently scrambles a ranking \
+         (`==` is never true for NaN). The query boundary guards \
+         non-finite scores, but comparators must stay total anyway — \
+         use `total_cmp`, or `partial_cmp(..).unwrap_or(Ordering::\
+         Equal)` with an upstream finiteness guard. Direct `==`/`!=` \
+         against float literals is flagged for review: exact-zero \
+         tests on norms are legitimate, bit-equality on computed \
+         values rarely is."
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        if !is_library_path(&file.rel_path) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        self.check_partial_cmp(file, &mut out);
+        self.check_float_eq(file, &mut out);
+        out
+    }
+}
+
+impl FloatSafety {
+    /// `partial_cmp(...)` whose result is immediately `.unwrap()`ed or
+    /// `.expect(`ed — a NaN operand panics at ranking time.
+    fn check_partial_cmp(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let (joined, starts) = file.lexed.joined_code();
+        for start in find_word_starts(&joined, "partial_cmp") {
+            let line_idx = crate::LexedFile::line_of_offset(&starts, start);
+            if !file.is_lib_line(line_idx) {
+                continue;
+            }
+            let bytes = joined.as_bytes();
+            let mut i = start + "partial_cmp".len();
+            // Opening paren (allow whitespace).
+            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) != Some(&b'(') {
+                continue;
+            }
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            i += 1;
+            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                i += 1;
+            }
+            let tail = &joined[i.min(joined.len())..];
+            let sink = if tail.starts_with(".unwrap()") {
+                Some("unwrap()")
+            } else if tail.starts_with(".expect(") {
+                Some("expect(..)")
+            } else {
+                None
+            };
+            if let Some(sink) = sink {
+                out.push(self.finding(
+                    file,
+                    line_idx,
+                    format!(
+                        "NaN-unsafe `partial_cmp(..).{sink}` (use total_cmp or unwrap_or)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// `==` / `!=` with a float literal on either side.
+    fn check_float_eq(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (idx, line) in file.lexed.lines.iter().enumerate() {
+            if !file.is_lib_line(idx) {
+                continue;
+            }
+            let bytes = line.code.as_bytes();
+            for i in 0..bytes.len().saturating_sub(1) {
+                // Byte-wise scan: both operator chars are ASCII, so a
+                // match guarantees char-boundary-safe slicing below.
+                let op = match (bytes[i], bytes[i + 1]) {
+                    (b'=', b'=') => "==",
+                    (b'!', b'=') => "!=",
+                    _ => continue,
+                };
+                // Not part of a longer operator (`<=`, `>=`, `..=`,
+                // or the tail of a previous `==`).
+                if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!' | b'.') {
+                    continue;
+                }
+                if bytes.get(i + 2) == Some(&b'=') {
+                    continue;
+                }
+                let left = trailing_token(&line.code[..i]);
+                let right = leading_token(&line.code[i + 2..]);
+                if is_float_literal(left) || is_float_literal(right) {
+                    out.push(self.finding(
+                        file,
+                        idx,
+                        format!(
+                            "float `{op}` comparison with `{}` (NaN-hostile; review or \
+                             use an epsilon/finiteness guard)",
+                            if is_float_literal(left) { left } else { right }
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The operand token immediately before an operator.
+fn trailing_token(s: &str) -> &str {
+    let t = s.trim_end();
+    let start = t
+        .rfind(|c: char| !(is_ident(c) || c == '.' || c == ':'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    &t[start..]
+}
+
+/// The operand token immediately after an operator.
+fn leading_token(s: &str) -> &str {
+    let t = s.trim_start();
+    let mut end = 0;
+    for (i, c) in t.char_indices() {
+        if is_ident(c) || c == '.' || c == ':' || (i == 0 && c == '-') {
+            end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    &t[..end]
+}
+
+/// Does the token look like an f32/f64 value: `1.0`, `-0.5`, `1e-9`,
+/// `f64::INFINITY`, `0.0f64`?
+fn is_float_literal(token: &str) -> bool {
+    let t = token.strip_prefix('-').unwrap_or(token);
+    if t.starts_with("f64::") || t.starts_with("f32::") {
+        return true;
+    }
+    if !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        // Hex digits include `e`/`E`; never floats.
+        return false;
+    }
+    // Digits with a decimal point (`1.0`, `3.`), or an exponent or
+    // float suffix (`1e9` alone is integer-ish in Rust, but `1e9`
+    // only parses as float — accept it).
+    let has_dot = t.contains('.') && !t.contains("..");
+    let has_exp = t.chars().any(|c| c == 'e' || c == 'E')
+        && t.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-');
+    let has_suffix = t.ends_with("f64") || t.ends_with("f32");
+    has_dot || has_suffix || (has_exp && t.chars().next().is_some_and(|c| c.is_ascii_digit()))
+}
+
+// ---------------------------------------------------------------------
+// atomics-audit
+// ---------------------------------------------------------------------
+
+/// Every atomic memory-ordering choice must be justified in a comment.
+pub struct AtomicsAudit;
+
+/// Atomic `Ordering` variants (the `std::cmp::Ordering` variants are
+/// `Less`/`Equal`/`Greater`, so comparator code never matches).
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// How many lines above an ordering site a justifying comment may sit.
+const ORDERING_COMMENT_WINDOW: usize = 3;
+
+impl Rule for AtomicsAudit {
+    fn name(&self) -> &'static str {
+        "atomics-audit"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "every atomic Ordering:: site needs a justification comment"
+    }
+    fn rationale(&self) -> &'static str {
+        "The pool's chunk-claiming cursor, its poison flag, and the \
+         lsi-fault arming state are all hand-ordered atomics, and each \
+         choice of Relaxed/Acquire/Release encodes an argument about \
+         what the surrounding mutex or protocol already guarantees. \
+         An uncommented ordering is unreviewable: nobody can tell a \
+         deliberate Relaxed from a forgotten one. Each `Ordering::*` \
+         site in non-test code must have a comment on the same line \
+         or within the 3 lines above it explaining why the ordering \
+         suffices."
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (idx, line) in file.lexed.lines.iter().enumerate() {
+            if !file.is_lib_line(idx) {
+                continue;
+            }
+            for pat in ATOMIC_ORDERINGS {
+                for _ in find_word_starts(&line.code, pat) {
+                    let lo = idx.saturating_sub(ORDERING_COMMENT_WINDOW);
+                    let justified = file.lexed.lines[lo..=idx]
+                        .iter()
+                        .any(|l| l.has_comment());
+                    if !justified {
+                        out.push(self.finding(
+                            file,
+                            idx,
+                            format!(
+                                "`{pat}` without a justification comment within 3 lines"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// eprintln-lint
+// ---------------------------------------------------------------------
+
+/// Diagnostics must flow through lsi-obs events, not raw stderr.
+pub struct EprintlnLint;
+
+/// Raw-stderr (and debug-print) constructs the rule rejects.
+const STDERR_PATTERNS: &[&str] = &["eprintln!", "eprint!", "dbg!"];
+
+impl Rule for EprintlnLint {
+    fn name(&self) -> &'static str {
+        "eprintln-lint"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "diagnostics go through lsi-obs events, not bare eprintln!"
+    }
+    fn rationale(&self) -> &'static str {
+        "The obs crate owns stderr: routing diagnostics through \
+         lsi_obs::error!/warn!/info! gives them levels, RUST_LSI_LOG \
+         filtering, and event counters, and keeps stdout clean for \
+         program output. A bare `eprintln!` (or `eprint!`/`dbg!`) \
+         bypasses all of that — PR 2 migrated every call site and the \
+         old verify.sh grep kept new ones out; this rule is that grep, \
+         made literal-aware. Only `crates/obs` itself and test code \
+         may write stderr directly."
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        if file.rel_path.starts_with("crates/obs/") {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (idx, line) in file.lexed.lines.iter().enumerate() {
+            if !file.is_lib_line(idx) {
+                continue;
+            }
+            for pat in STDERR_PATTERNS {
+                for _ in find_word_starts(&line.code, pat) {
+                    out.push(self.finding(
+                        file,
+                        idx,
+                        format!("`{pat}` outside lsi-obs (use lsi_obs::error!/warn!/info!)"),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// threshold-provenance
+// ---------------------------------------------------------------------
+
+/// Parallelism thresholds must cite the harness that calibrated them.
+pub struct ThresholdProvenance;
+
+/// Citation markers accepted in a threshold's doc comment (matched
+/// case-insensitively).
+const CITATION_MARKERS: &[&str] = &[
+    "calibration",
+    "cargo test",
+    "cargo run",
+    "perf_kernels",
+    "harness",
+    "measured",
+];
+
+impl Rule for ThresholdProvenance {
+    fn name(&self) -> &'static str {
+        "threshold-provenance"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "parallelism-threshold consts must cite their calibration harness"
+    }
+    fn rationale(&self) -> &'static str {
+        "PR 3 recalibrated every parallelism threshold from \
+         measurement — and the first cut at lower thresholds made \
+         Lanczos *slower*, which only the retained calibration notes \
+         explain. The convention since then: every `*_MIN_FLOPS`, \
+         `*_MIN_ELEMS`, `*_THRESHOLD`, and `PAR_NNZ_*` const carries \
+         a doc comment citing the harness command that produced its \
+         value (e.g. `cargo test -p lsi-linalg --release --test \
+         par_kernels -- --ignored`). This rule fails any such const \
+         whose doc block is missing or cites nothing."
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (idx, line) in file.lexed.lines.iter().enumerate() {
+            if !file.is_lib_line(idx) {
+                continue;
+            }
+            for start in find_word_starts(&line.code, "const ") {
+                let rest = line.code[start + 6..].trim_start();
+                let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+                if !is_threshold_name(&name) {
+                    continue;
+                }
+                // Gather the contiguous doc block directly above.
+                let mut docs = String::new();
+                let mut k = idx;
+                while k > 0 && file.lexed.lines[k - 1].doc_comment {
+                    k -= 1;
+                    docs.push_str(&file.lexed.lines[k].comment);
+                    docs.push('\n');
+                }
+                let docs_lower = docs.to_ascii_lowercase();
+                let cited = CITATION_MARKERS.iter().any(|m| docs_lower.contains(m));
+                if !cited {
+                    out.push(self.finding(
+                        file,
+                        idx,
+                        format!(
+                            "threshold const `{name}` lacks a calibration citation in \
+                             its doc comment"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Names covered by the threshold-provenance convention.
+fn is_threshold_name(name: &str) -> bool {
+    !name.is_empty()
+        && (name.ends_with("_MIN_FLOPS")
+            || name.ends_with("_MIN_ELEMS")
+            || name.ends_with("_THRESHOLD")
+            || name.starts_with("PAR_NNZ_"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_unique_and_stable() {
+        let names: Vec<&str> = all_rules().iter().map(|r| r.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate rule name");
+        assert!(rule_by_name("panic-surface").is_some());
+        assert!(rule_by_name("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn float_literal_heuristic() {
+        assert!(is_float_literal("0.0"));
+        assert!(is_float_literal("-1.5"));
+        assert!(is_float_literal("f64::INFINITY"));
+        assert!(is_float_literal("2.5e9"));
+        assert!(is_float_literal("1f64"));
+        assert!(!is_float_literal("0"));
+        assert!(!is_float_literal("count"));
+        assert!(!is_float_literal(""));
+        assert!(!is_float_literal("0..10"));
+    }
+
+    #[test]
+    fn word_boundary_search() {
+        assert_eq!(find_word_starts("eprintln!(x)", "eprint!").len(), 0);
+        assert_eq!(find_word_starts("eprint!(x)", "eprint!").len(), 1);
+        assert_eq!(find_word_starts("my_panic!(x)", "panic!").len(), 0);
+        assert_eq!(find_word_starts("core::panic!(x)", "panic!").len(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Golden tests for the lexer on a representative Rust source: the
+//! masked code/comment views and the test-region tracking must agree
+//! with a hand-derived reading of the fixture.
+
+use lsi_analyze::LexedFile;
+
+const FIXTURE: &str = r##"//! Inner doc line.
+use std::fmt;
+
+/* block /* nested */ comment .unwrap() */
+pub fn lifetime<'a>(x: &'a str) -> char {
+    let c = 'x';
+    let s = "literal // not a comment .unwrap()";
+    let r = r#"raw "quoted" body"#; // trailing note
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::lifetime("y").to_string();
+    }
+}
+"##;
+
+fn lexed() -> LexedFile {
+    LexedFile::lex(FIXTURE)
+}
+
+/// Find the (unique) 0-based line whose raw source contains `needle`.
+fn line_of(needle: &str) -> usize {
+    let hits: Vec<usize> = FIXTURE
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(needle))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hits.len(), 1, "fixture needle `{needle}` not unique");
+    hits[0]
+}
+
+#[test]
+fn line_count_matches_source() {
+    assert_eq!(lexed().lines.len(), FIXTURE.lines().count());
+}
+
+#[test]
+fn inner_doc_line_is_doc_comment() {
+    let f = lexed();
+    let i = line_of("Inner doc line");
+    assert!(f.lines[i].doc_comment);
+    assert!(f.lines[i].comment.contains("Inner doc line"));
+    assert!(!f.lines[i].code.contains("Inner"));
+}
+
+#[test]
+fn nested_block_comment_is_comment_not_code() {
+    let f = lexed();
+    let i = line_of("block /* nested");
+    assert!(f.lines[i].comment.contains(".unwrap()"));
+    assert!(!f.lines[i].code.contains(".unwrap()"));
+    // Nesting: the first `*/` must not terminate the comment early,
+    // so the following code line is still real code.
+    let j = line_of("pub fn lifetime");
+    assert!(f.lines[j].code.contains("pub fn lifetime"));
+}
+
+#[test]
+fn lifetime_tick_is_code_char_literal_is_masked() {
+    let f = lexed();
+    let sig = line_of("pub fn lifetime");
+    assert!(f.lines[sig].code.contains("<'a>"), "lifetime must stay code");
+    let lit = line_of("let c =");
+    assert!(!f.lines[lit].code.contains('x'), "char literal body masked");
+}
+
+#[test]
+fn string_contents_never_reach_the_code_view() {
+    let f = lexed();
+    let i = line_of("not a comment");
+    assert!(f.lines[i].code.contains("let s ="));
+    assert!(!f.lines[i].code.contains(".unwrap()"));
+    assert!(!f.lines[i].comment.contains("not a comment"));
+}
+
+#[test]
+fn raw_string_masked_and_trailing_comment_seen() {
+    let f = lexed();
+    let i = line_of("trailing note");
+    assert!(f.lines[i].code.contains("let r ="));
+    assert!(!f.lines[i].code.contains("quoted"));
+    assert!(f.lines[i].comment.contains("trailing note"));
+}
+
+#[test]
+fn cfg_test_region_covers_the_module_and_nothing_else() {
+    let f = lexed();
+    let start = line_of("#[cfg(test)]");
+    for (i, line) in f.lines.iter().enumerate() {
+        if i >= start {
+            assert!(line.in_test, "line {i} should be in the test region");
+        } else {
+            assert!(!line.in_test, "line {i} should be library code");
+        }
+    }
+}
+
+#[test]
+fn joined_code_maps_offsets_back_to_lines() {
+    let f = lexed();
+    let (code, starts) = f.joined_code();
+    let off = code.find("pub fn lifetime").expect("signature present");
+    assert_eq!(
+        LexedFile::line_of_offset(&starts, off),
+        FIXTURE
+            .lines()
+            .position(|l| l.contains("pub fn lifetime"))
+            .expect("in fixture")
+    );
+}

@@ -1,0 +1,185 @@
+//! Per-rule fixture tests: each rule gets at least one positive
+//! fixture (must fire) and negative fixtures (must stay silent) that
+//! pin down the token-awareness the old shell greps lacked.
+
+use lsi_analyze::{rule_by_name, SourceFile};
+
+/// Run one rule over an in-memory file, returning 1-based hit lines.
+fn hits(rule: &str, rel_path: &str, src: &str) -> Vec<usize> {
+    let rule = rule_by_name(rule).expect("rule exists");
+    rule.check(&SourceFile::from_source(rel_path, src))
+        .into_iter()
+        .map(|f| f.line)
+        .collect()
+}
+
+const LIB: &str = "crates/core/src/fixture.rs";
+
+// ------------------------------------------------------------------
+// unsafe-audit
+// ------------------------------------------------------------------
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    let src = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(hits("unsafe-audit", LIB, src), vec![2]);
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_silent() {
+    let src = "pub fn f(p: *const u8) -> u8 {\n    \
+               // SAFETY: caller guarantees p is valid for reads.\n    \
+               unsafe { *p }\n}\n";
+    assert!(hits("unsafe-audit", LIB, src).is_empty());
+}
+
+#[test]
+fn unsafe_in_string_or_test_code_is_silent() {
+    let in_string = "let s = \"unsafe { }\";\n";
+    assert!(hits("unsafe-audit", LIB, in_string).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn f(p: *const u8) -> u8 {\n        unsafe { *p }\n    }\n}\n";
+    assert!(hits("unsafe-audit", LIB, in_test).is_empty());
+}
+
+#[test]
+fn doc_safety_section_counts_as_justification() {
+    let src = "/// Dereference `p`.\n///\n/// # Safety\n/// `p` must be valid.\n\
+               pub unsafe fn f(p: *const u8) -> u8 {\n    *p\n}\n";
+    assert!(hits("unsafe-audit", LIB, src).is_empty());
+}
+
+// ------------------------------------------------------------------
+// panic-surface
+// ------------------------------------------------------------------
+
+#[test]
+fn unwrap_in_library_code_fires() {
+    let src = "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n";
+    assert_eq!(hits("panic-surface", LIB, src), vec![2]);
+}
+
+#[test]
+fn every_panic_pattern_fires() {
+    for pat in ["v.expect(\"x\")", "panic!(\"x\")", "unreachable!()", "todo!()"] {
+        let src = format!("pub fn f(v: Option<u8>) {{\n    {pat};\n}}\n");
+        assert_eq!(hits("panic-surface", LIB, &src), vec![2], "pattern {pat}");
+    }
+}
+
+#[test]
+fn unwrap_in_tests_strings_and_comments_is_silent() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+               Some(1).unwrap();\n    }\n}\n";
+    assert!(hits("panic-surface", LIB, src).is_empty());
+    let src = "// call .unwrap() here would be wrong\nlet s = \".unwrap()\";\n";
+    assert!(hits("panic-surface", LIB, src).is_empty());
+}
+
+#[test]
+fn bench_and_examples_are_exempt() {
+    let src = "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n";
+    assert!(hits("panic-surface", "crates/bench/src/main.rs", src).is_empty());
+    assert!(hits("panic-surface", "examples/demo.rs", src).is_empty());
+}
+
+#[test]
+fn unwrap_or_variants_are_not_unwrap() {
+    let src = "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap_or(0)\n}\n";
+    assert!(hits("panic-surface", LIB, src).is_empty());
+}
+
+// ------------------------------------------------------------------
+// float-safety
+// ------------------------------------------------------------------
+
+#[test]
+fn float_literal_equality_fires() {
+    assert_eq!(hits("float-safety", LIB, "fn f(x: f64) -> bool { x == 0.0 }\n"), vec![1]);
+    assert_eq!(hits("float-safety", LIB, "fn f(x: f64) -> bool { x != 1.5e-3 }\n"), vec![1]);
+}
+
+#[test]
+fn partial_cmp_unwrap_fires_total_alternatives_do_not() {
+    let bad = "fn s(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    assert_eq!(hits("float-safety", LIB, bad), vec![2]);
+    let good = "fn s(v: &mut [f64]) {\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n";
+    assert!(hits("float-safety", LIB, good).is_empty());
+    let guarded = "fn s(v: &mut [f64]) {\n    \
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n}\n";
+    assert!(hits("float-safety", LIB, guarded).is_empty());
+}
+
+#[test]
+fn integer_comparisons_and_ranges_are_silent() {
+    assert!(hits("float-safety", LIB, "fn f(x: usize) -> bool { x == 0 }\n").is_empty());
+    assert!(hits("float-safety", LIB, "fn f(x: u32) -> bool { x == 0x1F }\n").is_empty());
+    assert!(hits("float-safety", LIB, "let r = 0.0..1.0;\n").is_empty());
+}
+
+// ------------------------------------------------------------------
+// atomics-audit
+// ------------------------------------------------------------------
+
+#[test]
+fn ordering_without_comment_fires() {
+    let src = "fn f(v: &AtomicU64) -> u64 {\n    v.load(Ordering::Relaxed)\n}\n";
+    assert_eq!(hits("atomics-audit", LIB, src), vec![2]);
+}
+
+#[test]
+fn ordering_with_nearby_comment_is_silent() {
+    let src = "fn f(v: &AtomicU64) -> u64 {\n    \
+               // Relaxed: monotonic counter, no ordering needed.\n    \
+               v.load(Ordering::Relaxed)\n}\n";
+    assert!(hits("atomics-audit", LIB, src).is_empty());
+}
+
+#[test]
+fn std_cmp_ordering_is_not_an_atomic() {
+    let src = "fn f() -> Ordering {\n    Ordering::Equal.then(Ordering::Less)\n}\n";
+    assert!(hits("atomics-audit", LIB, src).is_empty());
+}
+
+// ------------------------------------------------------------------
+// eprintln-lint
+// ------------------------------------------------------------------
+
+#[test]
+fn eprintln_fires_outside_obs() {
+    assert_eq!(hits("eprintln-lint", LIB, "fn f() { eprintln!(\"x\"); }\n"), vec![1]);
+    assert_eq!(hits("eprintln-lint", LIB, "fn f() { dbg!(1); }\n"), vec![1]);
+}
+
+#[test]
+fn obs_crate_println_and_strings_are_silent() {
+    let src = "fn f() { eprintln!(\"x\"); }\n";
+    assert!(hits("eprintln-lint", "crates/obs/src/event.rs", src).is_empty());
+    assert!(hits("eprintln-lint", LIB, "fn f() { println!(\"x\"); }\n").is_empty());
+    assert!(hits("eprintln-lint", LIB, "let s = \"eprintln!\";\n").is_empty());
+}
+
+// ------------------------------------------------------------------
+// threshold-provenance
+// ------------------------------------------------------------------
+
+#[test]
+fn threshold_const_without_citation_fires() {
+    let src = "/// Cut-over point.\npub const GEMM_PAR_MIN_FLOPS: usize = 1 << 20;\n";
+    assert_eq!(hits("threshold-provenance", LIB, src), vec![2]);
+    let undocumented = "pub const PAR_NNZ_THRESHOLD: usize = 50_000;\n";
+    assert_eq!(hits("threshold-provenance", LIB, undocumented), vec![1]);
+}
+
+#[test]
+fn threshold_const_citing_calibration_is_silent() {
+    let src = "/// Cut-over measured with the perf_kernels calibration\n\
+               /// harness (`cargo run --release -p lsi-bench`).\n\
+               pub const GEMM_PAR_MIN_FLOPS: usize = 1 << 20;\n";
+    assert!(hits("threshold-provenance", LIB, src).is_empty());
+}
+
+#[test]
+fn non_threshold_consts_are_silent() {
+    let src = "pub const MAX_ITERS: usize = 300;\n";
+    assert!(hits("threshold-provenance", LIB, src).is_empty());
+}

@@ -1,0 +1,127 @@
+//! Self-check: the analyzer run over the live workspace, compared
+//! against the committed baseline, must be clean — exactly what the
+//! `--ci` stage in scripts/verify.sh asserts. Plus an end-to-end
+//! engine test on a synthetic workspace (walking, suppression, and
+//! the baseline ratchet round-trip).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lsi_analyze::{analyze, compare, engine, Baseline};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn live_workspace_has_no_findings_above_committed_baseline() {
+    let root = workspace_root();
+    let analysis = analyze(&root).expect("analysis runs");
+    let baseline =
+        Baseline::load(&root.join(engine::BASELINE_FILE)).expect("baseline parses");
+    assert!(
+        baseline.exists,
+        "analysis_baseline.json must be committed at the workspace root"
+    );
+    let cmp = compare(&analysis, &baseline);
+    let gaps: Vec<String> = cmp
+        .over
+        .iter()
+        .map(|g| format!("[{}] {}: {} > {}", g.rule, g.file, g.current, g.baseline))
+        .collect();
+    assert!(
+        gaps.is_empty(),
+        "findings above baseline (fix them or justify with an \
+         `lsi-analyze: allow(..)` comment):\n{}",
+        gaps.join("\n")
+    );
+}
+
+#[test]
+fn live_baseline_never_counts_findings_that_no_longer_exist() {
+    // Ratchet hygiene: a perfectly clean pair should be paid down, but
+    // a *stale file* in the baseline (renamed or deleted) is dead
+    // weight that hides regressions — reject it outright.
+    let root = workspace_root();
+    let baseline =
+        Baseline::load(&root.join(engine::BASELINE_FILE)).expect("baseline parses");
+    for (rule, file) in baseline.counts.keys() {
+        assert!(
+            root.join(file).is_file(),
+            "baseline entry [{rule}] {file} points at a file that no longer exists; \
+             regenerate with `lsi-analyze --write-baseline`"
+        );
+    }
+}
+
+/// Build a throwaway workspace under the target dir (kept out of the
+/// analyzer's own walk roots) and exercise the engine end to end.
+#[test]
+fn synthetic_workspace_walk_suppression_and_ratchet() {
+    let dir = workspace_root().join("target/tmp-analysis-selftest");
+    let src_dir = dir.join("crates/demo/src");
+    fs::create_dir_all(&src_dir).expect("mkdir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    // Two findings: one live, one suppressed with the escape hatch.
+    fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(v: Option<u8>) -> u8 {\n\
+         \x20   // lsi-analyze: allow(panic-surface)\n\
+         \x20   let a = v.unwrap();\n\
+         \x20   let b: Option<u8> = None;\n\
+         \x20   a + b.unwrap()\n\
+         }\n",
+    )
+    .expect("write source");
+    // A dot-dir and a target dir that must both be skipped.
+    fs::create_dir_all(dir.join("crates/demo/target")).expect("mkdir");
+    fs::write(dir.join("crates/demo/target/skip.rs"), "fn f() { x.unwrap(); }\n")
+        .expect("write skipped");
+    fs::create_dir_all(dir.join("crates/.hidden")).expect("mkdir");
+    fs::write(dir.join("crates/.hidden/skip.rs"), "fn f() { x.unwrap(); }\n")
+        .expect("write skipped");
+
+    let analysis = analyze(&dir).expect("analysis runs");
+    assert_eq!(analysis.files_scanned, 1, "target/ and dot-dirs are skipped");
+    assert_eq!(
+        analysis.findings.len(),
+        1,
+        "one unwrap suppressed, one live: {:?}",
+        analysis.findings
+    );
+    assert_eq!(analysis.findings[0].rule, "panic-surface");
+    assert_eq!(analysis.findings[0].line, 5);
+
+    // No baseline: the live finding is above baseline.
+    let empty = Baseline::load(&dir.join(engine::BASELINE_FILE)).expect("missing is ok");
+    assert!(!empty.exists);
+    assert_eq!(compare(&analysis, &empty).over.len(), 1);
+
+    // Write the baseline; the same analysis is now clean.
+    let written = Baseline::from_analysis(&analysis);
+    let path = dir.join(engine::BASELINE_FILE);
+    written.save(&path).expect("baseline saves");
+    let reloaded = Baseline::load(&path).expect("baseline reloads");
+    assert_eq!(reloaded.counts, written.counts, "round-trips through JSON");
+    let cmp = compare(&analysis, &reloaded);
+    assert!(cmp.over.is_empty());
+
+    // A new finding in the same file trips the ratchet.
+    fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(v: Option<u8>) -> u8 {\n\
+         \x20   v.unwrap() + v.unwrap()\n\
+         }\n",
+    )
+    .expect("rewrite source");
+    let worse = analyze(&dir).expect("analysis runs");
+    let cmp = compare(&worse, &reloaded);
+    assert_eq!(cmp.over.len(), 1);
+    assert_eq!(cmp.over[0].current, 2);
+    assert_eq!(cmp.over[0].baseline, 1);
+
+    fs::remove_dir_all(&dir).expect("cleanup");
+}

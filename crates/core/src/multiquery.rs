@@ -130,10 +130,13 @@ impl LsiModel {
                 }
             })
             .collect();
+        // NaN-safe: a fused score that goes non-finite (e.g. a 0/0
+        // norm edge case upstream) must not panic the sort — treat it
+        // as equal and let the doc-id tiebreak keep the order total.
         matches.sort_by(|a, b| {
             b.cosine
                 .partial_cmp(&a.cosine)
-                .expect("finite scores")
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.doc.cmp(&b.doc))
         });
         Ok(RankedList { matches })

@@ -137,6 +137,8 @@ fn lock_registry() -> MutexGuard<'static, HashMap<String, Entry>> {
                 }
             }
         }
+        // Relaxed: STATE is an advisory fast-path hint; the registry
+        // mutex is the authority on which failpoints are armed.
         STATE.store(
             if map.is_empty() { DISARMED } else { ARMED },
             Ordering::Relaxed,
@@ -211,6 +213,8 @@ pub fn arm(name: &str, action: Action, count: Option<u64>) {
             remaining: count,
         },
     );
+    // Relaxed: advisory hint only — evaluators re-check under the
+    // registry mutex before acting on an armed state.
     STATE.store(ARMED, Ordering::Relaxed);
 }
 
@@ -227,6 +231,7 @@ pub fn disarm(name: &str) {
     let mut map = lock_registry();
     map.remove(name);
     if map.is_empty() {
+        // Relaxed: advisory hint; the mutex above orders the removal.
         STATE.store(DISARMED, Ordering::Relaxed);
     }
 }
@@ -235,6 +240,7 @@ pub fn disarm(name: &str) {
 pub fn clear() {
     let mut map = lock_registry();
     map.clear();
+    // Relaxed: advisory hint; the mutex above orders the clear.
     STATE.store(DISARMED, Ordering::Relaxed);
 }
 
@@ -257,6 +263,8 @@ pub fn eval(name: &str) -> Option<Fired> {
 #[cold]
 fn init_then_eval(name: &str) -> Option<Fired> {
     drop(lock_registry());
+    // Relaxed: a stale read only costs one extra trip through the
+    // mutex-guarded slow path; the map is the authority.
     if STATE.load(Ordering::Relaxed) == ARMED {
         eval_armed(name)
     } else {
@@ -274,6 +282,7 @@ fn eval_armed(name: &str) -> Option<Fired> {
             if *rem == 0 {
                 map.remove(name);
                 if map.is_empty() {
+                    // Relaxed: advisory hint; held mutex orders it.
                     STATE.store(DISARMED, Ordering::Relaxed);
                 }
                 return None;
@@ -283,6 +292,7 @@ fn eval_armed(name: &str) -> Option<Fired> {
             if exhausted {
                 map.remove(name);
                 if map.is_empty() {
+                    // Relaxed: advisory hint; held mutex orders it.
                     STATE.store(DISARMED, Ordering::Relaxed);
                 }
             }

@@ -122,8 +122,9 @@ impl<'a, T: Send> EnumerateMut<'a, T> {
         let len = self.data.len();
         let base = self.data.as_mut_ptr() as usize;
         par_spans(len, |start, end| {
-            // Spans are disjoint, so the aliasing is safe; going through
-            // a raw pointer sidesteps scoped-borrow splitting plumbing.
+            // SAFETY: spans are disjoint, so the aliasing is sound;
+            // going through a raw pointer sidesteps scoped-borrow
+            // splitting plumbing.
             let ptr = base as *mut T;
             for i in start..end {
                 f((i, unsafe { &mut *ptr.add(i) }));
@@ -211,7 +212,8 @@ impl<'a, T: Send> EnumerateChunksMut<'a, T> {
             for c in start..end {
                 let lo = c * size;
                 let hi = (lo + size).min(len);
-                // Chunks are disjoint across the whole index space.
+                // SAFETY: chunks are disjoint across the whole index
+                // space, so each slice is uniquely borrowed.
                 let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.add(lo), hi - lo) };
                 f((c, chunk));
             }
@@ -301,7 +303,8 @@ impl<F> ParRangeMap<F> {
         par_spans(len, |lo, hi| {
             let ptr = base as *mut Option<U>;
             for i in lo..hi {
-                // Disjoint spans: each index written exactly once.
+                // SAFETY: disjoint spans — each index is written
+                // exactly once, never read concurrently.
                 unsafe { ptr.add(i).write(Some(f(offset + i))) };
             }
         });
@@ -345,6 +348,10 @@ impl<T: Send, F> ParVecMap<T, F> {
             let ip = in_base as *mut Option<T>;
             let op = out_base as *mut Option<U>;
             for i in lo..hi {
+                // SAFETY: spans are disjoint, so slot `i` of both the
+                // input and output vectors is touched by exactly one
+                // worker; `take` moves the value out without dropping
+                // the (still-live) backing allocation.
                 let v = unsafe { (*ip.add(i)).take().expect("input present") };
                 unsafe { op.add(i).write(Some(f(v))) };
             }

@@ -257,9 +257,14 @@ fn worker_loop(pool: &'static Pool) {
 /// drain, so the panic surfaces on the thread that asked for the work
 /// and the pool stays healthy for the next job.
 fn run_chunks(job: &Job) -> u64 {
+    // SAFETY: the submitter keeps the closure alive until `active`
+    // drops to zero and every participant has deregistered, so the
+    // erased pointer cannot dangle while any worker is inside here.
     let f = unsafe { &*job.f };
     let mut chunks = 0u64;
     loop {
+        // Acquire pairs with the Release store below so a worker that
+        // sees the poison flag also sees the recorded panic payload.
         if job.poisoned.load(Ordering::Acquire) {
             // Another chunk already failed; the job's results will be
             // discarded, so claiming more work only burns CPU.
@@ -288,6 +293,8 @@ fn run_chunks(job: &Job) -> u64 {
                 *slot = Some(payload);
             }
             drop(slot);
+            // Release publishes the payload recorded above to any
+            // worker that Acquire-loads the poison flag.
             job.poisoned.store(true, Ordering::Release);
             lsi_obs::count("pool.task_panics.count", 1);
             break;
@@ -348,6 +355,8 @@ pub(crate) fn parallel_for<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
     {
         let mut shared = pool.shared.lock().expect("pool mutex");
         shared.job = None;
+        // Relaxed suffices: the mutex/condvar pair already orders the
+        // decrement against this wait loop; the load is only a hint.
         while job.active.load(Ordering::Relaxed) > 0 {
             shared = pool.done_cv.wait(shared).expect("pool mutex");
         }
@@ -435,6 +444,8 @@ where
     {
         let mut shared = pool.shared.lock().expect("pool mutex");
         shared.job = None;
+        // Relaxed suffices: the mutex/condvar pair already orders the
+        // decrement against this wait loop; the load is only a hint.
         while job.active.load(Ordering::Relaxed) > 0 {
             shared = pool.done_cv.wait(shared).expect("pool mutex");
         }
