@@ -22,6 +22,14 @@
 //! replaced, the nnz-balanced SpMV speedup on a Zipf-skewed matrix, and
 //! the Lanczos k = 50 wall time (comparable to `lanczos_k50_secs` in
 //! BENCH_kernels.json). Combines with `--quick` for a smoke run.
+//!
+//! `--compressed` measures the precision ladder: batched top-10 scoring
+//! throughput on the exact f64 scan vs the f32 and i8 candidate sweeps
+//! (same corpus and queries as the kernels run, so
+//! `f64_batch_scoring_qps` is comparable to `query_batch_scoring_qps`),
+//! plus resident scoring bytes per mode, margin-fallback counts, and
+//! the i8 ladder's recall@10 against the exact oracle. Populates the
+//! `compressed` section of BENCH_kernels.json.
 
 use std::time::Instant;
 
@@ -244,6 +252,98 @@ fn pool_report(quick: bool) {
     print!("{}", report.to_json().to_string_pretty());
 }
 
+/// The `--compressed` report: the precision ladder measured end to end
+/// through `rank_projected_top` on the kernels-bench corpus.
+fn compressed_report(quick: bool) {
+    use lsi_core::Precision;
+
+    let s = if quick { Sizes::quick() } else { Sizes::full() };
+    let run_start = Instant::now();
+    let (model, queries) = query_model(&s);
+    let qhats: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| model.project_text(q).expect("projects"))
+        .collect();
+    let corpus_shape = format!(
+        "synthetic {} docs x k={} ({} queries)",
+        model.n_docs(),
+        model.k(),
+        qhats.len()
+    );
+
+    // Exact top-10 oracle, for the i8 recall measurement.
+    let oracles: Vec<Vec<usize>> = qhats
+        .iter()
+        .map(|qhat| {
+            model
+                .rank_projected_top(qhat, 10)
+                .expect("oracle ranks")
+                .matches
+                .iter()
+                .map(|m| m.doc)
+                .collect()
+        })
+        .collect();
+
+    let mut report = lsi_obs::RunReport::new("perf_compressed")
+        .meta("quick", Json::Bool(quick))
+        .meta("corpus", Json::Str(corpus_shape));
+    let mut qps_by_mode = [0.0f64; 3];
+    for (mi, precision) in [Precision::Exact, Precision::F32, Precision::I8]
+        .into_iter()
+        .enumerate()
+    {
+        let mut m = model.clone();
+        m.set_precision(precision);
+        let name = precision.name();
+        let fallbacks_before = lsi_obs::snapshot()
+            .counter("score.rerank.fallback.count")
+            .unwrap_or(0);
+        let secs = best_secs(s.time_reps, || {
+            for _ in 0..s.score_reps {
+                for qhat in &qhats {
+                    let ranked = m.rank_projected_top(qhat, 10).expect("ranks");
+                    std::hint::black_box(ranked);
+                }
+            }
+        });
+        let fallbacks = lsi_obs::snapshot()
+            .counter("score.rerank.fallback.count")
+            .unwrap_or(0)
+            - fallbacks_before;
+        let qps = (s.score_reps * qhats.len()) as f64 / secs;
+        qps_by_mode[mi] = qps;
+        report.result(&format!("{name}_batch_scoring_qps"), Json::Num(qps));
+        report.result(
+            &format!("{name}_resident_bytes"),
+            Json::Num(m.scoring_resident_bytes() as f64),
+        );
+        if precision != Precision::Exact {
+            report.result(&format!("{name}_fallbacks"), Json::Num(fallbacks as f64));
+        }
+        if precision == Precision::I8 {
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for (qhat, oracle) in qhats.iter().zip(oracles.iter()) {
+                let approx = m.rank_projected_top(qhat, 10).expect("i8 ranks");
+                hit += approx
+                    .matches
+                    .iter()
+                    .filter(|hm| oracle.contains(&hm.doc))
+                    .count();
+                total += oracle.len();
+            }
+            report.result("i8_recall_at_10", Json::Num(hit as f64 / total as f64));
+        }
+    }
+    report.result("f32_speedup_vs_f64", Json::Num(qps_by_mode[1] / qps_by_mode[0]));
+    report.result("i8_speedup_vs_f64", Json::Num(qps_by_mode[2] / qps_by_mode[0]));
+    let report = report.meta("wall_secs", Json::Num(run_start.elapsed().as_secs_f64()));
+    let mut report = report;
+    report.snapshot = lsi_obs::snapshot();
+    print!("{}", report.to_json().to_string_pretty());
+}
+
 fn main() {
     let quick = std::env::args().skip(1).any(|a| a == "--quick");
     if std::env::args().skip(1).any(|a| a == "--pool") {
@@ -251,6 +351,13 @@ fn main() {
             lsi_obs::set_enabled(true);
         }
         pool_report(quick);
+        return;
+    }
+    if std::env::args().skip(1).any(|a| a == "--compressed") {
+        if std::env::var_os("LSI_NO_OBS").is_none() {
+            lsi_obs::set_enabled(true);
+        }
+        compressed_report(quick);
         return;
     }
     let s = if quick { Sizes::quick() } else { Sizes::full() };

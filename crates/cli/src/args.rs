@@ -5,6 +5,9 @@ use crate::{CliError, Result};
 /// Weighting scheme names accepted by `--weighting`.
 pub const WEIGHTING_NAMES: &[&str] = &["raw", "log-entropy", "tf-idf"];
 
+/// Scoring precision names accepted by `--precision`.
+pub const PRECISION_NAMES: &[&str] = &["f64", "f32", "i8"];
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -24,8 +27,11 @@ pub enum Command {
         weighting: String,
         /// Index adjacent word pairs as phrase terms.
         phrases: bool,
+        /// Scoring precision persisted with the database.
+        precision: String,
     },
-    /// `lsi query <db> <text...> [--top N] [--threshold T]`
+    /// `lsi query <db> <text...> [--top N] [--threshold T]
+    /// [--precision P]`
     Query {
         /// Database path.
         db: String,
@@ -35,6 +41,8 @@ pub enum Command {
         top: usize,
         /// Optional cosine threshold.
         threshold: Option<f64>,
+        /// Optional scoring-precision override for this query run.
+        precision: Option<String>,
     },
     /// `lsi terms <db> <word> [--top N]`
     Terms {
@@ -71,7 +79,8 @@ lsi — Latent Semantic Indexing toolbox
 
 usage:
   lsi index  <inputs...> --out DB [--k N] [--min-df N] [--weighting W] [--phrases]
-  lsi query  <DB> <text...> [--top N] [--threshold T]
+             [--precision P]
+  lsi query  <DB> <text...> [--top N] [--threshold T] [--precision P]
   lsi terms  <DB> <word> [--top N]
   lsi add    <DB> <inputs...> --out DB2 [--method fold|update]
   lsi info   <DB>
@@ -82,6 +91,9 @@ global flags (any subcommand):
 
 inputs are .txt files (one document each) or .tsv files (id<TAB>text per line).
 weighting W: raw | log-entropy (default) | tf-idf
+precision P: f64 (default, exact scan) | f32 | i8 — reduced-precision candidate
+  sweep with exact f64 re-rank of the top hits; `index` persists the mode,
+  `query` overrides it for one run.
 set RUST_LSI_LOG=off|error|warn|info|debug|trace to filter diagnostics (default warn).
 ";
 
@@ -146,6 +158,16 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
+fn take_precision(args: &mut Vec<String>) -> Result<Option<String>> {
+    match take_value(args, "--precision")? {
+        None => Ok(None),
+        Some(p) if PRECISION_NAMES.contains(&p.as_str()) => Ok(Some(p)),
+        Some(p) => Err(CliError::usage(format!(
+            "unknown precision {p:?}; expected one of {PRECISION_NAMES:?}"
+        ))),
+    }
+}
+
 fn parse_usize(value: Option<String>, default: usize, flag: &str) -> Result<usize> {
     match value {
         None => Ok(default),
@@ -179,6 +201,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
                 )));
             }
             let phrases = take_flag(&mut args, "--phrases");
+            let precision = take_precision(&mut args)?.unwrap_or_else(|| "f64".into());
             reject_unknown_flags(&args)?;
             if args.is_empty() {
                 return Err(CliError::usage("index requires at least one input file"));
@@ -190,6 +213,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
                 min_df,
                 weighting,
                 phrases,
+                precision,
             })
         }
         "query" => {
@@ -208,6 +232,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
                     Some(t)
                 }
             };
+            let precision = take_precision(&mut args)?;
             reject_unknown_flags(&args)?;
             if args.len() < 2 {
                 return Err(CliError::usage("query requires a database and query text"));
@@ -218,6 +243,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
                 text: args.join(" "),
                 top,
                 threshold,
+                precision,
             })
         }
         "terms" => {
@@ -302,6 +328,7 @@ mod tests {
                 min_df: 2,
                 weighting: "log-entropy".into(),
                 phrases: false,
+                precision: "f64".into(),
             }
         );
     }
@@ -357,6 +384,7 @@ mod tests {
                 text: "blood abnormalities".into(),
                 top: 3,
                 threshold: None,
+                precision: None,
             }
         );
     }
@@ -376,6 +404,22 @@ mod tests {
     #[test]
     fn index_rejects_zero_k() {
         assert!(parse_args(&v(&["index", "a.txt", "--out", "x", "--k", "0"])).is_err());
+    }
+
+    #[test]
+    fn precision_flag_parses_and_validates() {
+        let c = parse_args(&v(&["index", "a.txt", "--out", "x", "--precision", "f32"])).unwrap();
+        match c {
+            Command::Index { precision, .. } => assert_eq!(precision, "f32"),
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&v(&["query", "db", "text", "--precision", "i8"])).unwrap();
+        match c {
+            Command::Query { precision, .. } => assert_eq!(precision, Some("i8".into())),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&v(&["query", "db", "q", "--precision", "f16"])).is_err());
+        assert!(parse_args(&v(&["index", "a", "--out", "x", "--precision", "int8"])).is_err());
     }
 
     #[test]

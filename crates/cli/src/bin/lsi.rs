@@ -13,13 +13,15 @@ fn run(argv: &[String]) -> lsi_cli::Result<String> {
             min_df,
             weighting,
             phrases,
-        } => commands::cmd_index(&inputs, &out, k, min_df, &weighting, phrases),
+            precision,
+        } => commands::cmd_index(&inputs, &out, k, min_df, &weighting, phrases, &precision),
         Command::Query {
             db,
             text,
             top,
             threshold,
-        } => commands::cmd_query(&db, &text, top, threshold),
+            precision,
+        } => commands::cmd_query(&db, &text, top, threshold, precision.as_deref()),
         Command::Terms { db, word, top } => commands::cmd_terms(&db, &word, top),
         Command::Add {
             db,

@@ -4,7 +4,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use lsi_core::{LsiModel, LsiOptions};
+use lsi_core::{LsiModel, LsiOptions, Precision};
 use lsi_text::{Corpus, Document, ParsingRules, TermWeighting};
 
 use crate::{CliError, Result};
@@ -17,6 +17,12 @@ pub fn weighting_by_name(name: &str) -> Result<TermWeighting> {
         "tf-idf" => Ok(TermWeighting::tf_idf()),
         other => Err(CliError::usage(format!("unknown weighting {other:?}"))),
     }
+}
+
+/// Parse a `--precision` name into a scoring mode.
+pub fn precision_by_name(name: &str) -> Result<Precision> {
+    Precision::parse(name)
+        .ok_or_else(|| CliError::usage(format!("unknown precision {name:?}")))
 }
 
 /// Load documents from input paths: `.tsv` files contribute one
@@ -96,6 +102,7 @@ pub fn cmd_index(
     min_df: usize,
     weighting: &str,
     phrases: bool,
+    precision: &str,
 ) -> Result<String> {
     let corpus = load_corpus(inputs)?;
     let options = LsiOptions {
@@ -108,7 +115,8 @@ pub fn cmd_index(
         weighting: weighting_by_name(weighting)?,
         svd_seed: 0x5EED,
     };
-    let (model, report) = LsiModel::build(&corpus, &options)?;
+    let (mut model, report) = LsiModel::build(&corpus, &options)?;
+    model.set_precision(precision_by_name(precision)?);
     save_model(&model, out)?;
     Ok(format!(
         "indexed {} documents, {} terms -> {} factors ({} Lanczos steps); wrote {}",
@@ -121,12 +129,23 @@ pub fn cmd_index(
 }
 
 /// `lsi query`.
-pub fn cmd_query(db: &str, text: &str, top: usize, threshold: Option<f64>) -> Result<String> {
-    let model = load_model(db)?;
-    let ranked = model.query(text)?;
+pub fn cmd_query(
+    db: &str,
+    text: &str,
+    top: usize,
+    threshold: Option<f64>,
+    precision: Option<&str>,
+) -> Result<String> {
+    let mut model = load_model(db)?;
+    if let Some(p) = precision {
+        model.set_precision(precision_by_name(p)?);
+    }
+    // A cosine threshold needs every document's score; a plain top-N
+    // goes through the partial selection (and, under a reduced
+    // precision, the compressed candidate sweep).
     let ranked = match threshold {
-        Some(t) => ranked.at_threshold(t),
-        None => ranked,
+        Some(t) => model.query(text)?.at_threshold(t),
+        None => model.query_top(text, top)?,
     };
     let mut out = String::new();
     for m in ranked.top(top).matches {
@@ -187,6 +206,7 @@ pub fn cmd_info(db: &str) -> Result<String> {
         "documents : {}  ({} folded-in)\n\
          terms     : {}\n\
          factors   : {}\n\
+         precision : {}  ({} scoring bytes)\n\
          sigma_1   : {:.6}\n\
          sigma_k   : {:.6}\n\
          V-defect  : {:.3e}  (||V^T V - I||_2, grows with folding-in)\n",
@@ -194,6 +214,8 @@ pub fn cmd_info(db: &str) -> Result<String> {
         folded,
         model.n_terms(),
         model.k(),
+        model.precision().name(),
+        model.scoring_resident_bytes(),
         model.singular_values().first().copied().unwrap_or(0.0),
         model.singular_values().last().copied().unwrap_or(0.0),
         loss.doc_defect
@@ -234,10 +256,10 @@ mod tests {
              zoo3\tzebra giraffe lion safari\n",
         );
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        let msg = cmd_index(&[tsv], &db, 2, 2, "raw", false).unwrap();
+        let msg = cmd_index(&[tsv], &db, 2, 2, "raw", false, "f64").unwrap();
         assert!(msg.contains("6 documents"), "{msg}");
 
-        let q = cmd_query(&db, "lion zebra", 3, None).unwrap();
+        let q = cmd_query(&db, "lion zebra", 3, None, None).unwrap();
         let first = q.lines().next().unwrap();
         assert!(first.contains("zoo"), "top hit should be a zoo doc: {q}");
 
@@ -252,6 +274,36 @@ mod tests {
     }
 
     #[test]
+    fn precision_persists_and_overrides() {
+        let dir = tmpdir();
+        let tsv = write(
+            &dir,
+            "docs.tsv",
+            "cars1\tcar engine wheel motor car\n\
+             cars2\tautomobile engine motor chassis\n\
+             cars3\tcar automobile driver wheel\n\
+             zoo1\telephant lion zebra elephant\n\
+             zoo2\tlion zebra giraffe elephant\n\
+             zoo3\tzebra giraffe lion safari\n",
+        );
+        let db = dir.join("db.json").to_string_lossy().into_owned();
+        cmd_index(&[tsv], &db, 2, 2, "raw", false, "f32").unwrap();
+        // The mode survives the save/load roundtrip...
+        let info = cmd_info(&db).unwrap();
+        assert!(info.contains("precision : f32"), "{info}");
+        // ...queries serve through it, agreeing with the exact scan...
+        let compressed = cmd_query(&db, "lion zebra", 3, None, None).unwrap();
+        let exact = cmd_query(&db, "lion zebra", 3, None, Some("f64")).unwrap();
+        assert_eq!(compressed, exact);
+        // ...and a per-run override does not touch the stored database.
+        let quantized = cmd_query(&db, "lion zebra", 3, None, Some("i8")).unwrap();
+        assert_eq!(quantized.lines().count(), 3);
+        let info = cmd_info(&db).unwrap();
+        assert!(info.contains("precision : f32"), "{info}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn add_by_update_grows_database() {
         let dir = tmpdir();
         let tsv = write(
@@ -260,7 +312,7 @@ mod tests {
             "a\tapple banana apple cherry\nb\tbanana cherry date\nc\tapple cherry date\nd\tdate banana apple\n",
         );
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        cmd_index(&[tsv], &db, 2, 2, "log-entropy", false).unwrap();
+        cmd_index(&[tsv], &db, 2, 2, "log-entropy", false, "f64").unwrap();
 
         let newdoc = write(&dir, "fresh.txt", "banana date cherry banana");
         let db2 = dir.join("db2.json").to_string_lossy().into_owned();
@@ -282,8 +334,8 @@ mod tests {
         let f1 = write(&dir, "alpha.txt", "apple banana apple");
         let f2 = write(&dir, "beta.txt", "banana apple cherry banana");
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        cmd_index(&[f1, f2], &db, 1, 1, "raw", false).unwrap();
-        let q = cmd_query(&db, "banana", 2, None).unwrap();
+        cmd_index(&[f1, f2], &db, 1, 1, "raw", false, "f64").unwrap();
+        let q = cmd_query(&db, "banana", 2, None, None).unwrap();
         assert!(q.contains("alpha") && q.contains("beta"), "{q}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -304,7 +356,7 @@ mod tests {
         let dir = tmpdir();
         let tsv = write(&dir, "d.tsv", "a\tapple banana\nb\tbanana apple\n");
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        cmd_index(&[tsv], &db, 1, 1, "raw", false).unwrap();
+        cmd_index(&[tsv], &db, 1, 1, "raw", false, "f64").unwrap();
         assert!(cmd_terms(&db, "unicorn", 3).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -318,7 +370,7 @@ mod tests {
             "a\thigh blood pressure danger\nb\thigh blood pressure treatment\nc\tblood test results\n",
         );
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        let msg_plain = cmd_index(std::slice::from_ref(&tsv), &db, 2, 2, "raw", false).unwrap();
+        let msg_plain = cmd_index(std::slice::from_ref(&tsv), &db, 2, 2, "raw", false, "f64").unwrap();
         let plain_terms: usize = msg_plain
             .split(" terms")
             .next()
@@ -328,7 +380,7 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        let msg_phrases = cmd_index(&[tsv], &db, 2, 2, "raw", true).unwrap();
+        let msg_phrases = cmd_index(&[tsv], &db, 2, 2, "raw", true, "f64").unwrap();
         let phrase_terms: usize = msg_phrases
             .split(" terms")
             .next()

@@ -53,8 +53,8 @@ fn med_pipeline_reports_all_six_stages_with_nonzero_work() {
 
     // index → query → add (fold): the three commands that touch every
     // stage of the span taxonomy.
-    commands::cmd_index(&[tsv_path], &db, 8, 2, "log-entropy", false).unwrap();
-    let hits = commands::cmd_query(&db, "the generation of blood cells", 5, None).unwrap();
+    commands::cmd_index(&[tsv_path], &db, 8, 2, "log-entropy", false, "f64").unwrap();
+    let hits = commands::cmd_query(&db, "the generation of blood cells", 5, None, None).unwrap();
     assert!(!hits.trim().is_empty(), "query produced no output");
     let new_doc = dir.join("fresh.txt");
     std::fs::write(

@@ -13,6 +13,8 @@
 //!   folding-in (Eqs. 7–8), SVD-updating (Eqs. 10–13), recomputing.
 //! * [`multiquery`] — §5.4's multiple-points-of-interest queries
 //!   (Kane-Esrig et al.).
+//! * [`compressed`] — the reduced-precision candidate-generation
+//!   ladder (f32 / scaled-i8 doc vectors with exact f64 re-rank).
 //! * [`ortho`] — §4.3's orthogonality-loss monitor for folded-in
 //!   vectors.
 //! * [`complexity`] — the flop models of Table 7.
@@ -50,6 +52,7 @@
 
 
 pub mod complexity;
+pub mod compressed;
 pub mod expansion;
 pub mod model;
 pub mod multiquery;
@@ -57,6 +60,7 @@ pub mod ortho;
 pub mod query;
 pub mod update;
 
+pub use compressed::Precision;
 pub use model::{LsiModel, LsiOptions};
 pub use expansion::ExpandedQuery;
 pub use multiquery::{Combine, MultiQuery};

@@ -5,12 +5,13 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use lsi_linalg::svd::Svd;
-use lsi_linalg::{vecops, DenseMatrix};
+use lsi_linalg::{DenseMatrix, RowView};
 use lsi_sparse::ops::DualFormat;
 use lsi_sparse::CscMatrix;
 use lsi_svd::{robust_svd, LanczosOptions, LanczosReport, RobustOptions};
 use lsi_text::{Corpus, ParsingRules, TermWeighting, Vocabulary};
 
+use crate::compressed::{CompressedStore, Precision};
 use crate::{Error, Result};
 
 /// Construction options.
@@ -53,7 +54,12 @@ pub enum DocOrigin {
 /// A complete LSI retrieval model ("LSI database" in the paper's
 /// terminology: the singular values and vectors plus the bookkeeping to
 /// use them).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (see the `Serialize`/`Deserialize`
+/// impls below): the `precision` field is optional on read so legacy
+/// files load as [`Precision::Exact`], and the derived `compressed`
+/// store is never serialized — it is rebuilt from `V` on load.
+#[derive(Debug, Clone)]
 pub struct LsiModel {
     /// The vocabulary (row semantics).
     pub(crate) vocab: Vocabulary,
@@ -84,6 +90,14 @@ pub struct LsiModel {
     /// The weighted term-document matrix the current factors were
     /// computed from (kept for recomputation and weight corrections).
     pub(crate) weighted: CscMatrix,
+    /// Scoring precision of the candidate-generation sweep (persisted;
+    /// legacy files default to [`Precision::Exact`]).
+    pub(crate) precision: Precision,
+    /// Compressed replica of `v` for candidate generation. Derived
+    /// data: `None` for [`Precision::Exact`], rebuilt by
+    /// [`LsiModel::refresh_doc_norms`] whenever `v` changes, never
+    /// serialized.
+    pub(crate) compressed: Option<CompressedStore>,
 }
 
 impl LsiModel {
@@ -184,17 +198,53 @@ impl LsiModel {
             folded_terms: Vec::new(),
             term_origins: vec![DocOrigin::Svd; n_terms],
             weighted: weighted.matrix,
+            precision: Precision::Exact,
+            compressed: None,
         };
         model.refresh_doc_norms();
         Ok((model, report))
     }
 
-    /// Recompute the cached row norms of `V_k`. Must be called by every
-    /// operation that replaces or appends to `v`.
+    /// Recompute the derived per-document data: the cached row norms of
+    /// `V_k` and (when a reduced precision is active) the compressed
+    /// scoring replica. Must be called by every operation that replaces
+    /// or appends to `v` — this single hook is what keeps the
+    /// compressed store coherent across fold-in, SVD-updating,
+    /// recomputation, and load.
     pub(crate) fn refresh_doc_norms(&mut self) {
         self.doc_norms = (0..self.v.nrows())
-            .map(|j| vecops::nrm2(&self.v.row(j)))
+            .map(|j| self.v.row_view(j).nrm2())
             .collect();
+        self.compressed = CompressedStore::build(self.precision, &self.v, &self.doc_norms);
+        debug_assert!(
+            self.compressed
+                .as_ref()
+                .map_or(self.precision == Precision::Exact, |s| s.precision()
+                    == self.precision),
+            "compressed store out of sync with the precision mode"
+        );
+    }
+
+    /// Scoring precision of the candidate-generation sweep.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Switch the candidate-generation precision, building (or
+    /// dropping) the compressed replica of `V_k` immediately. The mode
+    /// persists with the model; the replica itself does not.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        self.compressed = CompressedStore::build(self.precision, &self.v, &self.doc_norms);
+    }
+
+    /// Bytes the scoring sweep streams per query: the compressed
+    /// replica when one is active, otherwise the f64 `V_k` buffer.
+    pub fn scoring_resident_bytes(&self) -> usize {
+        match &self.compressed {
+            Some(store) => store.resident_bytes(),
+            None => std::mem::size_of_val(self.v.data()),
+        }
     }
 
     /// Precomputed Euclidean norms of the document vectors (rows of
@@ -266,15 +316,29 @@ impl LsiModel {
     }
 
     /// `k`-dimensional coordinates of term `i` (row `i` of `U_k`),
-    /// unscaled.
+    /// unscaled. Allocates; hot loops should use
+    /// [`LsiModel::term_row`] instead.
     pub fn term_vector(&self, i: usize) -> Vec<f64> {
         self.u.row(i)
     }
 
     /// `k`-dimensional coordinates of document `j` (row `j` of `V_k`),
-    /// unscaled.
+    /// unscaled. Allocates; hot loops should use
+    /// [`LsiModel::doc_row`] instead.
     pub fn doc_vector(&self, j: usize) -> Vec<f64> {
         self.v.row(j)
+    }
+
+    /// Borrowing view of term `i`'s coordinates (row `i` of `U_k`) —
+    /// the allocation-free form of [`LsiModel::term_vector`].
+    pub fn term_row(&self, i: usize) -> RowView<'_> {
+        self.u.row_view(i)
+    }
+
+    /// Borrowing view of document `j`'s coordinates (row `j` of `V_k`)
+    /// — the allocation-free form of [`LsiModel::doc_vector`].
+    pub fn doc_row(&self, j: usize) -> RowView<'_> {
+        self.v.row_view(j)
     }
 
     /// Term coordinates scaled by the singular values — the plotting
@@ -300,14 +364,16 @@ impl LsiModel {
     }
 
     /// Cosine similarity between two documents in the factor space.
+    /// Row views keep this allocation-free; the result is bit-identical
+    /// to cosine over row copies.
     pub fn doc_doc_similarity(&self, a: usize, b: usize) -> f64 {
-        vecops::cosine(&self.v.row(a), &self.v.row(b))
+        self.v.row_view(a).cosine(self.v.row_view(b))
     }
 
     /// Cosine similarity between two terms in the factor space —
     /// the quantity behind the §5.4 synonym test.
     pub fn term_term_similarity(&self, a: usize, b: usize) -> f64 {
-        vecops::cosine(&self.u.row(a), &self.u.row(b))
+        self.u.row_view(a).cosine(self.u.row_view(b))
     }
 
     /// Look up a document's row by id.
@@ -466,6 +532,60 @@ impl LsiModel {
             ));
         }
         Ok(())
+    }
+}
+
+// Hand-written (de)serialization. The derive macro would make every
+// field required on read, but `precision` was added after the format
+// shipped: it serializes as a trailing map entry and defaults to
+// `Exact` when absent, so legacy files keep loading. The `compressed`
+// store is derived data and is intentionally not serialized —
+// `from_json` rebuilds it via `refresh_doc_norms`.
+impl Serialize for LsiModel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("vocab".to_string(), self.vocab.to_value()),
+            ("weighting".to_string(), self.weighting.to_value()),
+            ("global_weights".to_string(), self.global_weights.to_value()),
+            ("u".to_string(), self.u.to_value()),
+            ("s".to_string(), self.s.to_value()),
+            ("v".to_string(), self.v.to_value()),
+            ("doc_norms".to_string(), self.doc_norms.to_value()),
+            ("doc_ids".to_string(), self.doc_ids.to_value()),
+            ("doc_origins".to_string(), self.doc_origins.to_value()),
+            ("folded_terms".to_string(), self.folded_terms.to_value()),
+            ("term_origins".to_string(), self.term_origins.to_value()),
+            ("weighted".to_string(), self.weighted.to_value()),
+            ("precision".to_string(), self.precision.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LsiModel {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct LsiModel"))?;
+        let precision = match map.iter().find(|(key, _)| key.as_str() == "precision") {
+            Some((_, pv)) => Precision::from_value(pv)?,
+            None => Precision::Exact,
+        };
+        Ok(LsiModel {
+            vocab: serde::de::field(map, "vocab")?,
+            weighting: serde::de::field(map, "weighting")?,
+            global_weights: serde::de::field(map, "global_weights")?,
+            u: serde::de::field(map, "u")?,
+            s: serde::de::field(map, "s")?,
+            v: serde::de::field(map, "v")?,
+            doc_norms: serde::de::field(map, "doc_norms")?,
+            doc_ids: serde::de::field(map, "doc_ids")?,
+            doc_origins: serde::de::field(map, "doc_origins")?,
+            folded_terms: serde::de::field(map, "folded_terms")?,
+            term_origins: serde::de::field(map, "term_origins")?,
+            weighted: serde::de::field(map, "weighted")?,
+            precision,
+            compressed: None,
+        })
     }
 }
 
@@ -729,6 +849,36 @@ mod tests {
         let counts = vocab.count_matrix(&corpus);
         let bad_ids = vec!["only-one".to_string()];
         assert!(LsiModel::from_counts(vocab, counts, bad_ids, &options(2)).is_err());
+    }
+
+    #[test]
+    fn precision_mode_roundtrips_and_rebuilds_the_store() {
+        let (mut m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        assert_eq!(m.precision(), Precision::Exact);
+        assert!(m.compressed.is_none());
+        let exact_bytes = m.scoring_resident_bytes();
+        m.set_precision(Precision::F32);
+        assert!(m.compressed.is_some());
+        assert!(m.scoring_resident_bytes() < exact_bytes);
+        let json = m.to_json().unwrap();
+        let back = LsiModel::from_json(&json).unwrap();
+        assert_eq!(back.precision(), Precision::F32);
+        assert!(back.compressed.is_some(), "load must rebuild the store");
+        m.set_precision(Precision::Exact);
+        assert!(m.compressed.is_none());
+    }
+
+    #[test]
+    fn legacy_files_without_precision_load_as_exact() {
+        let (m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let json = m.to_json().unwrap();
+        let (body, _) = json.rsplit_once('\n').unwrap();
+        // Simulate a pre-precision file by stripping the field.
+        let legacy = body.replacen(",\"precision\":\"Exact\"", "", 1);
+        assert_ne!(legacy, body, "serialized form should carry precision");
+        let back = LsiModel::from_json(&legacy).unwrap();
+        assert_eq!(back.precision(), Precision::Exact);
+        assert_eq!(back.k(), m.k());
     }
 
     #[test]

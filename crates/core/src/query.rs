@@ -13,6 +13,7 @@ use std::sync::Arc;
 use lsi_linalg::{ops, vecops, DenseMatrix};
 use rayon::prelude::*;
 
+use crate::compressed::CompressedStore;
 use crate::model::LsiModel;
 use crate::{Error, Result};
 
@@ -68,7 +69,7 @@ impl RankedList {
 
 /// Descending by score, ties broken by ascending document index — the
 /// ordering every ranking entry point shares.
-fn by_score_desc(scores: &[f64]) -> impl Fn(&usize, &usize) -> Ordering + '_ {
+pub(crate) fn by_score_desc(scores: &[f64]) -> impl Fn(&usize, &usize) -> Ordering + '_ {
     // `unwrap_or(Equal)` instead of `expect`: scores are guarded at the
     // facet_cosines boundary, but a comparator must never panic — a NaN
     // that slips through degrades the ordering, not the process.
@@ -78,6 +79,58 @@ fn by_score_desc(scores: &[f64]) -> impl Fn(&usize, &usize) -> Ordering + '_ {
             .unwrap_or(Ordering::Equal)
             .then_with(|| a.cmp(&b))
     }
+}
+
+/// Order-reversing monotone map from an f64 score to a u64 sort key:
+/// ascending key order is descending score order, with every distinct
+/// bit pattern (including -0.0 vs +0.0) kept distinct. Branchless —
+/// the key build runs once per document per query, and data-dependent
+/// branches on scores are unpredictable there (every query is a fresh
+/// pattern). Finiteness is guarded before every selection; a NaN that
+/// slipped through would rank first, not panic.
+#[inline]
+pub(crate) fn desc_key_f64(s: f64) -> u64 {
+    let b = s.to_bits();
+    let mask = ((b as i64) >> 63) as u64;
+    !(b ^ (mask | 0x8000_0000_0000_0000))
+}
+
+/// The f32 variant of [`desc_key_f64`] — the candidate sweep's key.
+#[inline]
+pub(crate) fn desc_key_f32(s: f32) -> u32 {
+    let b = s.to_bits();
+    let mask = ((b as i32) >> 31) as u32;
+    !(b ^ (mask | 0x8000_0000))
+}
+
+/// Indices of the best `z` of `0..n` under `key_of` (ascending key =
+/// better; ties broken by ascending index), sorted best-first. This is
+/// the one selection implementation shared by the exact top-`z` path,
+/// the compressed path's candidate pick, and the multi-facet top-`z` —
+/// every ranking entry point sees identical tie handling.
+///
+/// The selection runs on plain integer (key, index) pairs via
+/// `select_nth_unstable` rather than on an indirect score comparator:
+/// branchless partitioning is immune to the branch-predictor misses
+/// that dominate comparator-based selection here, where every query
+/// presents a fresh, unlearnable comparison pattern (measured ~4x on
+/// topic-clustered scores).
+pub(crate) fn select_top_by<K: Ord + Copy>(
+    n: usize,
+    z: usize,
+    key_of: impl Fn(usize) -> K,
+) -> Vec<usize> {
+    let z = z.min(n);
+    if z == 0 {
+        return Vec::new();
+    }
+    let mut keyed: Vec<(K, u32)> = (0..n).map(|i| (key_of(i), i as u32)).collect();
+    if z < n {
+        keyed.select_nth_unstable(z - 1);
+        keyed.truncate(z);
+    }
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, i)| i as usize).collect()
 }
 
 impl LsiModel {
@@ -207,7 +260,7 @@ impl LsiModel {
         Ok(scores)
     }
 
-    fn make_match(&self, j: usize, cosine: f64) -> Match {
+    pub(crate) fn make_match(&self, j: usize, cosine: f64) -> Match {
         Match {
             doc: j,
             id: self.doc_ids[j].clone(),
@@ -230,28 +283,195 @@ impl LsiModel {
     }
 
     /// The `z` best documents for a projected query, without sorting
-    /// the full collection: a `select_nth` partition around rank `z`
-    /// followed by a sort of the `z` survivors. "Typically the z
-    /// closest documents ... are returned" — this is the entry point
-    /// for that typical case.
+    /// the full collection. "Typically the z closest documents ... are
+    /// returned" — this is the entry point for that typical case.
+    ///
+    /// With a reduced [`crate::compressed::Precision`] active, the
+    /// scan runs two-phase: a compressed candidate sweep over all
+    /// documents, then an exact f64 re-rank of the `max(4z, 64)`
+    /// over-fetched candidates. For the f32 ladder a margin check
+    /// certifies the result bit-identical to the exact scan, falling
+    /// back to it whenever certification fails; the i8 ladder trades
+    /// that certificate for an eighth of the bandwidth (the returned
+    /// scores are still exact f64 cosines). [`Precision::Exact`]
+    /// scores everything in f64 through the same shared selection.
     pub fn rank_projected_top(&self, qhat: &[f64], z: usize) -> Result<RankedList> {
+        if let Some(store) = self.compressed.as_ref() {
+            if let Some(ranked) = self.rank_top_compressed(store, qhat, z)? {
+                return Ok(ranked);
+            }
+            lsi_obs::count("score.rerank.fallback.count", 1);
+        }
+        self.rank_top_exact(qhat, z)
+    }
+
+    /// The classic exact top-`z`: one f64 GEMV over all documents plus
+    /// the shared partition-and-sort selection.
+    fn rank_top_exact(&self, qhat: &[f64], z: usize) -> Result<RankedList> {
         let scores = self.facet_cosines(&[qhat])?;
         let scores = scores.col(0);
-        let n = self.n_docs();
-        let z = z.min(n);
-        let cmp = by_score_desc(scores);
-        let mut order: Vec<usize> = (0..n).collect();
-        if z > 0 && z < n {
-            order.select_nth_unstable_by(z - 1, &cmp);
-        }
-        order.truncate(z);
-        order.sort_by(&cmp);
+        let order = select_top_by(self.n_docs(), z, |i| (desc_key_f64(scores[i]), i as u32));
         Ok(RankedList {
             matches: order
                 .into_iter()
                 .map(|j| self.make_match(j, scores[j]))
                 .collect(),
         })
+    }
+
+    /// Exact f64 cosines for a batch of document rows against `qhat`,
+    /// each bit-identical to the full sweep's score for that row: the
+    /// column-outer subset GEMV ([`ops::matvec_rows`]) replays the
+    /// span kernel's arithmetic per row, and the zero-norm guard
+    /// matches `facet_cosines`. Sort `rows` ascending — the batched
+    /// walk is prefetch-friendly in that order, where scattered
+    /// single-row walks over a matrix the candidate sweep just
+    /// evicted cost more than the sweep itself.
+    pub(crate) fn exact_cosines_rows(
+        &self,
+        rows: &[usize],
+        qhat: &[f64],
+        qnorm: f64,
+    ) -> Result<Vec<f64>> {
+        let mut raws = ops::matvec_rows(&self.v, qhat, rows)?;
+        for (raw, &j) in raws.iter_mut().zip(rows.iter()) {
+            let dnorm = self.doc_norms[j];
+            *raw = if qnorm > 0.0 && dnorm > 0.0 {
+                *raw / (dnorm * qnorm)
+            } else {
+                0.0
+            };
+        }
+        Ok(raws)
+    }
+
+    /// Two-phase compressed scan. Returns `Ok(None)` when the exact
+    /// path should serve instead: trivial shapes, a non-finite
+    /// compressed sweep (the failpoint's inject-nan lands here), or an
+    /// uncertified f32 margin.
+    fn rank_top_compressed(
+        &self,
+        store: &CompressedStore,
+        qhat: &[f64],
+        z: usize,
+    ) -> Result<Option<RankedList>> {
+        let k = self.k();
+        let n = self.n_docs();
+        if qhat.len() != k {
+            return Err(Error::Inconsistent {
+                context: format!(
+                    "projected query has {} dimensions but the model has {k} factors",
+                    qhat.len()
+                ),
+            });
+        }
+        if n == 0 || k == 0 || z == 0 {
+            return Ok(None);
+        }
+        let qnorm = vecops::nrm2(qhat);
+        let approx = {
+            let _span = lsi_obs::span("score.candidates");
+            // The sweep streams the compressed replica once, plus the
+            // projected query.
+            lsi_obs::add_bytes((store.resident_bytes() + 8 * k) as f64);
+            lsi_obs::add_flops((2 * k + 2) as f64 * n as f64);
+            let mut approx = store.approx_scores(qhat, qnorm)?;
+            // Same scoring-boundary failpoint as the exact path; the
+            // compressed sweep differs in that inject-nan degrades
+            // gracefully (non-finite guard → exact-scan fallback)
+            // instead of erroring, because the exact path is still
+            // available to serve the query.
+            match lsi_fault::eval(lsi_fault::points::CORE_QUERY_SCORE) {
+                Some(lsi_fault::Fired::ReturnErr) => {
+                    return Err(Error::Inconsistent {
+                        context: format!(
+                            "fault injected at failpoint `{}`",
+                            lsi_fault::points::CORE_QUERY_SCORE
+                        ),
+                    });
+                }
+                Some(lsi_fault::Fired::InjectNan) => {
+                    if let Some(first) = approx.first_mut() {
+                        *first = f32::NAN;
+                    }
+                }
+                None => {}
+            }
+            approx
+        };
+        if !approx.iter().all(|s| s.is_finite()) {
+            lsi_obs::warn!(
+                "compressed candidate sweep produced non-finite scores; \
+                 falling back to the exact f64 scan"
+            );
+            return Ok(None);
+        }
+        let z = z.min(n);
+        let c = z
+            .saturating_mul(crate::compressed::OVER_FETCH_FACTOR)
+            .max(crate::compressed::OVER_FETCH_FLOOR)
+            .min(n);
+        let candidates =
+            select_top_by(n, c, |i| ((desc_key_f32(approx[i]) as u64) << 32) | i as u64);
+        lsi_obs::count("score.candidates.count", c as u64);
+        let reranked = {
+            let _span = lsi_obs::span("score.rerank");
+            lsi_obs::add_bytes((c * k * 8) as f64);
+            lsi_obs::add_flops(((2 * k + 3) * c) as f64);
+            // Ascending row order keeps the batched kernel's column
+            // walks prefetch-friendly; result order is irrelevant —
+            // the exact selection below re-sorts by f64 score.
+            let mut by_row = candidates.clone();
+            by_row.sort_unstable();
+            let cosines = self.exact_cosines_rows(&by_row, qhat, qnorm)?;
+            by_row.into_iter().zip(cosines).collect::<Vec<(usize, f64)>>()
+        };
+        // The exact path's scoring-boundary guard, applied to the
+        // re-ranked scores (the only f64 cosines this path computes).
+        if !reranked.iter().all(|(_, s)| s.is_finite()) {
+            return Err(Error::NonFinite {
+                context: "cosine scores (query scoring boundary)".into(),
+            });
+        }
+        lsi_obs::count("score.rerank.count", candidates.len() as u64);
+        let exact_scores: Vec<f64> = reranked.iter().map(|&(_, s)| s).collect();
+        let doc_of: Vec<usize> = reranked.iter().map(|&(j, _)| j).collect();
+        // Tie-break by position == tie-break by document id: `reranked`
+        // is built in ascending-row order, so `doc_of` is strictly
+        // increasing in position.
+        let order = select_top_by(reranked.len(), z, |i| {
+            (desc_key_f64(exact_scores[i]), i as u32)
+        });
+        // Margin certificate (f32 only): every non-candidate document's
+        // exact cosine is ≤ its approx score + bound ≤ cutoff + bound,
+        // where the cutoff is the worst *selected* approx score (an
+        // upper bound on every excluded one). If the z-th exact score
+        // strictly clears that, no excluded document can belong in the
+        // top-z, and within the candidates the re-rank is exact — the
+        // result is bit-identical to the full f64 scan. Ties at the
+        // boundary fail the strict test and fall back.
+        if c < n {
+            if let Some(bound) = store.rerank_margin(k) {
+                let cutoff = candidates
+                    .last()
+                    .map(|&j| approx[j] as f64)
+                    .unwrap_or(f64::NEG_INFINITY);
+                let s_z = order
+                    .last()
+                    .map(|&i| exact_scores[i])
+                    .unwrap_or(f64::NEG_INFINITY);
+                if !(s_z > cutoff + bound) {
+                    return Ok(None);
+                }
+            }
+        }
+        let out = Ok(Some(RankedList {
+            matches: order
+                .into_iter()
+                .map(|i| self.make_match(doc_of[i], exact_scores[i]))
+                .collect(),
+        }));
+        out
     }
 
     /// Query by free text: project and rank.
@@ -288,7 +508,9 @@ impl LsiModel {
                 context: format!("document {doc} out of range ({} docs)", self.n_docs()),
             });
         }
-        let qhat = self.v.row(doc);
+        // One contiguous copy of the (strided) document row, as the
+        // GEMV operand — the per-row scoring itself is allocation-free.
+        let qhat = self.doc_row(doc).to_vec();
         self.rank_projected(&qhat)
     }
 
@@ -311,7 +533,7 @@ impl LsiModel {
                 } else {
                     self.folded_terms[i - self.vocab.len()].clone()
                 };
-                (i, name, vecops::cosine(&self.u.row(i), qhat))
+                (i, name, self.u.row_view(i).cosine_slice(qhat))
             })
             .collect();
         scored.sort_by(|a, b| {

@@ -1,0 +1,271 @@
+//! Property suite for the compressed candidate-generation path.
+//!
+//! The contract under test: with [`Precision::F32`] active, the
+//! two-phase scan (f32 candidate sweep → exact f64 re-rank → margin
+//! certificate, with exact-scan fallback) returns a top-`z` that is
+//! *bit-identical* — documents, order, and cosine bit patterns — to the
+//! exact f64 oracle, on random Zipf-weighted corpora including
+//! tie-heavy ones built from duplicated documents. [`Precision::I8`]
+//! promises a statistical bound instead: recall@10 ≥ 0.99 against the
+//! exact oracle, with the returned scores still exact f64 cosines.
+//!
+//! Thread-mode coverage: the scoring kernels pin their split layout by
+//! pool size, so bit-reproducibility across thread counts is covered by
+//! `scripts/verify.sh`, which runs this whole suite both pooled and
+//! under `LSI_NUM_THREADS=1`.
+
+use lsi_core::{LsiModel, LsiOptions, Precision};
+use lsi_text::{Corpus, Document, ParsingRules, TermWeighting};
+
+const THEMES: [&[&str]; 4] = [
+    &["engine", "motor", "car", "wheel", "driver", "road", "fuel", "gear", "brake", "tyre"],
+    &["lion", "zebra", "elephant", "giraffe", "savanna", "herd", "pride", "cub", "mane", "horn"],
+    &["violin", "cello", "sonata", "tempo", "melody", "chord", "octave", "opus", "aria", "duet"],
+    &["kernel", "thread", "cache", "stack", "heap", "mutex", "socket", "fiber", "paging", "shell"],
+];
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Zipf-ish pick over `m` ranks: mass ∝ 1/(r+1), via inverse CDF on a
+/// precomputed cumulative table.
+fn zipf_pick(state: &mut u64, cum: &[f64]) -> usize {
+    let total = *cum.last().unwrap();
+    let u = (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64 * total;
+    cum.partition_point(|&c| c < u).min(cum.len() - 1)
+}
+
+fn zipf_table(m: usize) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(m);
+    let mut acc = 0.0;
+    for r in 0..m {
+        acc += 1.0 / (r + 1) as f64;
+        cum.push(acc);
+    }
+    cum
+}
+
+/// A random corpus of `n` documents. Each document draws a theme
+/// mixture (so cosine scores spread out instead of clustering at the
+/// theme centroids) and Zipf-weighted words within each theme.
+fn random_corpus(n: usize, seed: u64) -> Corpus {
+    let mut state = seed | 1;
+    let cum = zipf_table(10);
+    let mut docs = Vec::with_capacity(n);
+    for i in 0..n {
+        let primary = (xorshift(&mut state) % 4) as usize;
+        let secondary = (xorshift(&mut state) % 4) as usize;
+        let mix = xorshift(&mut state) % 100; // % of words from `primary`
+        let len = 8 + (xorshift(&mut state) % 9) as usize;
+        let words: Vec<&str> = (0..len)
+            .map(|_| {
+                let theme = if xorshift(&mut state) % 100 < mix {
+                    THEMES[primary]
+                } else {
+                    THEMES[secondary]
+                };
+                theme[zipf_pick(&mut state, &cum)]
+            })
+            .collect();
+        docs.push(Document::new(format!("d{i}"), words.join(" ")));
+    }
+    Corpus { docs }
+}
+
+fn build(corpus: &Corpus, k: usize, seed: u64) -> LsiModel {
+    let options = LsiOptions {
+        k,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting: TermWeighting::log_entropy(),
+        svd_seed: seed,
+    };
+    LsiModel::build(corpus, &options).unwrap().0
+}
+
+/// Random word-mix query texts spanning one or two themes.
+fn random_queries(count: usize, seed: u64) -> Vec<String> {
+    let mut state = seed | 1;
+    let cum = zipf_table(10);
+    (0..count)
+        .map(|_| {
+            let t1 = THEMES[(xorshift(&mut state) % 4) as usize];
+            let t2 = THEMES[(xorshift(&mut state) % 4) as usize];
+            let len = 2 + (xorshift(&mut state) % 4) as usize;
+            let words: Vec<&str> = (0..len)
+                .map(|j| {
+                    let theme = if j % 2 == 0 { t1 } else { t2 };
+                    theme[zipf_pick(&mut state, &cum)]
+                })
+                .collect();
+            words.join(" ")
+        })
+        .collect()
+}
+
+/// Bit-level equality of two ranked lists: same documents, same order,
+/// same f64 cosine bit patterns.
+fn assert_bit_identical(exact: &lsi_core::RankedList, compressed: &lsi_core::RankedList, ctx: &str) {
+    assert_eq!(exact.matches.len(), compressed.matches.len(), "{ctx}: lengths differ");
+    for (i, (a, b)) in exact.matches.iter().zip(compressed.matches.iter()).enumerate() {
+        assert_eq!(a.doc, b.doc, "{ctx}: rank {i} documents differ");
+        assert_eq!(
+            a.cosine.to_bits(),
+            b.cosine.to_bits(),
+            "{ctx}: rank {i} cosine bits differ ({} vs {})",
+            a.cosine,
+            b.cosine
+        );
+    }
+}
+
+#[test]
+fn f32_top_z_is_bit_identical_to_the_exact_oracle() {
+    let corpus = random_corpus(400, 0x5EED_0001);
+    let exact = build(&corpus, 8, 11);
+    let mut compressed = exact.clone();
+    compressed.set_precision(Precision::F32);
+    for (qi, q) in random_queries(20, 0xABCD_EF01).iter().enumerate() {
+        let qhat = exact.project_text(q).unwrap();
+        for z in [1usize, 5, 10, 37] {
+            let oracle = exact.rank_projected_top(&qhat, z).unwrap();
+            let two_phase = compressed.rank_projected_top(&qhat, z).unwrap();
+            assert_bit_identical(&oracle, &two_phase, &format!("query {qi} ({q:?}), z={z}"));
+        }
+    }
+}
+
+#[test]
+fn tie_heavy_duplicate_corpora_stay_bit_identical() {
+    // Every document duplicated: exact score ties everywhere, which is
+    // precisely where the margin certificate must refuse and fall back
+    // — the result must still be bit-identical to the oracle.
+    let base = random_corpus(200, 0x5EED_0002);
+    let corpus = Corpus {
+        docs: base
+            .docs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, d)| {
+                [
+                    Document::new(format!("a{i}"), d.text.clone()),
+                    Document::new(format!("b{i}"), d.text.clone()),
+                ]
+            })
+            .collect(),
+    };
+    let exact = build(&corpus, 8, 13);
+    let mut compressed = exact.clone();
+    compressed.set_precision(Precision::F32);
+    for (qi, q) in random_queries(12, 0xABCD_EF02).iter().enumerate() {
+        let qhat = exact.project_text(q).unwrap();
+        for z in [1usize, 10, 25] {
+            let oracle = exact.rank_projected_top(&qhat, z).unwrap();
+            let two_phase = compressed.rank_projected_top(&qhat, z).unwrap();
+            assert_bit_identical(&oracle, &two_phase, &format!("dup query {qi}, z={z}"));
+        }
+    }
+}
+
+#[test]
+fn collections_below_the_candidate_floor_rerank_everything() {
+    // n < OVER_FETCH_FLOOR: the candidate set is the whole collection,
+    // the margin check is vacuous, and the re-rank alone must reproduce
+    // the oracle bit-for-bit.
+    let corpus = random_corpus(50, 0x5EED_0003);
+    let exact = build(&corpus, 6, 17);
+    let mut compressed = exact.clone();
+    compressed.set_precision(Precision::F32);
+    for q in random_queries(10, 0xABCD_EF03) {
+        let qhat = exact.project_text(&q).unwrap();
+        let oracle = exact.rank_projected_top(&qhat, 10).unwrap();
+        let two_phase = compressed.rank_projected_top(&qhat, 10).unwrap();
+        assert_bit_identical(&oracle, &two_phase, &format!("small corpus, query {q:?}"));
+    }
+}
+
+#[test]
+fn compressed_scores_are_always_finite() {
+    let corpus = random_corpus(300, 0x5EED_0004);
+    let exact = build(&corpus, 8, 19);
+    for precision in [Precision::F32, Precision::I8] {
+        let mut m = exact.clone();
+        m.set_precision(precision);
+        for q in random_queries(15, 0xABCD_EF04) {
+            let qhat = m.project_text(&q).unwrap();
+            let ranked = m.rank_projected_top(&qhat, 10).unwrap();
+            for hit in &ranked.matches {
+                assert!(
+                    hit.cosine.is_finite(),
+                    "{precision:?} produced non-finite cosine for {q:?}"
+                );
+            }
+        }
+        // The zero projection (no indexed terms) is the degenerate
+        // all-ties case: every score is exactly 0, never NaN.
+        let zero = vec![0.0; m.k()];
+        let ranked = m.rank_projected_top(&zero, 5).unwrap();
+        assert!(ranked.matches.iter().all(|h| h.cosine == 0.0));
+    }
+}
+
+#[test]
+fn i8_recall_at_10_is_at_least_99_percent() {
+    let corpus = random_corpus(400, 0x5EED_0005);
+    let exact = build(&corpus, 8, 23);
+    let mut quantized = exact.clone();
+    quantized.set_precision(Precision::I8);
+    let queries = random_queries(100, 0xABCD_EF05);
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for q in &queries {
+        let qhat = exact.project_text(q).unwrap();
+        let oracle = exact.rank_projected_top(&qhat, 10).unwrap();
+        let approx = quantized.rank_projected_top(&qhat, 10).unwrap();
+        let truth: Vec<&str> = oracle.ids();
+        for id in approx.ids() {
+            if truth.contains(&id) {
+                hit += 1;
+            }
+        }
+        total += truth.len();
+        // Scores of returned documents are exact f64 cosines even on
+        // the approximate ladder: any document present in both lists
+        // carries the identical bit pattern.
+        for m in &approx.matches {
+            if let Some(r) = oracle.rank_of(m.id.as_ref()) {
+                assert_eq!(m.cosine.to_bits(), oracle.matches[r].cosine.to_bits());
+            }
+        }
+    }
+    let recall = hit as f64 / total as f64;
+    assert!(
+        recall >= 0.99,
+        "i8 recall@10 = {recall:.4} over {} queries (expected ≥ 0.99)",
+        queries.len()
+    );
+}
+
+#[test]
+fn precision_modes_shrink_the_scoring_footprint() {
+    let corpus = random_corpus(256, 0x5EED_0006);
+    let mut m = build(&corpus, 8, 29);
+    let exact_bytes = m.scoring_resident_bytes();
+    m.set_precision(Precision::F32);
+    let f32_bytes = m.scoring_resident_bytes();
+    m.set_precision(Precision::I8);
+    let i8_bytes = m.scoring_resident_bytes();
+    // f32 halves the matrix; i8 is an eighth. The per-row scale vector
+    // adds n·4 bytes to each compressed mode.
+    let n = m.n_docs();
+    assert_eq!(f32_bytes, exact_bytes / 2 + n * 4);
+    assert_eq!(i8_bytes, exact_bytes / 8 + n * 4);
+    m.set_precision(Precision::Exact);
+    assert_eq!(m.scoring_resident_bytes(), exact_bytes);
+}

@@ -7,7 +7,7 @@
 
 use std::sync::Mutex;
 
-use lsi_core::{Error, LsiModel, LsiOptions};
+use lsi_core::{Combine, Error, LsiModel, LsiOptions, MultiQuery, Precision};
 use lsi_fault::{points, Action};
 use lsi_svd::Fallback;
 use lsi_text::{Corpus, ParsingRules, TermWeighting};
@@ -68,6 +68,52 @@ fn injected_nan_score_is_caught_by_the_boundary_guard() {
     lsi_fault::disarm(points::CORE_QUERY_SCORE);
     assert!(matches!(err, Error::NonFinite { .. }), "got {err}");
     assert!(m.query("banana").is_ok());
+}
+
+#[test]
+fn compressed_nan_injection_falls_back_to_the_exact_scan() {
+    let _g = guard();
+    let exact = model();
+    let mut compressed = exact.clone();
+    compressed.set_precision(Precision::F32);
+    // The injected NaN poisons the *candidate sweep*, where the exact
+    // path is still available — the non-finite guard must degrade to
+    // it instead of erroring, and the served result must match the
+    // oracle bit-for-bit.
+    lsi_fault::arm(points::CORE_QUERY_SCORE, Action::InjectNan, Some(1));
+    let served = compressed.query_top("apple", 3).unwrap();
+    lsi_fault::disarm(points::CORE_QUERY_SCORE);
+    let oracle = exact.query_top("apple", 3).unwrap();
+    assert_eq!(served.ids(), oracle.ids());
+    for (a, b) in served.matches.iter().zip(oracle.matches.iter()) {
+        assert_eq!(a.cosine.to_bits(), b.cosine.to_bits());
+    }
+}
+
+#[test]
+fn compressed_forced_error_is_still_typed() {
+    let _g = guard();
+    let mut m = model();
+    m.set_precision(Precision::F32);
+    lsi_fault::arm(points::CORE_QUERY_SCORE, Action::ReturnErr, Some(1));
+    let err = m.query_top("apple", 3).unwrap_err();
+    lsi_fault::disarm(points::CORE_QUERY_SCORE);
+    assert!(err.to_string().contains("core.query.score"), "got {err}");
+    assert!(m.query_top("apple", 3).is_ok());
+}
+
+#[test]
+fn compressed_multi_facet_nan_injection_also_falls_back() {
+    let _g = guard();
+    let exact = model();
+    let mut compressed = exact.clone();
+    compressed.set_precision(Precision::F32);
+    let q = MultiQuery::from_texts(&exact, &["apple", "grape fig"]).unwrap();
+    lsi_fault::arm(points::CORE_QUERY_SCORE, Action::InjectNan, Some(1));
+    let served = compressed.query_multi_top(&q, Combine::Max, 3).unwrap();
+    lsi_fault::disarm(points::CORE_QUERY_SCORE);
+    let oracle = exact.query_multi_top(&q, Combine::Max, 3).unwrap();
+    assert_eq!(served.ids(), oracle.ids());
 }
 
 #[test]

@@ -29,6 +29,7 @@ pub mod bidiag;
 pub mod gemm;
 pub mod givens;
 pub mod jacobi;
+pub mod lowp;
 pub mod matrix;
 pub mod ops;
 pub mod ortho;
@@ -41,7 +42,7 @@ pub mod vecops;
 pub use bidiag::golub_kahan_svd;
 pub use gemm::{panel_qt_w, panel_w_minus_qy};
 pub use jacobi::jacobi_svd;
-pub use matrix::DenseMatrix;
+pub use matrix::{DenseMatrix, RowView};
 pub use ortho::{orthogonality_defect_fro, orthogonality_defect_spectral};
 pub use svd::{dense_svd, Svd};
 pub use symeig::sym_eigen;

@@ -1,0 +1,285 @@
+//! Reduced-precision scoring kernels (f32 and scaled-i8 GEMV/GEMM).
+//!
+//! Query scoring at collection scale is memory-bandwidth-bound: the
+//! sweep streams the whole document matrix once per query batch and
+//! does two flops per loaded element. Halving (f32) or eighthing (i8)
+//! the bytes per element converts directly into throughput, and the
+//! candidate set the sweep produces is re-ranked exactly in f64 by the
+//! caller, so the reduced precision never reaches a returned score.
+//!
+//! The kernels mirror the structure of [`crate::ops::matvec`]: column
+//! blocks of four fused into one unit-stride pass over the output span,
+//! written so the inner loop autovectorizes (plain indexed f32
+//! arithmetic with no cross-iteration dependence), and parallelized
+//! over disjoint row spans on the existing pool. Every span runs the
+//! identical column loop, so results are bit-for-bit independent of the
+//! thread count — the same determinism contract as the f64 kernels.
+
+use rayon::prelude::*;
+
+use crate::{Error, Result};
+
+/// Element count (m·n) below which the f32 GEMV stays serial. Measured
+/// on the calibration harness (`cargo test -p lsi-linalg --release
+/// --test lowp_kernels -- --ignored --nocapture`, once pooled and once
+/// under `LSI_NUM_THREADS=1`): the pooled split ties the serial sweep
+/// inside the L2-resident sizes (10.5 vs 10.8 µs at 1<<17, 23.5 vs
+/// 24.1 µs at 1<<18 — dispatch eats the win) and pulls clearly ahead
+/// once the operand exceeds cache: 55 vs 78 µs at 1<<19 and 165 vs
+/// 214 µs at 1<<20 against the serial pass. 1<<19 elements ≈ 2 MiB of
+/// f32 — the same resident-byte crossover as the f64 kernel's
+/// [`crate::ops::MATVEC_PAR_MIN_ELEMS`] at half the element count.
+pub const MATVEC_F32_PAR_MIN_ELEMS: usize = 1 << 19;
+
+/// One row span of the f32 GEMV: `y[i] += sum_j x[j] * A[r0 + i, j]`
+/// for rows `r0 .. r0 + y.len()` of the column-major `data` (leading
+/// dimension `m`). Columns are swept in fixed blocks of four fused
+/// into one unit-stride pass over the span; the inner loop is
+/// straight-line f32 arithmetic that LLVM autovectorizes 8-wide.
+fn matvec_span_f32(data: &[f32], m: usize, x: &[f32], r0: usize, y: &mut [f32]) {
+    let rows = y.len();
+    let mut j = 0;
+    while j + 4 <= x.len() {
+        let (x0, x1, x2, x3) = (x[j], x[j + 1], x[j + 2], x[j + 3]);
+        let c0 = &data[j * m + r0..j * m + r0 + rows];
+        let c1 = &data[(j + 1) * m + r0..(j + 1) * m + r0 + rows];
+        let c2 = &data[(j + 2) * m + r0..(j + 2) * m + r0 + rows];
+        let c3 = &data[(j + 3) * m + r0..(j + 3) * m + r0 + rows];
+        for i in 0..rows {
+            y[i] += x0 * c0[i] + x1 * c1[i] + x2 * c2[i] + x3 * c3[i];
+        }
+        j += 4;
+    }
+    for jj in j..x.len() {
+        let xj = x[jj];
+        let c = &data[jj * m + r0..jj * m + r0 + rows];
+        for i in 0..rows {
+            y[i] += xj * c[i];
+        }
+    }
+}
+
+/// One row span of the scaled-i8 GEMV. Identical structure to
+/// [`matvec_span_f32`]; each stored byte is widened to f32 in the
+/// register, so the sweep still streams one byte per element from
+/// memory. Per-row scale factors are applied by the caller.
+fn matvec_span_i8(data: &[i8], m: usize, x: &[f32], r0: usize, y: &mut [f32]) {
+    let rows = y.len();
+    let mut j = 0;
+    while j + 4 <= x.len() {
+        let (x0, x1, x2, x3) = (x[j], x[j + 1], x[j + 2], x[j + 3]);
+        let c0 = &data[j * m + r0..j * m + r0 + rows];
+        let c1 = &data[(j + 1) * m + r0..(j + 1) * m + r0 + rows];
+        let c2 = &data[(j + 2) * m + r0..(j + 2) * m + r0 + rows];
+        let c3 = &data[(j + 3) * m + r0..(j + 3) * m + r0 + rows];
+        for i in 0..rows {
+            y[i] += x0 * c0[i] as f32
+                + x1 * c1[i] as f32
+                + x2 * c2[i] as f32
+                + x3 * c3[i] as f32;
+        }
+        j += 4;
+    }
+    for jj in j..x.len() {
+        let xj = x[jj];
+        let c = &data[jj * m + r0..jj * m + r0 + rows];
+        for i in 0..rows {
+            y[i] += xj * c[i] as f32;
+        }
+    }
+}
+
+fn check_gemv_dims(kind: &str, len: usize, nrows: usize, ncols: usize, x: usize) -> Result<()> {
+    if len != nrows * ncols {
+        return Err(Error::DimensionMismatch {
+            context: format!("{kind}: buffer of {len} entries for a {nrows}x{ncols} matrix"),
+        });
+    }
+    if ncols != x {
+        return Err(Error::DimensionMismatch {
+            context: format!("{kind}: {nrows}x{ncols} with vector {x}"),
+        });
+    }
+    Ok(())
+}
+
+/// `y = A * x` over a column-major f32 buffer (`nrows` leading
+/// dimension). Above [`MATVEC_F32_PAR_MIN_ELEMS`] the rows split across
+/// the pool in disjoint spans; bit-for-bit identical at any thread
+/// count.
+pub fn matvec_f32(data: &[f32], nrows: usize, ncols: usize, x: &[f32]) -> Result<Vec<f32>> {
+    check_gemv_dims("matvec_f32", data.len(), nrows, ncols, x.len())?;
+    let mut y = vec![0.0f32; nrows];
+    let nthreads = rayon::current_num_threads();
+    if nrows * ncols >= MATVEC_F32_PAR_MIN_ELEMS && nthreads > 1 && nrows > 1 {
+        let span = nrows.div_ceil(nthreads * 2).max(1);
+        y.par_chunks_mut(span).enumerate().for_each(|(ci, yspan)| {
+            matvec_span_f32(data, nrows, x, ci * span, yspan);
+        });
+    } else {
+        matvec_span_f32(data, nrows, x, 0, &mut y);
+    }
+    Ok(y)
+}
+
+/// `y = A * x` over a column-major scaled-i8 buffer. Same span split
+/// and determinism contract as [`matvec_f32`].
+pub fn matvec_i8(data: &[i8], nrows: usize, ncols: usize, x: &[f32]) -> Result<Vec<f32>> {
+    check_gemv_dims("matvec_i8", data.len(), nrows, ncols, x.len())?;
+    let mut y = vec![0.0f32; nrows];
+    let nthreads = rayon::current_num_threads();
+    if nrows * ncols >= MATVEC_F32_PAR_MIN_ELEMS && nthreads > 1 && nrows > 1 {
+        let span = nrows.div_ceil(nthreads * 2).max(1);
+        y.par_chunks_mut(span).enumerate().for_each(|(ci, yspan)| {
+            matvec_span_i8(data, nrows, x, ci * span, yspan);
+        });
+    } else {
+        matvec_span_i8(data, nrows, x, 0, &mut y);
+    }
+    Ok(y)
+}
+
+/// `C = A * B` over column-major f32 buffers: `A` is `nrows x ncols`,
+/// `B` is `ncols x nrhs`, and the result is column-major
+/// `nrows x nrhs`. Right-hand sides are processed in pairs so each
+/// streamed column of `A` feeds two output columns — the multi-facet
+/// sweep reads the document matrix half as many times as repeated
+/// GEMV would. The paired path accumulates column-by-column, so its
+/// last-ulp rounding can differ from [`matvec_f32`]'s 4-wide blocks;
+/// callers use these scores for candidate generation only and re-rank
+/// exactly, so the difference never surfaces. The sweep itself is
+/// serial and deterministic.
+pub fn gemm_f32(
+    data: &[f32],
+    nrows: usize,
+    ncols: usize,
+    b: &[f32],
+    nrhs: usize,
+) -> Result<Vec<f32>> {
+    if data.len() != nrows * ncols || b.len() != ncols * nrhs {
+        return Err(Error::DimensionMismatch {
+            context: format!(
+                "gemm_f32: {} entries for {nrows}x{ncols}, {} rhs entries for {ncols}x{nrhs}",
+                data.len(),
+                b.len()
+            ),
+        });
+    }
+    let mut c = vec![0.0f32; nrows * nrhs];
+    let mut r = 0;
+    while r + 2 <= nrhs {
+        let (head, tail) = c.split_at_mut((r + 1) * nrows);
+        let y0 = &mut head[r * nrows..];
+        let y1 = &mut tail[..nrows];
+        let b0 = &b[r * ncols..(r + 1) * ncols];
+        let b1 = &b[(r + 1) * ncols..(r + 2) * ncols];
+        for j in 0..ncols {
+            let (x0, x1) = (b0[j], b1[j]);
+            let col = &data[j * nrows..(j + 1) * nrows];
+            for i in 0..nrows {
+                y0[i] += x0 * col[i];
+                y1[i] += x1 * col[i];
+            }
+        }
+        r += 2;
+    }
+    if r < nrhs {
+        let y = &mut c[r * nrows..(r + 1) * nrows];
+        matvec_span_f32(data, nrows, &b[r * ncols..(r + 1) * ncols], 0, y);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_gemv(data: &[f32], m: usize, n: usize, x: &[f32]) -> Vec<f64> {
+        let mut y = vec![0.0f64; m];
+        for j in 0..n {
+            for i in 0..m {
+                y[i] += data[j * m + i] as f64 * x[j] as f64;
+            }
+        }
+        y
+    }
+
+    fn sample(m: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+        let data: Vec<f32> = (0..m * n)
+            .map(|i| ((i * 2654435761 % 1000) as f32) / 500.0 - 1.0)
+            .collect();
+        let x: Vec<f32> = (0..n).map(|j| ((j * 40503 % 97) as f32) / 48.0 - 1.0).collect();
+        (data, x)
+    }
+
+    #[test]
+    fn matvec_f32_matches_reference_across_shapes() {
+        for (m, n) in [(1, 1), (5, 4), (7, 9), (64, 13), (33, 8)] {
+            let (data, x) = sample(m, n);
+            let y = matvec_f32(&data, m, n, &x).unwrap();
+            let r = reference_gemv(&data, m, n, &x);
+            for i in 0..m {
+                assert!((y[i] as f64 - r[i]).abs() < 1e-3, "({m},{n}) row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_f32_rejects_bad_dims() {
+        assert!(matvec_f32(&[0.0; 6], 2, 3, &[0.0; 2]).is_err());
+        assert!(matvec_f32(&[0.0; 5], 2, 3, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matvec_i8_matches_widened_reference() {
+        let m = 9;
+        let n = 6;
+        let data: Vec<i8> = (0..m * n).map(|i| ((i * 37) % 255) as i8).collect();
+        let x: Vec<f32> = (0..n).map(|j| j as f32 * 0.5 - 1.0).collect();
+        let y = matvec_i8(&data, m, n, &x).unwrap();
+        let widened: Vec<f32> = data.iter().map(|&v| v as f32).collect();
+        let r = reference_gemv(&widened, m, n, &x);
+        for i in 0..m {
+            assert!((y[i] as f64 - r[i]).abs() < 1e-3);
+        }
+        assert!(matvec_i8(&data, m, n, &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn gemm_f32_matches_per_column_gemv() {
+        for nrhs in [1usize, 2, 3, 5] {
+            let (m, n) = (17, 12);
+            let (data, _) = sample(m, n);
+            let b: Vec<f32> = (0..n * nrhs)
+                .map(|i| ((i * 131 % 61) as f32) / 30.0 - 1.0)
+                .collect();
+            let c = gemm_f32(&data, m, n, &b, nrhs).unwrap();
+            for r in 0..nrhs {
+                let y = matvec_f32(&data, m, n, &b[r * n..(r + 1) * n]).unwrap();
+                for i in 0..m {
+                    assert!(
+                        (c[r * m + i] - y[i]).abs() <= 1e-5 * y[i].abs().max(1.0),
+                        "rhs {r} row {i}: {} vs {}",
+                        c[r * m + i],
+                        y[i]
+                    );
+                }
+            }
+        }
+        assert!(gemm_f32(&[0.0; 4], 2, 2, &[0.0; 3], 2).is_err());
+    }
+
+    #[test]
+    fn parallel_threshold_path_is_bit_identical_to_serial_span() {
+        // Big enough to cross MATVEC_F32_PAR_MIN_ELEMS when a pool is
+        // present; under LSI_NUM_THREADS=1 this exercises the serial
+        // branch, and both must agree bit-for-bit with the plain span.
+        let m = 2048;
+        let n = 512;
+        let (data, x) = sample(m, n);
+        let y = matvec_f32(&data, m, n, &x).unwrap();
+        let mut serial = vec![0.0f32; m];
+        matvec_span_f32(&data, m, &x, 0, &mut serial);
+        assert_eq!(y, serial);
+    }
+}

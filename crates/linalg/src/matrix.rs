@@ -167,6 +167,21 @@ impl DenseMatrix {
         (0..self.ncols).map(|j| self.get(i, j)).collect()
     }
 
+    /// Borrowing view of row `i` — no allocation. The hot per-row
+    /// operations (dot, norm, cosine) are available directly on the
+    /// view and are bit-identical to running [`crate::vecops`] on a
+    /// [`DenseMatrix::row`] copy.
+    #[inline]
+    pub fn row_view(&self, i: usize) -> RowView<'_> {
+        debug_assert!(i < self.nrows);
+        RowView {
+            data: &self.data,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row: i,
+        }
+    }
+
     /// Iterator over column slices.
     pub fn cols(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.nrows.max(1)).take(self.ncols)
@@ -312,6 +327,147 @@ impl DenseMatrix {
     }
 }
 
+/// A borrowed, strided view of one matrix row.
+///
+/// Rows of a column-major matrix are non-contiguous, so per-row
+/// operations historically went through [`DenseMatrix::row`], paying
+/// one `Vec<f64>` allocation per call — measurable in loops like the
+/// thesaurus sweep (one row per vocabulary term per query) and the
+/// document-norm refresh. The view walks the stride in place instead.
+///
+/// The arithmetic kernels ([`RowView::dot_slice`], [`RowView::nrm2`],
+/// the cosines) replicate the exact accumulation structure of their
+/// [`crate::vecops`] counterparts — same lane split, same scaling loop,
+/// same operation order — so swapping a row copy for a view never
+/// changes a result bit.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    data: &'a [f64],
+    nrows: usize,
+    ncols: usize,
+    row: usize,
+}
+
+impl<'a> RowView<'a> {
+    /// Number of entries (the matrix's column count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ncols
+    }
+
+    /// True if the row has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ncols == 0
+    }
+
+    /// Entry `j` of the row.
+    #[inline]
+    pub fn get(&self, j: usize) -> f64 {
+        debug_assert!(j < self.ncols);
+        self.data[j * self.nrows + self.row]
+    }
+
+    /// Iterator over the row's entries.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        let (data, nrows, row) = (self.data, self.nrows, self.row);
+        (0..self.ncols).map(move |j| data[j * nrows + row])
+    }
+
+    /// Materialize the row as a `Vec` (for callers that need a
+    /// contiguous slice, e.g. as a GEMV operand).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+
+    /// Dot product with a contiguous slice; mirrors [`crate::vecops::dot`]
+    /// (four accumulation lanes plus tail) bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics in debug builds on length mismatch.
+    pub fn dot_slice(&self, y: &[f64]) -> f64 {
+        debug_assert_eq!(self.ncols, y.len());
+        let mut acc = [0.0f64; 4];
+        let chunks = self.ncols / 4;
+        for c in 0..chunks {
+            let j = 4 * c;
+            acc[0] += self.get(j) * y[j];
+            acc[1] += self.get(j + 1) * y[j + 1];
+            acc[2] += self.get(j + 2) * y[j + 2];
+            acc[3] += self.get(j + 3) * y[j + 3];
+        }
+        let mut tail = 0.0;
+        for j in 4 * chunks..self.ncols {
+            tail += self.get(j) * y[j];
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+
+    /// Dot product with another row view; same lane structure as
+    /// [`RowView::dot_slice`].
+    pub fn dot(&self, other: RowView<'_>) -> f64 {
+        debug_assert_eq!(self.ncols, other.ncols);
+        let mut acc = [0.0f64; 4];
+        let chunks = self.ncols / 4;
+        for c in 0..chunks {
+            let j = 4 * c;
+            acc[0] += self.get(j) * other.get(j);
+            acc[1] += self.get(j + 1) * other.get(j + 1);
+            acc[2] += self.get(j + 2) * other.get(j + 2);
+            acc[3] += self.get(j + 3) * other.get(j + 3);
+        }
+        let mut tail = 0.0;
+        for j in 4 * chunks..self.ncols {
+            tail += self.get(j) * other.get(j);
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+
+    /// Euclidean norm; mirrors [`crate::vecops::nrm2`]'s overflow-guarded
+    /// scaling loop bit-for-bit.
+    pub fn nrm2(&self) -> f64 {
+        let mut scale = 0.0f64;
+        let mut ssq = 1.0f64;
+        for j in 0..self.ncols {
+            let v = self.get(j);
+            // lsi-analyze: allow(float-safety) — exact zero skip mirrors vecops::nrm2 bit-for-bit; NaN is not skipped.
+            if v != 0.0 {
+                let a = v.abs();
+                if scale < a {
+                    ssq = 1.0 + ssq * (scale / a).powi(2);
+                    scale = a;
+                } else {
+                    ssq += (a / scale).powi(2);
+                }
+            }
+        }
+        scale * ssq.sqrt()
+    }
+
+    /// Cosine with another row view; `0.0` if either row is zero
+    /// (matching [`crate::vecops::cosine`]).
+    pub fn cosine(&self, other: RowView<'_>) -> f64 {
+        let nx = self.nrm2();
+        let ny = other.nrm2();
+        // lsi-analyze: allow(float-safety) — zero-norm guard matches vecops::cosine's contract exactly.
+        if nx == 0.0 || ny == 0.0 {
+            return 0.0;
+        }
+        self.dot(other) / (nx * ny)
+    }
+
+    /// Cosine with a contiguous slice; `0.0` if either operand is zero.
+    pub fn cosine_slice(&self, y: &[f64]) -> f64 {
+        let nx = self.nrm2();
+        let ny = crate::vecops::nrm2(y);
+        // lsi-analyze: allow(float-safety) — zero-norm guard matches vecops::cosine's contract exactly.
+        if nx == 0.0 || ny == 0.0 {
+            return 0.0;
+        }
+        self.dot_slice(y) / (nx * ny)
+    }
+}
+
 impl std::fmt::Display for DenseMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for i in 0..self.nrows {
@@ -439,6 +595,43 @@ mod tests {
         assert_eq!(s.shape(), (2, 2));
         assert_eq!(s.get(0, 0), 4.0);
         assert_eq!(s.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn row_view_matches_row_copy_bit_for_bit() {
+        let mut m = DenseMatrix::zeros(5, 13);
+        for i in 0..5 {
+            for j in 0..13 {
+                m.set(i, j, ((i * 13 + j) as f64 * 0.37).sin() * 1e3);
+            }
+        }
+        let other: Vec<f64> = (0..13).map(|j| (j as f64 * 1.1).cos()).collect();
+        for i in 0..5 {
+            let copy = m.row(i);
+            let view = m.row_view(i);
+            assert_eq!(view.len(), 13);
+            assert!(!view.is_empty());
+            assert_eq!(view.to_vec(), copy);
+            assert_eq!(view.nrm2(), crate::vecops::nrm2(&copy));
+            assert_eq!(view.dot_slice(&other), crate::vecops::dot(&copy, &other));
+            assert_eq!(view.cosine_slice(&other), crate::vecops::cosine(&copy, &other));
+            for b in 0..5 {
+                let copy_b = m.row(b);
+                assert_eq!(view.dot(m.row_view(b)), crate::vecops::dot(&copy, &copy_b));
+                assert_eq!(
+                    view.cosine(m.row_view(b)),
+                    crate::vecops::cosine(&copy, &copy_b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_view_zero_row_cosine_is_zero() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert_eq!(m.row_view(0).cosine(m.row_view(1)), 0.0);
+        assert_eq!(m.row_view(0).cosine_slice(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(m.row_view(0).nrm2(), 0.0);
     }
 
     #[test]

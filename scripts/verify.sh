@@ -49,6 +49,21 @@ done
 # Refresh the committed pool benchmark with a full run via:
 #   ./target/release/perf_kernels --pool > BENCH_pool.json
 
+echo "== smoke: perf_kernels --compressed --quick JSON report"
+out=$(./target/release/perf_kernels --compressed --quick)
+for key in \
+    f64_batch_scoring_qps f64_resident_bytes \
+    f32_batch_scoring_qps f32_resident_bytes f32_fallbacks \
+    i8_batch_scoring_qps i8_resident_bytes i8_recall_at_10 \
+    '"metrics"'; do
+  if ! grep -q -- "$key" <<<"$out"; then
+    echo "FAIL: perf_kernels --compressed --quick output is missing $key" >&2
+    exit 1
+  fi
+done
+# Refresh the committed precision-ladder numbers with a full run via:
+#   ./target/release/perf_kernels --compressed   (see BENCH_kernels.json "compressed")
+
 echo "== smoke: fault injection (forced failpoints fire and are contained)"
 # Force each failpoint through a real CLI pipeline and assert two
 # things: (a) the failpoint actually FIRED (the lsi-fault warn line on
@@ -102,6 +117,11 @@ for threads in 4 1; do
   fault_run "$threads" fail    'core.persist.load=return-err'   query "$db" "car motor"
   fault_run "$threads" fail    'core.query.score=return-err'    query "$db" "car motor"
   fault_run "$threads" fail    'core.query.score=inject-nan'    query "$db" "car motor"
+  # Same failpoint through the compressed sweep: inject-nan (fire once,
+  # so only the sweep is poisoned) trips the non-finite guard, which
+  # falls back to the exact f64 scan instead of erroring — the query
+  # must still succeed (exit 0).
+  fault_run "$threads" ok      'core.query.score=inject-nan:1'  query "$db" "car motor" --precision f32
   # The forced save failure must not have clobbered an existing target.
   cp "$db" "$fault_dir/keep.json"
   fault_run "$threads" fail 'core.persist.save=return-err' index "$fault_dir/docs.tsv" --out "$fault_dir/keep.json" --k 2
