@@ -37,6 +37,12 @@ pub struct Line {
     pub code: String,
     /// Comment characters only (markers included); the rest is spaces.
     pub comment: String,
+    /// String-literal content only (quotes included, raw-string
+    /// prefixes/fences and char literals masked); the rest is spaces.
+    /// Columns align with [`Line::code`], so a rule that finds a call
+    /// in `code` can read its string argument here (`metric-naming`
+    /// validates span/counter names this way).
+    pub literal: String,
     /// True when the comment text on this line belongs to a doc
     /// comment (`///`, `//!`, `/**`, `/*!`).
     pub doc_comment: bool,
@@ -117,6 +123,7 @@ fn lex_masked(src: &str) -> Vec<Line> {
     let mut lines = Vec::new();
     let mut code = String::new();
     let mut comment = String::new();
+    let mut literal = String::new();
     let mut doc_line = false;
     let mut state = State::Code;
     let mut i = 0;
@@ -126,6 +133,7 @@ fn lex_masked(src: &str) -> Vec<Line> {
             lines.push(Line {
                 code: std::mem::take(&mut code),
                 comment: std::mem::take(&mut comment),
+                literal: std::mem::take(&mut literal),
                 doc_comment: doc_line,
                 in_test: false,
             });
@@ -160,6 +168,7 @@ fn lex_masked(src: &str) -> Vec<Line> {
                     doc_line = doc_line || doc;
                     comment.push_str("//");
                     code.push_str("  ");
+                    literal.push_str("  ");
                     i += 2;
                 } else if c == '/' && next == Some('*') {
                     let c2 = chars.get(i + 2).copied();
@@ -168,11 +177,13 @@ fn lex_masked(src: &str) -> Vec<Line> {
                     doc_line = doc_line || doc;
                     comment.push_str("/*");
                     code.push_str("  ");
+                    literal.push_str("  ");
                     i += 2;
                 } else if c == '"' {
                     state = State::Str { escaped: false };
                     code.push(' ');
                     comment.push(' ');
+                    literal.push('"');
                     i += 1;
                 } else if c == '\'' {
                     // Char literal or lifetime? `'\...` and `'x'` are
@@ -184,16 +195,19 @@ fn lex_masked(src: &str) -> Vec<Line> {
                         state = State::CharLit { escaped: false };
                         code.push(' ');
                         comment.push(' ');
+                        literal.push(' ');
                         i += 1;
                     } else if c1.is_some() && c1 != Some('\'') && c2 == Some('\'') {
                         // 'x' — a one-char literal.
                         code.push_str("   ");
                         comment.push_str("   ");
+                        literal.push_str("   ");
                         i += 3;
                     } else {
                         // Lifetime (or malformed literal): keep as code.
                         code.push(c);
                         comment.push(' ');
+                        literal.push(' ');
                         i += 1;
                     }
                 } else if matches!(c, 'r' | 'b' | 'c')
@@ -208,6 +222,14 @@ fn lex_masked(src: &str) -> Vec<Line> {
                             code.push(' ');
                             comment.push(' ');
                         }
+                        // The prefix/fence is masked, but the final
+                        // char (the opening quote) stays a quote in
+                        // the literal view so string-argument scans
+                        // see where content starts.
+                        for _ in 0..plen - 1 {
+                            literal.push(' ');
+                        }
+                        literal.push('"');
                         i += plen;
                         state = match raw_hashes {
                             Some(h) => State::RawStr { hashes: h },
@@ -217,6 +239,7 @@ fn lex_masked(src: &str) -> Vec<Line> {
                 } else {
                     code.push(c);
                     comment.push(' ');
+                    literal.push(' ');
                     i += 1;
                 }
             }
@@ -224,6 +247,7 @@ fn lex_masked(src: &str) -> Vec<Line> {
                 doc_line = doc_line || doc;
                 comment.push(c);
                 code.push(' ');
+                literal.push(' ');
                 i += 1;
             }
             State::BlockComment { depth, doc } => {
@@ -236,10 +260,12 @@ fn lex_masked(src: &str) -> Vec<Line> {
                     };
                     comment.push_str("/*");
                     code.push_str("  ");
+                    literal.push_str("  ");
                     i += 2;
                 } else if c == '*' && next == Some('/') {
                     comment.push_str("*/");
                     code.push_str("  ");
+                    literal.push_str("  ");
                     i += 2;
                     state = if depth == 1 {
                         State::Code
@@ -249,12 +275,14 @@ fn lex_masked(src: &str) -> Vec<Line> {
                 } else {
                     comment.push(c);
                     code.push(' ');
+                    literal.push(' ');
                     i += 1;
                 }
             }
             State::Str { escaped } => {
                 code.push(' ');
                 comment.push(' ');
+                literal.push(c);
                 if escaped {
                     state = State::Str { escaped: false };
                 } else if c == '\\' {
@@ -267,11 +295,13 @@ fn lex_masked(src: &str) -> Vec<Line> {
             State::RawStr { hashes } => {
                 code.push(' ');
                 comment.push(' ');
+                literal.push(c);
                 if c == '"' && closes_raw(&chars, i, hashes) {
                     // Mask the fence too.
                     for _ in 0..hashes {
                         code.push(' ');
                         comment.push(' ');
+                        literal.push(' ');
                     }
                     i += 1 + hashes;
                     state = State::Code;
@@ -282,6 +312,7 @@ fn lex_masked(src: &str) -> Vec<Line> {
             State::CharLit { escaped } => {
                 code.push(' ');
                 comment.push(' ');
+                literal.push(' ');
                 if escaped {
                     state = State::CharLit { escaped: false };
                 } else if c == '\\' {
@@ -294,7 +325,7 @@ fn lex_masked(src: &str) -> Vec<Line> {
         }
     }
     // Final line without trailing newline.
-    if !code.is_empty() || !comment.is_empty() || lines.is_empty() {
+    if !code.is_empty() || !comment.is_empty() || !literal.is_empty() || lines.is_empty() {
         push_line!();
     }
     lines
@@ -615,6 +646,23 @@ mod tests {
     fn cfg_not_test_is_not_a_test_region() {
         let f = lex("#[cfg(not(test))]\nfn real() {}\n");
         assert!(!f.lines[1].in_test);
+    }
+
+    #[test]
+    fn literal_view_preserves_string_content_and_aligns() {
+        let f = lex("count(\"a.b.count\", 1); // note");
+        let line = &f.lines[0];
+        assert_eq!(line.literal.len(), line.code.len(), "columns align");
+        assert!(line.literal.contains("\"a.b.count\""));
+        assert!(!line.literal.contains("count("), "code is spaces here");
+        assert!(!line.literal.contains("note"), "comments are spaces here");
+        // Raw strings keep content, mask prefix and fences.
+        let f = lex("let s = r#\"x.y\"#;");
+        assert!(f.lines[0].literal.contains("\"x.y\""));
+        assert!(!f.lines[0].literal.contains('#'));
+        // Char literals stay out of the literal view.
+        let f = lex("let c = 'q';");
+        assert!(!f.lines[0].literal.contains('q'));
     }
 
     #[test]

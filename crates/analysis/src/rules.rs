@@ -52,6 +52,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(AtomicsAudit),
         Box::new(EprintlnLint),
         Box::new(ThresholdProvenance),
+        Box::new(MetricNaming),
     ]
 }
 
@@ -607,6 +608,167 @@ impl Rule for ThresholdProvenance {
         }
         out
     }
+}
+
+// ---------------------------------------------------------------------
+// metric-naming
+// ---------------------------------------------------------------------
+
+/// Span and metric names must follow the dotted lowercase taxonomy.
+pub struct MetricNaming;
+
+/// Call patterns whose first string argument is a span/metric name.
+/// The `usize` is the minimum number of dotted segments: metrics
+/// follow `stage.metric.unit` (≥ 2), span paths may be a single
+/// top-level stage (`build`, `query`).
+const METRIC_CALL_PATTERNS: &[(&str, usize)] = &[
+    ("lsi_obs::count(", 2),
+    ("lsi_obs::observe(", 2),
+    ("lsi_obs::gauge_set(", 2),
+    ("lsi_obs::span(", 1),
+    ("lsi_obs::record_phase(", 1),
+    (".counter(", 2),
+    (".gauge(", 2),
+    (".histogram(", 2),
+    (".record_span(", 1),
+];
+
+impl Rule for MetricNaming {
+    fn name(&self) -> &'static str {
+        "metric-naming"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "span/counter names must follow the dotted lowercase taxonomy"
+    }
+    fn rationale(&self) -> &'static str {
+        "DESIGN.md §3b fixes the metric namespace: dotted lowercase \
+         `stage.metric.unit` names (`query.time.us`, \
+         `text.vocab.terms.count`) and dotted span paths (`build.svd.\
+         lanczos`). Dashboards, the RunReport JSON diff tooling, and \
+         RUST_LSI_TRACE span filters all key on these strings, so a \
+         `camelCase` counter or a space in a span name is an interface \
+         break that no type checker sees. This rule finds every \
+         literal name passed to the lsi-obs entry points \
+         (`count`/`observe`/`gauge_set`/`span`/`record_phase` and the \
+         registry's `counter`/`gauge`/`histogram`/`record_span`) and \
+         requires nonempty dot-separated segments of `[a-z0-9_]` — \
+         `{}` format placeholders are allowed and treated as one \
+         segment character. Dynamic (non-literal) names are not \
+         checked."
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        // Join the aligned code and literal views so calls whose name
+        // string sits on the next line are still seen.
+        let (joined, starts) = file.lexed.joined_code();
+        let mut joined_lit = String::new();
+        for line in &file.lexed.lines {
+            joined_lit.push_str(&line.literal);
+            joined_lit.push('\n');
+        }
+        let mut out = Vec::new();
+        for &(pat, min_segments) in METRIC_CALL_PATTERNS {
+            for start in find_word_starts(&joined, pat) {
+                let line_idx = crate::LexedFile::line_of_offset(&starts, start);
+                if !file.is_lib_line(line_idx) {
+                    continue;
+                }
+                let Some(name) = first_literal_arg(&joined, &joined_lit, start + pat.len())
+                else {
+                    continue; // dynamic name — out of scope
+                };
+                if let Err(why) = validate_metric_name(&name, min_segments) {
+                    out.push(self.finding(
+                        file,
+                        line_idx,
+                        format!(
+                            "metric/span name \"{name}\" in `{pat}..)` {why} \
+                             (DESIGN.md §3b: dotted lowercase `stage.metric.unit`)"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Starting at byte `from` (just past a call's opening paren), skip a
+/// thin layer of argument plumbing — whitespace, `&`, `(`, `!`, `:`
+/// and identifier characters, which covers `&format!("...")` and
+/// `concat!("...")` — and return the content of the string literal the
+/// argument opens with. `None` when the first argument is not (or does
+/// not begin with) a string literal: a `,`, `)`, or `;` bails out.
+fn first_literal_arg(code: &str, lit: &str, from: usize) -> Option<String> {
+    let code_b = code.as_bytes();
+    let lit_b = lit.as_bytes();
+    let mut i = from;
+    while i < code_b.len() {
+        if lit_b.get(i) == Some(&b'"') {
+            // Read the literal view up to the closing quote.
+            let mut name = String::new();
+            let mut j = i + 1;
+            while j < lit_b.len() && lit_b[j] != b'"' {
+                // Multi-byte chars appear verbatim in the literal
+                // view; include them so validation can reject them.
+                let c = lit[j..].chars().next()?;
+                name.push(c);
+                j += c.len_utf8();
+            }
+            return Some(name);
+        }
+        let c = code_b[i] as char;
+        if c.is_whitespace() || matches!(c, '&' | '(' | '!' | ':') || is_ident(c) {
+            i += 1;
+        } else {
+            return None;
+        }
+    }
+    None
+}
+
+/// Check one name against the taxonomy: `{..}` placeholders collapse
+/// to a plain segment character, then every dot-separated segment must
+/// be nonempty `[a-z0-9_]`, with at least `min_segments` segments.
+fn validate_metric_name(name: &str, min_segments: usize) -> Result<(), String> {
+    // Collapse format placeholders (`{name}`, `{}`) to `x`: a
+    // formatted name is conforming when its static skeleton is.
+    let mut collapsed = String::new();
+    let mut depth = 0usize;
+    for c in name.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                if depth == 1 {
+                    collapsed.push('x');
+                }
+            }
+            '}' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => collapsed.push(c),
+            _ => {}
+        }
+    }
+    let segments: Vec<&str> = collapsed.split('.').collect();
+    if segments.iter().any(|s| s.is_empty()) {
+        return Err("has an empty dotted segment".to_string());
+    }
+    if segments.len() < min_segments {
+        return Err(format!(
+            "has {} segment(s), need at least {min_segments}",
+            segments.len()
+        ));
+    }
+    for seg in &segments {
+        if let Some(bad) = seg
+            .chars()
+            .find(|&c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+        {
+            return Err(format!("contains `{bad}` (allowed: a-z, 0-9, `_`, `.`)"));
+        }
+    }
+    Ok(())
 }
 
 /// Names covered by the threshold-provenance convention.

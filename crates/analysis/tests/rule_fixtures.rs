@@ -183,3 +183,58 @@ fn non_threshold_consts_are_silent() {
     let src = "pub const MAX_ITERS: usize = 300;\n";
     assert!(hits("threshold-provenance", LIB, src).is_empty());
 }
+
+// ------------------------------------------------------------------
+// metric-naming
+// ------------------------------------------------------------------
+
+#[test]
+fn bad_metric_names_fire() {
+    // camelCase segment.
+    let src = "fn f() { lsi_obs::count(\"query.topK.count\", 1); }\n";
+    assert_eq!(hits("metric-naming", LIB, src), vec![1]);
+    // Space in a span path.
+    let src = "fn f() { let _s = lsi_obs::span(\"build svd\"); }\n";
+    assert_eq!(hits("metric-naming", LIB, src), vec![1]);
+    // Empty segment from a doubled dot.
+    let src = "fn f() { lsi_obs::observe(\"query..us\", 1.0); }\n";
+    assert_eq!(hits("metric-naming", LIB, src), vec![1]);
+    // Counters need stage.metric.unit, not a bare word.
+    let src = "fn f(r: &lsi_obs::Registry) { r.counter(\"hits\").inc(); }\n";
+    assert_eq!(hits("metric-naming", LIB, src), vec![1]);
+}
+
+#[test]
+fn conforming_metric_names_are_silent() {
+    let src = "fn f(r: &lsi_obs::Registry) {\n    \
+               lsi_obs::count(\"text.vocab.terms.count\", 1);\n    \
+               lsi_obs::observe(\"query.time.us\", 1.0);\n    \
+               let _s = lsi_obs::span(\"build.svd.lanczos\");\n    \
+               let _t = lsi_obs::span(\"query\");\n    \
+               r.histogram(\"sparse.matvec.us\").record(2.0);\n}\n";
+    assert!(hits("metric-naming", LIB, src).is_empty());
+}
+
+#[test]
+fn format_placeholders_collapse_to_one_segment() {
+    let good = "fn f(n: &str) { lsi_obs::count(&format!(\"fault.fired.{n}.count\"), 1); }\n";
+    assert!(hits("metric-naming", LIB, good).is_empty());
+    let bad = "fn f(n: &str) { lsi_obs::count(&format!(\"Fault.{n}.count\"), 1); }\n";
+    assert_eq!(hits("metric-naming", LIB, bad), vec![1]);
+}
+
+#[test]
+fn dynamic_names_and_test_code_are_silent() {
+    // A plain variable first argument is out of scope.
+    let src = "fn f(name: &str) { lsi_obs::count(name, 1); }\n";
+    assert!(hits("metric-naming", LIB, src).is_empty());
+    // Names inside test code are exempt like every other rule.
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() { lsi_obs::count(\"BAD NAME\", 1); }\n}\n";
+    assert!(hits("metric-naming", LIB, src).is_empty());
+}
+
+#[test]
+fn metric_name_on_continuation_line_is_checked() {
+    let src = "fn f() {\n    lsi_obs::count(\n        \"query.topK.count\",\n        1,\n    );\n}\n";
+    assert_eq!(hits("metric-naming", LIB, src), vec![2]);
+}

@@ -30,6 +30,18 @@
 //! plus resident scoring bytes per mode, margin-fallback counts, and
 //! the i8 ladder's recall@10 against the exact oracle. Populates the
 //! `compressed` section of BENCH_kernels.json.
+//!
+//! `--gate` is the perf-regression gate run by scripts/verify.sh: it
+//! re-measures the key metrics at full size with observability
+//! *disarmed* (the production configuration), loads the `gate` section
+//! of BENCH_kernels.json, and fails (exit 1) with an itemized diff when
+//! any metric falls outside its tolerance band. A failing first pass
+//! gets one settle-and-retry (the gate runs right after the test
+//! suites, when the container's CPU budget is often drained); the
+//! direction-aware better of the two measurements stands. It also
+//! reports the armed-metrics and armed-tracing overhead on the batched
+//! query path (the numbers behind the DESIGN.md §3g overhead table).
+//! `LSI_PERF_TOLERANCE=0.5` overrides every band, for slower machines.
 
 use std::time::Instant;
 
@@ -344,8 +356,291 @@ fn compressed_report(quick: bool) {
     print!("{}", report.to_json().to_string_pretty());
 }
 
+/// One row of the gate comparison table.
+struct GateRow {
+    name: String,
+    baseline: f64,
+    measured: f64,
+    /// `true` when larger values are better (throughput), `false` for
+    /// wall times.
+    higher_is_better: bool,
+    tolerance: f64,
+}
+
+impl GateRow {
+    /// The worst value still inside the tolerance band.
+    fn bound(&self) -> f64 {
+        if self.higher_is_better {
+            self.baseline * (1.0 - self.tolerance)
+        } else {
+            self.baseline * (1.0 + self.tolerance)
+        }
+    }
+
+    fn passes(&self) -> bool {
+        if self.higher_is_better {
+            self.measured >= self.bound()
+        } else {
+            self.measured <= self.bound()
+        }
+    }
+}
+
+/// Walk up from the current directory to find BENCH_kernels.json (the
+/// gate runs from the repo root under verify.sh, but also from crate
+/// subdirectories during development).
+fn find_bench_json() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join("BENCH_kernels.json");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The `--gate` mode: measure fresh, compare against the committed
+/// `gate` section of BENCH_kernels.json, exit nonzero on regression.
+/// One full disarmed measurement pass over the gated metrics, plus the
+/// armed-overhead trio `[disarmed, +metrics, +metrics+trace]` on the
+/// batched-scoring loop. The gate measures the production
+/// configuration: spans compiled in but the master switch off, so any
+/// regression here is real cost on the default path (including the
+/// counting-allocator gate check).
+fn gate_measure(s: &Sizes) -> (Vec<(&'static str, f64)>, [f64; 3]) {
+    assert!(!lsi_obs::enabled(), "gate must measure the disarmed path");
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let sq = s.gemm_square_small;
+    let gemm_nn_small = gemm_gflops(sq, sq, sq, false, 5, &mut rng);
+
+    let matrix = trec_like(s.trec_scale, 7);
+    let dual = DualFormat::from_csc(matrix);
+    let opts = LanczosOptions {
+        reorth: Reorth::Full,
+        ..Default::default()
+    };
+    let lanczos_secs = best_secs(s.time_reps, || {
+        let (svd, _) = lanczos_svd(&dual, s.lanczos_k, &opts).expect("lanczos runs");
+        std::hint::black_box(svd);
+    });
+
+    let (model, queries) = query_model(s);
+    let qhats: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| model.project_text(q).expect("projects"))
+        .collect();
+    let single_secs = best_secs(s.time_reps, || {
+        for q in &queries {
+            let ranked = model.query(q).expect("query runs");
+            std::hint::black_box(ranked.top(10));
+        }
+    });
+    let single_qps = queries.len() as f64 / single_secs;
+    let batch = |reps: usize| {
+        let secs = best_secs(reps, || {
+            for _ in 0..s.score_reps {
+                for qhat in &qhats {
+                    let ranked = model.rank_projected_top(qhat, 10).expect("ranks");
+                    std::hint::black_box(ranked);
+                }
+            }
+        });
+        (s.score_reps * qhats.len()) as f64 / secs
+    };
+    // Warm-up pass: the tight 2% band must not trip on cold caches.
+    let _ = batch(1);
+    let batch_qps = batch(7);
+    let mq = MultiQuery::from_vectors(&model, qhats.clone()).expect("facets");
+    let multi_secs = best_secs(s.time_reps, || {
+        for _ in 0..s.score_reps {
+            let ranked = model.query_multi(&mq, Combine::Max).expect("multi");
+            std::hint::black_box(ranked.top(10));
+        }
+    });
+    let multi_qps = (s.score_reps * qhats.len()) as f64 / multi_secs;
+
+    // --- Instrumentation overhead on the same batched loop -----------
+    // Armed metrics (spans + counters + allocation attribution), then
+    // armed metrics + trace buffer. Reported, not gated: the gated
+    // guarantee is that the *disarmed* path stays fast.
+    lsi_obs::set_enabled(true);
+    let batch_qps_metrics = batch(3);
+    lsi_obs::set_trace_enabled(true);
+    lsi_obs::register_thread("main");
+    let batch_qps_trace = batch(3);
+    lsi_obs::set_trace_enabled(false);
+    lsi_obs::set_enabled(false);
+    lsi_obs::reset_trace();
+
+    (
+        vec![
+            ("gemm_nn_256_gflops", gemm_nn_small),
+            ("lanczos_k50_secs", lanczos_secs),
+            ("query_single_qps", single_qps),
+            ("query_batch_scoring_qps", batch_qps),
+            ("query_multi_facet_qps", multi_qps),
+        ],
+        [batch_qps, batch_qps_metrics, batch_qps_trace],
+    )
+}
+
+fn gate_report() -> i32 {
+    let s = Sizes::full();
+    let run_start = Instant::now();
+
+    // Load the committed bands first so a malformed file fails fast,
+    // before a minute of measurement.
+    let Some(bench_path) = find_bench_json() else {
+        lsi_obs::error!("perf-gate: BENCH_kernels.json not found walking up from the current directory");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(&bench_path) {
+        Ok(t) => t,
+        Err(e) => {
+            lsi_obs::error!("perf-gate: cannot read {}: {e}", bench_path.display());
+            return 2;
+        }
+    };
+    let bench = match lsi_obs::parse_json(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            lsi_obs::error!("perf-gate: {} is not valid JSON: {e}", bench_path.display());
+            return 2;
+        }
+    };
+    let Some(gate) = bench.get("gate") else {
+        lsi_obs::error!(
+            "perf-gate: {} has no \"gate\" section; nothing to compare against",
+            bench_path.display()
+        );
+        return 2;
+    };
+    let Some(Json::Obj(metrics)) = gate.get("metrics") else {
+        lsi_obs::error!("perf-gate: \"gate\" section has no \"metrics\" object");
+        return 2;
+    };
+    // LSI_PERF_TOLERANCE widens (or tightens) every band at once — the
+    // escape hatch for machines slower than the one that recorded the
+    // baselines. Committed per-metric tolerances otherwise apply.
+    let tolerance_override = std::env::var("LSI_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+
+    // --- Measure, observability disarmed -----------------------------
+    let (mut measured, mut overhead) = gate_measure(&s);
+
+    // --- Compare ------------------------------------------------------
+    // One settle-and-retry pass: the gate usually runs right after the
+    // full test suites, when the container's CPU budget is drained and
+    // throughput can sag 10%+ for a few seconds. A metric outside its
+    // band gets one fresh measurement after a short settle, and the
+    // direction-aware better of the two runs stands — window-level
+    // throttling clears; a real regression fails both passes.
+    let build_rows = |measured: &[(&str, f64)]| -> Result<(Vec<GateRow>, usize), i32> {
+        let mut rows: Vec<GateRow> = Vec::new();
+        let mut unknown = 0;
+        for (name, spec) in metrics {
+            let (Some(baseline), Some(direction)) = (
+                spec.get("baseline").and_then(Json::as_f64),
+                spec.get("direction").and_then(Json::as_str),
+            ) else {
+                lsi_obs::error!("perf-gate: gate metric {name} needs \"baseline\" and \"direction\"");
+                return Err(2);
+            };
+            let tolerance = tolerance_override
+                .or_else(|| spec.get("tolerance").and_then(Json::as_f64))
+                .unwrap_or(0.25);
+            let Some(&(_, value)) = measured.iter().find(|(m, _)| *m == name.as_str()) else {
+                lsi_obs::error!("perf-gate: gate metric {name} is not one perf_kernels measures");
+                unknown += 1;
+                continue;
+            };
+            rows.push(GateRow {
+                name: name.clone(),
+                baseline,
+                measured: value,
+                higher_is_better: direction == "higher",
+                tolerance,
+            });
+        }
+        Ok((rows, unknown))
+    };
+    let (mut rows, unknown) = match build_rows(&measured) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    if rows.iter().any(|r| !r.passes()) {
+        lsi_obs::warn!("perf-gate: metric(s) outside tolerance; settling and re-measuring once");
+        std::thread::sleep(std::time::Duration::from_secs(3));
+        let (remeasured, reoverhead) = gate_measure(&s);
+        for (slot, &(_, fresh)) in measured.iter_mut().zip(&remeasured) {
+            let higher = rows
+                .iter()
+                .find(|r| r.name == slot.0)
+                .map_or(true, |r| r.higher_is_better);
+            if (fresh > slot.1) == higher {
+                slot.1 = fresh;
+            }
+        }
+        overhead = reoverhead;
+        (rows, _) = match build_rows(&measured) {
+            Ok(v) => v,
+            Err(code) => return code,
+        };
+    }
+    let [batch_qps, batch_qps_metrics, batch_qps_trace] = overhead;
+
+    println!("perf-gate: {} vs fresh measurement", bench_path.display());
+    println!(
+        "  {:<26} {:>12} {:>12} {:>7} {:>12}  status",
+        "metric", "baseline", "measured", "ratio", "bound"
+    );
+    let mut failed = 0;
+    for row in &rows {
+        let status = if row.passes() { "PASS" } else { "FAIL" };
+        if !row.passes() {
+            failed += 1;
+        }
+        println!(
+            "  {:<26} {:>12.3} {:>12.3} {:>7.3} {:>12.3}  {} ({}, tol {:.0}%)",
+            row.name,
+            row.baseline,
+            row.measured,
+            row.measured / row.baseline,
+            row.bound(),
+            status,
+            if row.higher_is_better { "higher is better" } else { "lower is better" },
+            row.tolerance * 100.0
+        );
+    }
+    println!(
+        "  overhead on query_batch_scoring_qps: disarmed {:.0}, +metrics {:.0} ({:+.1}%), +trace {:.0} ({:+.1}%)",
+        batch_qps,
+        batch_qps_metrics,
+        (batch_qps_metrics / batch_qps - 1.0) * 100.0,
+        batch_qps_trace,
+        (batch_qps_trace / batch_qps - 1.0) * 100.0,
+    );
+    println!("  wall: {:.1}s", run_start.elapsed().as_secs_f64());
+    if failed > 0 || unknown > 0 {
+        lsi_obs::error!(
+            "perf-gate: FAIL ({failed} metric(s) outside tolerance, {unknown} unknown); \
+             rerun with LSI_PERF_TOLERANCE=<frac> to widen bands on a slower machine"
+        );
+        return 1;
+    }
+    println!("perf-gate: OK ({} metrics within tolerance)", rows.len());
+    0
+}
+
 fn main() {
     let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    if std::env::args().skip(1).any(|a| a == "--gate") {
+        std::process::exit(gate_report());
+    }
     if std::env::args().skip(1).any(|a| a == "--pool") {
         if std::env::var_os("LSI_NO_OBS").is_none() {
             lsi_obs::set_enabled(true);

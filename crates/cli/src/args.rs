@@ -88,6 +88,9 @@ usage:
 global flags (any subcommand):
   --metrics        print a timing/flop report to stderr after the command
   --metrics=json   same, as a machine-readable JSON document
+  --trace=FILE     write a Chrome-trace JSON of all spans (with per-span
+                   alloc/flop attribution and pool-worker lanes) to FILE;
+                   open in chrome://tracing or https://ui.perfetto.dev
 
 inputs are .txt files (one document each) or .tsv files (id<TAB>text per line).
 weighting W: raw | log-entropy (default) | tf-idf
@@ -95,6 +98,10 @@ precision P: f64 (default, exact scan) | f32 | i8 — reduced-precision candidat
   sweep with exact f64 re-rank of the top hits; `index` persists the mode,
   `query` overrides it for one run.
 set RUST_LSI_LOG=off|error|warn|info|debug|trace to filter diagnostics (default warn).
+set RUST_LSI_TRACE=pat[,pat...] to keep only matching spans in --trace output
+  (`score.*` keeps a subtree, `query` one span; default: everything).
+set LSI_QUERY_LOG=FILE (or `-` for stderr) to append one JSON line per query
+  (trace id, phase latencies, precision path, candidates, score margin).
 ";
 
 /// How the user asked for the metrics report, if at all.
@@ -134,6 +141,32 @@ pub fn take_metrics(args: &mut Vec<String>) -> Result<MetricsMode> {
         }
     }
     Ok(mode)
+}
+
+/// Strip the global `--trace=FILE` flag from `args` before subcommand
+/// parsing, returning the trace output path if requested.
+pub fn take_trace(args: &mut Vec<String>) -> Result<Option<String>> {
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                return Err(CliError::usage(
+                    "--trace requires an output file: --trace=FILE",
+                ));
+            }
+            other if other.starts_with("--trace=") => {
+                let value = other["--trace=".len()..].to_string();
+                if value.is_empty() {
+                    return Err(CliError::usage("--trace=FILE needs a non-empty path"));
+                }
+                path = Some(value);
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(path)
 }
 
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>> {
@@ -475,5 +508,35 @@ mod tests {
         // Without take_metrics the subcommand parser must reject it —
         // the flag only works through the documented front door.
         assert!(parse_args(&v(&["query", "db", "text", "--metrics"])).is_err());
+    }
+
+    #[test]
+    fn trace_flag_is_stripped_anywhere() {
+        let mut args = v(&["index", "a.txt", "--trace=out.json", "--out", "db"]);
+        assert_eq!(take_trace(&mut args).unwrap(), Some("out.json".into()));
+        assert_eq!(args, v(&["index", "a.txt", "--out", "db"]));
+        assert!(parse_args(&args).is_ok());
+
+        let mut args = v(&["--trace=t.json", "query", "db", "text"]);
+        assert_eq!(take_trace(&mut args).unwrap(), Some("t.json".into()));
+        assert_eq!(args, v(&["query", "db", "text"]));
+    }
+
+    #[test]
+    fn trace_flag_absent_and_invalid() {
+        let mut args = v(&["query", "db", "text"]);
+        assert_eq!(take_trace(&mut args).unwrap(), None);
+        assert_eq!(args.len(), 3);
+
+        // Bare --trace (no =FILE) and an empty path are usage errors.
+        let mut args = v(&["query", "--trace", "db", "text"]);
+        assert!(take_trace(&mut args).is_err());
+        let mut args = v(&["query", "--trace=", "db", "text"]);
+        assert!(take_trace(&mut args).is_err());
+    }
+
+    #[test]
+    fn trace_flag_reaches_parse_args_as_error_if_not_stripped() {
+        assert!(parse_args(&v(&["query", "db", "text", "--trace=x.json"])).is_err());
     }
 }

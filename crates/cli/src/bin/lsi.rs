@@ -1,6 +1,6 @@
 //! The `lsi` command-line tool. See `lsi --help`.
 
-use lsi_cli::args::{parse_args, take_metrics, Command, MetricsMode, USAGE};
+use lsi_cli::args::{parse_args, take_metrics, take_trace, Command, MetricsMode, USAGE};
 use lsi_cli::commands;
 
 fn run(argv: &[String]) -> lsi_cli::Result<String> {
@@ -67,6 +67,28 @@ fn write_report(output: &str) -> i32 {
     }
 }
 
+/// Serialize the trace buffer to `path` after the command ran (in
+/// every outcome arm — a trace of a failing run is the one you want).
+/// Returns the exit-code floor: 1 when the write failed.
+fn write_trace(path: &str) -> i32 {
+    match lsi_obs::write_chrome_trace(path) {
+        Ok((events, dropped)) => {
+            lsi_obs::info!("lsi: wrote {events} trace events to {path}");
+            if dropped > 0 {
+                lsi_obs::warn!(
+                    "lsi: trace buffer overflowed; {dropped} events dropped \
+                     (narrow with RUST_LSI_TRACE=prefix.*)"
+                );
+            }
+            0
+        }
+        Err(e) => {
+            lsi_obs::error!("lsi: cannot write trace to {path}: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let metrics = match take_metrics(&mut argv) {
@@ -76,15 +98,29 @@ fn main() {
             std::process::exit(e.code);
         }
     };
+    let trace = match take_trace(&mut argv) {
+        Ok(path) => path,
+        Err(e) => {
+            lsi_obs::error!("lsi: {e}");
+            std::process::exit(e.code);
+        }
+    };
     if metrics != MetricsMode::Off {
         lsi_obs::set_enabled(true);
+    }
+    if trace.is_some() {
+        // Tracing needs the span machinery armed even without
+        // --metrics; the main thread gets a named lane.
+        lsi_obs::set_enabled(true);
+        lsi_obs::set_trace_enabled(true);
+        lsi_obs::register_thread("main");
     }
     // Last-resort panic boundary: a bug (or an armed `panic` failpoint)
     // anywhere below must still exit with a diagnostic and a
     // conventional code (EX_SOFTWARE), not an abort trace. The panic
     // hook already printed the message/backtrace to stderr.
     let outcome = std::panic::catch_unwind(|| run(&argv));
-    let code = match outcome {
+    let mut code = match outcome {
         Ok(Ok(output)) => {
             let code = write_report(&output);
             report_metrics(metrics);
@@ -106,5 +142,8 @@ fn main() {
             70
         }
     };
+    if let Some(path) = &trace {
+        code = code.max(write_trace(path));
+    }
     std::process::exit(code);
 }

@@ -1,9 +1,12 @@
 //! End-to-end metrics coverage: the full CLI pipeline on the paper's
-//! MED example must report every stage with nonzero wall time and flop
-//! counts, via the same JSON exporter `lsi --metrics=json` prints.
+//! MED example must report every stage with nonzero wall time, flop
+//! counts, and allocation attribution, via the same JSON exporter
+//! `lsi --metrics=json` prints — plus the Chrome trace the same run
+//! produces under `--trace=FILE`, including pool-worker lanes.
 
 use lsi_cli::commands;
 use lsi_corpora::MedExample;
+use lsi_obs::Json;
 
 /// The stages the ISSUE acceptance criterion enumerates: parsing,
 /// matrix build, SVD (with its Lanczos phase breakdown), database
@@ -36,9 +39,15 @@ fn tmpdir() -> std::path::PathBuf {
 #[test]
 fn med_pipeline_reports_all_six_stages_with_nonzero_work() {
     // One test body: the obs registry is process-global, so the whole
-    // pipeline runs under a single enable/snapshot cycle.
+    // pipeline runs under a single enable/snapshot cycle. Tracing is
+    // armed alongside metrics — exactly what `lsi --trace=FILE
+    // --metrics=json` does — so one pipeline validates both exports.
     lsi_obs::reset();
+    lsi_obs::reset_trace();
+    lsi_obs::set_trace_filter(Some("*"));
     lsi_obs::set_enabled(true);
+    lsi_obs::set_trace_enabled(true);
+    lsi_obs::register_thread("main");
 
     let ex = MedExample::build();
     let dir = tmpdir();
@@ -71,8 +80,17 @@ fn med_pipeline_reports_all_six_stages_with_nonzero_work() {
     )
     .unwrap();
 
+    // The thesaurus sweep behind `terms` is the one pool dispatch with
+    // no size threshold, so it reliably puts task spans on the worker
+    // lanes of the trace (when the pool has workers at all).
+    let terms = commands::cmd_terms(&db, "blood", 5).unwrap();
+    assert!(!terms.trim().is_empty(), "terms produced no output");
+
     let snapshot = lsi_obs::snapshot();
+    let trace = lsi_obs::chrome_trace_json();
+    lsi_obs::set_trace_enabled(false);
     lsi_obs::set_enabled(false);
+    lsi_obs::reset_trace();
     std::fs::remove_dir_all(&dir).ok();
 
     // Validate through the JSON exporter — the exact document
@@ -124,4 +142,83 @@ fn med_pipeline_reports_all_six_stages_with_nonzero_work() {
         .get("query.time.us")
         .expect("query latency histogram present");
     assert!(hist.get("count").unwrap().as_f64().unwrap() >= 1.0);
+
+    // Per-span memory attribution reaches the JSON export: parsing
+    // builds the vocabulary and count matrix, which cannot happen
+    // without allocating.
+    let parse = spans.get("build.parse").unwrap();
+    for key in ["allocs", "alloc_bytes", "alloc_peak"] {
+        assert!(
+            parse.get(key).is_some(),
+            "span JSON missing allocation field {key}; report: {text}"
+        );
+    }
+    assert!(
+        parse.get("alloc_bytes").unwrap().as_f64().unwrap() > 0.0,
+        "build.parse allocated nothing?"
+    );
+
+    // --- The Chrome trace from the same pipeline ---------------------
+    let trace_text = trace.to_string_compact();
+    let trace = lsi_obs::parse_json(&trace_text).expect("trace JSON parses");
+    let Some(Json::Arr(events)) = trace.get("traceEvents") else {
+        panic!("trace has no traceEvents array");
+    };
+    let ph = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap_or("").to_string();
+    let name = |e: &Json| e.get("name").and_then(Json::as_str).unwrap_or("").to_string();
+    let begins: Vec<&Json> = events.iter().filter(|e| ph(e) == "B").collect();
+    assert!(
+        begins.iter().any(|e| name(e) == "build.svd"),
+        "pipeline stages appear as B events"
+    );
+    // The E event for build.parse carries the same allocation args the
+    // metrics table reported.
+    let parse_end = events
+        .iter()
+        .find(|e| ph(e) == "E" && name(e) == "build.parse")
+        .expect("build.parse E event in trace");
+    let parse_alloc = parse_end
+        .get("args")
+        .and_then(|a| a.get("alloc_bytes"))
+        .and_then(Json::as_f64)
+        .expect("E event carries alloc_bytes");
+    assert!(parse_alloc > 0.0);
+
+    // Pool-worker lanes: with more than one thread, the terms sweep's
+    // task spans ride worker tids with `pool.worker.N` lane names.
+    // (verify.sh reruns the suite with LSI_NUM_THREADS=1, where the
+    // pool has no workers and everything stays on the main lane.)
+    let pooled = std::env::var("LSI_NUM_THREADS")
+        .map(|v| v.trim() != "1")
+        .unwrap_or(true)
+        && std::thread::available_parallelism().map(|n| n.get() > 1).unwrap_or(false);
+    if pooled {
+        let worker_tids: Vec<f64> = events
+            .iter()
+            .filter(|e| {
+                ph(e) == "M"
+                    && name(e) == "thread_name"
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .is_some_and(|n| n.starts_with("pool.worker."))
+            })
+            .map(|e| e.get("tid").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(
+            !worker_tids.is_empty(),
+            "pool workers must register trace lanes; trace: {trace_text}"
+        );
+        let task_on_worker = events.iter().any(|e| {
+            ph(e) == "B"
+                && name(e).ends_with(".task")
+                && e.get("tid")
+                    .and_then(Json::as_f64)
+                    .is_some_and(|tid| worker_tids.contains(&tid))
+        });
+        assert!(
+            task_on_worker,
+            "task spans must appear on pool-worker lanes; trace: {trace_text}"
+        );
+    }
 }

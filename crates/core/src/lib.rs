@@ -58,6 +58,7 @@ pub mod model;
 pub mod multiquery;
 pub mod ortho;
 pub mod query;
+pub(crate) mod querylog;
 pub mod update;
 
 pub use compressed::Precision;

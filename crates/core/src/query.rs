@@ -15,6 +15,7 @@ use rayon::prelude::*;
 
 use crate::compressed::CompressedStore;
 use crate::model::LsiModel;
+use crate::querylog;
 use crate::{Error, Result};
 
 /// One retrieved document.
@@ -296,12 +297,21 @@ impl LsiModel {
     /// scores are still exact f64 cosines). [`Precision::Exact`]
     /// scores everything in f64 through the same shared selection.
     pub fn rank_projected_top(&self, qhat: &[f64], z: usize) -> Result<RankedList> {
+        querylog::put_str("precision", self.precision().name());
+        querylog::put_num("z", z as f64);
         if let Some(store) = self.compressed.as_ref() {
             if let Some(ranked) = self.rank_top_compressed(store, qhat, z)? {
+                querylog::put_str("path", "compressed");
                 return Ok(ranked);
             }
             lsi_obs::count("score.rerank.fallback.count", 1);
+            querylog::put_str("path", "fallback");
+            let t = querylog::phase_timer();
+            let ranked = self.rank_top_exact(qhat, z);
+            querylog::phase_done(t, "fallback_us");
+            return ranked;
         }
+        querylog::put_str("path", "exact");
         self.rank_top_exact(qhat, z)
     }
 
@@ -369,6 +379,7 @@ impl LsiModel {
             return Ok(None);
         }
         let qnorm = vecops::nrm2(qhat);
+        let t_sweep = querylog::phase_timer();
         let approx = {
             let _span = lsi_obs::span("score.candidates");
             // The sweep streams the compressed replica once, plus the
@@ -399,6 +410,7 @@ impl LsiModel {
             }
             approx
         };
+        querylog::phase_done(t_sweep, "sweep_us");
         if !approx.iter().all(|s| s.is_finite()) {
             lsi_obs::warn!(
                 "compressed candidate sweep produced non-finite scores; \
@@ -414,6 +426,8 @@ impl LsiModel {
         let candidates =
             select_top_by(n, c, |i| ((desc_key_f32(approx[i]) as u64) << 32) | i as u64);
         lsi_obs::count("score.candidates.count", c as u64);
+        querylog::put_num("candidates", c as f64);
+        let t_rerank = querylog::phase_timer();
         let reranked = {
             let _span = lsi_obs::span("score.rerank");
             lsi_obs::add_bytes((c * k * 8) as f64);
@@ -426,6 +440,7 @@ impl LsiModel {
             let cosines = self.exact_cosines_rows(&by_row, qhat, qnorm)?;
             by_row.into_iter().zip(cosines).collect::<Vec<(usize, f64)>>()
         };
+        querylog::phase_done(t_rerank, "rerank_us");
         // The exact path's scoring-boundary guard, applied to the
         // re-ranked scores (the only f64 cosines this path computes).
         if !reranked.iter().all(|(_, s)| s.is_finite()) {
@@ -477,11 +492,17 @@ impl LsiModel {
     /// Query by free text: project and rank.
     pub fn query(&self, text: &str) -> Result<RankedList> {
         let _span = lsi_obs::span("query");
+        let qlog = querylog::begin("full");
+        querylog::put_num("n_docs", self.n_docs() as f64);
         let t0 = std::time::Instant::now();
+        let t_proj = querylog::phase_timer();
         let qhat = self.project_text(text)?;
+        querylog::phase_done(t_proj, "project_us");
+        querylog::put_str("path", "full");
         let ranked = self.rank_projected(&qhat)?;
         lsi_obs::count("query.count", 1);
         lsi_obs::observe("query.time.us", t0.elapsed().as_secs_f64() * 1e6);
+        qlog.finish(&ranked);
         Ok(ranked)
     }
 
@@ -489,11 +510,16 @@ impl LsiModel {
     /// (partition + partial sort instead of a full ranking).
     pub fn query_top(&self, text: &str, z: usize) -> Result<RankedList> {
         let _span = lsi_obs::span("query");
+        let qlog = querylog::begin("top");
+        querylog::put_num("n_docs", self.n_docs() as f64);
         let t0 = std::time::Instant::now();
+        let t_proj = querylog::phase_timer();
         let qhat = self.project_text(text)?;
+        querylog::phase_done(t_proj, "project_us");
         let ranked = self.rank_projected_top(&qhat, z)?;
         lsi_obs::count("query.count", 1);
         lsi_obs::observe("query.time.us", t0.elapsed().as_secs_f64() * 1e6);
+        qlog.finish(&ranked);
         Ok(ranked)
     }
 
@@ -508,10 +534,15 @@ impl LsiModel {
                 context: format!("document {doc} out of range ({} docs)", self.n_docs()),
             });
         }
+        let qlog = querylog::begin("doc");
+        querylog::put_num("n_docs", self.n_docs() as f64);
+        querylog::put_str("path", "full");
         // One contiguous copy of the (strided) document row, as the
         // GEMV operand — the per-row scoring itself is allocation-free.
         let qhat = self.doc_row(doc).to_vec();
-        self.rank_projected(&qhat)
+        let ranked = self.rank_projected(&qhat)?;
+        qlog.finish(&ranked);
+        Ok(ranked)
     }
 
     /// Rank the model's *terms* by cosine to the projected vector —

@@ -1,0 +1,229 @@
+//! Structured per-query log: one JSON line per served query.
+//!
+//! This is the record the future `lsi serve` daemon will emit per
+//! request; the batch entry points ([`LsiModel::query`],
+//! [`LsiModel::query_top`], [`LsiModel::query_by_doc`]) emit it today
+//! so the schema is proven before a daemon exists.
+//!
+//! [`LsiModel::query`]: crate::LsiModel::query
+//! [`LsiModel::query_top`]: crate::LsiModel::query_top
+//! [`LsiModel::query_by_doc`]: crate::LsiModel::query_by_doc
+//!
+//! Armed by `LSI_QUERY_LOG=<path>` (append) or `LSI_QUERY_LOG=-` /
+//! `stderr` (stderr), read once per process. Disarmed cost is one
+//! `OnceLock` load plus an `Option` check per call site — the same
+//! budget as the failpoint fast path (DESIGN.md §3g).
+//!
+//! Schema (one compact JSON object per line; fields absent when the
+//! path that produces them did not run):
+//!
+//! ```json
+//! {"trace_id":"q1234-7","kind":"top","n_docs":2000,"z":10,
+//!  "precision":"f32","path":"compressed","candidates":64,
+//!  "project_us":8.1,"sweep_us":41.2,"rerank_us":12.9,
+//!  "results":10,"top_score":0.93,"margin":0.04,"total_us":78.5}
+//! ```
+//!
+//! `path` is the precision path actually taken: `compressed` (sweep +
+//! re-rank served it), `fallback` (sweep ran, certification failed or
+//! the sweep degraded, exact scan served it — `fallback_us` carries
+//! the scan), `exact` (no compressed store; `full` for the full-sort
+//! entry points). `margin` is the top-1 − top-2 exact cosine gap.
+//! Only successfully served queries are logged; errors surface through
+//! the usual typed-error path and event log instead.
+//!
+//! The record accumulates in a thread-local while the query runs, so
+//! concurrent queries on different threads never interleave fields;
+//! the final line write is serialized by a sink mutex.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use lsi_obs::Json;
+
+use crate::query::RankedList;
+
+enum Sink {
+    Stderr,
+    File(Mutex<std::fs::File>),
+}
+
+static SINK: OnceLock<Option<Sink>> = OnceLock::new();
+
+/// Per-process query sequence number feeding `trace_id`.
+/// Relaxed: ids only need to be unique, not ordered with other memory.
+static SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn sink() -> Option<&'static Sink> {
+    SINK.get_or_init(|| {
+        let spec = std::env::var("LSI_QUERY_LOG").ok()?;
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return None;
+        }
+        if spec == "-" || spec == "stderr" {
+            return Some(Sink::Stderr);
+        }
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(spec)
+        {
+            Ok(f) => Some(Sink::File(Mutex::new(f))),
+            Err(e) => {
+                lsi_obs::warn!("cannot open LSI_QUERY_LOG file `{spec}`: {e}");
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// Whether query logging is armed (`LSI_QUERY_LOG` set and usable).
+#[inline]
+pub(crate) fn enabled() -> bool {
+    sink().is_some()
+}
+
+struct Active {
+    t0: Instant,
+    fields: Vec<(&'static str, Json)>,
+}
+
+thread_local! {
+    // One query runs per thread at a time (the entry points do not
+    // nest), so a single slot suffices.
+    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+}
+
+/// Guard for one query's record; created by [`begin`], emitted by
+/// [`QueryLog::finish`]. Dropping without `finish` (an error path)
+/// discards the partial record.
+pub(crate) struct QueryLog {
+    armed: bool,
+}
+
+/// Start a record for one query of the given kind (`"full"`, `"top"`,
+/// `"doc"`). No-op (and near-free) when logging is disarmed.
+pub(crate) fn begin(kind: &'static str) -> QueryLog {
+    if !enabled() {
+        return QueryLog { armed: false };
+    }
+    ACTIVE.with(|a| {
+        *a.borrow_mut() = Some(Active {
+            t0: Instant::now(),
+            fields: vec![("kind", Json::Str(kind.to_string()))],
+        });
+    });
+    QueryLog { armed: true }
+}
+
+/// Set (or overwrite) a field on the in-flight record, if any.
+pub(crate) fn put(key: &'static str, v: Json) {
+    if !enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(act) = a.borrow_mut().as_mut() {
+            act.fields.retain(|(k, _)| *k != key);
+            act.fields.push((key, v));
+        }
+    });
+}
+
+pub(crate) fn put_num(key: &'static str, v: f64) {
+    put(key, Json::Num(v));
+}
+
+pub(crate) fn put_str(key: &'static str, v: &str) {
+    put(key, Json::Str(v.to_string()));
+}
+
+/// Start timing a phase: `Some(now)` only when a record is in flight,
+/// so disarmed runs never touch the clock.
+pub(crate) fn phase_timer() -> Option<Instant> {
+    if !enabled() {
+        return None;
+    }
+    ACTIVE
+        .with(|a| a.borrow().is_some())
+        .then(Instant::now)
+}
+
+/// Record the elapsed phase time under `key` (µs).
+pub(crate) fn phase_done(t0: Option<Instant>, key: &'static str) {
+    if let Some(t0) = t0 {
+        put_num(key, t0.elapsed().as_secs_f64() * 1e6);
+    }
+}
+
+impl QueryLog {
+    /// Emit the record for a successfully served query: stamps the
+    /// trace id, result stats, and total latency, then writes one
+    /// compact JSON line to the sink.
+    pub(crate) fn finish(mut self, ranked: &RankedList) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        let Some(act) = ACTIVE.with(|a| a.borrow_mut().take()) else {
+            return;
+        };
+        let total_us = act.t0.elapsed().as_secs_f64() * 1e6;
+        let trace_id = format!(
+            "q{}-{}",
+            std::process::id(),
+            // Relaxed: see SEQ.
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let mut fields: Vec<(String, Json)> =
+            vec![("trace_id".to_string(), Json::Str(trace_id))];
+        fields.extend(
+            act.fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v)),
+        );
+        fields.push((
+            "results".to_string(),
+            Json::Num(ranked.matches.len() as f64),
+        ));
+        if let Some(top) = ranked.matches.first() {
+            fields.push(("top_score".to_string(), Json::Num(top.cosine)));
+            if let Some(second) = ranked.matches.get(1) {
+                fields.push((
+                    "margin".to_string(),
+                    Json::Num(top.cosine - second.cosine),
+                ));
+            }
+        }
+        fields.push(("total_us".to_string(), Json::Num(total_us)));
+        write_line(&Json::Obj(fields).to_string_compact());
+    }
+}
+
+impl Drop for QueryLog {
+    fn drop(&mut self) {
+        // Error path: clear the slot so a stale partial record cannot
+        // leak into the next query served on this thread.
+        if self.armed {
+            ACTIVE.with(|a| a.borrow_mut().take());
+        }
+    }
+}
+
+fn write_line(line: &str) {
+    match sink() {
+        Some(Sink::Stderr) => {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "{line}");
+        }
+        Some(Sink::File(m)) => {
+            let mut f = m.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = writeln!(f, "{line}");
+        }
+        None => {}
+    }
+}

@@ -1,0 +1,266 @@
+//! Counting global allocator for per-span memory attribution.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and keeps
+//! **thread-local** allocation statistics (count, bytes requested,
+//! current net bytes, peak net bytes). Spans snapshot these at enter
+//! and exit ([`scope_begin`]/[`scope_end`]), so every [`PhaseStats`]
+//! carries the allocations made on the span's thread while it was
+//! open — children included, because the deltas naturally cover the
+//! whole scope.
+//!
+//! [`PhaseStats`]: crate::PhaseStats
+//!
+//! Design constraints, in order of importance:
+//!
+//! - **The allocator must never allocate.** The per-thread state is a
+//!   const-initialized `Cell` (no lazy init, no drop glue), so reading
+//!   or updating it cannot re-enter the allocator or trip TLS
+//!   initialization from inside `alloc`.
+//! - **Disarmed cost is one relaxed atomic load.** Counting is gated
+//!   on [`crate::enabled`], the same master switch as spans; with
+//!   collection off, every `alloc`/`dealloc` pays exactly one relaxed
+//!   load over the system allocator's own cost (measured ≪1% on the
+//!   batched query path, see DESIGN.md §3g).
+//! - **Thread teardown must not panic.** TLS access uses `try_with`;
+//!   allocations made while the thread's TLS is being destroyed are
+//!   simply not counted.
+//!
+//! Cross-thread caveat: bytes allocated by pool workers inside a
+//! `parallel_for` are counted on the *worker's* thread, not attributed
+//! to the submitting span. Per-span attribution is therefore exact for
+//! serial regions and an undercount for the dispatching span of
+//! parallel kernels; the worker-side task spans in the Chrome trace
+//! carry the rest.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Snapshot of one thread's allocation counters.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct AllocSnapshot {
+    /// Allocations (including reallocs) since thread start.
+    pub count: u64,
+    /// Bytes requested by those allocations.
+    pub bytes: u64,
+    /// Current net heap bytes (allocated − freed) on this thread.
+    /// Signed: a thread may free memory allocated elsewhere.
+    pub cur: i64,
+    /// High-water mark of `cur` since the innermost open scope began.
+    pub peak: i64,
+}
+
+thread_local! {
+    // Const-initialized so TLS access from inside the allocator never
+    // allocates or runs lazy initialization.
+    static STATS: Cell<AllocSnapshot> = const {
+        Cell::new(AllocSnapshot {
+            count: 0,
+            bytes: 0,
+            cur: 0,
+            peak: 0,
+        })
+    };
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    // try_with: during thread teardown TLS may already be destroyed;
+    // silently skip counting rather than panic inside the allocator.
+    let _ = STATS.try_with(|s| {
+        let mut st = s.get();
+        st.count += 1;
+        st.bytes += size as u64;
+        st.cur += size as i64;
+        if st.cur > st.peak {
+            st.peak = st.cur;
+        }
+        s.set(st);
+    });
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    let _ = STATS.try_with(|s| {
+        let mut st = s.get();
+        st.cur -= size as i64;
+        s.set(st);
+    });
+}
+
+/// Begin a measurement scope on this thread: returns the counters as
+/// they stand (with the *previous* scope's peak preserved inside) and
+/// re-bases the peak to the current level so the new scope observes
+/// only its own high-water mark.
+pub(crate) fn scope_begin() -> AllocSnapshot {
+    STATS
+        .try_with(|s| {
+            let mut st = s.get();
+            let before = st;
+            st.peak = st.cur;
+            s.set(st);
+            before
+        })
+        .unwrap_or_default()
+}
+
+/// End a scope begun with [`scope_begin`]: returns
+/// `(allocs, alloc_bytes, alloc_peak_bytes)` for the scope and
+/// restores the enclosing scope's peak (taking the max with anything
+/// this scope reached, since the parent lived through it too).
+pub(crate) fn scope_end(before: AllocSnapshot) -> (f64, f64, f64) {
+    STATS
+        .try_with(|s| {
+            let mut st = s.get();
+            let allocs = st.count.wrapping_sub(before.count) as f64;
+            let bytes = st.bytes.wrapping_sub(before.bytes) as f64;
+            // Peak net growth relative to the level at scope entry;
+            // clamped because a scope that only frees has no growth.
+            let peak = (st.peak - before.cur).max(0) as f64;
+            st.peak = st.peak.max(before.peak);
+            s.set(st);
+            (allocs, bytes, peak)
+        })
+        .unwrap_or((0.0, 0.0, 0.0))
+}
+
+/// Current `(allocs, bytes)` totals for this thread since it started.
+/// Counting only advances while [`crate::enabled`] is on.
+pub fn thread_alloc_totals() -> (u64, u64) {
+    STATS
+        .try_with(|s| {
+            let st = s.get();
+            (st.count, st.bytes)
+        })
+        .unwrap_or((0, 0))
+}
+
+/// Counting wrapper over the system allocator. Installed as the
+/// workspace-wide `#[global_allocator]` in this crate's root, so every
+/// binary that links `lsi-obs` gets per-span memory attribution for
+/// free (and pays one relaxed load per heap call when disarmed).
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds
+// the GlobalAlloc contract; the counting side effects touch only
+// plain thread-local `Cell`s and cannot unwind (no allocation, no
+// lazy TLS init, teardown guarded by `try_with`).
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the GlobalAlloc `alloc` contract; we
+    // delegate to `System` unchanged and only read/update plain TLS.
+    #[inline]
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is forwarded unchanged from our own caller,
+        // which is bound by the same GlobalAlloc preconditions.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() && crate::enabled() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc `alloc_zeroed` contract;
+    // we delegate to `System` unchanged.
+    #[inline]
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is forwarded unchanged from our own caller.
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() && crate::enabled() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc `dealloc` contract (live
+    // ptr from this allocator with its layout); we delegate to
+    // `System` unchanged.
+    #[inline]
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are forwarded unchanged; our caller
+        // guarantees they describe a live allocation from this
+        // allocator, which always came from `System`.
+        unsafe { System.dealloc(ptr, layout) };
+        if crate::enabled() {
+            on_dealloc(layout.size());
+        }
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc `realloc` contract; we
+    // delegate to `System` unchanged.
+    #[inline]
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: arguments forwarded unchanged under the caller's
+        // realloc preconditions (live ptr, matching layout, nonzero
+        // rounded-up new_size).
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() && crate::enabled() {
+            // Model as free(old) + alloc(new): one new allocation,
+            // `new_size` fresh bytes requested, net delta reflected.
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Unit tests share the process-global ENABLED switch and the test
+    // harness runs them concurrently; serialize the tests that toggle
+    // the switch so the disarmed test cannot observe another test's
+    // armed window.
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn scope_counts_allocations_and_peak() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        crate::set_enabled(true);
+        let before = scope_begin();
+        let v: Vec<u8> = Vec::with_capacity(64 * 1024);
+        drop(v);
+        let small: Vec<u8> = Vec::with_capacity(128);
+        let (allocs, bytes, peak) = scope_end(before);
+        drop(small);
+        crate::set_enabled(false);
+        assert!(allocs >= 2.0, "two Vec allocations, got {allocs}");
+        assert!(bytes >= (64 * 1024 + 128) as f64, "got {bytes}");
+        // The 64 KiB buffer was live at some point inside the scope.
+        assert!(peak >= (64 * 1024) as f64, "peak {peak}");
+    }
+
+    #[test]
+    fn nested_scope_restores_parent_peak() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        crate::set_enabled(true);
+        let outer = scope_begin();
+        let big: Vec<u8> = Vec::with_capacity(32 * 1024);
+        drop(big);
+        let inner = scope_begin();
+        let tiny: Vec<u8> = Vec::with_capacity(16);
+        drop(tiny);
+        let (_, _, inner_peak) = scope_end(inner);
+        let (_, _, outer_peak) = scope_end(outer);
+        crate::set_enabled(false);
+        assert!(
+            inner_peak < (32 * 1024) as f64,
+            "inner scope must not inherit the outer high-water mark, got {inner_peak}"
+        );
+        assert!(
+            outer_peak >= (32 * 1024) as f64,
+            "outer scope peak must survive the nested scope, got {outer_peak}"
+        );
+    }
+
+    #[test]
+    fn disarmed_scope_reports_zero() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        crate::set_enabled(false);
+        let before = scope_begin();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        drop(v);
+        let (allocs, bytes, _) = scope_end(before);
+        assert_eq!(allocs, 0.0);
+        assert_eq!(bytes, 0.0);
+    }
+}

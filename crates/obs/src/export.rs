@@ -10,20 +10,23 @@ use crate::metrics::Snapshot;
 pub fn render_table(snap: &Snapshot) -> String {
     let mut out = String::new();
     if !snap.spans.is_empty() {
-        out.push_str("spans (wall time, attributed work):\n");
+        out.push_str("spans (wall time, attributed work, allocation):\n");
         let width = snap.spans.iter().map(|(p, _)| p.len()).max().unwrap_or(4);
         out.push_str(&format!(
-            "  {:<width$}  {:>5}  {:>10}  {:>12}  {:>9}\n",
-            "path", "calls", "secs", "flops", "mflop/s"
+            "  {:<width$}  {:>5}  {:>10}  {:>12}  {:>9}  {:>8}  {:>12}  {:>12}\n",
+            "path", "calls", "secs", "flops", "mflop/s", "allocs", "alloc_bytes", "alloc_peak"
         ));
         for (path, s) in &snap.spans {
             out.push_str(&format!(
-                "  {:<width$}  {:>5}  {:>10.6}  {:>12.3e}  {:>9.1}\n",
+                "  {:<width$}  {:>5}  {:>10.6}  {:>12.3e}  {:>9.1}  {:>8}  {:>12}  {:>12}\n",
                 path,
                 s.calls,
                 s.secs,
                 s.flops,
-                s.mflops()
+                s.mflops(),
+                s.allocs as u64,
+                s.alloc_bytes as u64,
+                s.alloc_peak as u64
             ));
         }
     }
@@ -62,7 +65,8 @@ pub fn render_table(snap: &Snapshot) -> String {
 }
 
 /// Convert a snapshot into a JSON object:
-/// `{"spans": {path: {calls, secs, flops, bytes, mflops}},
+/// `{"spans": {path: {calls, secs, flops, bytes, mflops, allocs,
+///   alloc_bytes, alloc_peak}},
 ///   "counters": {..}, "gauges": {..},
 ///   "histograms": {name: {count, sum, min, max, p50, p90, p99}}}`.
 pub fn snapshot_to_json(snap: &Snapshot) -> Json {
@@ -78,6 +82,9 @@ pub fn snapshot_to_json(snap: &Snapshot) -> Json {
                     ("flops", Json::Num(s.flops)),
                     ("bytes", Json::Num(s.bytes)),
                     ("mflops", Json::Num(s.mflops())),
+                    ("allocs", Json::Num(s.allocs)),
+                    ("alloc_bytes", Json::Num(s.alloc_bytes)),
+                    ("alloc_peak", Json::Num(s.alloc_peak)),
                 ]),
             )
         })
@@ -174,25 +181,50 @@ impl RunReport {
 /// The current git commit sha, read straight from `.git` (no
 /// subprocess — this must work in sandboxes without a `git` binary).
 /// Walks up from the current directory to find the repository root;
-/// resolves one level of `ref:` indirection, including packed refs.
+/// handles worktree/submodule `.git` *files* (`gitdir: <path>`
+/// indirection plus the `commondir` split between per-worktree HEAD
+/// and shared refs), and resolves one level of `ref:` indirection,
+/// including packed refs.
 pub fn git_sha() -> Option<String> {
-    let mut dir = std::env::current_dir().ok()?;
+    git_sha_from(&std::env::current_dir().ok()?)
+}
+
+/// [`git_sha`] rooted at an explicit directory (testable without
+/// changing the process working directory).
+pub fn git_sha_from(start: &std::path::Path) -> Option<String> {
+    let mut dir = start.to_path_buf();
     let git_dir = loop {
-        let candidate = dir.join(".git");
-        if candidate.is_dir() {
-            break candidate;
+        if let Some(resolved) = resolve_git_dir(&dir) {
+            break resolved;
         }
         if !dir.pop() {
             return None;
         }
     };
+    // In a linked worktree HEAD lives in the per-worktree git dir
+    // while refs/ and packed-refs live in the shared one, named by the
+    // `commondir` file (usually "../.." relative to the worktree dir).
+    let common_dir = match std::fs::read_to_string(git_dir.join("commondir")) {
+        Ok(rel) => {
+            let rel = rel.trim();
+            let p = std::path::Path::new(rel);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                git_dir.join(rel)
+            }
+        }
+        Err(_) => git_dir.clone(),
+    };
     let head = std::fs::read_to_string(git_dir.join("HEAD")).ok()?;
     let head = head.trim();
     if let Some(refname) = head.strip_prefix("ref: ") {
-        if let Ok(sha) = std::fs::read_to_string(git_dir.join(refname)) {
-            return Some(sha.trim().to_string());
+        for base in [&git_dir, &common_dir] {
+            if let Ok(sha) = std::fs::read_to_string(base.join(refname)) {
+                return Some(sha.trim().to_string());
+            }
         }
-        let packed = std::fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+        let packed = std::fs::read_to_string(common_dir.join("packed-refs")).ok()?;
         for line in packed.lines() {
             if let Some(sha) = line.strip_suffix(refname) {
                 return Some(sha.trim().to_string());
@@ -204,6 +236,26 @@ pub fn git_sha() -> Option<String> {
     } else {
         None
     }
+}
+
+/// Resolve `dir/.git` to the actual git directory: the path itself
+/// when it is a directory, or the `gitdir: <path>` target when it is a
+/// worktree/submodule indirection file (relative targets resolve
+/// against `dir`). `None` when `dir` is not a repository root.
+fn resolve_git_dir(dir: &std::path::Path) -> Option<std::path::PathBuf> {
+    let candidate = dir.join(".git");
+    if candidate.is_dir() {
+        return Some(candidate);
+    }
+    let contents = std::fs::read_to_string(&candidate).ok()?;
+    let target = contents.trim().strip_prefix("gitdir:")?.trim();
+    let path = std::path::Path::new(target);
+    let resolved = if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        dir.join(path)
+    };
+    resolved.is_dir().then_some(resolved)
 }
 
 #[cfg(test)]
@@ -292,5 +344,44 @@ mod tests {
         let sha = git_sha().expect("repo checkout has .git");
         assert_eq!(sha.len(), 40, "sha = {sha}");
         assert!(sha.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    // Regression: `.git` in a linked worktree is a *file* containing
+    // `gitdir: <path>`; the old reader only accepted a directory, so
+    // it walked past the worktree root and reported the wrong (or no)
+    // sha. Build the full worktree layout in a temp dir: per-worktree
+    // git dir holds HEAD + commondir, the shared dir holds the ref.
+    #[test]
+    fn git_sha_follows_worktree_gitdir_indirection() {
+        let sha = "0123456789abcdef0123456789abcdef01234567";
+        let root = std::env::temp_dir().join(format!("lsi-obs-wt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let shared = root.join("main/.git");
+        let wt_git = shared.join("worktrees/wt");
+        let wt = root.join("wt");
+        std::fs::create_dir_all(shared.join("refs/heads")).unwrap();
+        std::fs::create_dir_all(&wt_git).unwrap();
+        std::fs::create_dir_all(wt.join("sub")).unwrap();
+        std::fs::write(wt_git.join("HEAD"), "ref: refs/heads/feature\n").unwrap();
+        std::fs::write(wt_git.join("commondir"), "../..\n").unwrap();
+        std::fs::write(shared.join("refs/heads/feature"), format!("{sha}\n")).unwrap();
+        // Relative gitdir target, as `git worktree add` writes it.
+        std::fs::write(
+            wt.join(".git"),
+            "gitdir: ../main/.git/worktrees/wt\n",
+        )
+        .unwrap();
+        // Resolves from the worktree root and from a subdirectory.
+        assert_eq!(git_sha_from(&wt).as_deref(), Some(sha));
+        assert_eq!(git_sha_from(&wt.join("sub")).as_deref(), Some(sha));
+        // Shared refs may also be packed: drop the loose ref.
+        std::fs::remove_file(shared.join("refs/heads/feature")).unwrap();
+        std::fs::write(
+            shared.join("packed-refs"),
+            format!("# pack-refs with: peeled fully-peeled sorted\n{sha} refs/heads/feature\n"),
+        )
+        .unwrap();
+        assert_eq!(git_sha_from(&wt).as_deref(), Some(sha));
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

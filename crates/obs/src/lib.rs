@@ -29,15 +29,18 @@
 //! DESIGN.md "Observability" for the taxonomy and for how to
 //! instrument a new kernel.
 
+mod alloc;
 mod event;
 mod export;
 mod json;
 mod metrics;
 mod span;
 mod stats;
+mod trace;
 
+pub use alloc::{thread_alloc_totals, CountingAlloc};
 pub use event::{event, level_enabled, max_level, set_max_level, Level};
-pub use export::{git_sha, render_table, snapshot_to_json, RunReport};
+pub use export::{git_sha, git_sha_from, render_table, snapshot_to_json, RunReport};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot,
@@ -45,6 +48,18 @@ pub use metrics::{
 };
 pub use span::SpanGuard;
 pub use stats::{PhaseStats, MIN_PHASE_SECS};
+pub use trace::{
+    chrome_trace_json, register_thread, reset_trace, set_trace_enabled, set_trace_filter,
+    trace_enabled, trace_task, trace_task_label, write_chrome_trace, TraceTask, MAX_EVENTS,
+};
+
+/// Per-span memory attribution requires the counting allocator to be
+/// the process-wide global allocator. Installing it here means every
+/// workspace binary that links `lsi-obs` (all of them) gets allocation
+/// accounting without further wiring; disarmed cost is one relaxed
+/// atomic load per heap call (see `alloc.rs` and DESIGN.md §3g).
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

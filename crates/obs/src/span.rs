@@ -31,6 +31,16 @@ struct Frame {
     prefix_len: usize,
     flops: f64,
     bytes: f64,
+    /// Portion of `flops`/`bytes` rolled up from closed children —
+    /// subtracted at close so trace counter tracks credit each span
+    /// only with its own work.
+    child_flops: f64,
+    child_bytes: f64,
+    /// Whether the trace filter kept this span's begin event (the end
+    /// event must mirror it even if the filter changes mid-span).
+    traced: bool,
+    /// Allocation counters at span entry (see [`crate::alloc`]).
+    alloc0: crate::alloc::AllocSnapshot,
 }
 
 /// RAII guard for one open span. Created by [`crate::span`]; closing
@@ -53,10 +63,19 @@ impl SpanGuard {
                 s.path.push('.');
             }
             s.path.push_str(name);
+            // Emit the trace begin event before snapshotting the
+            // allocator, so the event's own allocations are charged to
+            // the parent, not this span.
+            let traced = crate::trace::trace_enabled() && crate::trace::span_begin(&s.path);
+            let alloc0 = crate::alloc::scope_begin();
             s.frames.push(Frame {
                 prefix_len,
                 flops: 0.0,
                 bytes: 0.0,
+                child_flops: 0.0,
+                child_bytes: 0.0,
+                traced,
+                alloc0,
             });
         });
         SpanGuard {
@@ -72,7 +91,7 @@ impl Drop for SpanGuard {
         // nonzero wall time (stage reports must never show 0s of work
         // that demonstrably ran).
         let secs = start.elapsed().as_secs_f64().max(MIN_PHASE_SECS);
-        let (path, stats) = STACK.with(|s| {
+        let (path, stats, traced, self_flops, self_bytes) = STACK.with(|s| {
             let mut s = s.borrow_mut();
             let frame = s
                 .frames
@@ -80,10 +99,15 @@ impl Drop for SpanGuard {
                 .expect("span guard dropped with empty span stack");
             let path = s.path.clone();
             s.path.truncate(frame.prefix_len);
+            // Close the allocation scope before emitting trace events
+            // so the events' own allocations are not charged here.
+            let (allocs, alloc_bytes, alloc_peak) = crate::alloc::scope_end(frame.alloc0);
             // Children's work counts toward the parent stage.
             if let Some(parent) = s.frames.last_mut() {
                 parent.flops += frame.flops;
                 parent.bytes += frame.bytes;
+                parent.child_flops += frame.flops;
+                parent.child_bytes += frame.bytes;
             }
             (
                 path,
@@ -92,9 +116,18 @@ impl Drop for SpanGuard {
                     flops: frame.flops,
                     bytes: frame.bytes,
                     secs,
+                    allocs,
+                    alloc_bytes,
+                    alloc_peak,
                 },
+                frame.traced,
+                frame.flops - frame.child_flops,
+                frame.bytes - frame.child_bytes,
             )
         });
+        if traced {
+            crate::trace::span_end(&path, &stats, self_flops, self_bytes);
+        }
         crate::registry().record_span(&path, &stats);
     }
 }

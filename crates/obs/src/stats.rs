@@ -30,6 +30,15 @@ pub struct PhaseStats {
     pub bytes: f64,
     /// Wall-clock seconds spent in the phase.
     pub secs: f64,
+    /// Heap allocations made on the phase's thread while it was open
+    /// (children included — the counting allocator's thread-local
+    /// deltas naturally cover the whole scope).
+    pub allocs: f64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: f64,
+    /// Peak net heap growth (bytes above the level at span entry)
+    /// observed during any single call of the phase.
+    pub alloc_peak: f64,
 }
 
 impl PhaseStats {
@@ -38,8 +47,8 @@ impl PhaseStats {
         PhaseStats {
             calls: 1,
             flops,
-            bytes: 0.0,
             secs,
+            ..PhaseStats::default()
         }
     }
 
@@ -50,12 +59,16 @@ impl PhaseStats {
         self.secs += secs;
     }
 
-    /// Fold another accumulator into this one.
+    /// Fold another accumulator into this one. Allocation counts and
+    /// bytes sum; the peak is the worst single call's peak.
     pub fn merge(&mut self, other: &PhaseStats) {
         self.calls += other.calls;
         self.flops += other.flops;
         self.bytes += other.bytes;
         self.secs += other.secs;
+        self.allocs += other.allocs;
+        self.alloc_bytes += other.alloc_bytes;
+        self.alloc_peak = self.alloc_peak.max(other.alloc_peak);
     }
 
     /// Effective throughput in MFLOP/s.
@@ -108,8 +121,7 @@ mod tests {
         let s = PhaseStats {
             calls: 1,
             flops: 1e6,
-            bytes: 0.0,
-            secs: 0.0,
+            ..PhaseStats::default()
         };
         let r = s.mflops();
         assert!(r.is_finite(), "zero-duration phase must not divide by zero");

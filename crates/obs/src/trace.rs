@@ -1,0 +1,517 @@
+//! Chrome Trace Format export: per-thread span timelines.
+//!
+//! While tracing is armed ([`set_trace_enabled`]), every span open and
+//! close appends a `B`/`E` duration event tagged with a process-unique
+//! thread id, and the flop/byte roll-ups feed cumulative counter
+//! tracks (`C` events). [`write_chrome_trace`] serializes the buffer
+//! as `{"traceEvents": [...]}` — the JSON Chrome Trace Format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly.
+//!
+//! Thread lanes: each OS thread lazily receives a small integer `tid`
+//! the first time it emits an event; [`register_thread`] attaches a
+//! human-readable lane name (emitted as `M`/`thread_name` metadata).
+//! The vendor/rayon pool registers its workers as `pool.worker.N`, so
+//! parallel GEMM tiles, nnz-balanced SpMV spans, and lowp sweeps show
+//! up on real worker lanes, not folded into the submitting thread.
+//!
+//! Filtering: `RUST_LSI_TRACE` (or [`set_trace_filter`]) holds a
+//! comma-separated pattern list mirroring the `RUST_LSI_LOG` idiom.
+//! `score.*` keeps a subtree, `query` keeps one exact span; patterns
+//! match at any dotted segment boundary, so `score.*` also keeps
+//! `query.score.candidates`. Unset, empty, or `*` keeps everything.
+//!
+//! Timestamps are microseconds from a process-wide epoch pinned when
+//! tracing is first enabled. Events from one thread are appended in
+//! program order, so per-tid timestamps are monotonic by construction.
+//! The buffer is bounded ([`MAX_EVENTS`]); overflow increments a drop
+//! counter reported at export instead of growing without limit.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::stats::PhaseStats;
+
+/// Hard cap on buffered events (~1M ≈ a few hundred MB of JSON at
+/// worst); beyond it events are counted as dropped, not stored.
+pub const MAX_EVENTS: usize = 1 << 20;
+
+/// Master switch for trace collection, separate from the metrics
+/// switch so `--metrics` alone does not pay for event buffering.
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+/// Process epoch for trace timestamps; pinned on first enable.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Next thread id to hand out. Relaxed: ids only need to be unique,
+/// no ordering with any other memory is implied.
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    // 0 = not yet assigned. Const-initialized: reading it must never
+    // allocate (the allocator's own instrumentation lives nearby).
+    static TID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// One buffered trace event.
+struct Event {
+    /// Chrome phase: 'B' begin, 'E' end, 'C' counter.
+    ph: char,
+    name: String,
+    tid: u32,
+    /// Microseconds since [`EPOCH`].
+    ts_us: f64,
+    args: Vec<(&'static str, f64)>,
+}
+
+#[derive(Default)]
+struct Buf {
+    events: Vec<Event>,
+    /// Registered `(tid, lane name)` pairs, last registration wins.
+    threads: Vec<(u32, String)>,
+    dropped: u64,
+    /// Cumulative self-flops/self-bytes feeding the counter tracks.
+    cum_flops: f64,
+    cum_bytes: f64,
+}
+
+static BUF: Mutex<Buf> = Mutex::new(Buf {
+    events: Vec::new(),
+    threads: Vec::new(),
+    dropped: 0,
+    cum_flops: 0.0,
+    cum_bytes: 0.0,
+});
+
+fn with_buf<R>(f: impl FnOnce(&mut Buf) -> R) -> R {
+    // A poisoned buffer only means some thread panicked mid-append;
+    // the data is still well-formed events, so keep using it.
+    let mut b = BUF.lock().unwrap_or_else(|p| p.into_inner());
+    f(&mut b)
+}
+
+impl Buf {
+    fn push(&mut self, e: Event) {
+        if self.events.len() >= MAX_EVENTS {
+            self.dropped += 1;
+        } else {
+            self.events.push(e);
+        }
+    }
+}
+
+/// Turn trace event collection on or off process-wide. Enabling pins
+/// the timestamp epoch if this is the first enable.
+pub fn set_trace_enabled(on: bool) {
+    if on {
+        EPOCH.get_or_init(Instant::now);
+    }
+    // Relaxed: the flag is an independent on/off gate; event ordering
+    // within the buffer comes from the buffer mutex, not this store.
+    TRACE_ON.store(on, Ordering::Relaxed);
+}
+
+/// Whether trace collection is currently armed. One relaxed load —
+/// this is the entire disarmed-path cost at span sites.
+#[inline]
+pub fn trace_enabled() -> bool {
+    // Relaxed: see `set_trace_enabled`.
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+fn now_us() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
+}
+
+/// This thread's trace lane id, assigning one (and a default lane name
+/// from the OS thread name) on first use.
+fn current_tid() -> u32 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        // Relaxed: uniqueness via fetch_add; no other memory ordering
+        // depends on id assignment.
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        let name = std::thread::current()
+            .name()
+            .unwrap_or("thread")
+            .to_string();
+        with_buf(|b| b.threads.push((v, name)));
+        v
+    })
+}
+
+/// Name this thread's lane in exported traces (`M`/`thread_name`
+/// metadata). The vendor/rayon pool calls this as `pool.worker.N` at
+/// worker startup; the CLI registers `main`. Safe to call whether or
+/// not tracing is enabled — the name is kept for later exports.
+pub fn register_thread(name: &str) {
+    let tid = current_tid();
+    with_buf(|b| {
+        b.threads.retain(|(t, _)| *t != tid);
+        b.threads.push((tid, name.to_string()));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Filtering (RUST_LSI_TRACE)
+// ---------------------------------------------------------------------
+
+struct Pattern {
+    prefix: String,
+    /// True for `p.*` (keep the whole subtree), false for exact `p`.
+    subtree: bool,
+}
+
+enum FilterState {
+    /// Environment not consulted yet.
+    Unset,
+    /// Keep every span.
+    All,
+    Patterns(Vec<Pattern>),
+}
+
+static FILTER: Mutex<FilterState> = Mutex::new(FilterState::Unset);
+
+fn parse_filter(spec: &str) -> FilterState {
+    let pats: Vec<Pattern> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty() && *s != "*")
+        .map(|s| match s.strip_suffix(".*") {
+            Some(p) => Pattern {
+                prefix: p.to_string(),
+                subtree: true,
+            },
+            None => Pattern {
+                prefix: s.to_string(),
+                subtree: false,
+            },
+        })
+        .collect();
+    if pats.is_empty() {
+        FilterState::All
+    } else {
+        FilterState::Patterns(pats)
+    }
+}
+
+/// Override the `RUST_LSI_TRACE` filter programmatically. `None`
+/// reverts to re-reading the environment on next use (tests).
+pub fn set_trace_filter(spec: Option<&str>) {
+    let mut f = FILTER.lock().unwrap_or_else(|p| p.into_inner());
+    *f = match spec {
+        Some(s) => parse_filter(s),
+        None => FilterState::Unset,
+    };
+}
+
+/// Does `name` occur in `path` starting at a dotted segment boundary?
+/// (`score` matches `score.x` and `query.score.x` but not
+/// `query.rescore.x`.)
+fn segment_occurrence(path: &str, name: &str, whole_tail: bool) -> bool {
+    let mut from = 0;
+    while let Some(rel) = path[from..].find(name) {
+        let at = from + rel;
+        let starts_seg = at == 0 || path.as_bytes()[at - 1] == b'.';
+        let end = at + name.len();
+        let tail = &path[end..];
+        let ends_ok = if whole_tail {
+            tail.is_empty()
+        } else {
+            tail.is_empty() || tail.starts_with('.')
+        };
+        if starts_seg && ends_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Whether the filter keeps a span with this dotted path.
+pub(crate) fn filter_matches(path: &str) -> bool {
+    let mut f = FILTER.lock().unwrap_or_else(|p| p.into_inner());
+    if matches!(*f, FilterState::Unset) {
+        *f = match std::env::var("RUST_LSI_TRACE") {
+            Ok(spec) => parse_filter(&spec),
+            Err(_) => FilterState::All,
+        };
+    }
+    match &*f {
+        FilterState::Unset | FilterState::All => true,
+        FilterState::Patterns(pats) => pats.iter().any(|p| {
+            // Exact patterns must match a whole path suffix segment
+            // run; subtree patterns may be followed by more segments.
+            segment_occurrence(path, &p.prefix, !p.subtree)
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event emission (called from span.rs and the pool task helpers)
+// ---------------------------------------------------------------------
+
+/// Emit the begin event for a span. Returns whether the span was kept
+/// by the filter — the span stores this so the matching end event is
+/// emitted iff the begin was (filter changes mid-span cannot unbalance
+/// B/E pairs).
+pub(crate) fn span_begin(path: &str) -> bool {
+    if !filter_matches(path) {
+        return false;
+    }
+    let tid = current_tid();
+    let ts_us = now_us();
+    with_buf(|b| {
+        b.push(Event {
+            ph: 'B',
+            name: path.to_string(),
+            tid,
+            ts_us,
+            args: Vec::new(),
+        });
+    });
+    true
+}
+
+/// Emit the end event for a span kept by [`span_begin`], carrying the
+/// span's work and allocation attribution as args, plus counter-track
+/// samples for the flops/bytes the span did *itself* (children emit
+/// their own, so the cumulative track never double counts roll-ups).
+pub(crate) fn span_end(path: &str, stats: &PhaseStats, self_flops: f64, self_bytes: f64) {
+    let tid = current_tid();
+    let ts_us = now_us();
+    with_buf(|b| {
+        b.push(Event {
+            ph: 'E',
+            name: path.to_string(),
+            tid,
+            ts_us,
+            args: vec![
+                ("flops", stats.flops),
+                ("bytes", stats.bytes),
+                ("allocs", stats.allocs),
+                ("alloc_bytes", stats.alloc_bytes),
+                ("alloc_peak_bytes", stats.alloc_peak),
+            ],
+        });
+        if self_flops > 0.0 {
+            b.cum_flops += self_flops;
+            let v = b.cum_flops;
+            b.push(Event {
+                ph: 'C',
+                name: "flops.cumulative".to_string(),
+                tid,
+                ts_us,
+                args: vec![("value", v)],
+            });
+        }
+        if self_bytes > 0.0 {
+            b.cum_bytes += self_bytes;
+            let v = b.cum_bytes;
+            b.push(Event {
+                ph: 'C',
+                name: "bytes.cumulative".to_string(),
+                tid,
+                ts_us,
+                args: vec![("value", v)],
+            });
+        }
+    });
+}
+
+/// Label for per-chunk pool task events under the *submitting* span
+/// (`<submitter path>.task`, or `pool.task` outside any span), or
+/// `None` when tracing is off / the label is filtered out. The pool
+/// resolves this once per job on the submitting thread and ships it to
+/// workers inside the job.
+pub fn trace_task_label() -> Option<String> {
+    if !trace_enabled() {
+        return None;
+    }
+    let path = crate::span::current_path();
+    let label = if path.is_empty() {
+        "pool.task".to_string()
+    } else {
+        format!("{path}.task")
+    };
+    if !filter_matches(&label) {
+        return None;
+    }
+    Some(label)
+}
+
+/// RAII guard for one pool task (chunk) trace event on the executing
+/// worker's lane. These are raw B/E events only — they do not touch
+/// the span stack or the metrics registry.
+pub struct TraceTask {
+    label: Option<String>,
+}
+
+/// Open a task event named `label` covering rows `[lo, hi)`. No-op
+/// when tracing is disarmed.
+pub fn trace_task(label: &str, lo: usize, hi: usize) -> TraceTask {
+    if !trace_enabled() {
+        return TraceTask { label: None };
+    }
+    let tid = current_tid();
+    let ts_us = now_us();
+    with_buf(|b| {
+        b.push(Event {
+            ph: 'B',
+            name: label.to_string(),
+            tid,
+            ts_us,
+            args: vec![("lo", lo as f64), ("hi", hi as f64)],
+        });
+    });
+    TraceTask {
+        label: Some(label.to_string()),
+    }
+}
+
+impl Drop for TraceTask {
+    fn drop(&mut self) {
+        let Some(label) = self.label.take() else {
+            return;
+        };
+        let tid = current_tid();
+        let ts_us = now_us();
+        with_buf(|b| {
+            b.push(Event {
+                ph: 'E',
+                name: label,
+                tid,
+                ts_us,
+                args: Vec::new(),
+            });
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------
+
+fn event_to_json(e: &Event) -> Json {
+    let mut members = vec![
+        ("name", Json::Str(e.name.clone())),
+        ("cat", Json::Str("lsi".to_string())),
+        ("ph", Json::Str(e.ph.to_string())),
+        ("pid", Json::Num(1.0)),
+        ("tid", Json::Num(f64::from(e.tid))),
+        ("ts", Json::Num(e.ts_us)),
+    ];
+    if !e.args.is_empty() {
+        let args = e
+            .args
+            .iter()
+            .map(|(k, v)| (*k, Json::Num(*v)))
+            .collect::<Vec<_>>();
+        members.push(("args", Json::obj(args)));
+    }
+    Json::obj(members)
+}
+
+/// Build the Chrome Trace Format document for everything buffered so
+/// far: thread-name metadata first, then events in arrival order.
+pub fn chrome_trace_json() -> Json {
+    with_buf(|b| {
+        let mut evs: Vec<Json> = Vec::with_capacity(b.events.len() + b.threads.len() + 1);
+        evs.push(Json::obj(vec![
+            ("name", Json::Str("process_name".to_string())),
+            ("ph", Json::Str("M".to_string())),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(0.0)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str("lsi".to_string()))]),
+            ),
+        ]));
+        for (tid, name) in &b.threads {
+            evs.push(Json::obj(vec![
+                ("name", Json::Str("thread_name".to_string())),
+                ("ph", Json::Str("M".to_string())),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(f64::from(*tid))),
+                (
+                    "args",
+                    Json::obj(vec![("name", Json::Str(name.clone()))]),
+                ),
+            ]));
+        }
+        for e in &b.events {
+            evs.push(event_to_json(e));
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(evs)),
+            ("displayTimeUnit", Json::Str("ms".to_string())),
+        ])
+    })
+}
+
+/// Serialize the trace buffer to `path` (compact JSON). Returns
+/// `(events_written, events_dropped)`.
+pub fn write_chrome_trace(path: &str) -> std::io::Result<(usize, u64)> {
+    let (doc, n, dropped) = {
+        let doc = chrome_trace_json();
+        let (n, dropped) = with_buf(|b| (b.events.len(), b.dropped));
+        (doc, n, dropped)
+    };
+    std::fs::write(path, doc.to_string_compact())?;
+    Ok((n, dropped))
+}
+
+/// Drop all buffered events and counter-track state (tests). Thread
+/// registrations survive — tids are pinned in thread-local storage, so
+/// lane names must stay valid for later events.
+pub fn reset_trace() {
+    with_buf(|b| {
+        b.events.clear();
+        b.dropped = 0;
+        b.cum_flops = 0.0;
+        b.cum_bytes = 0.0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parsing_and_segment_matching() {
+        // Exact pattern: whole-suffix-segment match only.
+        let f = parse_filter("query");
+        if let FilterState::Patterns(p) = &f {
+            assert!(!p[0].subtree);
+        } else {
+            panic!("expected patterns");
+        }
+        assert!(segment_occurrence("query", "query", true));
+        assert!(segment_occurrence("a.query", "query", true));
+        assert!(!segment_occurrence("a.query.b", "query", true));
+        assert!(!segment_occurrence("requery", "query", true));
+        // Subtree pattern: may be followed by more segments.
+        assert!(segment_occurrence("score.candidates", "score", false));
+        assert!(segment_occurrence("query.score.candidates", "score", false));
+        assert!(!segment_occurrence("query.rescore.x", "score", false));
+        assert!(!segment_occurrence("scores.x", "score", false));
+    }
+
+    #[test]
+    fn empty_and_star_specs_keep_everything() {
+        assert!(matches!(parse_filter(""), FilterState::All));
+        assert!(matches!(parse_filter("*"), FilterState::All));
+        assert!(matches!(parse_filter(" , "), FilterState::All));
+        assert!(matches!(
+            parse_filter("a.*, b"),
+            FilterState::Patterns(ref p) if p.len() == 2
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! Integration tests for the Chrome Trace Format exporter: the JSON
+//! round-trips through lsi-obs's own parser, B/E events pair and nest
+//! per thread, timestamps are monotonic per tid, counter tracks parse,
+//! span filters narrow the stream, and a disarmed trace stays empty.
+//!
+//! Tests share the process-global trace buffer, filter, and enabled
+//! flags, so each one holds GLOBAL_LOCK for its whole body and resets
+//! state on entry and exit.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+use lsi_obs::{parse_json, Json};
+
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn isolated() -> MutexGuard<'static, ()> {
+    let guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    lsi_obs::reset();
+    lsi_obs::reset_trace();
+    lsi_obs::set_trace_filter(Some("*"));
+    lsi_obs::set_enabled(true);
+    lsi_obs::set_trace_enabled(true);
+    guard
+}
+
+fn disarm() {
+    lsi_obs::set_trace_enabled(false);
+    lsi_obs::set_enabled(false);
+    lsi_obs::set_trace_filter(None);
+    lsi_obs::reset_trace();
+}
+
+/// The traceEvents array of the current buffer, after a round-trip
+/// through the serializer and parser.
+fn round_tripped_events() -> Vec<Json> {
+    let json = lsi_obs::chrome_trace_json();
+    let text = json.to_string_pretty();
+    let reparsed = parse_json(&text).expect("exporter output parses");
+    let Some(Json::Arr(events)) = reparsed.get("traceEvents") else {
+        panic!("no traceEvents array");
+    };
+    events.clone()
+}
+
+fn str_field<'a>(e: &'a Json, key: &str) -> &'a str {
+    e.get(key).and_then(Json::as_str).unwrap_or("")
+}
+
+fn num_field(e: &Json, key: &str) -> f64 {
+    e.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+#[test]
+fn trace_json_round_trips_and_compact_matches_pretty() {
+    let _guard = isolated();
+    {
+        let _a = lsi_obs::span("rt.outer");
+        let _b = lsi_obs::span("rt.inner");
+        lsi_obs::add_flops(128.0);
+    }
+    let json = lsi_obs::chrome_trace_json();
+    let pretty = parse_json(&json.to_string_pretty()).expect("pretty parses");
+    let compact = parse_json(&json.to_string_compact()).expect("compact parses");
+    assert_eq!(pretty.to_string_compact(), compact.to_string_compact());
+    let Some(Json::Str(unit)) = pretty.get("displayTimeUnit") else {
+        panic!("displayTimeUnit missing");
+    };
+    assert_eq!(unit, "ms");
+    disarm();
+}
+
+#[test]
+fn begin_end_events_pair_and_nest_per_thread() {
+    let _guard = isolated();
+    {
+        let _outer = lsi_obs::span("nest.outer");
+        {
+            let _inner = lsi_obs::span("nest.inner");
+        }
+        {
+            let _inner = lsi_obs::span("nest.inner");
+        }
+    }
+    let events = round_tripped_events();
+    // Simulate a per-tid span stack exactly as a trace viewer would.
+    let mut stacks: HashMap<i64, Vec<String>> = HashMap::new();
+    let mut pairs = 0;
+    for e in &events {
+        let ph = str_field(e, "ph");
+        let tid = num_field(e, "tid") as i64;
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(str_field(e, "name").to_string()),
+            "E" => {
+                let top = stacks
+                    .get_mut(&tid)
+                    .and_then(Vec::pop)
+                    .expect("E with no open B on this tid");
+                assert_eq!(top, str_field(e, "name"), "E must close the innermost B");
+                pairs += 1;
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed B events on tid {tid}: {stack:?}");
+    }
+    assert_eq!(pairs, 3, "outer + two inner spans");
+    // Nesting: the inner span's begin lies between the outer's B and E.
+    let names: Vec<(&str, &str)> = events
+        .iter()
+        .map(|e| (str_field(e, "ph"), str_field(e, "name")))
+        .filter(|(ph, _)| *ph == "B" || *ph == "E")
+        .collect();
+    assert_eq!(names.first(), Some(&("B", "nest.outer")));
+    assert_eq!(names.last(), Some(&("E", "nest.outer")));
+    disarm();
+}
+
+#[test]
+fn timestamps_are_monotonic_per_tid() {
+    let _guard = isolated();
+    for _ in 0..4 {
+        let _s = lsi_obs::span("mono.step");
+    }
+    let events = round_tripped_events();
+    let mut last_ts: HashMap<i64, f64> = HashMap::new();
+    let mut checked = 0;
+    for e in &events {
+        if str_field(e, "ph") == "M" {
+            continue;
+        }
+        let tid = num_field(e, "tid") as i64;
+        let ts = num_field(e, "ts");
+        assert!(ts.is_finite() && ts >= 0.0, "bad ts {ts}");
+        if let Some(prev) = last_ts.get(&tid) {
+            assert!(ts >= *prev, "ts went backwards on tid {tid}: {prev} -> {ts}");
+        }
+        last_ts.insert(tid, ts);
+        checked += 1;
+    }
+    assert!(checked >= 8, "4 spans emit at least 8 B/E events");
+    disarm();
+}
+
+#[test]
+fn counter_tracks_parse_and_accumulate() {
+    let _guard = isolated();
+    {
+        let _a = lsi_obs::span("cnt.work");
+        lsi_obs::add_flops(1000.0);
+        lsi_obs::add_bytes(4096.0);
+    }
+    {
+        let _b = lsi_obs::span("cnt.work");
+        lsi_obs::add_flops(500.0);
+    }
+    let events = round_tripped_events();
+    let flops: Vec<f64> = events
+        .iter()
+        .filter(|e| str_field(e, "ph") == "C" && str_field(e, "name") == "flops.cumulative")
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64)
+                .expect("counter value is numeric")
+        })
+        .collect();
+    assert!(flops.len() >= 2, "each span flushes a counter sample");
+    assert!(
+        flops.windows(2).all(|w| w[1] >= w[0]),
+        "cumulative flop track must be non-decreasing: {flops:?}"
+    );
+    assert_eq!(*flops.last().unwrap(), 1500.0, "totals accumulate");
+    let bytes_track = events
+        .iter()
+        .any(|e| str_field(e, "ph") == "C" && str_field(e, "name") == "bytes.cumulative");
+    assert!(bytes_track, "bytes counter track present");
+    disarm();
+}
+
+#[test]
+fn registered_threads_get_thread_name_metadata() {
+    let _guard = isolated();
+    lsi_obs::register_thread("test-lane");
+    {
+        let _s = lsi_obs::span("meta.work");
+    }
+    let events = round_tripped_events();
+    let lane = events.iter().find(|e| {
+        str_field(e, "ph") == "M"
+            && str_field(e, "name") == "thread_name"
+            && e.get("args").map(|a| str_field(a, "name") == "test-lane") == Some(true)
+    });
+    let lane = lane.expect("thread_name metadata for registered lane");
+    let lane_tid = num_field(lane, "tid");
+    let on_lane = events.iter().any(|e| {
+        str_field(e, "ph") == "B" && num_field(e, "tid") == lane_tid
+    });
+    assert!(on_lane, "span events ride the registered lane's tid");
+    let process = events.iter().any(|e| {
+        str_field(e, "ph") == "M" && str_field(e, "name") == "process_name"
+    });
+    assert!(process, "process_name metadata present");
+    disarm();
+}
+
+#[test]
+fn span_end_carries_work_and_allocation_args() {
+    let _guard = isolated();
+    {
+        let _s = lsi_obs::span("allocarg.work");
+        lsi_obs::add_flops(64.0);
+        let v: Vec<u8> = Vec::with_capacity(128 * 1024);
+        std::hint::black_box(&v);
+    }
+    let events = round_tripped_events();
+    let end = events
+        .iter()
+        .find(|e| str_field(e, "ph") == "E" && str_field(e, "name") == "allocarg.work")
+        .expect("E event for the span");
+    let args = end.get("args").expect("E events carry args");
+    assert_eq!(args.get("flops").and_then(Json::as_f64), Some(64.0));
+    let alloc_bytes = args.get("alloc_bytes").and_then(Json::as_f64).unwrap();
+    assert!(
+        alloc_bytes >= (128 * 1024) as f64,
+        "the 128 KiB buffer must be attributed, got {alloc_bytes}"
+    );
+    let peak = args.get("alloc_peak_bytes").and_then(Json::as_f64).unwrap();
+    assert!(peak >= (128 * 1024) as f64, "peak covers the live buffer");
+    assert!(args.get("allocs").and_then(Json::as_f64).unwrap() >= 1.0);
+    disarm();
+}
+
+#[test]
+fn trace_filter_narrows_the_event_stream() {
+    let _guard = isolated();
+    lsi_obs::set_trace_filter(Some("keep.*"));
+    {
+        let _k = lsi_obs::span("keep.stage");
+        let _d = lsi_obs::span("drop_me");
+    }
+    {
+        let _d = lsi_obs::span("other");
+    }
+    let events = round_tripped_events();
+    let b_names: Vec<&str> = events
+        .iter()
+        .filter(|e| str_field(e, "ph") == "B")
+        .map(|e| str_field(e, "name"))
+        .collect();
+    assert!(
+        b_names.iter().all(|n| n.starts_with("keep.")),
+        "filter must drop non-matching spans, got {b_names:?}"
+    );
+    assert!(!b_names.is_empty(), "matching span survives the filter");
+    disarm();
+}
+
+#[test]
+fn disarmed_tracing_emits_nothing() {
+    let _guard = isolated();
+    lsi_obs::set_trace_enabled(false);
+    {
+        let _s = lsi_obs::span("dark.work");
+        lsi_obs::add_flops(10.0);
+    }
+    let events = round_tripped_events();
+    assert!(
+        events.iter().all(|e| str_field(e, "ph") == "M"),
+        "only metadata may appear with tracing off"
+    );
+    // Metrics still flow: tracing and metrics arm independently.
+    let snap = lsi_obs::snapshot();
+    assert!(snap.span("dark.work").is_some(), "metrics unaffected");
+    disarm();
+}

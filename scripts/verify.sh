@@ -136,6 +136,17 @@ for threads in 4 1; do
     | grep -q . || { echo "FAIL: fallback-built index cannot serve queries" >&2; exit 1; }
 done
 
+echo "== perf: perf_kernels --gate (regression gate vs BENCH_kernels.json)"
+# Re-measures the key kernel/query metrics at full size with
+# observability disarmed and compares against the committed `gate`
+# section of BENCH_kernels.json. The 2% band on query_batch_scoring_qps
+# is the tracing-disabled overhead contract (DESIGN.md §3g): the span
+# machinery, counting allocator, and trace hooks ride the hot query
+# path even when off, and this gate is what keeps "off" free. On a
+# machine slower than the one that recorded the baselines, widen the
+# bands with LSI_PERF_TOLERANCE=<frac> (e.g. 0.5).
+./target/release/perf_kernels --gate
+
 echo "== lint: lsi-analyze --ci (static-analysis ratchet)"
 # Replaces the old unwrap/eprintln shell greps with the token-aware
 # analyzer in crates/analysis: unsafe-audit, panic-surface,

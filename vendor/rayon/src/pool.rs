@@ -82,10 +82,20 @@ struct Job {
     /// First captured panic payload (first panic wins; later ones from
     /// chunks already in flight are dropped).
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Trace lane label for per-chunk task events, resolved once on
+    /// the submitting thread (`<submitter span path>.task`). `None`
+    /// whenever tracing is disarmed, so the steady-state cost is one
+    /// `Option` check per chunk.
+    label: Option<String>,
 }
 
 impl Job {
-    fn new(f: *const (dyn Fn(usize, usize) + Sync), len: usize, chunk: usize) -> Job {
+    fn new(
+        f: *const (dyn Fn(usize, usize) + Sync),
+        len: usize,
+        chunk: usize,
+        label: Option<String>,
+    ) -> Job {
         Job {
             f,
             len,
@@ -94,6 +104,7 @@ impl Job {
             active: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
+            label,
         }
     }
 
@@ -200,10 +211,10 @@ fn global() -> Option<&'static Pool> {
 fn spawn_workers(pool: &'static Pool) {
     static SPAWNED: OnceLock<()> = OnceLock::new();
     SPAWNED.get_or_init(|| {
-        for _ in 0..pool.threads - 1 {
+        for i in 0..pool.threads - 1 {
             std::thread::Builder::new()
-                .name("lsi-pool-worker".into())
-                .spawn(move || worker_loop(pool))
+                .name(format!("lsi-pool-worker-{i}"))
+                .spawn(move || worker_loop(pool, i))
                 .expect("spawning pool worker");
         }
         lsi_obs::gauge_set("pool.threads", pool.threads as f64);
@@ -213,7 +224,10 @@ fn spawn_workers(pool: &'static Pool) {
 /// Worker body: park until a job with unclaimed tasks is registered,
 /// register as active, drain chunks, deregister, repeat forever. The
 /// threads are never joined — the pool lives for the process.
-fn worker_loop(pool: &'static Pool) {
+fn worker_loop(pool: &'static Pool, idx: usize) {
+    // Name this worker's lane in Chrome-trace exports so parallel
+    // kernels show up on real worker threads, not the submitter.
+    lsi_obs::register_thread(&format!("pool.worker.{idx}"));
     IN_POOL_TASK.with(|f| f.set(true));
     loop {
         let job_ptr = {
@@ -282,6 +296,13 @@ fn run_chunks(job: &Job) -> u64 {
                 // forced fault is never a silent no-op.
                 panic!("lsi-fault: forced failure at failpoint `pool.task`");
             }
+            // One B/E trace event per chunk on the executing thread's
+            // lane (guard closes even if `f` unwinds — the event pair
+            // stays balanced because catch_unwind runs this drop).
+            let _task = job
+                .label
+                .as_deref()
+                .map(|label| lsi_obs::trace_task(label, lo, hi));
             f(lo, hi)
         }));
         if let Err(payload) = result {
@@ -325,7 +346,12 @@ pub(crate) fn parallel_for<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
     let chunk = len.div_ceil(pool.threads * CHUNKS_PER_THREAD).max(1);
     // SAFETY: this frame unregisters the job and drains `active`
     // before returning, so `f` outlives every dereference.
-    let job = Job::new(unsafe { erase(&f) }, len, chunk);
+    let job = Job::new(
+        unsafe { erase(&f) },
+        len,
+        chunk,
+        lsi_obs::trace_task_label(),
+    );
     {
         let mut shared = pool.shared.lock().expect("pool mutex");
         if shared.job.is_some() {
@@ -416,7 +442,7 @@ where
         }
     };
     // SAFETY: drained and unregistered before this frame returns.
-    let job = Job::new(unsafe { erase(&run_b) }, 1, 1);
+    let job = Job::new(unsafe { erase(&run_b) }, 1, 1, lsi_obs::trace_task_label());
     let published = {
         let mut shared = pool.shared.lock().expect("pool mutex");
         if shared.job.is_some() {
