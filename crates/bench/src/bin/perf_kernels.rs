@@ -23,6 +23,14 @@
 //! the Lanczos k = 50 wall time (comparable to `lanczos_k50_secs` in
 //! BENCH_kernels.json). Combines with `--quick` for a smoke run.
 //!
+//! `--index` measures the cluster-pruned retrieval curve on a
+//! 10x-inflated copy of the kernels corpus: the nprobe sweep
+//! (recall@10, throughput, speedup vs the exact scan), the default
+//! operating point, bit-identity at `nprobe = n_lists`, and the
+//! 1x/10x/100x per-query latency trend. Exits nonzero when recall@10
+//! at the default depth falls below 0.95 or full-depth bit-identity
+//! breaks. Populates the `index` section of BENCH_kernels.json.
+//!
 //! `--compressed` measures the precision ladder: batched top-10 scoring
 //! throughput on the exact f64 scan vs the f32 and i8 candidate sweeps
 //! (same corpus and queries as the kernels run, so
@@ -356,6 +364,186 @@ fn compressed_report(quick: bool) {
     print!("{}", report.to_json().to_string_pretty());
 }
 
+/// The `--index` report: the cluster-pruned retrieval curve measured
+/// end to end through `rank_projected_top` on a 10x-inflated copy of
+/// the kernels-bench corpus (`replicate_docs_for_bench`, so the exact
+/// rows are comparable to `query_batch_scoring_qps` scaled by 10).
+///
+/// Reports the nprobe sweep (recall@10 + throughput + speedup vs the
+/// exact-scan oracle on the same inflated corpus), the default-depth
+/// operating point, bit-identity at `nprobe = n_lists`, and the
+/// scaling trend at 1x/10x/100x inflation. Exits nonzero when
+/// recall@10 at [`lsi_core::DEFAULT_NPROBE`] drops below 0.95 or the
+/// full-depth probe is not bit-identical — the CI floor for the
+/// pruning path. Populates the `index` section of BENCH_kernels.json.
+fn index_report(quick: bool) -> i32 {
+    use lsi_core::{IndexPolicy, Precision, DEFAULT_NPROBE};
+
+    let s = if quick { Sizes::quick() } else { Sizes::full() };
+    let run_start = Instant::now();
+    let (base, queries) = query_model(&s);
+    let qhats: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| base.project_text(q).expect("projects"))
+        .collect();
+
+    let inflate = 10usize;
+    let mut model = base.clone();
+    model.replicate_docs_for_bench(inflate).expect("inflates");
+    let n = model.n_docs();
+
+    // Exact-scan oracle (top-10 ids) and exact batched throughput on
+    // the inflated corpus — the baseline every pruned row divides by.
+    let oracles: Vec<Vec<usize>> = qhats
+        .iter()
+        .map(|qhat| {
+            model
+                .rank_projected_top(qhat, 10)
+                .expect("oracle ranks")
+                .matches
+                .iter()
+                .map(|m| m.doc)
+                .collect()
+        })
+        .collect();
+    let batch_qps = |m: &LsiModel, reps: usize| {
+        let secs = best_secs(reps, || {
+            for qhat in &qhats {
+                let ranked = m.rank_projected_top(qhat, 10).expect("ranks");
+                std::hint::black_box(ranked);
+            }
+        });
+        qhats.len() as f64 / secs
+    };
+    let recall_at_10 = |m: &LsiModel| {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (qhat, oracle) in qhats.iter().zip(oracles.iter()) {
+            let ranked = m.rank_projected_top(qhat, 10).expect("pruned ranks");
+            hit += ranked.matches.iter().filter(|hm| oracle.contains(&hm.doc)).count();
+            total += oracle.len();
+        }
+        hit as f64 / total as f64
+    };
+    let exact_qps = batch_qps(&model, s.time_reps);
+
+    // One training pass; the sweep below only changes the probe depth,
+    // which reuses the trained index.
+    let train_start = Instant::now();
+    model
+        .set_index_policy(IndexPolicy::Pruned { nprobe: DEFAULT_NPROBE })
+        .expect("index trains");
+    let train_secs = train_start.elapsed().as_secs_f64();
+    let n_lists = model.index_n_lists().expect("index present");
+
+    let mut report = lsi_obs::RunReport::new("perf_index")
+        .meta("quick", Json::Bool(quick))
+        .meta(
+            "corpus",
+            Json::Str(format!(
+                "synthetic {} docs (10x-inflated) x k={} ({} queries)",
+                n,
+                model.k(),
+                qhats.len()
+            )),
+        );
+    report.result("index_n_lists", Json::Num(n_lists as f64));
+    report.result(
+        "index_resident_bytes",
+        Json::Num(model.index_resident_bytes().unwrap_or(0) as f64),
+    );
+    report.result("index_train_secs", Json::Num(train_secs));
+    report.result("exact_batch_scoring_qps", Json::Num(exact_qps));
+
+    // --- The nprobe sweep: recall@10 vs speedup ----------------------
+    let mut failures: Vec<String> = Vec::new();
+    for &p in &[1usize, 2, 4, 8, 16, 32, 64] {
+        if p > n_lists {
+            continue;
+        }
+        model.set_index_policy(IndexPolicy::Pruned { nprobe: p }).expect("depth change");
+        let qps = batch_qps(&model, s.time_reps);
+        let recall = recall_at_10(&model);
+        report.result(&format!("nprobe{p}_batch_scoring_qps"), Json::Num(qps));
+        report.result(&format!("nprobe{p}_recall_at_10"), Json::Num(recall));
+        report.result(&format!("nprobe{p}_speedup_vs_exact"), Json::Num(qps / exact_qps));
+    }
+    // The default operating point (clamped on tiny corpora), the row
+    // the recall floor and the perf gate stand on.
+    model
+        .set_index_policy(IndexPolicy::Pruned { nprobe: DEFAULT_NPROBE })
+        .expect("depth change");
+    let default_qps = batch_qps(&model, s.time_reps);
+    let default_recall = recall_at_10(&model);
+    let default_speedup = default_qps / exact_qps;
+    report.result("pruned_batch_scoring_qps", Json::Num(default_qps));
+    report.result("pruned_recall_at_10", Json::Num(default_recall));
+    report.result("pruned_speedup_vs_exact", Json::Num(default_speedup));
+    if default_recall < 0.95 {
+        failures.push(format!(
+            "recall@10 at nprobe={DEFAULT_NPROBE} is {default_recall:.4} (floor 0.95)"
+        ));
+    }
+
+    // The compressed ladder rides the same survivor sweep: pruned
+    // candidate generation in f32 with the exact f64 re-rank.
+    {
+        let mut m32 = model.clone();
+        m32.set_precision(Precision::F32);
+        report.result("pruned_f32_batch_scoring_qps", Json::Num(batch_qps(&m32, s.time_reps)));
+        report.result("pruned_f32_recall_at_10", Json::Num(recall_at_10(&m32)));
+    }
+
+    // --- Bit-identity at full probe depth ----------------------------
+    // nprobe = n_lists degenerates to the exact scan: same documents,
+    // same order, same cosine bit patterns.
+    model
+        .set_index_policy(IndexPolicy::Pruned { nprobe: n_lists })
+        .expect("depth change");
+    let mut exact_policy = model.clone();
+    exact_policy.set_index_policy(IndexPolicy::Exact).expect("exact policy");
+    let mut identical = true;
+    for qhat in &qhats {
+        let want = exact_policy.rank_projected_top(qhat, 10).expect("exact ranks");
+        let got = model.rank_projected_top(qhat, 10).expect("full-depth ranks");
+        identical &= want.matches.len() == got.matches.len()
+            && want
+                .matches
+                .iter()
+                .zip(got.matches.iter())
+                .all(|(a, b)| a.doc == b.doc && a.cosine.to_bits() == b.cosine.to_bits());
+    }
+    report.result("full_depth_bit_identical", Json::Num(identical as u64 as f64));
+    if !identical {
+        failures.push("nprobe = n_lists is not bit-identical to the exact scan".to_string());
+    }
+
+    // --- Scaling trend: per-query latency at 1x/10x/100x -------------
+    // The exact scan grows linearly with the corpus; the probe stays
+    // ~sqrt(n) + survivors, so pruned latency should stay near flat.
+    for &factor in &[1usize, 10, 100] {
+        let mut m = base.clone();
+        m.replicate_docs_for_bench(factor).expect("inflates");
+        let exact = batch_qps(&m, 1);
+        m.set_index_policy(IndexPolicy::Pruned { nprobe: DEFAULT_NPROBE })
+            .expect("index trains");
+        let pruned = batch_qps(&m, 1);
+        report.result(&format!("scale{factor}x_exact_query_us"), Json::Num(1e6 / exact));
+        report.result(&format!("scale{factor}x_pruned_query_us"), Json::Num(1e6 / pruned));
+    }
+
+    let mut report = report.meta("wall_secs", Json::Num(run_start.elapsed().as_secs_f64()));
+    report.snapshot = lsi_obs::snapshot();
+    print!("{}", report.to_json().to_string_pretty());
+    if !failures.is_empty() {
+        for f in &failures {
+            lsi_obs::error!("perf-index: FAIL: {f}");
+        }
+        return 1;
+    }
+    0
+}
+
 /// One row of the gate comparison table.
 struct GateRow {
     name: String,
@@ -462,6 +650,24 @@ fn gate_measure(s: &Sizes) -> (Vec<(&'static str, f64)>, [f64; 3]) {
     });
     let multi_qps = (s.score_reps * qhats.len()) as f64 / multi_secs;
 
+    // Pruned batched scoring at the default probe depth on the
+    // 10x-inflated corpus — the gated operating point of the cluster
+    // index (same corpus and depth as `perf_kernels --index`).
+    let mut inflated = model.clone();
+    inflated.replicate_docs_for_bench(10).expect("inflates");
+    inflated
+        .set_index_policy(lsi_core::IndexPolicy::Pruned { nprobe: lsi_core::DEFAULT_NPROBE })
+        .expect("index trains");
+    let pruned_secs = best_secs(s.time_reps, || {
+        for _ in 0..s.score_reps {
+            for qhat in &qhats {
+                let ranked = inflated.rank_projected_top(qhat, 10).expect("pruned ranks");
+                std::hint::black_box(ranked);
+            }
+        }
+    });
+    let pruned_qps = (s.score_reps * qhats.len()) as f64 / pruned_secs;
+
     // --- Instrumentation overhead on the same batched loop -----------
     // Armed metrics (spans + counters + allocation attribution), then
     // armed metrics + trace buffer. Reported, not gated: the gated
@@ -482,6 +688,7 @@ fn gate_measure(s: &Sizes) -> (Vec<(&'static str, f64)>, [f64; 3]) {
             ("query_single_qps", single_qps),
             ("query_batch_scoring_qps", batch_qps),
             ("query_multi_facet_qps", multi_qps),
+            ("query_pruned_batch_qps", pruned_qps),
         ],
         [batch_qps, batch_qps_metrics, batch_qps_trace],
     )
@@ -647,6 +854,12 @@ fn main() {
         }
         pool_report(quick);
         return;
+    }
+    if std::env::args().skip(1).any(|a| a == "--index") {
+        if std::env::var_os("LSI_NO_OBS").is_none() {
+            lsi_obs::set_enabled(true);
+        }
+        std::process::exit(index_report(quick));
     }
     if std::env::args().skip(1).any(|a| a == "--compressed") {
         if std::env::var_os("LSI_NO_OBS").is_none() {

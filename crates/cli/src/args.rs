@@ -29,9 +29,12 @@ pub enum Command {
         phrases: bool,
         /// Scoring precision persisted with the database.
         precision: String,
+        /// Probe depth: train a cluster-pruned index and persist a
+        /// `Pruned { nprobe }` policy with the database.
+        nprobe: Option<usize>,
     },
     /// `lsi query <db> <text...> [--top N] [--threshold T]
-    /// [--precision P]`
+    /// [--precision P] [--nprobe N]`
     Query {
         /// Database path.
         db: String,
@@ -43,6 +46,9 @@ pub enum Command {
         threshold: Option<f64>,
         /// Optional scoring-precision override for this query run.
         precision: Option<String>,
+        /// Optional probe-depth override: route top-k scoring through
+        /// the cluster index, probing this many lists.
+        nprobe: Option<usize>,
     },
     /// `lsi terms <db> <word> [--top N]`
     Terms {
@@ -79,8 +85,8 @@ lsi — Latent Semantic Indexing toolbox
 
 usage:
   lsi index  <inputs...> --out DB [--k N] [--min-df N] [--weighting W] [--phrases]
-             [--precision P]
-  lsi query  <DB> <text...> [--top N] [--threshold T] [--precision P]
+             [--precision P] [--nprobe N]
+  lsi query  <DB> <text...> [--top N] [--threshold T] [--precision P] [--nprobe N]
   lsi terms  <DB> <word> [--top N]
   lsi add    <DB> <inputs...> --out DB2 [--method fold|update]
   lsi info   <DB>
@@ -97,6 +103,11 @@ weighting W: raw | log-entropy (default) | tf-idf
 precision P: f64 (default, exact scan) | f32 | i8 — reduced-precision candidate
   sweep with exact f64 re-rank of the top hits; `index` persists the mode,
   `query` overrides it for one run.
+nprobe N: cluster-pruned retrieval — score ~sqrt(n_docs) centroid lists and sweep
+  only the N best lists' documents (N >= 1; N = number of lists reproduces the
+  exact scan bit-for-bit). `index` trains and persists the index with the
+  policy, `query` overrides the probe depth (training the index on the fly if
+  the database has none).
 set RUST_LSI_LOG=off|error|warn|info|debug|trace to filter diagnostics (default warn).
 set RUST_LSI_TRACE=pat[,pat...] to keep only matching spans in --trace output
   (`score.*` keeps a subtree, `query` one span; default: everything).
@@ -201,6 +212,37 @@ fn take_precision(args: &mut Vec<String>) -> Result<Option<String>> {
     }
 }
 
+/// `--nprobe N` / `--nprobe=N`: a probe depth of at least 1. Zero is a
+/// usage error (exit 2) — probing no lists can never serve a query;
+/// the upper bound (`n_lists`) is checked at runtime once the model is
+/// loaded, with the same typed usage exit.
+fn take_nprobe(args: &mut Vec<String>) -> Result<Option<usize>> {
+    let raw = match take_value(args, "--nprobe")? {
+        Some(v) => Some(v),
+        None => match args.iter().position(|a| a.starts_with("--nprobe=")) {
+            Some(pos) => {
+                let a = args.remove(pos);
+                Some(a["--nprobe=".len()..].to_string())
+            }
+            None => None,
+        },
+    };
+    match raw {
+        None => Ok(None),
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| {
+                CliError::usage(format!("--nprobe expects a positive integer, got {v:?}"))
+            })?;
+            if n == 0 {
+                return Err(CliError::usage(
+                    "--nprobe must be at least 1 (0 lists would never serve a query)",
+                ));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
 fn parse_usize(value: Option<String>, default: usize, flag: &str) -> Result<usize> {
     match value {
         None => Ok(default),
@@ -235,6 +277,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
             }
             let phrases = take_flag(&mut args, "--phrases");
             let precision = take_precision(&mut args)?.unwrap_or_else(|| "f64".into());
+            let nprobe = take_nprobe(&mut args)?;
             reject_unknown_flags(&args)?;
             if args.is_empty() {
                 return Err(CliError::usage("index requires at least one input file"));
@@ -247,6 +290,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
                 weighting,
                 phrases,
                 precision,
+                nprobe,
             })
         }
         "query" => {
@@ -266,6 +310,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
                 }
             };
             let precision = take_precision(&mut args)?;
+            let nprobe = take_nprobe(&mut args)?;
             reject_unknown_flags(&args)?;
             if args.len() < 2 {
                 return Err(CliError::usage("query requires a database and query text"));
@@ -277,6 +322,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
                 top,
                 threshold,
                 precision,
+                nprobe,
             })
         }
         "terms" => {
@@ -362,6 +408,7 @@ mod tests {
                 weighting: "log-entropy".into(),
                 phrases: false,
                 precision: "f64".into(),
+                nprobe: None,
             }
         );
     }
@@ -418,6 +465,7 @@ mod tests {
                 top: 3,
                 threshold: None,
                 precision: None,
+                nprobe: None,
             }
         );
     }
@@ -453,6 +501,31 @@ mod tests {
         }
         assert!(parse_args(&v(&["query", "db", "q", "--precision", "f16"])).is_err());
         assert!(parse_args(&v(&["index", "a", "--out", "x", "--precision", "int8"])).is_err());
+    }
+
+    #[test]
+    fn nprobe_flag_parses_and_validates() {
+        // Both spellings, on both subcommands.
+        let c = parse_args(&v(&["index", "a.txt", "--out", "x", "--nprobe", "4"])).unwrap();
+        match c {
+            Command::Index { nprobe, .. } => assert_eq!(nprobe, Some(4)),
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&v(&["query", "db", "text", "--nprobe=16"])).unwrap();
+        match c {
+            Command::Query { nprobe, .. } => assert_eq!(nprobe, Some(16)),
+            _ => panic!("wrong command"),
+        }
+        // Zero, garbage, and a missing value are usage errors (exit 2).
+        for bad in [
+            v(&["query", "db", "q", "--nprobe", "0"]),
+            v(&["query", "db", "q", "--nprobe=0"]),
+            v(&["index", "a", "--out", "x", "--nprobe", "many"]),
+            v(&["query", "db", "q", "--nprobe"]),
+        ] {
+            let e = parse_args(&bad).unwrap_err();
+            assert_eq!(e.code, 2, "args {bad:?}");
+        }
     }
 
     #[test]

@@ -14,14 +14,18 @@ fn run(argv: &[String]) -> lsi_cli::Result<String> {
             weighting,
             phrases,
             precision,
-        } => commands::cmd_index(&inputs, &out, k, min_df, &weighting, phrases, &precision),
+            nprobe,
+        } => commands::cmd_index(
+            &inputs, &out, k, min_df, &weighting, phrases, &precision, nprobe,
+        ),
         Command::Query {
             db,
             text,
             top,
             threshold,
             precision,
-        } => commands::cmd_query(&db, &text, top, threshold, precision.as_deref()),
+            nprobe,
+        } => commands::cmd_query(&db, &text, top, threshold, precision.as_deref(), nprobe),
         Command::Terms { db, word, top } => commands::cmd_terms(&db, &word, top),
         Command::Add {
             db,

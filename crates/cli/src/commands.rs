@@ -4,7 +4,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use lsi_core::{LsiModel, LsiOptions, Precision};
+use lsi_core::{IndexPolicy, LsiModel, LsiOptions, Precision};
 use lsi_text::{Corpus, Document, ParsingRules, TermWeighting};
 
 use crate::{CliError, Result};
@@ -94,7 +94,24 @@ pub fn save_model(model: &LsiModel, out: &str) -> Result<()> {
     Ok(())
 }
 
+/// Route top-k scoring through the cluster-pruned index at the given
+/// probe depth, training the index if the model has none. A probe
+/// depth beyond the list count is a usage error (exit 2), like
+/// `--nprobe 0` — the caller asked for something the index cannot do.
+fn apply_nprobe(model: &mut LsiModel, nprobe: usize) -> Result<()> {
+    model.set_index_policy(IndexPolicy::Pruned { nprobe })?;
+    let n_lists = model.index_n_lists().unwrap_or(0);
+    if nprobe > n_lists {
+        return Err(CliError::usage(format!(
+            "--nprobe {nprobe} exceeds the index's {n_lists} lists \
+             (use --nprobe {n_lists} for an exact-equivalent scan)"
+        )));
+    }
+    Ok(())
+}
+
 /// `lsi index`.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_index(
     inputs: &[String],
     out: &str,
@@ -103,6 +120,7 @@ pub fn cmd_index(
     weighting: &str,
     phrases: bool,
     precision: &str,
+    nprobe: Option<usize>,
 ) -> Result<String> {
     let corpus = load_corpus(inputs)?;
     let options = LsiOptions {
@@ -117,9 +135,19 @@ pub fn cmd_index(
     };
     let (mut model, report) = LsiModel::build(&corpus, &options)?;
     model.set_precision(precision_by_name(precision)?);
+    let index_note = match nprobe {
+        Some(n) => {
+            apply_nprobe(&mut model, n)?;
+            format!(
+                "; trained cluster index ({} lists, nprobe={n})",
+                model.index_n_lists().unwrap_or(0)
+            )
+        }
+        None => String::new(),
+    };
     save_model(&model, out)?;
     Ok(format!(
-        "indexed {} documents, {} terms -> {} factors ({} Lanczos steps); wrote {}",
+        "indexed {} documents, {} terms -> {} factors ({} Lanczos steps){index_note}; wrote {}",
         model.n_docs(),
         model.n_terms(),
         model.k(),
@@ -135,14 +163,19 @@ pub fn cmd_query(
     top: usize,
     threshold: Option<f64>,
     precision: Option<&str>,
+    nprobe: Option<usize>,
 ) -> Result<String> {
     let mut model = load_model(db)?;
     if let Some(p) = precision {
         model.set_precision(precision_by_name(p)?);
     }
+    if let Some(n) = nprobe {
+        apply_nprobe(&mut model, n)?;
+    }
     // A cosine threshold needs every document's score; a plain top-N
     // goes through the partial selection (and, under a reduced
-    // precision, the compressed candidate sweep).
+    // precision, the compressed candidate sweep or the cluster-pruned
+    // probe).
     let ranked = match threshold {
         Some(t) => model.query(text)?.at_threshold(t),
         None => model.query_top(text, top)?,
@@ -202,11 +235,21 @@ pub fn cmd_info(db: &str) -> Result<String> {
         .iter()
         .filter(|o| matches!(o, lsi_core::model::DocOrigin::FoldedIn))
         .count();
+    let index_line = match model.index_n_lists() {
+        Some(n_lists) => format!(
+            "{}, {} lists ({} index bytes)",
+            model.index_policy().describe(),
+            n_lists,
+            model.index_resident_bytes().unwrap_or(0)
+        ),
+        None => model.index_policy().describe(),
+    };
     Ok(format!(
         "documents : {}  ({} folded-in)\n\
          terms     : {}\n\
          factors   : {}\n\
          precision : {}  ({} scoring bytes)\n\
+         index     : {index_line}\n\
          sigma_1   : {:.6}\n\
          sigma_k   : {:.6}\n\
          V-defect  : {:.3e}  (||V^T V - I||_2, grows with folding-in)\n",
@@ -256,10 +299,10 @@ mod tests {
              zoo3\tzebra giraffe lion safari\n",
         );
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        let msg = cmd_index(&[tsv], &db, 2, 2, "raw", false, "f64").unwrap();
+        let msg = cmd_index(&[tsv], &db, 2, 2, "raw", false, "f64", None).unwrap();
         assert!(msg.contains("6 documents"), "{msg}");
 
-        let q = cmd_query(&db, "lion zebra", 3, None, None).unwrap();
+        let q = cmd_query(&db, "lion zebra", 3, None, None, None).unwrap();
         let first = q.lines().next().unwrap();
         assert!(first.contains("zoo"), "top hit should be a zoo doc: {q}");
 
@@ -287,19 +330,63 @@ mod tests {
              zoo3\tzebra giraffe lion safari\n",
         );
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        cmd_index(&[tsv], &db, 2, 2, "raw", false, "f32").unwrap();
+        cmd_index(&[tsv], &db, 2, 2, "raw", false, "f32", None).unwrap();
         // The mode survives the save/load roundtrip...
         let info = cmd_info(&db).unwrap();
         assert!(info.contains("precision : f32"), "{info}");
         // ...queries serve through it, agreeing with the exact scan...
-        let compressed = cmd_query(&db, "lion zebra", 3, None, None).unwrap();
-        let exact = cmd_query(&db, "lion zebra", 3, None, Some("f64")).unwrap();
+        let compressed = cmd_query(&db, "lion zebra", 3, None, None, None).unwrap();
+        let exact = cmd_query(&db, "lion zebra", 3, None, Some("f64"), None).unwrap();
         assert_eq!(compressed, exact);
         // ...and a per-run override does not touch the stored database.
-        let quantized = cmd_query(&db, "lion zebra", 3, None, Some("i8")).unwrap();
+        let quantized = cmd_query(&db, "lion zebra", 3, None, Some("i8"), None).unwrap();
         assert_eq!(quantized.lines().count(), 3);
         let info = cmd_info(&db).unwrap();
         assert!(info.contains("precision : f32"), "{info}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nprobe_persists_overrides_and_validates() {
+        let dir = tmpdir();
+        let tsv = write(
+            &dir,
+            "docs.tsv",
+            "cars1\tcar engine wheel motor car\n\
+             cars2\tautomobile engine motor chassis\n\
+             cars3\tcar automobile driver wheel\n\
+             zoo1\telephant lion zebra elephant\n\
+             zoo2\tlion zebra giraffe elephant\n\
+             zoo3\tzebra giraffe lion safari\n",
+        );
+        let db = dir.join("db.json").to_string_lossy().into_owned();
+        let db_flat = dir.join("flat.json").to_string_lossy().into_owned();
+        // 6 docs -> round(sqrt(6)) = 2 lists; nprobe=2 probes them all.
+        let msg =
+            cmd_index(&[tsv.clone()], &db, 2, 2, "raw", false, "f64", Some(2)).unwrap();
+        assert!(msg.contains("trained cluster index"), "{msg}");
+        cmd_index(&[tsv], &db_flat, 2, 2, "raw", false, "f64", None).unwrap();
+        let info = cmd_info(&db).unwrap();
+        assert!(info.contains("pruned (nprobe=2)"), "{info}");
+        // Full-depth pruned output matches the exact scan exactly.
+        let pruned = cmd_query(&db, "lion zebra", 3, None, None, None).unwrap();
+        let exact = cmd_query(&db_flat, "lion zebra", 3, None, None, None).unwrap();
+        assert_eq!(pruned, exact);
+        // A per-run --nprobe beyond the list count is a usage error...
+        let e = cmd_query(&db, "lion zebra", 3, None, None, Some(99)).unwrap_err();
+        assert_eq!(e.code, 2, "{e}");
+        // ...while a valid per-run override serves (and leaves the
+        // stored policy alone).
+        let narrowed = cmd_query(&db, "lion zebra", 3, None, None, Some(1)).unwrap();
+        assert!(!narrowed.is_empty());
+        assert!(pruned.lines().count() >= narrowed.lines().count());
+        let info = cmd_info(&db).unwrap();
+        assert!(info.contains("pruned (nprobe=2)"), "{info}");
+        // index-time validation mirrors it.
+        let db2 = dir.join("db2.json").to_string_lossy().into_owned();
+        let tsv2 = write(&dir, "d2.tsv", "a\tapple banana\nb\tbanana apple\nc\tapple cherry banana\n");
+        let e = cmd_index(&[tsv2], &db2, 1, 1, "raw", false, "f64", Some(50)).unwrap_err();
+        assert_eq!(e.code, 2, "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -312,7 +399,7 @@ mod tests {
             "a\tapple banana apple cherry\nb\tbanana cherry date\nc\tapple cherry date\nd\tdate banana apple\n",
         );
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        cmd_index(&[tsv], &db, 2, 2, "log-entropy", false, "f64").unwrap();
+        cmd_index(&[tsv], &db, 2, 2, "log-entropy", false, "f64", None).unwrap();
 
         let newdoc = write(&dir, "fresh.txt", "banana date cherry banana");
         let db2 = dir.join("db2.json").to_string_lossy().into_owned();
@@ -334,8 +421,8 @@ mod tests {
         let f1 = write(&dir, "alpha.txt", "apple banana apple");
         let f2 = write(&dir, "beta.txt", "banana apple cherry banana");
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        cmd_index(&[f1, f2], &db, 1, 1, "raw", false, "f64").unwrap();
-        let q = cmd_query(&db, "banana", 2, None, None).unwrap();
+        cmd_index(&[f1, f2], &db, 1, 1, "raw", false, "f64", None).unwrap();
+        let q = cmd_query(&db, "banana", 2, None, None, None).unwrap();
         assert!(q.contains("alpha") && q.contains("beta"), "{q}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -356,7 +443,7 @@ mod tests {
         let dir = tmpdir();
         let tsv = write(&dir, "d.tsv", "a\tapple banana\nb\tbanana apple\n");
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        cmd_index(&[tsv], &db, 1, 1, "raw", false, "f64").unwrap();
+        cmd_index(&[tsv], &db, 1, 1, "raw", false, "f64", None).unwrap();
         assert!(cmd_terms(&db, "unicorn", 3).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -370,7 +457,7 @@ mod tests {
             "a\thigh blood pressure danger\nb\thigh blood pressure treatment\nc\tblood test results\n",
         );
         let db = dir.join("db.json").to_string_lossy().into_owned();
-        let msg_plain = cmd_index(std::slice::from_ref(&tsv), &db, 2, 2, "raw", false, "f64").unwrap();
+        let msg_plain = cmd_index(std::slice::from_ref(&tsv), &db, 2, 2, "raw", false, "f64", None).unwrap();
         let plain_terms: usize = msg_plain
             .split(" terms")
             .next()
@@ -380,7 +467,7 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        let msg_phrases = cmd_index(&[tsv], &db, 2, 2, "raw", true, "f64").unwrap();
+        let msg_phrases = cmd_index(&[tsv], &db, 2, 2, "raw", true, "f64", None).unwrap();
         let phrase_terms: usize = msg_phrases
             .split(" terms")
             .next()

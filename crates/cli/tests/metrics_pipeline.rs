@@ -51,6 +51,10 @@ fn med_pipeline_reports_all_six_stages_with_nonzero_work() {
 
     let ex = MedExample::build();
     let dir = tmpdir();
+    // Arm the structured query log before the first query runs (the
+    // sink spec is read once per process).
+    let qlog_path = dir.join("queries.jsonl");
+    std::env::set_var("LSI_QUERY_LOG", &qlog_path);
     let tsv_path = dir.join("med.tsv");
     let mut tsv = String::new();
     for doc in &ex.corpus.docs {
@@ -62,9 +66,16 @@ fn med_pipeline_reports_all_six_stages_with_nonzero_work() {
 
     // index → query → add (fold): the three commands that touch every
     // stage of the span taxonomy.
-    commands::cmd_index(&[tsv_path], &db, 8, 2, "log-entropy", false, "f64").unwrap();
-    let hits = commands::cmd_query(&db, "the generation of blood cells", 5, None, None).unwrap();
+    commands::cmd_index(&[tsv_path], &db, 8, 2, "log-entropy", false, "f64", None).unwrap();
+    let hits =
+        commands::cmd_query(&db, "the generation of blood cells", 5, None, None, None).unwrap();
     assert!(!hits.trim().is_empty(), "query produced no output");
+    // A cluster-pruned query rides the same pipeline and must stamp the
+    // index fields into the structured query log.
+    let pruned_hits =
+        commands::cmd_query(&db, "the generation of blood cells", 5, None, None, Some(1))
+            .unwrap();
+    assert!(!pruned_hits.trim().is_empty(), "pruned query produced no output");
     let new_doc = dir.join("fresh.txt");
     std::fs::write(
         &new_doc,
@@ -91,7 +102,29 @@ fn med_pipeline_reports_all_six_stages_with_nonzero_work() {
     lsi_obs::set_trace_enabled(false);
     lsi_obs::set_enabled(false);
     lsi_obs::reset_trace();
+    let qlog = std::fs::read_to_string(&qlog_path).expect("query log written");
     std::fs::remove_dir_all(&dir).ok();
+
+    // --- The structured query log from the same pipeline -------------
+    // Every served query emits one line with the shared schema keys;
+    // the pruned run additionally carries the index fields.
+    assert!(qlog.lines().count() >= 2, "expected >=2 query-log lines: {qlog}");
+    for key in ["trace_id", "kind", "n_docs", "z", "precision", "path", "total_us"] {
+        assert!(
+            qlog.lines().all(|l| l.contains(&format!("\"{key}\""))),
+            "every query-log line carries {key:?}: {qlog}"
+        );
+    }
+    let pruned_line = qlog
+        .lines()
+        .find(|l| l.contains("\"path\":\"pruned\""))
+        .unwrap_or_else(|| panic!("no pruned query-log line: {qlog}"));
+    for key in ["nprobe", "lists_probed", "survivors", "probe_us"] {
+        assert!(
+            pruned_line.contains(&format!("\"{key}\"")),
+            "pruned query-log line missing {key:?}: {pruned_line}"
+        );
+    }
 
     // Validate through the JSON exporter — the exact document
     // `lsi --metrics=json` emits — not the in-memory snapshot.

@@ -233,6 +233,42 @@ impl CompressedStore {
         }
     }
 
+    /// Approximate cosine scores for a *subset* of documents — the
+    /// pruned-index variant of [`CompressedStore::approx_scores`].
+    /// `rows[i]` is the document id scored into slot `i` of the result,
+    /// so the output aligns with the caller's survivor list. Each score
+    /// is bit-identical to the corresponding entry of the full sweep:
+    /// the row-subset kernels accumulate per row in the same column
+    /// order as the full GEMV.
+    pub(crate) fn approx_scores_rows(
+        &self,
+        qhat: &[f64],
+        qnorm: f64,
+        rows: &[u32],
+    ) -> lsi_linalg::Result<Vec<f32>> {
+        let q32: Vec<f32> = qhat.iter().map(|&x| x as f32).collect();
+        let rq = if qnorm > 0.0 { (1.0 / qnorm) as f32 } else { 0.0 };
+        let k = qhat.len();
+        match self {
+            CompressedStore::F32 { data, recip_norms } => {
+                let n = recip_norms.len();
+                let mut y = lowp::matvec_f32_rows(data, n, k, &q32, rows)?;
+                for (s, &r) in y.iter_mut().zip(rows.iter()) {
+                    *s *= recip_norms[r as usize] * rq;
+                }
+                Ok(y)
+            }
+            CompressedStore::I8 { data, factors } => {
+                let n = factors.len();
+                let mut y = lowp::matvec_i8_rows(data, n, k, &q32, rows)?;
+                for (s, &r) in y.iter_mut().zip(rows.iter()) {
+                    *s *= factors[r as usize] * rq;
+                }
+                Ok(y)
+            }
+        }
+    }
+
     /// Approximate per-facet cosine scores, column-major `n x nf` —
     /// the multi-facet variant of [`CompressedStore::approx_scores`].
     /// The f32 ladder routes through the paired-rhs GEMM so `V` is
@@ -356,6 +392,28 @@ mod tests {
             assert_eq!(y[0], 0.0);
             assert_eq!(y[2], 0.0);
             assert!((y[1] - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn row_subset_scores_are_bit_identical_to_the_full_sweep() {
+        let (v, norms) = sample_v(200, 12);
+        let qhat: Vec<f64> = (0..12).map(|j| ((j * 5 % 13) as f64 - 6.0) / 5.0).collect();
+        let qnorm = lsi_linalg::vecops::nrm2(&qhat);
+        let rows: Vec<u32> = vec![190, 3, 3, 57, 0, 121];
+        for p in [Precision::F32, Precision::I8] {
+            let s = CompressedStore::build(p, &v, &norms).unwrap();
+            let full = s.approx_scores(&qhat, qnorm).unwrap();
+            let subset = s.approx_scores_rows(&qhat, qnorm, &rows).unwrap();
+            assert_eq!(subset.len(), rows.len());
+            for (slot, &r) in rows.iter().enumerate() {
+                assert_eq!(
+                    subset[slot].to_bits(),
+                    full[r as usize].to_bits(),
+                    "precision {p:?} row {r}"
+                );
+            }
+            assert!(s.approx_scores_rows(&qhat, qnorm, &[]).unwrap().is_empty());
         }
     }
 

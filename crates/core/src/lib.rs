@@ -54,6 +54,7 @@
 pub mod complexity;
 pub mod compressed;
 pub mod expansion;
+pub mod index;
 pub mod model;
 pub mod multiquery;
 pub mod ortho;
@@ -62,6 +63,7 @@ pub(crate) mod querylog;
 pub mod update;
 
 pub use compressed::Precision;
+pub use index::{IndexPolicy, DEFAULT_NPROBE, INDEX_RECLUSTER_THRESHOLD};
 pub use model::{LsiModel, LsiOptions};
 pub use expansion::ExpandedQuery;
 pub use multiquery::{Combine, MultiQuery};

@@ -12,6 +12,7 @@ use lsi_svd::{robust_svd, LanczosOptions, LanczosReport, RobustOptions};
 use lsi_text::{Corpus, ParsingRules, TermWeighting, Vocabulary};
 
 use crate::compressed::{CompressedStore, Precision};
+use crate::index::{splitmix64, ClusterIndex, IndexPolicy};
 use crate::{Error, Result};
 
 /// Construction options.
@@ -98,6 +99,15 @@ pub struct LsiModel {
     /// [`LsiModel::refresh_doc_norms`] whenever `v` changes, never
     /// serialized.
     pub(crate) compressed: Option<CompressedStore>,
+    /// Retrieval strategy for top-k queries (persisted; legacy files
+    /// default to [`IndexPolicy::Exact`]).
+    pub(crate) index_policy: IndexPolicy,
+    /// Cluster-pruning index over the rows of `v` — present exactly
+    /// when the policy is `Pruned`. Centroids and assignments persist
+    /// with the model; the posting lists are derived and rebuilt on
+    /// load (and the whole index is retrained if the file's copy is
+    /// inconsistent with `v`).
+    pub(crate) index: Option<ClusterIndex>,
 }
 
 impl LsiModel {
@@ -200,6 +210,8 @@ impl LsiModel {
             weighted: weighted.matrix,
             precision: Precision::Exact,
             compressed: None,
+            index_policy: IndexPolicy::Exact,
+            index: None,
         };
         model.refresh_doc_norms();
         Ok((model, report))
@@ -236,6 +248,143 @@ impl LsiModel {
     pub fn set_precision(&mut self, precision: Precision) {
         self.precision = precision;
         self.compressed = CompressedStore::build(self.precision, &self.v, &self.doc_norms);
+    }
+
+    /// Retrieval strategy for top-k queries.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// Number of centroid lists when a cluster index is active.
+    pub fn index_n_lists(&self) -> Option<usize> {
+        self.index.as_ref().map(|ix| ix.n_lists())
+    }
+
+    /// Heap bytes held by the cluster index, when one is active.
+    pub fn index_resident_bytes(&self) -> Option<usize> {
+        self.index.as_ref().map(|ix| ix.resident_bytes())
+    }
+
+    /// Switch the retrieval strategy. `Pruned` trains the cluster
+    /// index immediately if none is active (deterministic k-means over
+    /// the rows of `V_k`); `Exact` drops it. The policy persists with
+    /// the model; changing only the `nprobe` depth of an existing
+    /// `Pruned` policy reuses the trained index.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) -> Result<()> {
+        self.index_policy = policy;
+        match policy {
+            IndexPolicy::Exact => self.index = None,
+            IndexPolicy::Pruned { .. } => {
+                if self.index.is_none() {
+                    self.index = Some(ClusterIndex::build(&self.v, &self.doc_norms)?);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Index-coherence hook for append-style mutations (fold-in):
+    /// assign the rows `start..` of `v` to their nearest centroid, and
+    /// retrain the centroids once the accumulated drift crosses
+    /// [`crate::index::INDEX_RECLUSTER_THRESHOLD`].
+    pub(crate) fn index_append_rows(&mut self, start: usize) -> Result<()> {
+        if let Some(idx) = self.index.as_mut() {
+            idx.append_rows(&self.v, &self.doc_norms, start)?;
+            if idx.needs_recluster() {
+                self.index = Some(ClusterIndex::build(&self.v, &self.doc_norms)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Index-coherence hook for wholesale replacement of `v` (SVD
+    /// updates, recompute): re-assign every row against the frozen
+    /// centroids, counting changed rows toward the re-cluster budget;
+    /// rebuild outright when the row count changed or drift crossed
+    /// the threshold.
+    pub(crate) fn index_reassign_all(&mut self) -> Result<()> {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.assignments().len() != self.v.nrows() || idx.k() != self.v.ncols() {
+                self.index = Some(ClusterIndex::build(&self.v, &self.doc_norms)?);
+            } else {
+                idx.reassign_all(&self.v, &self.doc_norms)?;
+                if idx.needs_recluster() {
+                    self.index = Some(ClusterIndex::build(&self.v, &self.doc_norms)?);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-load repair: drop a stray index under `Exact`, and under
+    /// `Pruned` retrain whenever the persisted copy is inconsistent
+    /// with `v` (wrong row/factor count, out-of-range assignment) —
+    /// a hand-edited or corrupted index silently degrades to a fresh
+    /// build instead of mis-routing queries.
+    pub(crate) fn repair_index_after_load(&mut self) -> Result<()> {
+        match self.index_policy {
+            IndexPolicy::Exact => self.index = None,
+            IndexPolicy::Pruned { .. } => {
+                let coherent = self.index.as_ref().is_some_and(|ix| {
+                    ix.assignments().len() == self.v.nrows()
+                        && ix.k() == self.v.ncols()
+                        && ix.assignments().iter().all(|&c| (c as usize) < ix.n_lists())
+                });
+                if !coherent {
+                    self.index = Some(ClusterIndex::build(&self.v, &self.doc_norms)?);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bench-only corpus inflation: tile the document rows `factor`
+    /// times with a small deterministic per-row jitter (so replicas
+    /// rank near, but not identically to, their originals) and
+    /// synthetic `~rN` ids. Replicas are marked folded-in, which keeps
+    /// the weighted-matrix invariants intact. Used by
+    /// `perf_kernels --index` to measure the pruning curve at 10x/100x
+    /// corpus scale without paying for a 10x/100x SVD.
+    #[doc(hidden)]
+    pub fn replicate_docs_for_bench(&mut self, factor: usize) -> Result<()> {
+        if factor <= 1 {
+            return Ok(());
+        }
+        let n = self.v.nrows();
+        let k = self.v.ncols();
+        let m2 = n * factor;
+        let mut state = 0x1337_5EED_u64 ^ ((factor as u64) << 7);
+        let mut row_scales = vec![1.0f64; m2];
+        for scale in row_scales.iter_mut().skip(n) {
+            // Jitter in [0.999, 1.001): replicas stay inside their
+            // original's cluster but break exact score ties.
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            *scale = 1.0 + 2e-3 * (u - 0.5);
+        }
+        let mut data = vec![0.0f64; m2 * k];
+        for j in 0..k {
+            let col = self.v.col(j);
+            for c in 0..factor {
+                let dst = &mut data[j * m2 + c * n..j * m2 + c * n + n];
+                let scales = &row_scales[c * n..(c + 1) * n];
+                for i in 0..n {
+                    dst[i] = col[i] * scales[i];
+                }
+            }
+        }
+        self.v = DenseMatrix::from_col_major(m2, k, data)?;
+        for c in 1..factor {
+            for i in 0..n {
+                let id: Arc<str> = Arc::from(format!("{}~r{c}", self.doc_ids[i]).as_str());
+                self.doc_ids.push(id);
+            }
+        }
+        self.doc_origins.resize(m2, DocOrigin::FoldedIn);
+        self.refresh_doc_norms();
+        if self.index.is_some() {
+            self.index = Some(ClusterIndex::build(&self.v, &self.doc_norms)?);
+        }
+        Ok(())
     }
 
     /// Bytes the scoring sweep streams per query: the compressed
@@ -444,6 +593,9 @@ impl LsiModel {
         // Norms are derived data; recompute rather than trusting the
         // serialized copy (hand-edited files stay usable).
         model.refresh_doc_norms();
+        // Same philosophy for the cluster index: trust it only if it
+        // is coherent with `v`, otherwise retrain.
+        model.repair_index_after_load()?;
         Ok(model)
     }
 
@@ -557,6 +709,8 @@ impl Serialize for LsiModel {
             ("term_origins".to_string(), self.term_origins.to_value()),
             ("weighted".to_string(), self.weighted.to_value()),
             ("precision".to_string(), self.precision.to_value()),
+            ("index_policy".to_string(), self.index_policy.to_value()),
+            ("index".to_string(), self.index.to_value()),
         ])
     }
 }
@@ -569,6 +723,16 @@ impl Deserialize for LsiModel {
         let precision = match map.iter().find(|(key, _)| key.as_str() == "precision") {
             Some((_, pv)) => Precision::from_value(pv)?,
             None => Precision::Exact,
+        };
+        // Like `precision`, the index fields are trailing optional
+        // entries so pre-index files keep loading (as Exact, no index).
+        let index_policy = match map.iter().find(|(key, _)| key.as_str() == "index_policy") {
+            Some((_, pv)) => IndexPolicy::from_value(pv)?,
+            None => IndexPolicy::Exact,
+        };
+        let index = match map.iter().find(|(key, _)| key.as_str() == "index") {
+            Some((_, iv)) => Option::<ClusterIndex>::from_value(iv)?,
+            None => None,
         };
         Ok(LsiModel {
             vocab: serde::de::field(map, "vocab")?,
@@ -585,6 +749,8 @@ impl Deserialize for LsiModel {
             weighted: serde::de::field(map, "weighted")?,
             precision,
             compressed: None,
+            index_policy,
+            index,
         })
     }
 }
@@ -866,6 +1032,70 @@ mod tests {
         assert!(back.compressed.is_some(), "load must rebuild the store");
         m.set_precision(Precision::Exact);
         assert!(m.compressed.is_none());
+    }
+
+    #[test]
+    fn index_policy_roundtrips_with_the_trained_index() {
+        use crate::index::IndexPolicy;
+        let (mut m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        assert_eq!(m.index_policy(), IndexPolicy::Exact);
+        assert!(m.index.is_none());
+        m.set_index_policy(IndexPolicy::Pruned { nprobe: 2 }).unwrap();
+        let n_lists = m.index_n_lists().unwrap();
+        assert!(n_lists >= 1);
+        let json = m.to_json().unwrap();
+        let back = LsiModel::from_json(&json).unwrap();
+        assert_eq!(back.index_policy(), IndexPolicy::Pruned { nprobe: 2 });
+        let bi = back.index.as_ref().unwrap();
+        let mi = m.index.as_ref().unwrap();
+        assert_eq!(bi.assignments(), mi.assignments());
+        assert_eq!(bi.centroids().data(), mi.centroids().data());
+        m.set_index_policy(IndexPolicy::Exact).unwrap();
+        assert!(m.index.is_none());
+    }
+
+    #[test]
+    fn corrupted_persisted_index_is_retrained_on_load() {
+        use crate::index::IndexPolicy;
+        let (mut m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        m.set_index_policy(IndexPolicy::Pruned { nprobe: 1 }).unwrap();
+        let json = m.to_json().unwrap();
+        let (body, _) = json.rsplit_once('\n').unwrap();
+        // Smuggle an out-of-range assignment into the persisted index:
+        // the load path must notice and retrain rather than mis-route.
+        let first = "\"assignments\":[";
+        let pos = body.find(first).unwrap() + first.len();
+        let mut mangled = String::with_capacity(body.len() + 2);
+        mangled.push_str(&body[..pos]);
+        let rest = &body[pos..];
+        let end = rest.find(']').unwrap();
+        let mut entries: Vec<&str> = rest[..end].split(',').collect();
+        let swapped = "99";
+        entries[0] = swapped;
+        mangled.push_str(&entries.join(","));
+        mangled.push_str(&rest[end..]);
+        let back = LsiModel::from_json(&mangled).unwrap();
+        let bi = back.index.as_ref().unwrap();
+        assert!(bi.assignments().iter().all(|&c| (c as usize) < bi.n_lists()));
+        assert_eq!(bi.assignments().len(), back.n_docs());
+    }
+
+    #[test]
+    fn replicated_corpus_scales_docs_and_keeps_invariants() {
+        let (mut m, _) = LsiModel::build(&small_corpus(), &options(3)).unwrap();
+        let n = m.n_docs();
+        m.replicate_docs_for_bench(3).unwrap();
+        assert_eq!(m.n_docs(), 3 * n);
+        assert_eq!(m.doc_ids().len(), 3 * n);
+        assert_eq!(m.doc_norms().len(), 3 * n);
+        assert!(m.doc_index("d1~r2").is_some());
+        // Replicas jitter but stay near their original's direction.
+        let sim = m.doc_doc_similarity(0, n);
+        assert!(sim > 0.999, "replica drifted: {sim}");
+        // The inflated model still round-trips (replicas are folded-in).
+        let json = m.to_json().unwrap();
+        let back = LsiModel::from_json(&json).unwrap();
+        assert_eq!(back.n_docs(), 3 * n);
     }
 
     #[test]

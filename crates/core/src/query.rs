@@ -11,9 +11,11 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 use lsi_linalg::{ops, vecops, DenseMatrix};
+use lsi_sparse::nnz_balanced_spans;
 use rayon::prelude::*;
 
 use crate::compressed::CompressedStore;
+use crate::index::{ClusterIndex, IndexPolicy};
 use crate::model::LsiModel;
 use crate::querylog;
 use crate::{Error, Result};
@@ -299,6 +301,14 @@ impl LsiModel {
     pub fn rank_projected_top(&self, qhat: &[f64], z: usize) -> Result<RankedList> {
         querylog::put_str("precision", self.precision().name());
         querylog::put_num("z", z as f64);
+        if let IndexPolicy::Pruned { nprobe } = self.index_policy {
+            if let Some(index) = self.index.as_ref() {
+                if let Some(ranked) = self.rank_top_pruned(index, nprobe, qhat, z)? {
+                    querylog::put_str("path", "pruned");
+                    return Ok(ranked);
+                }
+            }
+        }
         if let Some(store) = self.compressed.as_ref() {
             if let Some(ranked) = self.rank_top_compressed(store, qhat, z)? {
                 querylog::put_str("path", "compressed");
@@ -487,6 +497,299 @@ impl LsiModel {
                 .collect(),
         }));
         out
+    }
+
+    /// Cluster-pruned top-`z`: score the ~√n centroids instead of the
+    /// `n` docs, probe the `nprobe` best lists, and sweep only the
+    /// survivors. Returns `Ok(None)` when the exact machinery should
+    /// serve instead (trivial shapes, a stale index, non-finite
+    /// centroid scores, or empty probed lists).
+    ///
+    /// At `nprobe = n_lists` every doc survives, survivor scores are
+    /// bit-identical per row to the full sweep, and ties break by doc
+    /// id exactly as in [`LsiModel::rank_top_exact`] /
+    /// [`LsiModel::rank_top_compressed`] — so the pruned result is
+    /// bit-identical to the unpruned one, in every precision mode.
+    fn rank_top_pruned(
+        &self,
+        index: &ClusterIndex,
+        nprobe: usize,
+        qhat: &[f64],
+        z: usize,
+    ) -> Result<Option<RankedList>> {
+        let k = self.k();
+        let n = self.n_docs();
+        if qhat.len() != k {
+            return Err(Error::Inconsistent {
+                context: format!(
+                    "projected query has {} dimensions but the model has {k} factors",
+                    qhat.len()
+                ),
+            });
+        }
+        if n == 0 || k == 0 || z == 0 || index.k() != k {
+            return Ok(None);
+        }
+        let n_lists = index.n_lists();
+        querylog::put_num("nprobe", nprobe as f64);
+        let nprobe = nprobe.clamp(1, n_lists);
+        let t_probe = querylog::phase_timer();
+        let (probed, survivors, indptr) = {
+            let _span = lsi_obs::span("index.probe");
+            // One dot per centroid list, plus the top-`nprobe` pick.
+            lsi_obs::add_flops((2 * k + 1) as f64 * n_lists as f64);
+            let cscores = index.centroid_scores(qhat)?;
+            if !cscores.iter().all(|s| s.is_finite()) {
+                // Degraded centroid math must not scramble ranks; the
+                // exact scan (whose own boundary guard will fire if the
+                // model itself is corrupt) serves instead.
+                return Ok(None);
+            }
+            let mut probed =
+                select_top_by(n_lists, nprobe, |l| (desc_key_f64(cscores[l]), l as u32));
+            // Ascending list order keeps the concatenated survivor walk
+            // as monotone as the partition allows; ranking is order-free
+            // because every selection below ties-breaks on doc id.
+            probed.sort_unstable();
+            let mut survivors: Vec<u32> = Vec::new();
+            let mut indptr = Vec::with_capacity(probed.len() + 1);
+            indptr.push(0usize);
+            for &l in &probed {
+                survivors.extend_from_slice(index.list(l));
+                indptr.push(survivors.len());
+            }
+            (probed, survivors, indptr)
+        };
+        querylog::phase_done(t_probe, "probe_us");
+        lsi_obs::count("index.lists.count", probed.len() as u64);
+        lsi_obs::count("index.survivors.count", survivors.len() as u64);
+        querylog::put_num("lists_probed", probed.len() as f64);
+        querylog::put_num("survivors", survivors.len() as f64);
+        if survivors.is_empty() {
+            return Ok(None);
+        }
+        let qnorm = vecops::nrm2(qhat);
+        if let Some(store) = self.compressed.as_ref() {
+            if let Some(ranked) =
+                self.rank_pruned_compressed(store, qhat, qnorm, z, &survivors, &indptr)?
+            {
+                return Ok(Some(ranked));
+            }
+            // Degrade to the f64 survivor sweep, not the full scan: the
+            // pruning decision stands, only the precision ladder failed.
+            lsi_obs::count("score.rerank.fallback.count", 1);
+        }
+        let ranked = self.rank_pruned_exact(qhat, qnorm, z, &survivors, &indptr)?;
+        Ok(Some(ranked))
+    }
+
+    /// Exact f64 cosines for every survivor, sharded across the pool in
+    /// list-size-balanced spans ([`nnz_balanced_spans`] over the probed
+    /// lists' prefix sums — the same quantile technique the sparse
+    /// kernels use for nnz balancing). Bit-identical across thread
+    /// counts: span boundaries move with the pool size, but each row's
+    /// score is computed by the same per-row kernel arithmetic wherever
+    /// it lands.
+    fn survivor_cosines(
+        &self,
+        qhat: &[f64],
+        qnorm: f64,
+        survivors: &[u32],
+        indptr: &[usize],
+    ) -> Result<Vec<f64>> {
+        lsi_obs::add_bytes((survivors.len() * self.k() * 8) as f64);
+        lsi_obs::add_flops(((2 * self.k() + 3) * survivors.len()) as f64);
+        // Two spans per worker: balanced by construction, cheap to
+        // compute, and enough slack for the pool's chunker.
+        let spans = nnz_balanced_spans(indptr, rayon::current_num_threads() * 2);
+        let parts: Vec<Result<Vec<f64>>> = spans
+            .into_par_iter()
+            .map(|(l0, l1)| {
+                let rows: Vec<usize> = survivors[indptr[l0]..indptr[l1]]
+                    .iter()
+                    .map(|&d| d as usize)
+                    .collect();
+                self.exact_cosines_rows(&rows, qhat, qnorm)
+            })
+            .collect();
+        let mut scores = Vec::with_capacity(survivors.len());
+        for part in parts {
+            scores.extend(part?);
+        }
+        Ok(scores)
+    }
+
+    /// Pruned scan served entirely in f64: survivor sweep + shared
+    /// selection, with the exact path's scoring-boundary guard.
+    fn rank_pruned_exact(
+        &self,
+        qhat: &[f64],
+        qnorm: f64,
+        z: usize,
+        survivors: &[u32],
+        indptr: &[usize],
+    ) -> Result<RankedList> {
+        let t_sweep = querylog::phase_timer();
+        let mut scores = {
+            let _span = lsi_obs::span("index.survivors");
+            self.survivor_cosines(qhat, qnorm, survivors, indptr)?
+        };
+        querylog::phase_done(t_sweep, "sweep_us");
+        // Same scoring boundary as `facet_cosines`: a corrupted model or
+        // an armed failpoint becomes a typed error, never silent ranks.
+        match lsi_fault::eval(lsi_fault::points::CORE_QUERY_SCORE) {
+            Some(lsi_fault::Fired::ReturnErr) => {
+                return Err(Error::Inconsistent {
+                    context: format!(
+                        "fault injected at failpoint `{}`",
+                        lsi_fault::points::CORE_QUERY_SCORE
+                    ),
+                });
+            }
+            Some(lsi_fault::Fired::InjectNan) => {
+                if let Some(first) = scores.first_mut() {
+                    *first = f64::NAN;
+                }
+            }
+            None => {}
+        }
+        if !scores.iter().all(|s| s.is_finite()) {
+            return Err(Error::NonFinite {
+                context: "cosine scores (query scoring boundary)".into(),
+            });
+        }
+        let order = select_top_by(survivors.len(), z, |i| {
+            (desc_key_f64(scores[i]), survivors[i])
+        });
+        Ok(RankedList {
+            matches: order
+                .into_iter()
+                .map(|i| self.make_match(survivors[i] as usize, scores[i]))
+                .collect(),
+        })
+    }
+
+    /// Pruned scan through the compressed ladder: survivor candidate
+    /// sweep (sharded like [`LsiModel::survivor_cosines`]), exact f64
+    /// re-rank of the over-fetched candidates, and — for f32 — the
+    /// margin certificate against the survivor cutoff. `Ok(None)` means
+    /// the caller should degrade to the f64 survivor sweep (non-finite
+    /// sweep output or an uncertified margin); pruning itself is not
+    /// revisited.
+    fn rank_pruned_compressed(
+        &self,
+        store: &CompressedStore,
+        qhat: &[f64],
+        qnorm: f64,
+        z: usize,
+        survivors: &[u32],
+        indptr: &[usize],
+    ) -> Result<Option<RankedList>> {
+        let k = self.k();
+        let ns = survivors.len();
+        let t_sweep = querylog::phase_timer();
+        let approx = {
+            let _span = lsi_obs::span("score.candidates");
+            lsi_obs::add_bytes((ns * k * 4 + 8 * k) as f64);
+            lsi_obs::add_flops((2 * k + 2) as f64 * ns as f64);
+            let spans = nnz_balanced_spans(indptr, rayon::current_num_threads() * 2);
+            let parts: Vec<lsi_linalg::Result<Vec<f32>>> = spans
+                .into_par_iter()
+                .map(|(l0, l1)| {
+                    store.approx_scores_rows(qhat, qnorm, &survivors[indptr[l0]..indptr[l1]])
+                })
+                .collect();
+            let mut approx = Vec::with_capacity(ns);
+            for part in parts {
+                approx.extend(part?);
+            }
+            // Same boundary failpoint as the unpruned compressed sweep:
+            // inject-nan degrades (the f64 survivor sweep still serves
+            // the query), return-err propagates.
+            match lsi_fault::eval(lsi_fault::points::CORE_QUERY_SCORE) {
+                Some(lsi_fault::Fired::ReturnErr) => {
+                    return Err(Error::Inconsistent {
+                        context: format!(
+                            "fault injected at failpoint `{}`",
+                            lsi_fault::points::CORE_QUERY_SCORE
+                        ),
+                    });
+                }
+                Some(lsi_fault::Fired::InjectNan) => {
+                    if let Some(first) = approx.first_mut() {
+                        *first = f32::NAN;
+                    }
+                }
+                None => {}
+            }
+            approx
+        };
+        querylog::phase_done(t_sweep, "sweep_us");
+        if !approx.iter().all(|s| s.is_finite()) {
+            lsi_obs::warn!(
+                "pruned candidate sweep produced non-finite scores; \
+                 degrading to the f64 survivor sweep"
+            );
+            return Ok(None);
+        }
+        let z = z.min(ns);
+        let c = z
+            .saturating_mul(crate::compressed::OVER_FETCH_FACTOR)
+            .max(crate::compressed::OVER_FETCH_FLOOR)
+            .min(ns);
+        // Tie-break by doc id (the survivor array is a permutation, so
+        // position order is not id order here).
+        let candidates = select_top_by(ns, c, |i| {
+            ((desc_key_f32(approx[i]) as u64) << 32) | survivors[i] as u64
+        });
+        lsi_obs::count("score.candidates.count", c as u64);
+        querylog::put_num("candidates", c as f64);
+        let t_rerank = querylog::phase_timer();
+        let (by_row, cosines) = {
+            let _span = lsi_obs::span("score.rerank");
+            lsi_obs::add_bytes((c * k * 8) as f64);
+            lsi_obs::add_flops(((2 * k + 3) * c) as f64);
+            let mut by_row: Vec<usize> =
+                candidates.iter().map(|&i| survivors[i] as usize).collect();
+            by_row.sort_unstable();
+            let cosines = self.exact_cosines_rows(&by_row, qhat, qnorm)?;
+            (by_row, cosines)
+        };
+        querylog::phase_done(t_rerank, "rerank_us");
+        if !cosines.iter().all(|s| s.is_finite()) {
+            return Err(Error::NonFinite {
+                context: "cosine scores (query scoring boundary)".into(),
+            });
+        }
+        lsi_obs::count("score.rerank.count", by_row.len() as u64);
+        let order = select_top_by(by_row.len(), z, |i| {
+            (desc_key_f64(cosines[i]), by_row[i] as u32)
+        });
+        // Margin certificate (f32 only), relative to the survivor set:
+        // within the survivors the certified top-z is bit-identical to
+        // the f64 survivor sweep's — which makes the whole pruned path
+        // bit-identical to the exact scan when every doc survives.
+        if c < ns {
+            if let Some(bound) = store.rerank_margin(k) {
+                let cutoff = candidates
+                    .last()
+                    .map(|&i| approx[i] as f64)
+                    .unwrap_or(f64::NEG_INFINITY);
+                let s_z = order
+                    .last()
+                    .map(|&i| cosines[i])
+                    .unwrap_or(f64::NEG_INFINITY);
+                if !(s_z > cutoff + bound) {
+                    return Ok(None);
+                }
+            }
+        }
+        Ok(Some(RankedList {
+            matches: order
+                .into_iter()
+                .map(|i| self.make_match(by_row[i], cosines[i]))
+                .collect(),
+        }))
     }
 
     /// Query by free text: project and rank.
@@ -723,6 +1026,71 @@ mod tests {
                 assert_eq!(a.doc, b.doc);
                 assert_eq!(a.cosine, b.cosine);
             }
+        }
+    }
+
+    #[test]
+    fn pruned_at_full_probe_depth_is_bit_identical_to_exact() {
+        use crate::Precision;
+        for precision in [Precision::Exact, Precision::F32, Precision::I8] {
+            let mut m = model();
+            m.set_precision(precision);
+            let qhat = m.project_text("car lion").unwrap();
+            let exact = m.rank_projected_top(&qhat, 4).unwrap();
+            m.set_index_policy(IndexPolicy::Pruned {
+                nprobe: m.index_n_lists().unwrap_or(0).max(1),
+            })
+            .unwrap();
+            // nprobe above n_lists clamps; every doc survives.
+            m.set_index_policy(IndexPolicy::Pruned { nprobe: 999 }).unwrap();
+            let pruned = m.rank_projected_top(&qhat, 4).unwrap();
+            assert_eq!(pruned.matches.len(), exact.matches.len());
+            for (a, b) in pruned.matches.iter().zip(exact.matches.iter()) {
+                assert_eq!(a.doc, b.doc, "precision {precision:?}");
+                assert_eq!(
+                    a.cosine.to_bits(),
+                    b.cosine.to_bits(),
+                    "precision {precision:?} doc {}",
+                    a.doc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_matches_carry_exact_scores_and_rank_consistently() {
+        let mut m = model();
+        let qhat = m.project_text("zebra giraffe").unwrap();
+        let full = m.rank_projected(&qhat).unwrap();
+        m.set_index_policy(IndexPolicy::Pruned { nprobe: 1 }).unwrap();
+        let pruned = m.rank_projected_top(&qhat, 3).unwrap();
+        assert!(!pruned.matches.is_empty());
+        // Every pruned match's cosine is the exact f64 cosine for that
+        // doc, and pruned order respects the full ranking's order.
+        for w in pruned.matches.windows(2) {
+            assert!(w[0].cosine >= w[1].cosine);
+        }
+        for mt in &pruned.matches {
+            let exact = full
+                .matches
+                .iter()
+                .find(|f| f.doc == mt.doc)
+                .expect("pruned doc exists");
+            assert_eq!(mt.cosine.to_bits(), exact.cosine.to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_policy_ignores_the_index_machinery() {
+        let mut m = model();
+        let qhat = m.project_text("engine").unwrap();
+        let before = m.rank_projected_top(&qhat, 3).unwrap();
+        m.set_index_policy(IndexPolicy::Pruned { nprobe: 2 }).unwrap();
+        m.set_index_policy(IndexPolicy::Exact).unwrap();
+        let after = m.rank_projected_top(&qhat, 3).unwrap();
+        for (a, b) in after.matches.iter().zip(before.matches.iter()) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.cosine.to_bits(), b.cosine.to_bits());
         }
     }
 

@@ -19,16 +19,21 @@
 //!
 //! ```json
 //! {"trace_id":"q1234-7","kind":"top","n_docs":2000,"z":10,
-//!  "precision":"f32","path":"compressed","candidates":64,
+//!  "precision":"f32","path":"pruned","nprobe":8,"lists_probed":8,
+//!  "survivors":1180,"candidates":64,"probe_us":2.3,
 //!  "project_us":8.1,"sweep_us":41.2,"rerank_us":12.9,
 //!  "results":10,"top_score":0.93,"margin":0.04,"total_us":78.5}
 //! ```
 //!
-//! `path` is the precision path actually taken: `compressed` (sweep +
-//! re-rank served it), `fallback` (sweep ran, certification failed or
-//! the sweep degraded, exact scan served it — `fallback_us` carries
-//! the scan), `exact` (no compressed store; `full` for the full-sort
-//! entry points). `margin` is the top-1 − top-2 exact cosine gap.
+//! `path` is the scoring path actually taken: `pruned` (the cluster
+//! index served it — `nprobe` is the requested probe depth,
+//! `lists_probed` the clamped number of lists actually probed,
+//! `survivors` the docs swept, and `probe_us` the centroid scan),
+//! `compressed` (unpruned sweep + re-rank served it), `fallback`
+//! (sweep ran, certification failed or the sweep degraded, exact scan
+//! served it — `fallback_us` carries the scan), `exact` (no compressed
+//! store; `full` for the full-sort entry points). `margin` is the
+//! top-1 − top-2 exact cosine gap.
 //! Only successfully served queries are logged; errors surface through
 //! the usual typed-error path and event log instead.
 //!

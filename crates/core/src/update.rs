@@ -88,8 +88,12 @@ impl LsiModel {
             self.doc_ids.push(doc.id.as_str().into());
             self.doc_origins.push(DocOrigin::FoldedIn);
         }
+        let appended_from = self.v.nrows();
         self.v = append_rows(&self.v, &new_rows);
         self.refresh_doc_norms();
+        // Folded-in rows are pure appends: route each to its nearest
+        // centroid (retrains automatically once drift accumulates).
+        self.index_append_rows(appended_from)?;
         Ok(())
     }
 
@@ -262,6 +266,10 @@ impl LsiModel {
         self.s = sigma_new;
 
         self.refresh_doc_norms();
+        // The rotation moved every document vector (and appended p new
+        // ones): re-derive all index assignments against the frozen
+        // centroids; the row-count change forces a rebuild.
+        self.index_reassign_all()?;
         for id in ids {
             self.doc_ids.push(id.as_str().into());
             self.doc_origins.push(DocOrigin::Svd);
@@ -387,6 +395,8 @@ impl LsiModel {
         self.v = ops::matmul(&v_ext, &v_h)?;
         self.s = sigma_new;
         self.refresh_doc_norms();
+        // Every document row rotated: re-derive index assignments.
+        self.index_reassign_all()?;
 
         // Rebuild the stored weighted matrix with the q new rows (new
         // terms get unit global weight, mirroring fold_in_terms).
@@ -531,6 +541,8 @@ impl LsiModel {
         self.v = ops::matmul(&v_ext, &svd_k.v.truncate_cols(keep))?;
         self.s = svd_k.s[..keep].to_vec();
         self.refresh_doc_norms();
+        // Every document row rotated: re-derive index assignments.
+        self.index_reassign_all()?;
 
         // Apply the deltas to the stored weighted matrix.
         let old = &self.weighted;
@@ -573,6 +585,9 @@ impl LsiModel {
         self.term_origins = vec![DocOrigin::Svd; n_terms];
         self.global_weights.resize(n_terms, 1.0);
         self.refresh_doc_norms();
+        // V was rebuilt from scratch (and may have shrunk): the
+        // row-count check inside forces a fresh clustering.
+        self.index_reassign_all()?;
         Ok(())
     }
 }

@@ -139,6 +139,98 @@ pub fn matvec_i8(data: &[i8], nrows: usize, ncols: usize, x: &[f32]) -> Result<V
     Ok(y)
 }
 
+fn check_rows_in_range(kind: &str, nrows: usize, rows: &[u32]) -> Result<()> {
+    if rows.iter().any(|&r| r as usize >= nrows) {
+        return Err(Error::DimensionMismatch {
+            context: format!("{kind}: row index out of range for {nrows} rows"),
+        });
+    }
+    Ok(())
+}
+
+/// [`matvec_f32`] restricted to a subset of rows, columns outermost:
+/// each 4-wide column block is loaded once and applied to every
+/// requested row before moving right, so with ascending `rows` the
+/// inner loop walks each column's survivor band in address order —
+/// the cluster-pruned sweep's scattered reads become prefetch-friendly
+/// bands. The per-row block order and fused sum replicate
+/// [`matvec_f32`]'s span kernel exactly, so `y[i]` is bit-identical to
+/// the full sweep's `y[rows[i]]`. Serial by design: the pruned path
+/// shards survivors across the pool at a coarser granularity.
+pub fn matvec_f32_rows(
+    data: &[f32],
+    nrows: usize,
+    ncols: usize,
+    x: &[f32],
+    rows: &[u32],
+) -> Result<Vec<f32>> {
+    check_gemv_dims("matvec_f32_rows", data.len(), nrows, ncols, x.len())?;
+    check_rows_in_range("matvec_f32_rows", nrows, rows)?;
+    let m = nrows;
+    let mut y = vec![0.0f32; rows.len()];
+    let mut j = 0;
+    while j + 4 <= x.len() {
+        let (x0, x1, x2, x3) = (x[j], x[j + 1], x[j + 2], x[j + 3]);
+        let c0 = &data[j * m..(j + 1) * m];
+        let c1 = &data[(j + 1) * m..(j + 2) * m];
+        let c2 = &data[(j + 2) * m..(j + 3) * m];
+        let c3 = &data[(j + 3) * m..(j + 4) * m];
+        for (yi, &r) in y.iter_mut().zip(rows.iter()) {
+            let r = r as usize;
+            *yi += x0 * c0[r] + x1 * c1[r] + x2 * c2[r] + x3 * c3[r];
+        }
+        j += 4;
+    }
+    for jj in j..x.len() {
+        let xj = x[jj];
+        let c = &data[jj * m..jj * m + m];
+        for (yi, &r) in y.iter_mut().zip(rows.iter()) {
+            *yi += xj * c[r as usize];
+        }
+    }
+    Ok(y)
+}
+
+/// [`matvec_i8`] restricted to a subset of rows; same structure and
+/// bit-identity contract as [`matvec_f32_rows`] (each stored byte is
+/// widened in the register, caller applies per-row scale factors).
+pub fn matvec_i8_rows(
+    data: &[i8],
+    nrows: usize,
+    ncols: usize,
+    x: &[f32],
+    rows: &[u32],
+) -> Result<Vec<f32>> {
+    check_gemv_dims("matvec_i8_rows", data.len(), nrows, ncols, x.len())?;
+    check_rows_in_range("matvec_i8_rows", nrows, rows)?;
+    let m = nrows;
+    let mut y = vec![0.0f32; rows.len()];
+    let mut j = 0;
+    while j + 4 <= x.len() {
+        let (x0, x1, x2, x3) = (x[j], x[j + 1], x[j + 2], x[j + 3]);
+        let c0 = &data[j * m..(j + 1) * m];
+        let c1 = &data[(j + 1) * m..(j + 2) * m];
+        let c2 = &data[(j + 2) * m..(j + 3) * m];
+        let c3 = &data[(j + 3) * m..(j + 4) * m];
+        for (yi, &r) in y.iter_mut().zip(rows.iter()) {
+            let r = r as usize;
+            *yi += x0 * c0[r] as f32
+                + x1 * c1[r] as f32
+                + x2 * c2[r] as f32
+                + x3 * c3[r] as f32;
+        }
+        j += 4;
+    }
+    for jj in j..x.len() {
+        let xj = x[jj];
+        let c = &data[jj * m..jj * m + m];
+        for (yi, &r) in y.iter_mut().zip(rows.iter()) {
+            *yi += xj * c[r as usize] as f32;
+        }
+    }
+    Ok(y)
+}
+
 /// `C = A * B` over column-major f32 buffers: `A` is `nrows x ncols`,
 /// `B` is `ncols x nrhs`, and the result is column-major
 /// `nrows x nrhs`. Right-hand sides are processed in pairs so each
@@ -243,6 +335,29 @@ mod tests {
             assert!((y[i] as f64 - r[i]).abs() < 1e-3);
         }
         assert!(matvec_i8(&data, m, n, &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn row_subset_kernels_are_bit_identical_to_full_sweeps() {
+        let (m, n) = (23, 13);
+        let (data, x) = sample(m, n);
+        let full = matvec_f32(&data, m, n, &x).unwrap();
+        // Unsorted, duplicated rows: per-row bits must not depend on
+        // order or uniqueness.
+        let rows = [19u32, 0, 7, 7, 22, 3];
+        let sub = matvec_f32_rows(&data, m, n, &x, &rows).unwrap();
+        for (yi, &r) in sub.iter().zip(rows.iter()) {
+            assert_eq!(yi.to_bits(), full[r as usize].to_bits());
+        }
+        let data8: Vec<i8> = (0..m * n).map(|i| ((i * 37) % 255) as i8).collect();
+        let full8 = matvec_i8(&data8, m, n, &x).unwrap();
+        let sub8 = matvec_i8_rows(&data8, m, n, &x, &rows).unwrap();
+        for (yi, &r) in sub8.iter().zip(rows.iter()) {
+            assert_eq!(yi.to_bits(), full8[r as usize].to_bits());
+        }
+        assert!(matvec_f32_rows(&data, m, n, &x, &[23]).is_err());
+        assert!(matvec_i8_rows(&data8, m, n, &x[..2], &[0]).is_err());
+        assert_eq!(matvec_f32_rows(&data, m, n, &x, &[]).unwrap(), Vec::<f32>::new());
     }
 
     #[test]

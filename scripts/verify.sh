@@ -64,6 +64,26 @@ done
 # Refresh the committed precision-ladder numbers with a full run via:
 #   ./target/release/perf_kernels --compressed   (see BENCH_kernels.json "compressed")
 
+echo "== smoke: perf_kernels --index --quick JSON report + recall floor"
+# The binary itself enforces the CI floor (exit 1 when recall@10 at the
+# default nprobe drops below 0.95, or full-depth bit-identity breaks),
+# so a plain invocation is the floor check; the grep below only guards
+# the report schema.
+out=$(./target/release/perf_kernels --index --quick)
+for key in \
+    index_n_lists index_train_secs exact_batch_scoring_qps \
+    nprobe1_recall_at_10 nprobe8_speedup_vs_exact \
+    pruned_batch_scoring_qps pruned_recall_at_10 pruned_speedup_vs_exact \
+    full_depth_bit_identical scale100x_pruned_query_us \
+    '"metrics"'; do
+  if ! grep -q -- "$key" <<<"$out"; then
+    echo "FAIL: perf_kernels --index --quick output is missing $key" >&2
+    exit 1
+  fi
+done
+# Refresh the committed pruning curve with a full run via:
+#   ./target/release/perf_kernels --index   (see BENCH_kernels.json "index")
+
 echo "== smoke: fault injection (forced failpoints fire and are contained)"
 # Force each failpoint through a real CLI pipeline and assert two
 # things: (a) the failpoint actually FIRED (the lsi-fault warn line on
