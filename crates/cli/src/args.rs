@@ -75,6 +75,35 @@ pub enum Command {
         /// Database path.
         db: String,
     },
+    /// `lsi serve <db> [--addr A] [--port N] [--threads N]
+    /// [--queue-depth N] [--max-batch N] [--timeout-ms N]
+    /// [--max-timeout-ms N] [--no-degrade] [--precision P] [--nprobe N]`
+    Serve {
+        /// Database path.
+        db: String,
+        /// Bind address (default 127.0.0.1 — the daemon has no auth).
+        addr: String,
+        /// Bind port; 0 picks an ephemeral port.
+        port: u16,
+        /// Connection-worker count.
+        threads: usize,
+        /// Scoring-queue bound; queries past it shed with 503.
+        queue_depth: usize,
+        /// Max queries coalesced into one scoring batch.
+        max_batch: usize,
+        /// Default per-request deadline (ms).
+        timeout_ms: u64,
+        /// Hard cap on client-requested deadlines (ms).
+        max_timeout_ms: u64,
+        /// Whether the batcher walks the degradation ladder under load
+        /// (`--no-degrade` turns it off).
+        degrade: bool,
+        /// Optional scoring-precision override for the serving run.
+        precision: Option<String>,
+        /// Optional probe-depth override: serve through the
+        /// cluster-pruned index at this depth.
+        nprobe: Option<usize>,
+    },
     /// `lsi help` or `--help`.
     Help,
 }
@@ -90,6 +119,9 @@ usage:
   lsi terms  <DB> <word> [--top N]
   lsi add    <DB> <inputs...> --out DB2 [--method fold|update]
   lsi info   <DB>
+  lsi serve  <DB> [--addr A] [--port N] [--threads N] [--queue-depth N]
+             [--max-batch N] [--timeout-ms N] [--max-timeout-ms N]
+             [--no-degrade] [--precision P] [--nprobe N]
 
 global flags (any subcommand):
   --metrics        print a timing/flop report to stderr after the command
@@ -108,6 +140,11 @@ nprobe N: cluster-pruned retrieval — score ~sqrt(n_docs) centroid lists and sw
   exact scan bit-for-bit). `index` trains and persists the index with the
   policy, `query` overrides the probe depth (training the index on the fly if
   the database has none).
+serve: HTTP/1.1 daemon over a persistent in-memory model (default 127.0.0.1:7171).
+  GET /query?q=TEXT[&top=N][&timeout_ms=N], POST /query with the same JSON keys,
+  GET /healthz | /readyz | /stats. Concurrent queries coalesce into one scoring
+  batch; past --queue-depth the server sheds with 503 + Retry-After; SIGTERM
+  drains in-flight requests and prints a final JSON report to stdout.
 set RUST_LSI_LOG=off|error|warn|info|debug|trace to filter diagnostics (default warn).
 set RUST_LSI_TRACE=pat[,pat...] to keep only matching spans in --trace output
   (`score.*` keeps a subtree, `query` one span; default: everything).
@@ -367,6 +404,60 @@ pub fn parse_args(argv: &[String]) -> Result<Command> {
                 db: args.remove(0),
             })
         }
+        "serve" => {
+            let addr = take_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1".into());
+            let port = match take_value(&mut args, "--port")? {
+                None => 7171,
+                Some(v) => v.parse::<u16>().map_err(|_| {
+                    CliError::usage(format!("--port expects 0..=65535, got {v:?}"))
+                })?,
+            };
+            let threads = parse_usize(take_value(&mut args, "--threads")?, 4, "--threads")?;
+            if threads == 0 {
+                return Err(CliError::usage("--threads must be at least 1"));
+            }
+            let queue_depth =
+                parse_usize(take_value(&mut args, "--queue-depth")?, 64, "--queue-depth")?;
+            if queue_depth == 0 {
+                return Err(CliError::usage(
+                    "--queue-depth must be at least 1 (a zero-depth queue sheds everything)",
+                ));
+            }
+            let max_batch = parse_usize(take_value(&mut args, "--max-batch")?, 32, "--max-batch")?;
+            if max_batch == 0 {
+                return Err(CliError::usage("--max-batch must be at least 1"));
+            }
+            let timeout_ms =
+                parse_usize(take_value(&mut args, "--timeout-ms")?, 2_000, "--timeout-ms")? as u64;
+            let max_timeout_ms = parse_usize(
+                take_value(&mut args, "--max-timeout-ms")?,
+                30_000,
+                "--max-timeout-ms",
+            )? as u64;
+            if timeout_ms == 0 || max_timeout_ms == 0 {
+                return Err(CliError::usage("timeouts must be at least 1 ms"));
+            }
+            let degrade = !take_flag(&mut args, "--no-degrade");
+            let precision = take_precision(&mut args)?;
+            let nprobe = take_nprobe(&mut args)?;
+            reject_unknown_flags(&args)?;
+            if args.len() != 1 {
+                return Err(CliError::usage("serve requires exactly one database path"));
+            }
+            Ok(Command::Serve {
+                db: args.remove(0),
+                addr,
+                port,
+                threads,
+                queue_depth,
+                max_batch,
+                timeout_ms,
+                max_timeout_ms,
+                degrade,
+                precision,
+                nprobe,
+            })
+        }
         other => Err(CliError::usage(format!(
             "unknown subcommand {other:?}; try lsi --help"
         ))),
@@ -546,6 +637,74 @@ mod tests {
         assert!(parse_args(&v(&["info"])).is_err());
         assert!(parse_args(&v(&["info", "db", "extra"])).is_err());
         assert!(matches!(parse_args(&v(&["info", "db"])).unwrap(), Command::Info { .. }));
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        let c = parse_args(&v(&["serve", "db.json"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                db: "db.json".into(),
+                addr: "127.0.0.1".into(),
+                port: 7171,
+                threads: 4,
+                queue_depth: 64,
+                max_batch: 32,
+                timeout_ms: 2_000,
+                max_timeout_ms: 30_000,
+                degrade: true,
+                precision: None,
+                nprobe: None,
+            }
+        );
+        let c = parse_args(&v(&[
+            "serve", "db", "--port", "0", "--threads", "8", "--queue-depth", "16",
+            "--max-batch", "4", "--timeout-ms", "500", "--no-degrade", "--precision", "f32",
+            "--nprobe", "2",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                port,
+                threads,
+                queue_depth,
+                max_batch,
+                timeout_ms,
+                degrade,
+                precision,
+                nprobe,
+                ..
+            } => {
+                assert_eq!(port, 0);
+                assert_eq!(threads, 8);
+                assert_eq!(queue_depth, 16);
+                assert_eq!(max_batch, 4);
+                assert_eq!(timeout_ms, 500);
+                assert!(!degrade);
+                assert_eq!(precision, Some("f32".into()));
+                assert_eq!(nprobe, Some(2));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        for bad in [
+            v(&["serve"]),
+            v(&["serve", "db", "extra"]),
+            v(&["serve", "db", "--port", "70000"]),
+            v(&["serve", "db", "--threads", "0"]),
+            v(&["serve", "db", "--queue-depth", "0"]),
+            v(&["serve", "db", "--max-batch", "0"]),
+            v(&["serve", "db", "--timeout-ms", "0"]),
+            v(&["serve", "db", "--precision", "f16"]),
+            v(&["serve", "db", "--frobnicate"]),
+        ] {
+            let e = parse_args(&bad).unwrap_err();
+            assert_eq!(e.code, 2, "args {bad:?}");
+        }
     }
 
     #[test]

@@ -34,6 +34,33 @@ fn run(argv: &[String]) -> lsi_cli::Result<String> {
             method,
         } => commands::cmd_add(&db, &inputs, &out, &method),
         Command::Info { db } => commands::cmd_info(&db),
+        Command::Serve {
+            db,
+            addr,
+            port,
+            threads,
+            queue_depth,
+            max_batch,
+            timeout_ms,
+            max_timeout_ms,
+            degrade,
+            precision,
+            nprobe,
+        } => commands::cmd_serve(
+            &db,
+            &commands::ServeParams {
+                addr,
+                port,
+                threads,
+                queue_depth,
+                max_batch,
+                timeout_ms,
+                max_timeout_ms,
+                degrade,
+                precision,
+                nprobe,
+            },
+        ),
     }
 }
 

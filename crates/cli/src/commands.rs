@@ -226,6 +226,68 @@ pub fn cmd_add(db: &str, inputs: &[String], out: &str, method: &str) -> Result<S
     ) + "\n")
 }
 
+/// Everything `lsi serve` needs beyond the database path, mirroring
+/// the parsed flags (see [`crate::args::Command::Serve`]).
+#[derive(Debug, Clone)]
+pub struct ServeParams {
+    pub addr: String,
+    pub port: u16,
+    pub threads: usize,
+    pub queue_depth: usize,
+    pub max_batch: usize,
+    pub timeout_ms: u64,
+    pub max_timeout_ms: u64,
+    pub degrade: bool,
+    pub precision: Option<String>,
+    pub nprobe: Option<usize>,
+}
+
+/// `lsi serve`: load the model once, bind, announce the address on
+/// stdout (flushed, so wrappers can scrape the port before the first
+/// request), then serve until SIGTERM/SIGINT. The returned report —
+/// the command's stdout — is the final serving `RunReport`.
+pub fn cmd_serve(db: &str, params: &ServeParams) -> Result<String> {
+    let mut model = load_model(db)?;
+    if let Some(p) = &params.precision {
+        model.set_precision(precision_by_name(p)?);
+    }
+    if let Some(n) = params.nprobe {
+        apply_nprobe(&mut model, n)?;
+    }
+    if params.degrade {
+        // The degradation ladder falls back to cluster-pruned probes
+        // under load; train the index up front so the first overloaded
+        // batch does not pay the k-means build.
+        model.train_index()?;
+    }
+    let server = lsi_serve::Server::bind(lsi_serve::ServeConfig {
+        addr: params.addr.clone(),
+        port: params.port,
+        threads: params.threads,
+        queue_depth: params.queue_depth,
+        max_batch: params.max_batch,
+        default_timeout_ms: params.timeout_ms,
+        max_timeout_ms: params.max_timeout_ms.max(params.timeout_ms),
+        degrade: params.degrade,
+        ..lsi_serve::ServeConfig::default()
+    })
+    .map_err(|e| {
+        CliError::runtime(format!("cannot bind {}:{}: {e}", params.addr, params.port))
+    })?;
+    lsi_serve::install_signal_handlers();
+    {
+        // The listening line goes out before run() blocks; stdout is
+        // otherwise silent until the final report after drain.
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, "listening on {}", server.local_addr());
+        let _ = out.flush();
+    }
+    let report = server.run(model);
+    let mut json = report.to_json().to_string_compact();
+    json.push('\n');
+    Ok(json)
+}
+
 /// `lsi info`.
 pub fn cmd_info(db: &str) -> Result<String> {
     let model = load_model(db)?;
@@ -424,6 +486,52 @@ mod tests {
         cmd_index(&[f1, f2], &db, 1, 1, "raw", false, "f64", None).unwrap();
         let q = cmd_query(&db, "banana", 2, None, None, None).unwrap();
         assert!(q.contains("alpha") && q.contains("beta"), "{q}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_validates_before_listening() {
+        let params = ServeParams {
+            addr: "127.0.0.1".into(),
+            port: 0,
+            threads: 2,
+            queue_depth: 8,
+            max_batch: 4,
+            timeout_ms: 1_000,
+            max_timeout_ms: 5_000,
+            degrade: true,
+            precision: None,
+            nprobe: None,
+        };
+        // A missing database is a runtime error before any socket work.
+        let e = cmd_serve("/nonexistent/db.json", &params).unwrap_err();
+        assert_eq!(e.code, 1, "{e}");
+
+        let dir = tmpdir();
+        let tsv = write(&dir, "d.tsv", "a\tapple banana\nb\tbanana apple\nc\tapple cherry\n");
+        let db = dir.join("db.json").to_string_lossy().into_owned();
+        cmd_index(&[tsv], &db, 1, 1, "raw", false, "f64", None).unwrap();
+        // An impossible probe depth is the same usage error as `query`.
+        let e = cmd_serve(
+            &db,
+            &ServeParams {
+                nprobe: Some(99),
+                ..params.clone()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 2, "{e}");
+        // An unbindable address is a typed runtime error, not a panic.
+        let e = cmd_serve(
+            &db,
+            &ServeParams {
+                addr: "198.51.100.1".into(), // TEST-NET-2: not routable here
+                ..params
+            },
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 1, "{e}");
+        assert!(e.to_string().contains("cannot bind"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

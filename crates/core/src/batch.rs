@@ -1,0 +1,294 @@
+//! Coalesced batch scoring for the serving layer.
+//!
+//! `lsi serve` collects concurrent requests into one scoring batch so
+//! the document sweep runs as a single `V Q̂` GEMM (n_docs × n_queries)
+//! instead of one GEMV per query — the same coalescing
+//! [`crate::multiquery`] uses for one query's facets, applied across
+//! independent requests. Each query still gets its own projection,
+//! its own top-`z` selection (the shared branchless
+//! [`crate::query::select_top_by`]), its own query-log record, and its
+//! own error: a batch is a scheduling unit, not a failure domain.
+
+use std::time::Instant;
+
+use lsi_obs::Json;
+
+use crate::model::LsiModel;
+use crate::query::{desc_key_f64, select_top_by, RankedList};
+use crate::querylog::{self, RequestCtx};
+use crate::{IndexPolicy, Result};
+
+/// One query in a coalesced scoring batch.
+#[derive(Debug)]
+pub struct BatchQuery {
+    /// Query text (tokenized against the model's vocabulary).
+    pub text: String,
+    /// Result count (top-`z`).
+    pub z: usize,
+    /// Serving-layer context stamped onto this query's
+    /// `LSI_QUERY_LOG` record (request id + queue time), if any.
+    pub ctx: Option<RequestCtx>,
+}
+
+impl LsiModel {
+    /// Serve a batch of queries, one `Result` per query in input
+    /// order.
+    ///
+    /// When the model scans exactly (no cluster-index policy, no
+    /// compressed store) and the batch holds more than one query, the
+    /// document sweep coalesces into a single GEMM; otherwise — and
+    /// whenever the coalesced sweep fails — each query is served
+    /// through [`LsiModel::query_top`] independently, so one poisoned
+    /// query (a projection error, an injected fault) fails only
+    /// itself.
+    pub fn query_top_batch(&self, batch: Vec<BatchQuery>) -> Vec<Result<RankedList>> {
+        let coalesce = batch.len() > 1
+            && matches!(self.index_policy(), IndexPolicy::Exact)
+            && self.compressed.is_none();
+        if !coalesce {
+            return batch
+                .into_iter()
+                .map(|q| {
+                    if let Some(ctx) = q.ctx {
+                        querylog::set_request_context(ctx);
+                    }
+                    self.query_top(&q.text, q.z)
+                })
+                .collect();
+        }
+        let _span = lsi_obs::span("query.batch");
+        let m = batch.len();
+        let t0 = Instant::now();
+
+        // Projection is per-query (and can fail per-query).
+        let mut projected: Vec<Option<(Vec<f64>, f64)>> = Vec::with_capacity(m);
+        let mut results: Vec<Option<Result<RankedList>>> = Vec::with_capacity(m);
+        for q in &batch {
+            let tp = Instant::now();
+            match self.project_text(&q.text) {
+                Ok(qhat) => {
+                    projected.push(Some((qhat, tp.elapsed().as_secs_f64() * 1e6)));
+                    results.push(None);
+                }
+                Err(e) => {
+                    projected.push(None);
+                    results.push(Some(Err(e)));
+                }
+            }
+        }
+
+        // One GEMM over every successfully projected query. A sweep
+        // error (non-finite guard, armed failpoint) falls back to the
+        // per-query path so only the poisoned query errors.
+        let facets: Vec<&[f64]> = projected
+            .iter()
+            .flatten()
+            .map(|(qhat, _)| qhat.as_slice())
+            .collect();
+        let t_sweep = Instant::now();
+        let scores = match self.facet_cosines(&facets) {
+            Ok(s) => s,
+            Err(_) => {
+                return batch
+                    .into_iter()
+                    .map(|q| {
+                        if let Some(ctx) = q.ctx {
+                            querylog::set_request_context(ctx);
+                        }
+                        self.query_top(&q.text, q.z)
+                    })
+                    .collect();
+            }
+        };
+        let sweep_us = t_sweep.elapsed().as_secs_f64() * 1e6;
+
+        lsi_obs::count("query.count", m as u64);
+        lsi_obs::observe("query.batch.size", m as f64);
+        let n = self.n_docs();
+        let mut col = 0usize;
+        for (i, q) in batch.into_iter().enumerate() {
+            let Some((_, project_us)) = projected[i] else {
+                continue; // projection error already recorded
+            };
+            let s = scores.col(col);
+            col += 1;
+            let order = select_top_by(n, q.z, |j| (desc_key_f64(s[j]), j as u32));
+            let ranked = RankedList {
+                matches: order.into_iter().map(|j| self.make_match(j, s[j])).collect(),
+            };
+            if querylog::enabled() {
+                let fields: Vec<(&'static str, Json)> = vec![
+                    ("kind", Json::Str("top".to_string())),
+                    ("n_docs", Json::Num(n as f64)),
+                    ("precision", Json::Str(self.precision().name().to_string())),
+                    ("z", Json::Num(q.z as f64)),
+                    ("path", Json::Str("batch".to_string())),
+                    ("batch", Json::Num(m as f64)),
+                    ("project_us", Json::Num(project_us)),
+                    ("sweep_us", Json::Num(sweep_us)),
+                ];
+                querylog::emit(
+                    q.ctx,
+                    fields,
+                    &ranked,
+                    t0.elapsed().as_secs_f64() * 1e6,
+                );
+            }
+            lsi_obs::observe("query.time.us", t0.elapsed().as_secs_f64() * 1e6);
+            results[i] = Some(Ok(ranked));
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| {
+                // Unreachable by construction (every slot is filled
+                // above); a typed error beats a panic if it ever isn't.
+                Err(crate::Error::Inconsistent {
+                    context: "batch slot left unserved".into(),
+                })
+            }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LsiOptions;
+    use crate::Precision;
+    use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+    fn model() -> LsiModel {
+        let corpus = Corpus::from_pairs([
+            ("cars1", "car engine wheel motor car"),
+            ("cars2", "automobile engine motor chassis"),
+            ("cars3", "car automobile driver wheel"),
+            ("zoo1", "elephant lion zebra elephant"),
+            ("zoo2", "lion zebra giraffe elephant"),
+            ("zoo3", "zebra giraffe lion safari"),
+        ]);
+        let options = LsiOptions {
+            k: 2,
+            rules: ParsingRules {
+                min_df: 2,
+                ..Default::default()
+            },
+            weighting: TermWeighting::none(),
+            svd_seed: 3,
+        };
+        LsiModel::build(&corpus, &options).unwrap().0
+    }
+
+    fn q(text: &str, z: usize) -> BatchQuery {
+        BatchQuery {
+            text: text.to_string(),
+            z,
+            ctx: None,
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_query_results_bitwise() {
+        let m = model();
+        let texts = ["car motor", "zebra lion", "automobile", "giraffe safari"];
+        let batch: Vec<BatchQuery> = texts.iter().map(|t| q(t, 3)).collect();
+        let got = m.query_top_batch(batch);
+        for (text, r) in texts.iter().zip(got) {
+            let solo = m.query_top(text, 3).unwrap();
+            let r = r.unwrap();
+            assert_eq!(r.matches.len(), solo.matches.len(), "{text}");
+            for (a, b) in r.matches.iter().zip(solo.matches.iter()) {
+                assert_eq!(a.doc, b.doc, "{text}");
+                assert_eq!(a.cosine.to_bits(), b.cosine.to_bits(), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_and_empty_batch() {
+        let m = model();
+        assert!(m.query_top_batch(Vec::new()).is_empty());
+        let got = m.query_top_batch(vec![q("car", 2)]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].as_ref().unwrap().matches.len(), 2);
+    }
+
+    #[test]
+    fn per_query_z_is_respected() {
+        let m = model();
+        let got = m.query_top_batch(vec![q("car", 1), q("lion", 4), q("zebra", 99)]);
+        assert_eq!(got[0].as_ref().unwrap().matches.len(), 1);
+        assert_eq!(got[1].as_ref().unwrap().matches.len(), 4);
+        assert_eq!(got[2].as_ref().unwrap().matches.len(), 6);
+    }
+
+    #[test]
+    fn compressed_and_pruned_models_still_serve_batches() {
+        for setup in ["compressed", "pruned"] {
+            let mut m = model();
+            match setup {
+                "compressed" => m.set_precision(Precision::F32),
+                _ => m
+                    .set_index_policy(IndexPolicy::Pruned { nprobe: 99 })
+                    .unwrap(),
+            }
+            let got = m.query_top_batch(vec![q("car motor", 3), q("zebra", 3)]);
+            for (r, text) in got.into_iter().zip(["car motor", "zebra"]) {
+                let solo = m.query_top(text, 3).unwrap();
+                let r = r.unwrap();
+                for (a, b) in r.matches.iter().zip(solo.matches.iter()) {
+                    assert_eq!(a.doc, b.doc, "{setup} {text}");
+                    assert_eq!(a.cosine.to_bits(), b.cosine.to_bits(), "{setup} {text}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_sweep_fails_only_itself() {
+        // A batch error falls back to per-query serving: with the
+        // scoring failpoint armed to fire exactly once, the coalesced
+        // sweep errors, the fallback re-serves per query, and every
+        // query still succeeds (the failpoint is spent).
+        let m = model();
+        lsi_fault::arm_from_spec("core.query.score=return-err:1").unwrap();
+        let got = m.query_top_batch(vec![q("car", 2), q("lion", 2), q("zebra", 2)]);
+        lsi_fault::clear();
+        assert_eq!(got.iter().filter(|r| r.is_ok()).count(), 3);
+    }
+
+    #[test]
+    fn projection_error_is_contained_per_query() {
+        // project_text never fails on unknown words (zero vector), so
+        // force a per-query error through the probe-depth override
+        // path instead: a dimension-mismatched model cannot exist
+        // here, so exercise containment through the fault fallback
+        // with a twice-armed failpoint — batch sweep errs, then one
+        // per-query retry errs, the other two serve.
+        let m = model();
+        lsi_fault::arm_from_spec("core.query.score=return-err:2").unwrap();
+        let got = m.query_top_batch(vec![q("car", 2), q("lion", 2), q("zebra", 2)]);
+        lsi_fault::clear();
+        let ok = got.iter().filter(|r| r.is_ok()).count();
+        let err = got.iter().filter(|r| r.is_err()).count();
+        assert_eq!((ok, err), (2, 1), "exactly the re-poisoned query fails");
+    }
+
+    #[test]
+    fn train_index_enables_override_without_policy_change() {
+        let mut m = model();
+        m.train_index().unwrap();
+        assert!(matches!(m.index_policy(), IndexPolicy::Exact));
+        assert!(m.index_n_lists().is_some());
+        let exact = m.query_top("car motor", 3).unwrap();
+        let full_depth = m
+            .query_top_with("car motor", 3, Some(m.index_n_lists().unwrap()))
+            .unwrap();
+        for (a, b) in full_depth.matches.iter().zip(exact.matches.iter()) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.cosine.to_bits(), b.cosine.to_bits());
+        }
+        // A narrowed probe still serves (possibly fewer survivors).
+        let narrowed = m.query_top_with("car motor", 3, Some(1)).unwrap();
+        assert!(!narrowed.matches.is_empty());
+    }
+}

@@ -51,6 +51,7 @@
 #![allow(clippy::needless_range_loop)]
 
 
+pub mod batch;
 pub mod complexity;
 pub mod compressed;
 pub mod expansion;
@@ -59,15 +60,17 @@ pub mod model;
 pub mod multiquery;
 pub mod ortho;
 pub mod query;
-pub(crate) mod querylog;
+pub mod querylog;
 pub mod update;
 
+pub use batch::BatchQuery;
 pub use compressed::Precision;
 pub use index::{IndexPolicy, DEFAULT_NPROBE, INDEX_RECLUSTER_THRESHOLD};
 pub use model::{LsiModel, LsiOptions};
 pub use expansion::ExpandedQuery;
 pub use multiquery::{Combine, MultiQuery};
 pub use query::{Match, RankedList};
+pub use querylog::RequestCtx;
 
 /// Errors from model construction and updating.
 #[derive(Debug)]

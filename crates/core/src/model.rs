@@ -283,6 +283,23 @@ impl LsiModel {
         Ok(())
     }
 
+    /// Train the cluster index without changing the retrieval policy:
+    /// queries keep following [`LsiModel::index_policy`], but the
+    /// per-call probe-depth override
+    /// ([`LsiModel::query_top_with`]) can now route through the index.
+    /// This is how `lsi serve` prepares its degradation ladder at
+    /// startup — an `Exact`-policy model serves exact at nominal load
+    /// and degrades to pruned sweeps under pressure without paying a
+    /// mid-serve training stall. No-op when an index is already
+    /// trained. The index is not persisted unless the policy is
+    /// `Pruned` (an `Exact` save drops it on reload).
+    pub fn train_index(&mut self) -> Result<()> {
+        if self.index.is_none() {
+            self.index = Some(ClusterIndex::build(&self.v, &self.doc_norms)?);
+        }
+        Ok(())
+    }
+
     /// Index-coherence hook for append-style mutations (fold-in):
     /// assign the rows `start..` of `v` to their nearest centroid, and
     /// retrain the centroids once the accumulated drift crosses

@@ -118,6 +118,16 @@ pub(crate) fn desc_key_f32(s: f32) -> u32 {
 /// that dominate comparator-based selection here, where every query
 /// presents a fresh, unlearnable comparison pattern (measured ~4x on
 /// topic-clustered scores).
+///
+/// When `z` is much smaller than `n` (the serving case: top-10 of tens
+/// of thousands), even one materialized `(key, index)` pair per
+/// document costs more than the selection itself, so a bounded-scan
+/// path keeps only the best `z` pairs seen so far and compares each new
+/// key against the current worst. The replace branch is taken
+/// ~`z·ln(n/z)` times in expectation (dozens, not thousands), so it
+/// stays predictor-friendly despite being data-dependent. Both paths
+/// order by the same `(key, index)` pairs, so results — including tie
+/// handling — are identical.
 pub(crate) fn select_top_by<K: Ord + Copy>(
     n: usize,
     z: usize,
@@ -126,6 +136,28 @@ pub(crate) fn select_top_by<K: Ord + Copy>(
     let z = z.min(n);
     if z == 0 {
         return Vec::new();
+    }
+    // Threshold: the bounded scan's replace step is O(z), so it wins
+    // while z stays a sliver of n; past that the partition amortizes
+    // better. 1/32 keeps the worst-case replace traffic (n/32 · z)
+    // at or under one full keyed materialization.
+    if z <= 64 && n >= 32 * z {
+        let mut kept: Vec<(K, u32)> = (0..z).map(|i| (key_of(i), i as u32)).collect();
+        kept.sort_unstable();
+        // `kept` stays sorted ascending; worst kept pair is last.
+        for i in z..n {
+            let key = key_of(i);
+            // Scanning in ascending index order means a tie on key can
+            // never displace an earlier index, so strict key comparison
+            // against the worst kept pair is exactly pair comparison.
+            if key < kept[z - 1].0 {
+                let pair = (key, i as u32);
+                let pos = kept.partition_point(|&p| p < pair);
+                kept.pop();
+                kept.insert(pos, pair);
+            }
+        }
+        return kept.into_iter().map(|(_, i)| i as usize).collect();
     }
     let mut keyed: Vec<(K, u32)> = (0..n).map(|i| (key_of(i), i as u32)).collect();
     if z < n {
@@ -299,14 +331,37 @@ impl LsiModel {
     /// scores are still exact f64 cosines). [`Precision::Exact`]
     /// scores everything in f64 through the same shared selection.
     pub fn rank_projected_top(&self, qhat: &[f64], z: usize) -> Result<RankedList> {
+        self.rank_projected_top_at(qhat, z, None)
+    }
+
+    /// [`LsiModel::rank_projected_top`] with a per-call probe-depth
+    /// override: `Some(n)` routes through the trained cluster index at
+    /// depth `n` regardless of the persisted [`IndexPolicy`] (the
+    /// serve degradation ladder narrows probe depth under pressure
+    /// without mutating the model), `None` follows the policy. An
+    /// override with no trained index falls through to the policy
+    /// path — [`LsiModel::train_index`] prepares the index up front.
+    pub(crate) fn rank_projected_top_at(
+        &self,
+        qhat: &[f64],
+        z: usize,
+        nprobe_override: Option<usize>,
+    ) -> Result<RankedList> {
         querylog::put_str("precision", self.precision().name());
         querylog::put_num("z", z as f64);
-        if let IndexPolicy::Pruned { nprobe } = self.index_policy {
-            if let Some(index) = self.index.as_ref() {
-                if let Some(ranked) = self.rank_top_pruned(index, nprobe, qhat, z)? {
-                    querylog::put_str("path", "pruned");
-                    return Ok(ranked);
+        let probe = match nprobe_override {
+            Some(n) => self.index.as_ref().map(|ix| (ix, n)),
+            None => match self.index_policy {
+                IndexPolicy::Pruned { nprobe } => {
+                    self.index.as_ref().map(|ix| (ix, nprobe))
                 }
+                IndexPolicy::Exact => None,
+            },
+        };
+        if let Some((index, nprobe)) = probe {
+            if let Some(ranked) = self.rank_top_pruned(index, nprobe, qhat, z)? {
+                querylog::put_str("path", "pruned");
+                return Ok(ranked);
             }
         }
         if let Some(store) = self.compressed.as_ref() {
@@ -812,6 +867,20 @@ impl LsiModel {
     /// Query by free text, returning only the top `z` documents
     /// (partition + partial sort instead of a full ranking).
     pub fn query_top(&self, text: &str, z: usize) -> Result<RankedList> {
+        self.query_top_with(text, z, None)
+    }
+
+    /// [`LsiModel::query_top`] with a per-call probe-depth override
+    /// (see [`LsiModel::rank_projected_top_at`]): the serving layer's
+    /// degradation ladder narrows retrieval through the trained
+    /// cluster index without mutating the persisted policy. `None`
+    /// behaves exactly like [`LsiModel::query_top`].
+    pub fn query_top_with(
+        &self,
+        text: &str,
+        z: usize,
+        nprobe_override: Option<usize>,
+    ) -> Result<RankedList> {
         let _span = lsi_obs::span("query");
         let qlog = querylog::begin("top");
         querylog::put_num("n_docs", self.n_docs() as f64);
@@ -819,7 +888,7 @@ impl LsiModel {
         let t_proj = querylog::phase_timer();
         let qhat = self.project_text(text)?;
         querylog::phase_done(t_proj, "project_us");
-        let ranked = self.rank_projected_top(&qhat, z)?;
+        let ranked = self.rank_projected_top_at(&qhat, z, nprobe_override)?;
         lsi_obs::count("query.count", 1);
         lsi_obs::observe("query.time.us", t0.elapsed().as_secs_f64() * 1e6);
         qlog.finish(&ranked);

@@ -1,9 +1,9 @@
 //! Structured per-query log: one JSON line per served query.
 //!
-//! This is the record the future `lsi serve` daemon will emit per
-//! request; the batch entry points ([`LsiModel::query`],
-//! [`LsiModel::query_top`], [`LsiModel::query_by_doc`]) emit it today
-//! so the schema is proven before a daemon exists.
+//! This is the record the `lsi serve` daemon emits per request; the
+//! batch entry points ([`LsiModel::query`], [`LsiModel::query_top`],
+//! [`LsiModel::query_by_doc`]) emit it too, so the schema is shared
+//! between one-shot CLI runs and the daemon.
 //!
 //! [`LsiModel::query`]: crate::LsiModel::query
 //! [`LsiModel::query_top`]: crate::LsiModel::query_top
@@ -32,8 +32,15 @@
 //! `compressed` (unpruned sweep + re-rank served it), `fallback`
 //! (sweep ran, certification failed or the sweep degraded, exact scan
 //! served it — `fallback_us` carries the scan), `exact` (no compressed
-//! store; `full` for the full-sort entry points). `margin` is the
-//! top-1 − top-2 exact cosine gap.
+//! store; `full` for the full-sort entry points), `batch` (the serve
+//! coalesced-GEMM path — `batch` carries the coalesced query count).
+//! `margin` is the top-1 − top-2 exact cosine gap.
+//!
+//! `trace_id` defaults to a per-process `q<pid>-<seq>`; a serving
+//! layer overrides it per request via [`set_request_context`] so the
+//! daemon's query-log lines join with its access-log lines on the
+//! request id, and `wait_us` (time spent queued before scoring) rides
+//! along with the phase timings.
 //! Only successfully served queries are logged; errors surface through
 //! the usual typed-error path and event log instead.
 //!
@@ -93,8 +100,21 @@ pub(crate) fn enabled() -> bool {
     sink().is_some()
 }
 
+/// Request-scoped context a serving layer stamps onto the next query's
+/// record: the server's request id (so query-log lines join with
+/// access-log lines) and the time the request spent queued.
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    /// The serving layer's request id, replacing the default
+    /// per-process `q<pid>-<seq>` trace id.
+    pub trace_id: String,
+    /// Queue time (enqueue → scoring start), microseconds.
+    pub wait_us: f64,
+}
+
 struct Active {
     t0: Instant,
+    ctx: Option<RequestCtx>,
     fields: Vec<(&'static str, Json)>,
 }
 
@@ -102,6 +122,23 @@ thread_local! {
     // One query runs per thread at a time (the entry points do not
     // nest), so a single slot suffices.
     static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+    // Context staged by set_request_context for the next begin().
+    static PENDING: RefCell<Option<RequestCtx>> = const { RefCell::new(None) };
+}
+
+/// Stage per-request context for the next query served on this thread:
+/// its record's `trace_id` becomes `ctx.trace_id` and a `wait_us`
+/// field is added. Consumed by the next query entry point; a no-op
+/// when logging is disarmed.
+pub fn set_request_context(ctx: RequestCtx) {
+    if !enabled() {
+        return;
+    }
+    PENDING.with(|p| *p.borrow_mut() = Some(ctx));
+}
+
+fn take_request_context() -> Option<RequestCtx> {
+    PENDING.with(|p| p.borrow_mut().take())
 }
 
 /// Guard for one query's record; created by [`begin`], emitted by
@@ -120,6 +157,7 @@ pub(crate) fn begin(kind: &'static str) -> QueryLog {
     ACTIVE.with(|a| {
         *a.borrow_mut() = Some(Active {
             t0: Instant::now(),
+            ctx: take_request_context(),
             fields: vec![("kind", Json::Str(kind.to_string()))],
         });
     });
@@ -178,35 +216,55 @@ impl QueryLog {
             return;
         };
         let total_us = act.t0.elapsed().as_secs_f64() * 1e6;
-        let trace_id = format!(
-            "q{}-{}",
-            std::process::id(),
-            // Relaxed: see SEQ.
-            SEQ.fetch_add(1, Ordering::Relaxed)
-        );
-        let mut fields: Vec<(String, Json)> =
-            vec![("trace_id".to_string(), Json::Str(trace_id))];
-        fields.extend(
-            act.fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v)),
-        );
-        fields.push((
-            "results".to_string(),
-            Json::Num(ranked.matches.len() as f64),
-        ));
-        if let Some(top) = ranked.matches.first() {
-            fields.push(("top_score".to_string(), Json::Num(top.cosine)));
-            if let Some(second) = ranked.matches.get(1) {
-                fields.push((
-                    "margin".to_string(),
-                    Json::Num(top.cosine - second.cosine),
-                ));
-            }
-        }
-        fields.push(("total_us".to_string(), Json::Num(total_us)));
-        write_line(&Json::Obj(fields).to_string_compact());
+        emit(act.ctx, act.fields, ranked, total_us);
     }
+}
+
+/// Build and write one complete record without the thread-local slot —
+/// the coalesced batch path emits one record per query after a shared
+/// sweep, which a single in-flight slot cannot interleave.
+pub(crate) fn emit(
+    ctx: Option<RequestCtx>,
+    fields: Vec<(&'static str, Json)>,
+    ranked: &RankedList,
+    total_us: f64,
+) {
+    if !enabled() {
+        return;
+    }
+    let (trace_id, wait_us) = match ctx {
+        Some(c) => (c.trace_id, Some(c.wait_us)),
+        None => (
+            format!(
+                "q{}-{}",
+                std::process::id(),
+                // Relaxed: see SEQ.
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ),
+            None,
+        ),
+    };
+    let mut out: Vec<(String, Json)> =
+        vec![("trace_id".to_string(), Json::Str(trace_id))];
+    out.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    if let Some(w) = wait_us {
+        out.push(("wait_us".to_string(), Json::Num(w)));
+    }
+    out.push((
+        "results".to_string(),
+        Json::Num(ranked.matches.len() as f64),
+    ));
+    if let Some(top) = ranked.matches.first() {
+        out.push(("top_score".to_string(), Json::Num(top.cosine)));
+        if let Some(second) = ranked.matches.get(1) {
+            out.push((
+                "margin".to_string(),
+                Json::Num(top.cosine - second.cosine),
+            ));
+        }
+    }
+    out.push(("total_us".to_string(), Json::Num(total_us)));
+    write_line(&Json::Obj(out).to_string_compact());
 }
 
 impl Drop for QueryLog {

@@ -62,6 +62,21 @@ pub mod points {
     /// `inject-nan` (the non-finite exit guard must reject the scores
     /// with a typed error), `return-err`, and `delay-ms`.
     pub const CORE_QUERY_SCORE: &str = "core.query.score";
+    /// Per-accepted-connection in the `lsi serve` accept loop, fired
+    /// before the connection is handed to a worker. Honors
+    /// `return-err` (the connection is dropped; the daemon keeps
+    /// accepting) and `delay-ms` (a slow accept path).
+    pub const SERVE_ACCEPT: &str = "serve.accept";
+    /// Entry of the serve HTTP request parser. Honors `return-err`
+    /// (→ a typed 400 response; the worker keeps serving) and
+    /// `delay-ms`.
+    pub const SERVE_PARSE: &str = "serve.parse";
+    /// In the serve batcher, fired once per scoring batch before the
+    /// sweep. Honors `return-err` (every request in the batch answers
+    /// a typed 500), `panic` (contained by the batcher's unwind
+    /// boundary — same 500s, the batcher stays alive), and `delay-ms`
+    /// (a slow batch, exercising per-request deadlines).
+    pub const SERVE_BATCH: &str = "serve.batch";
 
     /// Every registered failpoint, for enumeration by smoke harnesses.
     pub const ALL: &[&str] = &[
@@ -71,6 +86,9 @@ pub mod points {
         CORE_PERSIST_SAVE,
         CORE_PERSIST_LOAD,
         CORE_QUERY_SCORE,
+        SERVE_ACCEPT,
+        SERVE_PARSE,
+        SERVE_BATCH,
     ];
 }
 
@@ -440,7 +458,8 @@ mod tests {
     #[test]
     fn points_list_is_consistent() {
         assert!(points::ALL.contains(&points::SVD_LANCZOS_ITER));
-        assert_eq!(points::ALL.len(), 6);
+        assert!(points::ALL.contains(&points::SERVE_BATCH));
+        assert_eq!(points::ALL.len(), 9);
         for name in points::ALL {
             // Names follow the span taxonomy: dotted lowercase.
             assert!(name.chars().all(|c| c.is_ascii_lowercase()

@@ -1,0 +1,212 @@
+//! Hostile-input property tests for the serve wire protocol: whatever
+//! bytes arrive on the socket — truncations, bit flips, oversized
+//! frames, or pure garbage — the server must answer a typed 4xx (or
+//! close the connection), never panic, never wedge a worker, and
+//! never stop serving well-formed requests.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_serve::{ServeConfig, Server};
+use lsi_text::{Corpus, ParsingRules, TermWeighting};
+use proptest::prelude::*;
+
+/// One long-lived server shared by every case (leaked on purpose: the
+/// test process exits when proptest is done).
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let corpus = Corpus::from_pairs([
+            ("cars1", "car engine wheel motor car"),
+            ("cars2", "automobile engine motor chassis"),
+            ("zoo1", "elephant lion zebra elephant"),
+            ("zoo2", "lion zebra giraffe elephant"),
+        ]);
+        let options = LsiOptions {
+            k: 2,
+            rules: ParsingRules {
+                min_df: 1,
+                ..Default::default()
+            },
+            weighting: TermWeighting::none(),
+            svd_seed: 3,
+        };
+        let model = LsiModel::build(&corpus, &options).unwrap().0;
+        let server = Server::bind(ServeConfig {
+            threads: 4,
+            // Short read budget so even inputs that stall the parser
+            // resolve fast (the hard total budget is 4x this).
+            read_timeout_ms: 250,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        std::thread::spawn(move || server.run(model));
+        addr
+    })
+}
+
+/// Deliver `bytes`, half-close the write side (so a headless parser
+/// sees EOF instead of waiting out its idle budget), and read the full
+/// response. A `None` means the server dropped the connection without
+/// responding — acceptable for garbage; a hang is not (bounded by the
+/// client read timeout + server budgets).
+fn deliver(bytes: &[u8]) -> Option<String> {
+    let mut s = TcpStream::connect(server_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(bytes).unwrap();
+    let _ = s.shutdown(Shutdown::Write);
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    (!out.is_empty()).then_some(out)
+}
+
+/// The protocol contract for hostile bytes: any response is a
+/// well-formed HTTP/1.1 status line and never a 5xx (no input should
+/// reach — let alone break — the scoring path as a server error).
+fn assert_typed(resp: Option<String>, input: &[u8]) {
+    if let Some(resp) = resp {
+        assert!(
+            resp.starts_with("HTTP/1.1 "),
+            "malformed response {resp:?} for input {input:?}"
+        );
+        let code: u16 = resp[9..12].parse().unwrap_or(0);
+        assert!(
+            (200..500).contains(&code),
+            "status {code} for input {input:?}: {resp:?}"
+        );
+    }
+}
+
+/// After any hostile input, a fresh connection must still serve.
+fn assert_still_serving() {
+    let resp = deliver(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap_or_default();
+    assert!(resp.starts_with("HTTP/1.1 200"), "server wedged: {resp:?}");
+}
+
+fn valid_request() -> Vec<u8> {
+    b"GET /query?q=car+engine&top=2&timeout_ms=2000 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncated_requests_never_wedge(cut in 0usize..90) {
+        let doc = valid_request();
+        let cut = cut.min(doc.len());
+        assert_typed(deliver(&doc[..cut]), &doc[..cut]);
+    }
+
+    #[test]
+    fn byte_mutations_never_wedge(pos in 0usize..90, byte in 0u8..=255) {
+        let mut doc = valid_request();
+        let pos = pos % doc.len();
+        doc[pos] = byte;
+        assert_typed(deliver(&doc), &doc);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_wedges(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        assert_typed(deliver(&bytes), &bytes);
+    }
+
+    #[test]
+    fn hostile_bodies_get_typed_errors(
+        length in prop::sample::select(vec![
+            "0".to_string(), "7".to_string(), "65537".to_string(),
+            "999999999999".to_string(), "-1".to_string(), "NaN".to_string(),
+            "18446744073709551616".to_string(),
+        ]),
+        body in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut doc = format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {length}\r\nConnection: close\r\n\r\n"
+        ).into_bytes();
+        doc.extend_from_slice(&body);
+        assert_typed(deliver(&doc), &doc);
+    }
+}
+
+#[test]
+fn oversized_head_is_rejected_as_431() {
+    let mut doc = b"GET /query?q=".to_vec();
+    doc.extend(std::iter::repeat_n(b'a', 10 * 1024));
+    doc.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let resp = deliver(&doc).unwrap_or_default();
+    assert!(resp.starts_with("HTTP/1.1 431"), "{resp:?}");
+    assert_still_serving();
+}
+
+#[test]
+fn oversized_declared_body_is_rejected_as_413() {
+    let doc = b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 100000\r\n\r\n";
+    let resp = deliver(doc).unwrap_or_default();
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp:?}");
+    assert_still_serving();
+}
+
+#[test]
+fn slowloris_is_bounded_by_the_read_budget() {
+    // Trickle a request one fragment at a time, slower than the poll
+    // interval but never finishing; the server must cut the connection
+    // within its hard total budget instead of parking a worker.
+    let mut s = TcpStream::connect(server_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    let start = std::time::Instant::now();
+    let mut closed = false;
+    for _ in 0..40 {
+        if s.write_all(b"G").is_err() {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        let mut buf = [0u8; 512];
+        match s.read(&mut buf) {
+            Ok(0) => {
+                closed = true;
+                break;
+            }
+            Ok(_) => {
+                // 408 arrived; the connection is closing.
+                closed = true;
+                break;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                closed = true;
+                break;
+            }
+        }
+    }
+    assert!(closed, "slow-loris connection was never cut");
+    // 250 ms idle budget, 1 s hard cap, generous scheduling slack.
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "took {:?}",
+        start.elapsed()
+    );
+    assert_still_serving();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_all_answer() {
+    // Two requests in one write: the carry buffer must frame them.
+    let mut s = TcpStream::connect(server_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nGET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let _ = s.shutdown(Shutdown::Write);
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    assert_eq!(out.matches("HTTP/1.1 200").count(), 2, "{out:?}");
+}

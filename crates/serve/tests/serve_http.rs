@@ -1,0 +1,315 @@
+//! End-to-end daemon tests over real sockets: routing, batching,
+//! shedding, deadlines, failpoint containment, and drain.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lsi_core::{LsiModel, LsiOptions};
+use lsi_obs::RunReport;
+use lsi_serve::{ServeConfig, Server, Stats};
+use lsi_text::{Corpus, ParsingRules, TermWeighting};
+
+fn tiny_model() -> LsiModel {
+    let corpus = Corpus::from_pairs([
+        ("cars1", "car engine wheel motor car"),
+        ("cars2", "automobile engine motor chassis"),
+        ("cars3", "car automobile driver wheel"),
+        ("zoo1", "elephant lion zebra elephant"),
+        ("zoo2", "lion zebra giraffe elephant"),
+        ("zoo3", "zebra giraffe lion safari"),
+    ]);
+    let options = LsiOptions {
+        k: 2,
+        rules: ParsingRules {
+            min_df: 2,
+            ..Default::default()
+        },
+        weighting: TermWeighting::none(),
+        svd_seed: 3,
+    };
+    LsiModel::build(&corpus, &options).unwrap().0
+}
+
+struct Running {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    handle: JoinHandle<RunReport>,
+}
+
+impl Running {
+    fn start(cfg: ServeConfig) -> Running {
+        let server = Server::bind(cfg).unwrap();
+        let addr = server.local_addr();
+        let stop = server.stop_handle();
+        let stats = server.stats();
+        let model = tiny_model();
+        let handle = std::thread::spawn(move || server.run(model));
+        Running {
+            addr,
+            stop,
+            stats,
+            handle,
+        }
+    }
+
+    fn finish(self) -> RunReport {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().unwrap()
+    }
+}
+
+/// One-shot client: send raw bytes, read to EOF, return
+/// (status, full response text). Status 0 means the connection was
+/// dropped before any response bytes.
+fn exchange(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(request.as_bytes()).unwrap();
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    let status = out
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or(0);
+    (status, out)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// Failpoint state is process-global; serialize the tests that arm it.
+fn fault_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+#[test]
+fn endpoints_route_and_validate() {
+    let srv = Running::start(ServeConfig::default());
+
+    let (code, body) = get(srv.addr, "/healthz");
+    assert_eq!((code, body.contains("ok")), (200, true));
+    let (code, _) = get(srv.addr, "/readyz");
+    assert_eq!(code, 200);
+
+    let (code, body) = get(srv.addr, "/query?q=car+motor&top=2");
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("\"results\""), "{body}");
+    assert!(body.contains("cars"), "{body}");
+    assert!(body.contains("X-Request-Id: r"), "{body}");
+
+    let post = "{\"q\": \"zebra lion\", \"top\": 3}";
+    let (code, body) = exchange(
+        srv.addr,
+        &format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{post}",
+            post.len()
+        ),
+    );
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("zoo"), "{body}");
+
+    // Typed client errors, one per validation layer.
+    assert_eq!(get(srv.addr, "/query").0, 400, "missing q");
+    assert_eq!(get(srv.addr, "/query?q=car&top=xyz").0, 400, "bad top");
+    assert_eq!(get(srv.addr, "/query?q=%zz").0, 400, "bad escape");
+    assert_eq!(get(srv.addr, "/nope").0, 404);
+    let (code, body) = exchange(
+        srv.addr,
+        "DELETE /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(code, 405);
+    assert!(body.contains("Allow: GET, POST"), "{body}");
+    let (code, _) = exchange(srv.addr, "garbage\r\n\r\n");
+    assert_eq!(code, 400);
+    let (code, _) = exchange(
+        srv.addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\nno-length",
+    );
+    assert_eq!(code, 411);
+
+    let (code, body) = get(srv.addr, "/stats");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"requests\""), "{body}");
+
+    let report = srv.finish();
+    let json = report.to_json().to_string_compact();
+    assert!(json.contains("\"lsi_serve\""), "{json}");
+}
+
+#[test]
+fn concurrent_queries_all_answer_and_batches_form() {
+    let srv = Running::start(ServeConfig {
+        threads: 8,
+        ..ServeConfig::default()
+    });
+    let addr = srv.addr;
+    let mut clients = Vec::new();
+    for c in 0..8 {
+        clients.push(std::thread::spawn(move || {
+            let mut codes = Vec::new();
+            for i in 0..6 {
+                let q = if (c + i) % 2 == 0 { "car+engine" } else { "lion+zebra" };
+                codes.push(get(addr, &format!("/query?q={q}&top=2")).0);
+            }
+            codes
+        }));
+    }
+    for client in clients {
+        for code in client.join().unwrap() {
+            assert_eq!(code, 200);
+        }
+    }
+    assert_eq!(srv.stats.queries.load(Ordering::Relaxed), 48);
+    assert_eq!(srv.stats.shed.load(Ordering::Relaxed), 0);
+    let report = srv.finish();
+    let json = report.to_json().to_string_compact();
+    assert!(json.contains("\"queries\":48"), "{json}");
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let srv = Running::start(ServeConfig::default());
+    let mut s = TcpStream::connect(srv.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    for _ in 0..3 {
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut buf = [0u8; 1024];
+        let n = s.read(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf[..n]);
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    }
+    srv.finish();
+}
+
+#[test]
+fn parse_failpoint_answers_400_then_recovers() {
+    let _g = fault_lock().lock().unwrap_or_else(|p| p.into_inner());
+    let srv = Running::start(ServeConfig::default());
+    lsi_fault::arm_from_spec("serve.parse=return-err:1").unwrap();
+    let (code, body) = get(srv.addr, "/query?q=car");
+    assert_eq!(code, 400, "{body}");
+    assert!(body.contains("serve.parse"), "{body}");
+    lsi_fault::clear();
+    let (code, _) = get(srv.addr, "/query?q=car");
+    assert_eq!(code, 200);
+    srv.finish();
+}
+
+#[test]
+fn batch_failpoint_errors_are_typed_and_panic_is_contained() {
+    let _g = fault_lock().lock().unwrap_or_else(|p| p.into_inner());
+    let srv = Running::start(ServeConfig::default());
+
+    lsi_fault::arm_from_spec("serve.batch=return-err:1").unwrap();
+    let (code, body) = get(srv.addr, "/query?q=car");
+    assert_eq!(code, 500, "{body}");
+    assert!(body.contains("serve.batch"), "{body}");
+    lsi_fault::clear();
+
+    lsi_fault::arm_from_spec("serve.batch=panic:1").unwrap();
+    let (code, body) = get(srv.addr, "/query?q=car");
+    assert_eq!(code, 500, "{body}");
+    assert!(body.contains("contained"), "{body}");
+    lsi_fault::clear();
+
+    // The batcher survived both injections.
+    let (code, _) = get(srv.addr, "/query?q=car");
+    assert_eq!(code, 200);
+    assert_eq!(srv.stats.panics.load(Ordering::Relaxed), 1);
+    srv.finish();
+}
+
+#[test]
+fn accept_failpoint_drops_connection_and_keeps_accepting() {
+    let _g = fault_lock().lock().unwrap_or_else(|p| p.into_inner());
+    let srv = Running::start(ServeConfig::default());
+    lsi_fault::arm_from_spec("serve.accept=return-err:1").unwrap();
+    let (code, _) = get(srv.addr, "/healthz");
+    assert_eq!(code, 0, "dropped before any response");
+    lsi_fault::clear();
+    let (code, _) = get(srv.addr, "/healthz");
+    assert_eq!(code, 200);
+    assert_eq!(srv.stats.accept_drops.load(Ordering::Relaxed), 1);
+    srv.finish();
+}
+
+#[test]
+fn expired_deadline_answers_504_without_scoring() {
+    let _g = fault_lock().lock().unwrap_or_else(|p| p.into_inner());
+    let srv = Running::start(ServeConfig::default());
+    // Every batch stalls 150 ms; a 30 ms deadline expires while queued
+    // or mid-stall either way.
+    lsi_fault::arm_from_spec("serve.batch=delay-ms(150)").unwrap();
+    let (code, body) = get(srv.addr, "/query?q=car&timeout_ms=30");
+    lsi_fault::clear();
+    assert_eq!(code, 504, "{body}");
+    assert!(body.contains("deadline exceeded"), "{body}");
+    assert!(srv.stats.timeouts.load(Ordering::Relaxed) >= 1);
+    srv.finish();
+}
+
+#[test]
+fn overload_sheds_with_retry_after_and_never_queues_unboundedly() {
+    let _g = fault_lock().lock().unwrap_or_else(|p| p.into_inner());
+    let srv = Running::start(ServeConfig {
+        threads: 8,
+        queue_depth: 2,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    let addr = srv.addr;
+    // Stall scoring so the depth-2 queue cannot drain while 12
+    // concurrent clients pile on.
+    lsi_fault::arm_from_spec("serve.batch=delay-ms(100)").unwrap();
+    let mut clients = Vec::new();
+    for _ in 0..12 {
+        clients.push(std::thread::spawn(move || {
+            get(addr, "/query?q=car&timeout_ms=5000")
+        }));
+    }
+    let mut shed = 0;
+    for client in clients {
+        let (code, body) = client.join().unwrap();
+        match code {
+            200 | 504 => {}
+            503 => {
+                shed += 1;
+                assert!(body.contains("Retry-After: 1"), "{body}");
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    lsi_fault::clear();
+    assert!(shed >= 1, "queue bound was never enforced");
+    assert_eq!(srv.stats.shed.load(Ordering::Relaxed), shed);
+    srv.finish();
+}
+
+#[test]
+fn stop_drains_in_flight_requests_before_reporting() {
+    let _g = fault_lock().lock().unwrap_or_else(|p| p.into_inner());
+    let srv = Running::start(ServeConfig::default());
+    let addr = srv.addr;
+    // Slow scoring so the request is provably in flight when stop hits.
+    lsi_fault::arm_from_spec("serve.batch=delay-ms(200)").unwrap();
+    let inflight =
+        std::thread::spawn(move || get(addr, "/query?q=car&timeout_ms=5000"));
+    std::thread::sleep(Duration::from_millis(50));
+    let report = srv.finish();
+    lsi_fault::clear();
+    let (code, body) = inflight.join().unwrap();
+    assert_eq!(code, 200, "in-flight request dropped during drain: {body}");
+    let json = report.to_json().to_string_compact();
+    assert!(json.contains("\"queries\":1"), "{json}");
+}

@@ -156,6 +156,134 @@ for threads in 4 1; do
     | grep -q . || { echo "FAIL: fallback-built index cannot serve queries" >&2; exit 1; }
 done
 
+echo "== smoke: lsi serve (endpoints, failpoint containment, graceful drain)"
+# Boot the daemon against the fault-smoke index, hit every endpoint
+# over raw /dev/tcp (no curl dependency), force each serve.* failpoint
+# with a one-shot spec and assert the daemon (a) answers the poisoned
+# request with a typed status, (b) logs the fired warn, and (c) keeps
+# serving afterward. Finally, SIGTERM with a query in flight must drain
+# (client still gets its 200) and leave a final lsi_serve run report on
+# stdout with exit code 0.
+serve_pid=
+trap 'rm -rf "$fault_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+serve_start() {
+  local threads=$1 spec=$2
+  : > "$fault_dir/serve.out"
+  : > "$fault_dir/serve.err"
+  LSI_NUM_THREADS=$threads LSI_FAILPOINTS=$spec \
+    ./target/release/lsi serve "$db" --port 0 --threads 2 \
+    > "$fault_dir/serve.out" 2> "$fault_dir/serve.err" &
+  serve_pid=$!
+  serve_port=
+  local i=0
+  while [ "$i" -lt 100 ]; do
+    serve_port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$fault_dir/serve.out")
+    [ -n "$serve_port" ] && return 0
+    sleep 0.05
+    i=$((i + 1))
+  done
+  echo "FAIL: lsi serve never reported a listening address" >&2
+  cat "$fault_dir/serve.err" >&2
+  exit 1
+}
+serve_get() {
+  local path=$1 out=$2
+  serve_status=
+  : > "$out"
+  if exec 3<>"/dev/tcp/127.0.0.1/$serve_port"; then
+    printf 'GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' "$path" >&3
+    cat <&3 > "$out" 2>/dev/null || true
+    exec 3<&- 3>&- || true
+    serve_status=$(head -1 "$out" | tr -d '\r' | awk '{print $2}')
+  fi
+}
+serve_expect() {
+  local path=$1 want=$2 sub=$3
+  serve_get "$path" "$fault_dir/resp.txt"
+  if [ "$serve_status" != "$want" ]; then
+    echo "FAIL: GET $path returned ${serve_status:-<no response>} (expected $want)" >&2
+    cat "$fault_dir/serve.err" >&2
+    exit 1
+  fi
+  if [ -n "$sub" ] && ! grep -q -- "$sub" "$fault_dir/resp.txt"; then
+    echo "FAIL: GET $path response is missing $sub" >&2
+    cat "$fault_dir/resp.txt" >&2
+    exit 1
+  fi
+}
+serve_fired() {
+  if ! grep -q 'failpoint .* fired' "$fault_dir/serve.err"; then
+    echo "FAIL: serve failpoint $1 never fired" >&2
+    cat "$fault_dir/serve.err" >&2
+    exit 1
+  fi
+}
+serve_stop() {
+  kill -TERM "$serve_pid" 2>/dev/null || true
+  local code=0
+  wait "$serve_pid" || code=$?
+  serve_pid=
+  if [ "$code" -ne 0 ]; then
+    echo "FAIL: lsi serve exited $code after SIGTERM (expected 0)" >&2
+    cat "$fault_dir/serve.err" >&2
+    exit 1
+  fi
+  if ! grep -q '"name":"lsi_serve"' "$fault_dir/serve.out"; then
+    echo "FAIL: lsi serve left no final run report on stdout" >&2
+    cat "$fault_dir/serve.out" >&2
+    exit 1
+  fi
+}
+for threads in 4 1; do
+  db="$fault_dir/db-$threads.json"
+  # Clean daemon: every endpoint answers, errors are typed.
+  serve_start "$threads" ''
+  serve_expect /healthz 200 ok
+  serve_expect /readyz 200 ready
+  serve_expect '/query?q=car+motor&top=3' 200 '"results"'
+  serve_expect '/query' 400 ''
+  serve_expect /nope 404 ''
+  serve_expect /stats 200 '"queries"'
+  serve_stop
+  # Parse failpoint: poisoned request gets a typed 400, daemon survives.
+  serve_start "$threads" 'serve.parse=return-err:1'
+  serve_expect '/query?q=car+motor' 400 failpoint
+  serve_expect '/query?q=car+motor' 200 '"results"'
+  serve_fired serve.parse
+  serve_stop
+  # Batcher panic: contained to a 500, scoring thread respawns state.
+  serve_start "$threads" 'serve.batch=panic:1'
+  serve_expect '/query?q=car+motor' 500 ''
+  serve_expect '/query?q=car+motor' 200 '"results"'
+  serve_fired serve.batch
+  serve_stop
+  # Accept failpoint: one connection dropped at the door, next served.
+  serve_start "$threads" 'serve.accept=return-err:1'
+  serve_get /healthz "$fault_dir/resp.txt" || true
+  serve_expect /healthz 200 ok
+  serve_fired serve.accept
+  serve_stop
+  # Drain: SIGTERM with a delayed query in flight; the client must
+  # still get its 200 before the process exits 0.
+  serve_start "$threads" 'serve.batch=delay-ms(300):1'
+  (
+    if exec 3<>"/dev/tcp/127.0.0.1/$serve_port"; then
+      printf 'GET /query?q=car+motor HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3
+      cat <&3 > "$fault_dir/resp-drain.txt" || true
+      exec 3<&- 3>&- || true
+    fi
+  ) &
+  drain_client=$!
+  sleep 0.1
+  serve_stop
+  wait "$drain_client" || true
+  if ! head -1 "$fault_dir/resp-drain.txt" | grep -q ' 200 '; then
+    echo "FAIL: in-flight query dropped during drain" >&2
+    cat "$fault_dir/resp-drain.txt" >&2
+    exit 1
+  fi
+done
+
 echo "== perf: perf_kernels --gate (regression gate vs BENCH_kernels.json)"
 # Re-measures the key kernel/query metrics at full size with
 # observability disarmed and compares against the committed `gate`
