@@ -4,6 +4,7 @@
 //! usage: lsi-analyze [--ci] [--json] [--write-baseline]
 //!                    [--baseline <path>] [--root <path>]
 //!                    [--explain <rule>] [--list-rules]
+//!                    [--graph <dot|json>]
 //!
 //! exit codes (the workspace CLI convention):
 //!   0  clean — no findings above the committed baseline
@@ -19,12 +20,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use lsi_analyze::graph_rules::{all_graph_rules, graph_rule_by_name};
 use lsi_analyze::{all_rules, analyze, compare, engine, find_workspace_root, rule_by_name};
 use lsi_analyze::{Analysis, Baseline, Comparison};
 use lsi_obs::{Json, RunReport};
 
 const USAGE: &str = "usage: lsi-analyze [--ci] [--json] [--write-baseline] \
-[--baseline <path>] [--root <path>] [--explain <rule>] [--list-rules]";
+[--baseline <path>] [--root <path>] [--explain <rule>] [--list-rules] \
+[--graph <dot|json>]";
 
 struct Options {
     ci: bool,
@@ -34,6 +37,7 @@ struct Options {
     root: Option<PathBuf>,
     explain: Option<String>,
     list_rules: bool,
+    graph: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -45,6 +49,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         root: None,
         explain: None,
         list_rules: false,
+        graph: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -64,8 +69,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.explain = Some(it.next().ok_or("--explain needs a rule name")?.clone());
             }
             "--list-rules" => opts.list_rules = true,
+            "--graph" => {
+                let fmt = it.next().ok_or("--graph needs a format (dot|json)")?;
+                if fmt != "dot" && fmt != "json" {
+                    return Err(format!("--graph format must be dot or json, got `{fmt}`"));
+                }
+                opts.graph = Some(fmt.clone());
+            }
             "--help" | "-h" => return Err(String::new()),
-            other => return Err(format!("unknown argument `{other}`")),
+            other => match other.strip_prefix("--graph=") {
+                Some(fmt @ ("dot" | "json")) => opts.graph = Some(fmt.to_string()),
+                Some(fmt) => {
+                    return Err(format!("--graph format must be dot or json, got `{fmt}`"))
+                }
+                None => return Err(format!("unknown argument `{other}`")),
+            },
         }
     }
     Ok(opts)
@@ -88,8 +106,8 @@ fn main() -> ExitCode {
     };
 
     if opts.list_rules {
-        for rule in all_rules() {
-            println!("{:<22} {:<8} {}", rule.name(), rule.severity().as_str(), rule.summary());
+        for (name, severity, summary) in rule_rows() {
+            println!("{name:<22} {severity:<8} {summary}");
         }
         return ExitCode::SUCCESS;
     }
@@ -104,6 +122,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Pure graph export: no rules, no baseline, exit 0.
+    if let Some(fmt) = &opts.graph {
+        let (ws, graph) = match engine::build_graph(&root) {
+            Ok(pair) => pair,
+            Err(e) => {
+                lsi_obs::error!("lsi-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match fmt.as_str() {
+            "dot" => print!("{}", graph.to_dot(&ws)),
+            _ => print!("{}", graph.to_json(&ws).to_string_pretty()),
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let baseline_path = opts
         .baseline
         .clone()
@@ -155,19 +189,48 @@ fn main() -> ExitCode {
     }
 }
 
+/// `(name, severity, summary)` for every rule, per-file then graph.
+fn rule_rows() -> Vec<(&'static str, &'static str, &'static str)> {
+    let mut rows: Vec<(&'static str, &'static str, &'static str)> = all_rules()
+        .iter()
+        .map(|r| (r.name(), r.severity().as_str(), r.summary()))
+        .collect();
+    rows.extend(
+        all_graph_rules()
+            .iter()
+            .map(|r| (r.name(), r.severity().as_str(), r.summary())),
+    );
+    rows
+}
+
 fn explain(name: &str) -> ExitCode {
-    match rule_by_name(name) {
-        Some(rule) => {
-            println!("{} ({})", rule.name(), rule.severity().as_str());
-            println!("  {}", rule.summary());
+    let found = match (rule_by_name(name), graph_rule_by_name(name)) {
+        (Some(rule), _) => Some((
+            rule.name(),
+            rule.severity().as_str(),
+            rule.summary(),
+            rule.rationale(),
+        )),
+        (None, Some(rule)) => Some((
+            rule.name(),
+            rule.severity().as_str(),
+            rule.summary(),
+            rule.rationale(),
+        )),
+        (None, None) => None,
+    };
+    match found {
+        Some((name, severity, summary, rationale)) => {
+            println!("{name} ({severity})");
+            println!("  {summary}");
             println!();
-            for line in wrap(rule.rationale(), 72) {
+            for line in wrap(rationale, 72) {
                 println!("  {line}");
             }
             ExitCode::SUCCESS
         }
         None => {
-            let known: Vec<&str> = all_rules().iter().map(|r| r.name()).collect();
+            let known: Vec<&str> = rule_rows().iter().map(|(n, _, _)| *n).collect();
             lsi_obs::error!(
                 "lsi-analyze: unknown rule `{name}` (known: {})",
                 known.join(", ")
@@ -236,25 +299,24 @@ fn print_human(
         "  {:<22} {:>8} {:>10} {:>15}",
         "rule", "findings", "baselined", "above-baseline"
     );
-    for rule in all_rules() {
-        let total = analysis.findings.iter().filter(|f| f.rule == rule.name()).count() as u64;
+    for (name, _, _) in rule_rows() {
+        let total = analysis.findings.iter().filter(|f| f.rule == name).count() as u64;
         let over: u64 = cmp
             .over
             .iter()
-            .filter(|g| g.rule == rule.name())
+            .filter(|g| g.rule == name)
             .map(|g| g.current - g.baseline)
             .sum();
-        println!(
-            "  {:<22} {:>8} {:>10} {:>15}",
-            rule.name(),
-            total,
-            total - over,
-            over
-        );
+        println!("  {:<22} {:>8} {:>10} {:>15}", name, total, total - over, over);
     }
     println!(
-        "scanned {} files, {} lines in {:.3}s",
-        analysis.files_scanned, analysis.lines_scanned, elapsed
+        "scanned {} files, {} lines in {:.3}s (call graph: {} nodes, {} edges, {:.3}s)",
+        analysis.files_scanned,
+        analysis.lines_scanned,
+        elapsed,
+        analysis.graph_nodes,
+        analysis.graph_edges,
+        analysis.graph_build_secs
     );
     if !baseline.exists {
         println!("note: no {} found — every finding counts as above baseline", engine::BASELINE_FILE);
@@ -296,19 +358,22 @@ fn report_json(
         Json::Num(baseline.counts.len() as f64),
     );
     report.result("elapsed_secs", Json::Num(elapsed));
+    report.result("graph_nodes", Json::Num(analysis.graph_nodes as f64));
+    report.result("graph_edges", Json::Num(analysis.graph_edges as f64));
+    report.result("graph_build_secs", Json::Num(analysis.graph_build_secs));
     let mut per_rule = Vec::new();
-    for rule in all_rules() {
-        let total = analysis.findings.iter().filter(|f| f.rule == rule.name()).count() as f64;
+    for (name, severity, _) in rule_rows() {
+        let total = analysis.findings.iter().filter(|f| f.rule == name).count() as f64;
         let over: u64 = cmp
             .over
             .iter()
-            .filter(|g| g.rule == rule.name())
+            .filter(|g| g.rule == name)
             .map(|g| g.current - g.baseline)
             .sum();
         per_rule.push((
-            rule.name().to_string(),
+            name.to_string(),
             Json::obj(vec![
-                ("severity", Json::Str(rule.severity().as_str().to_string())),
+                ("severity", Json::Str(severity.to_string())),
                 ("findings", Json::Num(total)),
                 ("above_baseline", Json::Num(over as f64)),
             ]),

@@ -22,6 +22,8 @@ use std::path::{Path, PathBuf};
 
 use lsi_obs::Json;
 
+use crate::graph::{CallGraph, Workspace};
+use crate::graph_rules::all_graph_rules;
 use crate::rules::all_rules;
 use crate::{Finding, SourceFile};
 
@@ -91,6 +93,12 @@ pub struct Analysis {
     pub files_scanned: usize,
     /// Total source lines lexed.
     pub lines_scanned: usize,
+    /// Call-graph nodes (one per parsed `fn`).
+    pub graph_nodes: usize,
+    /// Resolved call edges.
+    pub graph_edges: usize,
+    /// Wall time of the interprocedural pass (parse + graph + rules).
+    pub graph_build_secs: f64,
 }
 
 impl Analysis {
@@ -166,13 +174,9 @@ fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), Error> {
     Ok(())
 }
 
-/// Run every rule over every workspace file. Findings suppressed by an
-/// `lsi-analyze: allow(<rule>)` comment (same line or the line above)
-/// are dropped here.
-pub fn analyze(root: &Path) -> Result<Analysis, Error> {
-    let _span = lsi_obs::span("analyze");
-    let rules = all_rules();
-    let mut analysis = Analysis::default();
+/// Read and lex every workspace file, sorted by relative path.
+pub fn load_sources(root: &Path) -> Result<Vec<SourceFile>, Error> {
+    let mut sources = Vec::new();
     for path in walk_workspace(root)? {
         let src = std::fs::read_to_string(&path).map_err(|source| Error::Io {
             path: path.clone(),
@@ -183,21 +187,75 @@ pub fn analyze(root: &Path) -> Result<Analysis, Error> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let file = SourceFile::from_source(&rel, &src);
+        sources.push(SourceFile::from_source(&rel, &src));
+    }
+    Ok(sources)
+}
+
+/// Parse the workspace and build its call graph — the `--graph` export
+/// path, and the interprocedural half of [`analyze`].
+pub fn build_graph(root: &Path) -> Result<(Workspace, CallGraph), Error> {
+    let sources = load_sources(root)?;
+    let lib_names = Workspace::detect_lib_names(root);
+    let ws = Workspace::from_source_files(sources, lib_names);
+    let graph = CallGraph::build(&ws);
+    Ok((ws, graph))
+}
+
+/// Run every rule over every workspace file, then the interprocedural
+/// rules over the call graph. Findings suppressed by an `lsi-analyze:
+/// allow(<rule>)` comment (same line or the line above) are dropped
+/// here — graph findings honour the same comments.
+pub fn analyze(root: &Path) -> Result<Analysis, Error> {
+    let _span = lsi_obs::span("analyze");
+    let rules = all_rules();
+    let mut analysis = Analysis::default();
+    let sources = load_sources(root)?;
+    for file in &sources {
         analysis.files_scanned += 1;
         analysis.lines_scanned += file.lexed.lines.len();
         for rule in &rules {
-            let found = rule.check(&file);
+            let found = rule.check(file);
             analysis
                 .findings
-                .extend(found.into_iter().filter(|f| !is_suppressed(&file, f)));
+                .extend(found.into_iter().filter(|f| !is_suppressed(file, f)));
         }
     }
+
+    // Interprocedural pass: the sources are already lexed, so this
+    // reparses nothing — items, graph, and the three graph rules.
+    let t0 = std::time::Instant::now();
+    let lib_names = Workspace::detect_lib_names(root);
+    let ws = Workspace::from_source_files(sources, lib_names);
+    let graph = CallGraph::build(&ws);
+    analysis.graph_nodes = graph.nodes.len();
+    analysis.graph_edges = graph.edges.len();
+    let by_path: BTreeMap<&str, usize> = ws
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, wf)| (wf.source.rel_path.as_str(), i))
+        .collect();
+    for rule in all_graph_rules() {
+        for f in rule.check(&ws, &graph) {
+            let keep = match by_path.get(f.file.as_str()) {
+                Some(&i) => !is_suppressed(&ws.files[i].source, &f),
+                None => true,
+            };
+            if keep {
+                analysis.findings.push(f);
+            }
+        }
+    }
+    analysis.graph_build_secs = t0.elapsed().as_secs_f64();
+
     analysis
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     lsi_obs::count("analyze.files.count", analysis.files_scanned as u64);
     lsi_obs::count("analyze.lines.count", analysis.lines_scanned as u64);
+    lsi_obs::count("analyze.graph.nodes.count", analysis.graph_nodes as u64);
+    lsi_obs::count("analyze.graph.edges.count", analysis.graph_edges as u64);
     for f in &analysis.findings {
         lsi_obs::count(&format!("analyze.findings.{}.count", f.rule), 1);
     }

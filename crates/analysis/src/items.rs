@@ -1,0 +1,1186 @@
+//! Layer 1 of the interprocedural pipeline (DESIGN.md §3j): a
+//! lightweight item parser on top of the lexer.
+//!
+//! The per-line rules in [`crate::rules`] see one masked line at a
+//! time; the interprocedural rules in [`crate::graph_rules`] need to
+//! know *which function* a pattern lives in and *who calls whom*. This
+//! module recovers exactly that much structure from the masked code
+//! view — no types, no expressions, no full grammar:
+//!
+//! * `mod` / `impl` / `trait` / `fn` nesting with brace matching (the
+//!   angle-bracket-aware [`crate::lexer::scan_item_end`] keeps
+//!   const-generic braces out of the accounting);
+//! * per-`fn` metadata: visibility, `unsafe` markers, body extent,
+//!   SAFETY-comment presence;
+//! * call sites inside each body — free-function paths, `.method(`
+//!   receivers, and macro invocations (recorded opaquely: a macro is
+//!   a name, never an edge);
+//! * panic sites (`unwrap`/`expect`/panic-family macros/indexing) and
+//!   whether each sits inside a `catch_unwind(...)` argument;
+//! * atomic operations with their `Ordering` arguments and receiver
+//!   field/static name (for the atomics-pairing rule);
+//! * `use` aliases, so the call-graph builder can resolve imported
+//!   names.
+//!
+//! Everything here is heuristic by design. The recall/precision
+//! trade-offs (what a missing edge or a spurious edge costs) are
+//! documented per-rule in DESIGN.md §3j.
+
+use crate::lexer::{scan_item_end, skip_attributes, ItemEnd};
+use crate::SourceFile;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments as written: `["helper"]`, `["batcher", "run"]`,
+    /// `["Self", "new"]`. For method calls, the single method name.
+    pub path: Vec<String>,
+    /// `.name(` receiver call.
+    pub method: bool,
+    /// The method receiver is literally `self` (`self.name(..)`),
+    /// which pins resolution to the caller's own impl type.
+    pub self_receiver: bool,
+    /// `name!(` — recorded opaquely, never resolved to an edge.
+    pub macro_call: bool,
+    /// 1-based source line.
+    pub line: usize,
+    /// Inside the argument of a `catch_unwind(...)` call: panics
+    /// beyond this point are contained by that boundary.
+    pub contained: bool,
+}
+
+/// A construct that can panic, attributed to its enclosing function.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What was found: a pattern from the panic family (`.unwrap()`,
+    /// `panic!`, ...) or `"index"` for `expr[...]` indexing.
+    pub what: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Inside a `catch_unwind(...)` argument.
+    pub contained: bool,
+}
+
+/// One atomic memory operation with an explicit `Ordering` argument.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// Last identifier of the receiver chain: the field name for
+    /// `self.poisoned.store(..)`, the static name for `STOP.load(..)`.
+    pub receiver: String,
+    /// Operation name: `store`, `load`, `swap`, `fetch_add`, ...
+    pub op: String,
+    /// Ordering words found in the argument list (`Release`,
+    /// `Acquire`, `AcqRel`, `SeqCst`, `Relaxed`).
+    pub orderings: Vec<String>,
+    /// 1-based source line.
+    pub line: usize,
+    /// The site is test code (test file or `#[cfg(test)]` region).
+    pub in_test: bool,
+}
+
+/// A `use` alias: local name → full path segments.
+#[derive(Debug, Clone)]
+pub struct UseAlias {
+    /// The name visible in this file.
+    pub alias: String,
+    /// The full imported path, e.g. `["lsi_core", "LsiModel"]`.
+    pub path: Vec<String>,
+}
+
+/// One `fn` item recovered from a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's own name.
+    pub name: String,
+    /// Enclosing module path within the file (`""` at file scope,
+    /// `"imp"` inside `mod imp { .. }`).
+    pub module: String,
+    /// Simplified self type when defined in an `impl`/`trait` block
+    /// (last path segment, generics stripped).
+    pub self_type: Option<String>,
+    /// Trait being implemented, when `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace (or the `;`).
+    pub end_line: usize,
+    /// `pub` without a visibility restriction (`pub(crate)` is not
+    /// public API).
+    pub is_pub: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Body contains at least one `unsafe` keyword.
+    pub has_unsafe_block: bool,
+    /// A comment containing `SAFETY` appears in the doc window above
+    /// the signature or anywhere in the body extent.
+    pub has_safety_comment: bool,
+    /// Has a `{ .. }` body (trait/extern declarations do not).
+    pub has_body: bool,
+    /// The function's own line is test code.
+    pub in_test: bool,
+    /// Calls made from the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Panic sites in the body, in source order.
+    pub panics: Vec<PanicSite>,
+    /// Body extent as char offsets into the joined code view.
+    pub(crate) body: Option<(usize, usize)>,
+}
+
+/// Everything the parser recovers from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` aliases.
+    pub uses: Vec<UseAlias>,
+    /// Atomic operations (file-scoped: the pairing rule is site-based,
+    /// not graph-based).
+    pub atomics: Vec<AtomicSite>,
+}
+
+/// The panic family searched for by the parser (kept in sync with the
+/// per-line `panic-surface` rule).
+pub const PANIC_FAMILY: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Words that look like `name(` but are never calls.
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "while", "for", "loop", "match", "return", "in", "as", "fn", "impl", "mod", "use",
+    "where", "unsafe", "move", "else", "break", "continue", "let", "pub", "crate", "super",
+    "self", "dyn", "ref", "mut", "box", "type", "struct", "enum", "union", "trait", "static",
+    "const", "async", "await", "yield",
+];
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Scope-stack entry during the structural scan.
+enum Scope {
+    /// `mod name { .. }`
+    Mod(String),
+    /// `impl [Trait for] Type { .. }` or `trait Name { .. }`
+    Impl {
+        self_type: Option<String>,
+        trait_name: Option<String>,
+    },
+    /// Any other `{ .. }` (fn bodies, blocks, struct literals, ...).
+    Other,
+}
+
+/// Parse one lexed file into items, call sites, and atomic sites.
+pub fn parse_file(file: &SourceFile) -> FileItems {
+    let mut chars: Vec<char> = Vec::new();
+    let mut line_of: Vec<usize> = Vec::new();
+    for (idx, line) in file.lexed.lines.iter().enumerate() {
+        for c in line.code.chars() {
+            chars.push(c);
+            line_of.push(idx);
+        }
+        chars.push('\n');
+        line_of.push(idx);
+    }
+    let n = chars.len();
+
+    let mut items = FileItems::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut last_boundary = 0usize;
+    let mut i = 0usize;
+
+    // Pass 1: structural scan — mod/impl/trait/fn nesting.
+    while i < n {
+        let c = chars[i];
+        if c == '{' {
+            scopes.push(Scope::Other);
+            i += 1;
+            last_boundary = i;
+            continue;
+        }
+        if c == '}' {
+            scopes.pop();
+            i += 1;
+            last_boundary = i;
+            continue;
+        }
+        if c == ';' {
+            i += 1;
+            last_boundary = i;
+            continue;
+        }
+        if !is_ident_start(c) {
+            i += 1;
+            continue;
+        }
+        let (word, end) = read_word(&chars, i);
+        match word.as_str() {
+            "mod" => {
+                if let Some((name, after)) = read_ident_fwd(&chars, end) {
+                    let j = skip_ws(&chars, after);
+                    if chars.get(j) == Some(&'{') {
+                        scopes.push(Scope::Mod(name));
+                        i = j + 1;
+                        last_boundary = i;
+                        continue;
+                    }
+                    i = after;
+                    last_boundary = i;
+                    continue;
+                }
+                i = end;
+            }
+            // Scan from the keyword itself so the angle-bracket
+            // heuristic sees an identifier before any leading `<`.
+            "impl" | "trait" => match scan_item_end(&chars, i) {
+                Some(ItemEnd::Body { open, .. }) => {
+                    let header: String = chars[end..open].iter().collect();
+                    let (self_type, trait_name) = if word == "trait" {
+                        let name = header
+                            .trim()
+                            .chars()
+                            .take_while(|&c| is_ident(c))
+                            .collect::<String>();
+                        let name = (!name.is_empty()).then_some(name);
+                        (name.clone(), name)
+                    } else {
+                        parse_impl_header(&header)
+                    };
+                    scopes.push(Scope::Impl {
+                        self_type,
+                        trait_name,
+                    });
+                    i = open + 1;
+                    last_boundary = i;
+                }
+                Some(ItemEnd::Semi(p)) => {
+                    i = p + 1;
+                    last_boundary = i;
+                }
+                None => {
+                    i = end;
+                }
+            },
+            "fn" => {
+                let Some((name, after)) = read_ident_fwd(&chars, end) else {
+                    // `fn(usize) -> T` function-pointer type.
+                    i = end;
+                    continue;
+                };
+                let hdr_start = skip_attributes(&chars, last_boundary).min(i);
+                let header: String = chars[hdr_start..i].iter().collect();
+                let (is_pub, is_unsafe) = fn_modifiers(&header);
+                let def_line = line_of[i.min(n - 1)];
+                let module = scopes
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Mod(m) => Some(m.as_str()),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+                    .join("::");
+                // Innermost impl frame, unless an intervening `Other`
+                // chain came from a nested fn body — close enough: a
+                // fn nested inside a method still reports the impl
+                // type, which only widens method-name fallback.
+                let (self_type, trait_name) = scopes
+                    .iter()
+                    .rev()
+                    .find_map(|s| match s {
+                        Scope::Impl {
+                            self_type,
+                            trait_name,
+                        } => Some((self_type.clone(), trait_name.clone())),
+                        _ => None,
+                    })
+                    .unwrap_or((None, None));
+                let in_test =
+                    file.test_file || file.lexed.lines[def_line].in_test;
+                match scan_item_end(&chars, i) {
+                    Some(ItemEnd::Body { open, close }) => {
+                        items.fns.push(FnItem {
+                            name,
+                            module,
+                            self_type,
+                            trait_name,
+                            line: def_line + 1,
+                            end_line: line_of[close.min(n - 1)] + 1,
+                            is_pub,
+                            is_unsafe,
+                            has_unsafe_block: false,
+                            has_safety_comment: false,
+                            has_body: true,
+                            in_test,
+                            calls: Vec::new(),
+                            panics: Vec::new(),
+                            body: Some((open, close)),
+                        });
+                        scopes.push(Scope::Other);
+                        i = open + 1;
+                        last_boundary = i;
+                    }
+                    Some(ItemEnd::Semi(p)) => {
+                        items.fns.push(FnItem {
+                            name,
+                            module,
+                            self_type,
+                            trait_name,
+                            line: def_line + 1,
+                            end_line: line_of[p.min(n - 1)] + 1,
+                            is_pub,
+                            is_unsafe,
+                            has_unsafe_block: false,
+                            has_safety_comment: false,
+                            has_body: false,
+                            in_test,
+                            calls: Vec::new(),
+                            panics: Vec::new(),
+                            body: None,
+                        });
+                        i = p + 1;
+                        last_boundary = i;
+                    }
+                    None => {
+                        i = after;
+                    }
+                }
+            }
+            "use" => {
+                let mut j = end;
+                while j < n && chars[j] != ';' {
+                    j += 1;
+                }
+                let text: String = chars[end..j.min(n)].iter().collect();
+                parse_use_tree(&[], text.trim(), &mut items.uses);
+                i = j.saturating_add(1).min(n);
+                last_boundary = i;
+            }
+            _ => {
+                i = end;
+            }
+        }
+    }
+
+    // Pass 2: site extraction over the whole file, attributed to the
+    // innermost enclosing fn.
+    let containments = catch_unwind_regions(&chars);
+    let contained = |off: usize| containments.iter().any(|&(lo, hi)| off > lo && off < hi);
+    let bodies: Vec<Option<(usize, usize)>> = items.fns.iter().map(|f| f.body).collect();
+    let owner = move |off: usize| -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (k, body) in bodies.iter().enumerate() {
+            if let Some((open, close)) = *body {
+                if off > open && off < close {
+                    match best {
+                        Some(b) if bodies[b].is_some_and(|(o, _)| o >= open) => {}
+                        _ => best = Some(k),
+                    }
+                }
+            }
+        }
+        best
+    };
+
+    for call in extract_calls(&chars, &line_of) {
+        if let Some(k) = owner(call.0) {
+            let mut site = call.1;
+            site.contained = contained(call.0);
+            items.fns[k].calls.push(site);
+        }
+    }
+    for (off, what, line) in extract_panics(&chars, &line_of) {
+        if let Some(k) = owner(off) {
+            items.fns[k].panics.push(PanicSite {
+                what,
+                line,
+                contained: contained(off),
+            });
+        }
+    }
+    for (off, site) in extract_atomics(&chars, &line_of, file) {
+        let _ = off;
+        items.atomics.push(site);
+    }
+
+    // Per-fn derived flags: unsafe blocks and SAFETY comments.
+    for f in &mut items.fns {
+        if let Some((open, close)) = f.body {
+            f.has_unsafe_block = has_keyword(&chars[open..close], "unsafe");
+        }
+        // SAFETY text counts inside the fn's own extent, or in the
+        // contiguous comment/attribute block directly above the
+        // signature (doc `# Safety` sections, plain `// SAFETY:` lines
+        // between attributes and the keyword). A *body* comment of the
+        // previous fn cannot leak in: its closing `}` line has real
+        // code and breaks the contiguity the walk requires.
+        let def = f.line - 1;
+        let hi = (f.end_line - 1).min(file.lexed.lines.len() - 1);
+        let mut has = file.lexed.lines[def..=hi]
+            .iter()
+            .any(|l| l.comment.to_ascii_lowercase().contains("safety"));
+        let mut k = def;
+        while !has && k > 0 {
+            let prev = &file.lexed.lines[k - 1];
+            let code = prev.code.trim();
+            let attached = prev.doc_comment
+                || code.starts_with('#')
+                || (code.is_empty() && !prev.comment.trim().is_empty());
+            if !attached {
+                break;
+            }
+            k -= 1;
+            has = file.lexed.lines[k]
+                .comment
+                .to_ascii_lowercase()
+                .contains("safety");
+        }
+        f.has_safety_comment = has;
+    }
+    items
+}
+
+/// Read the identifier word starting at `i`; returns (word, end).
+fn read_word(chars: &[char], i: usize) -> (String, usize) {
+    let mut j = i;
+    while j < chars.len() && is_ident(chars[j]) {
+        j += 1;
+    }
+    (chars[i..j].iter().collect(), j)
+}
+
+fn skip_ws(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Skip whitespace forward, then read an identifier; `None` when the
+/// next token is not an identifier.
+fn read_ident_fwd(chars: &[char], i: usize) -> Option<(String, usize)> {
+    let j = skip_ws(chars, i);
+    if j < chars.len() && is_ident_start(chars[j]) {
+        let (w, end) = read_word(chars, j);
+        Some((w, end))
+    } else {
+        None
+    }
+}
+
+/// Read the identifier ending just before `end` (exclusive), walking
+/// backwards. Returns (start, word); the word may be empty.
+fn read_ident_back(chars: &[char], end: usize) -> (usize, String) {
+    let mut start = end;
+    while start > 0 && is_ident(chars[start - 1]) {
+        start -= 1;
+    }
+    (start, chars[start..end].iter().collect())
+}
+
+/// Index of the previous non-whitespace char before `i`, if any.
+fn prev_non_ws(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !chars[j].is_whitespace() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// `pub` / `unsafe` detection in a fn header prefix. `pub(crate)` and
+/// friends are visibility-restricted and not public API.
+fn fn_modifiers(header: &str) -> (bool, bool) {
+    let mut is_pub = false;
+    let mut is_unsafe = false;
+    let bytes: Vec<char> = header.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_ident_start(bytes[i]) {
+            let (w, end) = read_word(&bytes, i);
+            match w.as_str() {
+                "pub" => {
+                    let j = skip_ws(&bytes, end);
+                    is_pub = bytes.get(j) != Some(&'(');
+                }
+                "unsafe" => is_unsafe = true,
+                _ => {}
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    (is_pub, is_unsafe)
+}
+
+/// Split an `impl` header (text between `impl` and the body `{`) into
+/// (self type, trait), both simplified to a last path segment.
+fn parse_impl_header(header: &str) -> (Option<String>, Option<String>) {
+    let chars: Vec<char> = header.chars().collect();
+    let mut i = skip_ws(&chars, 0);
+    // Leading generic parameters.
+    if chars.get(i) == Some(&'<') {
+        let mut ad = 1usize;
+        i += 1;
+        let mut prev = '<';
+        while i < chars.len() && ad > 0 {
+            match chars[i] {
+                '<' if is_ident(prev) || prev == '>' || prev == ':' => ad += 1,
+                '>' if prev != '-' && prev != '=' => ad -= 1,
+                _ => {}
+            }
+            if !chars[i].is_whitespace() {
+                prev = chars[i];
+            }
+            i += 1;
+        }
+    }
+    let rest: String = chars[i.min(chars.len())..].iter().collect();
+    let rest = cut_at_word(&rest, "where");
+    match find_top_level_word(rest, "for") {
+        Some(pos) => {
+            let trait_part = simplify_type(&rest[..pos]);
+            let type_part = simplify_type(&rest[pos + 3..]);
+            (type_part, trait_part)
+        }
+        None => (simplify_type(rest), None),
+    }
+}
+
+/// Truncate `s` at the first word-boundary occurrence of `word`.
+fn cut_at_word<'a>(s: &'a str, word: &str) -> &'a str {
+    match find_top_level_word(s, word) {
+        Some(pos) => &s[..pos],
+        None => s,
+    }
+}
+
+/// Byte offset of `word` in `s` at angle-bracket depth 0, with ident
+/// boundaries on both sides.
+fn find_top_level_word(s: &str, word: &str) -> Option<usize> {
+    let chars: Vec<char> = s.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    let mut ad = 0usize;
+    let mut prev = ' ';
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '<' if is_ident(prev) || prev == '>' || prev == ':' => ad += 1,
+            '>' if ad > 0 && prev != '-' && prev != '=' => ad -= 1,
+            _ => {}
+        }
+        if ad == 0
+            && chars[i..].starts_with(&w[..])
+            && (i == 0 || !is_ident(chars[i - 1]))
+            && chars.get(i + w.len()).map_or(true, |&c| !is_ident(c))
+        {
+            // Byte offset for slicing: chars up to i are ASCII in
+            // masked code in practice, but recompute to stay correct.
+            let byte: usize = chars[..i].iter().map(|c| c.len_utf8()).sum();
+            return Some(byte);
+        }
+        if !c.is_whitespace() {
+            prev = c;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reduce a type expression to its last path segment: `&mut
+/// lsi_core::model::LsiModel<'a>` → `LsiModel`.
+fn simplify_type(s: &str) -> Option<String> {
+    let mut t = s.trim();
+    loop {
+        let before = t;
+        t = t
+            .trim_start_matches('&')
+            .trim_start_matches("'static")
+            .trim_start();
+        for kw in ["mut ", "dyn ", "impl "] {
+            t = t.trim_start_matches(kw).trim_start();
+        }
+        if t == before {
+            break;
+        }
+    }
+    let t = t.split('<').next().unwrap_or(t).trim();
+    let t = t.rsplit("::").next().unwrap_or(t).trim();
+    let name: String = t.chars().take_while(|&c| is_ident(c)).collect();
+    (!name.is_empty() && name.chars().next().is_some_and(is_ident_start)).then_some(name)
+}
+
+/// Parse one `use` tree (text after the `use` keyword, `;` stripped),
+/// expanding groups and `as` renames into flat aliases.
+fn parse_use_tree(prefix: &[String], s: &str, out: &mut Vec<UseAlias>) {
+    let s = s.trim();
+    if s.is_empty() || s == "*" {
+        return;
+    }
+    // Group: `path::{a, b::c, d as e}` (or a bare `{...}` after
+    // recursion).
+    if let Some(brace) = find_top_level_char(s, '{') {
+        let head = s[..brace].trim().trim_end_matches("::");
+        let mut new_prefix: Vec<String> = prefix.to_vec();
+        new_prefix.extend(split_path(head));
+        let inner = s[brace + 1..].trim().trim_end_matches('}');
+        for part in split_top_level_commas(inner) {
+            parse_use_tree(&new_prefix, part, out);
+        }
+        return;
+    }
+    if let Some(aspos) = find_top_level_word(s, "as") {
+        let alias = s[aspos + 2..].trim();
+        let mut path: Vec<String> = prefix.to_vec();
+        path.extend(split_path(s[..aspos].trim()));
+        if !alias.is_empty() && !path.is_empty() {
+            out.push(UseAlias {
+                alias: alias.to_string(),
+                path,
+            });
+        }
+        return;
+    }
+    let mut path: Vec<String> = prefix.to_vec();
+    path.extend(split_path(s));
+    if let Some(last) = path.last().cloned() {
+        if last == "self" {
+            path.pop();
+            if let Some(real_last) = path.last().cloned() {
+                out.push(UseAlias {
+                    alias: real_last,
+                    path,
+                });
+            }
+            return;
+        }
+        out.push(UseAlias { alias: last, path });
+    }
+}
+
+fn split_path(s: &str) -> Vec<String> {
+    s.split("::")
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty() && p != "*")
+        .collect()
+}
+
+/// First `ch` at brace depth 0.
+fn find_top_level_char(s: &str, ch: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        if c == '{' {
+            if depth == 0 && c == ch {
+                return Some(i);
+            }
+            depth += 1;
+        } else if c == '}' {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && c == ch {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Split on commas at brace depth 0.
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Does the char slice contain `word` with ident boundaries?
+fn has_keyword(chars: &[char], word: &str) -> bool {
+    let w: Vec<char> = word.chars().collect();
+    let mut i = 0;
+    while i + w.len() <= chars.len() {
+        if chars[i..].starts_with(&w[..])
+            && (i == 0 || !is_ident(chars[i - 1]))
+            && chars.get(i + w.len()).map_or(true, |&c| !is_ident(c))
+        {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// All char offsets where `pat` occurs (no boundary handling).
+fn find_all(chars: &[char], pat: &str) -> Vec<usize> {
+    let p: Vec<char> = pat.chars().collect();
+    let mut out = Vec::new();
+    if p.is_empty() {
+        return out;
+    }
+    let mut i = 0;
+    while i + p.len() <= chars.len() {
+        if chars[i] == p[0] && chars[i..].starts_with(&p[..]) {
+            out.push(i);
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The extents of every `catch_unwind(...)` argument list.
+fn catch_unwind_regions(chars: &[char]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for start in find_all(chars, "catch_unwind") {
+        if start > 0 && is_ident(chars[start - 1]) {
+            continue;
+        }
+        let after = start + "catch_unwind".len();
+        if chars.get(after).is_some_and(|&c| is_ident(c)) {
+            continue;
+        }
+        let open = skip_ws(chars, after);
+        if chars.get(open) != Some(&'(') {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut i = open + 1;
+        while i < chars.len() && depth > 0 {
+            match chars[i] {
+                '(' => depth += 1,
+                ')' => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push((open, i));
+    }
+    out
+}
+
+/// Extract every call-looking site: `(offset, site)` pairs.
+fn extract_calls(chars: &[char], line_of: &[usize]) -> Vec<(usize, CallSite)> {
+    let mut out = Vec::new();
+    let n = chars.len();
+    for i in 0..n {
+        if chars[i] != '(' {
+            continue;
+        }
+        let Some(j) = prev_non_ws(chars, i) else {
+            continue;
+        };
+        let line = line_of[i] + 1;
+        // Macro invocation: `name!(`.
+        if chars[j] == '!' {
+            let (_, name) = read_ident_back(chars, j);
+            if !name.is_empty() {
+                out.push((
+                    i,
+                    CallSite {
+                        path: vec![name],
+                        method: false,
+                        self_receiver: false,
+                        macro_call: true,
+                        line,
+                        contained: false,
+                    },
+                ));
+            }
+            continue;
+        }
+        // Turbofish: `name::<T>(` — unwind the angle group first.
+        let mut end = j + 1;
+        if chars[j] == '>' {
+            let mut ad = 1usize;
+            let mut k = j;
+            while k > 0 && ad > 0 {
+                k -= 1;
+                match chars[k] {
+                    '>' => ad += 1,
+                    '<' => ad -= 1,
+                    _ => {}
+                }
+            }
+            if ad != 0 || k < 2 || chars[k - 1] != ':' || chars[k - 2] != ':' {
+                continue;
+            }
+            end = k - 2;
+        }
+        if end == 0 || !is_ident(chars[end - 1]) {
+            continue;
+        }
+        let (mut start, name) = read_ident_back(chars, end);
+        if name.is_empty()
+            || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+            || NON_CALL_WORDS.contains(&name.as_str())
+        {
+            continue;
+        }
+        let mut path = vec![name];
+        while start >= 2 && chars[start - 1] == ':' && chars[start - 2] == ':' {
+            let (s2, seg) = read_ident_back(chars, start - 2);
+            if seg.is_empty() {
+                break;
+            }
+            path.insert(0, seg);
+            start = s2;
+        }
+        let method = start > 0 && chars[start - 1] == '.';
+        let self_receiver = method && {
+            let (_, recv) = read_ident_back(chars, start - 1);
+            recv == "self"
+        };
+        if !method {
+            // `fn name(` is a definition, not a call.
+            if let Some(p) = prev_non_ws(chars, start) {
+                if is_ident(chars[p]) {
+                    let (_, w) = read_ident_back(chars, p + 1);
+                    if w == "fn" {
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push((
+            i,
+            CallSite {
+                path,
+                method,
+                self_receiver,
+                macro_call: false,
+                line,
+                contained: false,
+            },
+        ));
+    }
+    out
+}
+
+/// Extract panic sites: `(offset, what, line)`.
+fn extract_panics(chars: &[char], line_of: &[usize]) -> Vec<(usize, String, usize)> {
+    let mut out = Vec::new();
+    for pat in PANIC_FAMILY {
+        let ident_start = pat.chars().next().is_some_and(is_ident_start);
+        for off in find_all(chars, pat) {
+            if ident_start && off > 0 && is_ident(chars[off - 1]) {
+                continue;
+            }
+            out.push((off, (*pat).to_string(), line_of[off] + 1));
+        }
+    }
+    // Indexing: `expr[...]` — `[` directly after an identifier char,
+    // `)`, or `]` is an index (or slice) expression; array types and
+    // attributes are preceded by punctuation instead.
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '['
+            && i > 0
+            && (is_ident(chars[i - 1]) || chars[i - 1] == ')' || chars[i - 1] == ']')
+        {
+            out.push((i, "index".to_string(), line_of[i] + 1));
+        }
+    }
+    out.sort_by_key(|&(off, _, _)| off);
+    out
+}
+
+/// The atomic operations whose argument lists carry `Ordering`s.
+const ATOMIC_OPS: &[&str] = &[
+    "store",
+    "load",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERING_WORDS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Extract atomic operations with explicit orderings.
+fn extract_atomics(
+    chars: &[char],
+    line_of: &[usize],
+    file: &SourceFile,
+) -> Vec<(usize, AtomicSite)> {
+    let mut out = Vec::new();
+    for op in ATOMIC_OPS {
+        let pat = format!(".{op}(");
+        for off in find_all(chars, &pat) {
+            // Word boundary after the op name is the `(` itself.
+            let open = off + pat.len() - 1;
+            let mut depth = 1usize;
+            let mut i = open + 1;
+            while i < chars.len() && depth > 0 {
+                match chars[i] {
+                    '(' => depth += 1,
+                    ')' => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+            let args: String = chars[open + 1..i.saturating_sub(1).max(open + 1)]
+                .iter()
+                .collect();
+            let orderings: Vec<String> = ORDERING_WORDS
+                .iter()
+                .filter(|w| has_word_str(&args, w))
+                .map(|w| (*w).to_string())
+                .collect();
+            if orderings.is_empty() {
+                // `.load()` on something that is not an atomic, or an
+                // ordering passed through a variable — out of scope.
+                continue;
+            }
+            let Some(receiver) = receiver_ident(chars, off) else {
+                continue;
+            };
+            let idx = line_of[off];
+            out.push((
+                off,
+                AtomicSite {
+                    receiver,
+                    op: (*op).to_string(),
+                    orderings,
+                    line: idx + 1,
+                    in_test: file.test_file || file.lexed.lines[idx].in_test,
+                },
+            ));
+        }
+    }
+    out.sort_by_key(|&(off, _)| off);
+    out
+}
+
+fn has_word_str(hay: &str, word: &str) -> bool {
+    let chars: Vec<char> = hay.chars().collect();
+    has_keyword(&chars, word)
+}
+
+/// The last identifier of the receiver chain before a `.op(` at
+/// `dot`: `self.poisoned` → `poisoned`, `STOP` → `STOP`,
+/// `self.state().flag` → `flag`.
+fn receiver_ident(chars: &[char], dot: usize) -> Option<String> {
+    let j = prev_non_ws(chars, dot)?;
+    match chars[j] {
+        c if is_ident(c) => {
+            let (_, w) = read_ident_back(chars, j + 1);
+            (!w.is_empty()).then_some(w)
+        }
+        ')' | ']' => {
+            // Skip the group backwards, then name the method/ident
+            // before it.
+            let (open, close) = if chars[j] == ')' { ('(', ')') } else { ('[', ']') };
+            let mut depth = 1usize;
+            let mut k = j;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if chars[k] == close {
+                    depth += 1;
+                } else if chars[k] == open {
+                    depth -= 1;
+                }
+            }
+            let (_, w) = read_ident_back(chars, k);
+            (!w.is_empty()).then_some(w)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileItems {
+        parse_file(&SourceFile::from_source("crates/x/src/lib.rs", src))
+    }
+
+    #[test]
+    fn recovers_fn_extents_and_visibility() {
+        let src = "pub fn api() -> usize { helper() }\n\
+                   fn helper() -> usize { 1 }\n\
+                   pub(crate) unsafe fn scary() {}\n";
+        let items = parse(src);
+        assert_eq!(items.fns.len(), 3);
+        assert!(items.fns[0].is_pub);
+        assert_eq!(items.fns[0].line, 1);
+        assert!(!items.fns[1].is_pub);
+        assert!(!items.fns[2].is_pub, "pub(crate) is not public API");
+        assert!(items.fns[2].is_unsafe);
+    }
+
+    #[test]
+    fn methods_carry_their_impl_type_and_trait() {
+        let src = "struct S;\nimpl S {\n    fn new() -> S { S }\n}\n\
+                   impl Drop for S {\n    fn drop(&mut self) {}\n}\n";
+        let items = parse(src);
+        let new = items.fns.iter().find(|f| f.name == "new").unwrap();
+        assert_eq!(new.self_type.as_deref(), Some("S"));
+        assert_eq!(new.trait_name, None);
+        let drop = items.fns.iter().find(|f| f.name == "drop").unwrap();
+        assert_eq!(drop.self_type.as_deref(), Some("S"));
+        assert_eq!(drop.trait_name.as_deref(), Some("Drop"));
+    }
+
+    #[test]
+    fn nested_modules_build_the_module_path() {
+        let src = "mod outer {\n    mod inner {\n        fn deep() {}\n    }\n    fn mid() {}\n}\n";
+        let items = parse(src);
+        let deep = items.fns.iter().find(|f| f.name == "deep").unwrap();
+        assert_eq!(deep.module, "outer::inner");
+        let mid = items.fns.iter().find(|f| f.name == "mid").unwrap();
+        assert_eq!(mid.module, "outer");
+    }
+
+    #[test]
+    fn calls_are_attributed_to_the_innermost_fn() {
+        let src = "fn outer() {\n    fn inner() { deep_call(); }\n    outer_call();\n}\n";
+        let items = parse(src);
+        let outer = items.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = items.fns.iter().find(|f| f.name == "inner").unwrap();
+        let outer_calls: Vec<&str> =
+            outer.calls.iter().map(|c| c.path[0].as_str()).collect();
+        assert!(outer_calls.contains(&"outer_call"));
+        assert!(!outer_calls.contains(&"deep_call"));
+        assert_eq!(inner.calls.len(), 1);
+        assert_eq!(inner.calls[0].path, ["deep_call"]);
+    }
+
+    #[test]
+    fn call_kinds_free_method_macro_path() {
+        let src = "fn f(v: Vec<u8>) {\n    helper(1);\n    v.push(2);\n    log!(\"x\");\n    \
+                   module::target(3);\n    iter.collect::<Vec<u8>>();\n}\n";
+        let items = parse(src);
+        let f = &items.fns[0];
+        let call = |name: &str| f.calls.iter().find(|c| c.path.last().unwrap() == name);
+        assert!(call("helper").is_some_and(|c| !c.method && !c.macro_call));
+        assert!(call("push").is_some_and(|c| c.method));
+        assert!(call("log").is_some_and(|c| c.macro_call));
+        assert!(call("target").is_some_and(|c| c.path == ["module", "target"]));
+        assert!(call("collect").is_some_and(|c| c.method), "turbofish method");
+        assert!(call("f").is_none(), "definitions are not calls");
+    }
+
+    #[test]
+    fn panic_sites_and_catch_unwind_containment() {
+        let src = "fn risky(v: Vec<u8>, i: usize) -> u8 {\n    let x = v.first().unwrap();\n    \
+                   let _ = std::panic::catch_unwind(|| inner_risk().expect(\"m\"));\n    v[i]\n}\n";
+        let items = parse(src);
+        let f = &items.fns[0];
+        let unwrap = f.panics.iter().find(|p| p.what == ".unwrap()").unwrap();
+        assert!(!unwrap.contained);
+        let expect = f.panics.iter().find(|p| p.what == ".expect(").unwrap();
+        assert!(expect.contained, "inside catch_unwind argument");
+        let index = f.panics.iter().find(|p| p.what == "index").unwrap();
+        assert!(!index.contained);
+        assert_eq!(index.line, 4);
+        let inner = f.calls.iter().find(|c| c.path == ["inner_risk"]).unwrap();
+        assert!(inner.contained);
+    }
+
+    #[test]
+    fn indexing_heuristic_skips_types_and_attributes() {
+        let src = "#[derive(Debug)]\nstruct W { buf: [u8; 16] }\n\
+                   fn f(w: &W, i: usize) -> u8 { let s: &[u8] = &w.buf; s[i] }\n";
+        let items = parse(src);
+        let f = items.fns.iter().find(|f| f.name == "f").unwrap();
+        let idx: Vec<_> = f.panics.iter().filter(|p| p.what == "index").collect();
+        assert_eq!(idx.len(), 1, "only `s[i]` is an index expression");
+    }
+
+    #[test]
+    fn atomics_with_orderings_and_receivers() {
+        let src = "use std::sync::atomic::{AtomicBool, Ordering};\n\
+                   static STOP: AtomicBool = AtomicBool::new(false);\n\
+                   struct P { poisoned: AtomicBool }\n\
+                   impl P {\n    fn set(&self) { self.poisoned.store(true, Ordering::Release); }\n    \
+                   fn get(&self) -> bool { self.poisoned.load(Ordering::Acquire) }\n}\n\
+                   fn stop() { STOP.store(true, Ordering::SeqCst); }\n\
+                   fn not_atomic(v: &mut Vec<u8>) { v.swap(0, 1); }\n";
+        let items = parse(src);
+        assert_eq!(items.atomics.len(), 3, "plain Vec::swap has no Ordering");
+        assert_eq!(items.atomics[0].receiver, "poisoned");
+        assert_eq!(items.atomics[0].orderings, ["Release"]);
+        assert_eq!(items.atomics[1].receiver, "poisoned");
+        assert_eq!(items.atomics[1].op, "load");
+        assert_eq!(items.atomics[2].receiver, "STOP");
+    }
+
+    #[test]
+    fn use_aliases_flatten_groups_and_renames() {
+        let src = "use lsi_core::LsiModel;\n\
+                   use std::panic::{catch_unwind, AssertUnwindSafe};\n\
+                   use lsi_obs::metrics::Histogram as Hist;\n\
+                   use crate::batcher::{self, Queue};\n";
+        let items = parse(src);
+        let find = |a: &str| items.uses.iter().find(|u| u.alias == a);
+        assert_eq!(find("LsiModel").unwrap().path, ["lsi_core", "LsiModel"]);
+        assert_eq!(find("catch_unwind").unwrap().path, ["std", "panic", "catch_unwind"]);
+        assert_eq!(find("Hist").unwrap().path, ["lsi_obs", "metrics", "Histogram"]);
+        assert_eq!(find("batcher").unwrap().path, ["crate", "batcher"]);
+        assert_eq!(find("Queue").unwrap().path, ["crate", "batcher", "Queue"]);
+    }
+
+    #[test]
+    fn unsafe_blocks_and_safety_comments_are_flagged() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// Caller checks bounds.\n\
+                   pub unsafe fn raw(p: *const u8) -> u8 { *p }\n\
+                   fn wrapper(x: &[u8]) -> u8 {\n    // SAFETY: bounds checked above.\n    \
+                   unsafe { raw(x.as_ptr()) }\n}\n\
+                   fn bare(x: &[u8]) -> u8 {\n    unsafe { raw(x.as_ptr()) }\n}\n";
+        let items = parse(src);
+        let raw = items.fns.iter().find(|f| f.name == "raw").unwrap();
+        assert!(raw.is_unsafe && raw.has_safety_comment);
+        let wrapper = items.fns.iter().find(|f| f.name == "wrapper").unwrap();
+        assert!(wrapper.has_unsafe_block && wrapper.has_safety_comment);
+        let bare = items.fns.iter().find(|f| f.name == "bare").unwrap();
+        assert!(bare.has_unsafe_block && !bare.has_safety_comment);
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { lib(); }\n}\n";
+        let items = parse(src);
+        assert!(!items.fns.iter().find(|f| f.name == "lib").unwrap().in_test);
+        assert!(items.fns.iter().find(|f| f.name == "t").unwrap().in_test);
+    }
+
+    #[test]
+    fn const_generic_braces_do_not_derail_fn_extents() {
+        let src = "fn generic<const N: usize, B: Buf<{ N * 2 }>>(b: B) -> usize {\n    \
+                   measure(b)\n}\nfn after() { tail(); }\n";
+        let items = parse(src);
+        assert_eq!(items.fns.len(), 2);
+        assert_eq!(items.fns[0].calls.len(), 1);
+        assert_eq!(items.fns[0].calls[0].path, ["measure"]);
+        assert_eq!(items.fns[1].calls[0].path, ["tail"]);
+    }
+}

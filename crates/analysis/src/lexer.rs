@@ -509,44 +509,125 @@ fn has_word(haystack: &str, word: &str) -> bool {
 /// From position `start` (just past a test attribute's `]`), find the
 /// char index where the decorated item ends: the matching `}` of its
 /// body, or a `;` for braceless items. Skips any further attributes.
-/// `;`, `{`, and `}` inside parentheses/brackets (array types, default
-/// const-generic braces) do not count.
 fn item_extent(chars: &[char], start: usize) -> Option<usize> {
+    let start = skip_attributes(chars, start);
+    match scan_item_end(chars, start)? {
+        ItemEnd::Semi(i) => Some(i),
+        ItemEnd::Body { close, .. } => Some(close),
+    }
+}
+
+/// Advance past whitespace and any `#[...]` attributes starting at
+/// `start`, returning the position of the first header token.
+pub fn skip_attributes(chars: &[char], start: usize) -> usize {
     let n = chars.len();
     let mut i = start;
-    // Skip whitespace and subsequent attributes.
     loop {
         while i < n && chars[i].is_whitespace() {
             i += 1;
         }
         if i < n && chars[i] == '#' {
             let mut depth = 0usize;
-            while i < n {
-                match chars[i] {
+            let mut j = i + 1;
+            if chars.get(j) == Some(&'!') {
+                j += 1;
+            }
+            while j < n && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if chars.get(j) != Some(&'[') {
+                return i;
+            }
+            let mut k = j;
+            while k < n {
+                match chars[k] {
                     '[' => depth += 1,
                     ']' => {
                         depth -= 1;
                         if depth == 0 {
-                            i += 1;
+                            k += 1;
                             break;
                         }
                     }
                     _ => {}
                 }
-                i += 1;
+                k += 1;
             }
+            i = k;
         } else {
-            break;
+            return i;
         }
     }
-    // Find the body `{` (or terminating `;`) at paren/bracket depth 0.
-    let mut pd = 0isize;
+}
+
+/// Where an item header's scan terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemEnd {
+    /// Braceless item: the `;` position.
+    Semi(usize),
+    /// Braced item: the body's `{` and its matching `}`.
+    Body {
+        /// Position of the opening `{`.
+        open: usize,
+        /// Position of the matching `}`.
+        close: usize,
+    },
+}
+
+/// Scan from an item header at `start` to the item's terminator: the
+/// `;` of a braceless item or the matching `}` of its body.
+///
+/// `;` and `{` inside parentheses/brackets (argument lists, array
+/// types) do not count. On top of that, an angle-bracket depth guards
+/// braces that live inside generic parameters — default const-generic
+/// values (`<const N: usize = { 8 }>`) and const arguments in `where`
+/// clauses (`T: Buf<{ N }>`) — so they cannot be mistaken for the item
+/// body. Telling generics from less-than/shift uses the previous
+/// non-whitespace character: `<` only opens after an identifier, `>`,
+/// or `:` (turbofish), so `a << b` and `a < b` in const initializers
+/// nest at most one phantom level, and a `;` at paren depth 0 always
+/// terminates regardless of angle depth (a real `;` can never occur
+/// inside generics).
+pub fn scan_item_end(chars: &[char], start: usize) -> Option<ItemEnd> {
+    let n = chars.len();
+    let mut pd = 0isize; // paren/bracket depth
+    let mut ad = 0usize; // angle depth, tracked only at pd == 0
+    let mut prev = ' '; // previous non-whitespace char
+    let mut i = start;
     while i < n {
-        match chars[i] {
+        let c = chars[i];
+        match c {
             '(' | '[' => pd += 1,
             ')' | ']' => pd -= 1,
-            ';' if pd == 0 => return Some(i),
+            '<' if pd == 0 => {
+                if is_ident(prev) || prev == '>' || prev == ':' {
+                    ad += 1;
+                }
+            }
+            '>' if pd == 0 && ad > 0 => {
+                // `->` and `=>` arrows are not closers.
+                if prev != '-' && prev != '=' {
+                    ad -= 1;
+                }
+            }
+            ';' if pd == 0 => return Some(ItemEnd::Semi(i)),
+            '{' if pd == 0 && ad > 0 => {
+                // A brace block inside generics: skip it wholesale.
+                let mut bd = 1usize;
+                i += 1;
+                while i < n && bd > 0 {
+                    match chars[i] {
+                        '{' => bd += 1,
+                        '}' => bd -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                prev = '}';
+                continue;
+            }
             '{' if pd == 0 => {
+                let open = i;
                 let mut bd = 1usize;
                 i += 1;
                 while i < n {
@@ -555,7 +636,7 @@ fn item_extent(chars: &[char], start: usize) -> Option<usize> {
                         '}' => {
                             bd -= 1;
                             if bd == 0 {
-                                return Some(i);
+                                return Some(ItemEnd::Body { open, close: i });
                             }
                         }
                         _ => {}
@@ -565,6 +646,9 @@ fn item_extent(chars: &[char], start: usize) -> Option<usize> {
                 return None;
             }
             _ => {}
+        }
+        if !c.is_whitespace() {
+            prev = c;
         }
         i += 1;
     }
@@ -663,6 +747,51 @@ mod tests {
         // Char literals stay out of the literal view.
         let f = lex("let c = 'q';");
         assert!(!f.lines[0].literal.contains('q'));
+    }
+
+    fn scan(src: &str) -> Option<ItemEnd> {
+        let chars: Vec<char> = src.chars().collect();
+        scan_item_end(&chars, 0)
+    }
+
+    #[test]
+    fn scan_item_end_finds_fn_body_past_const_generic_braces() {
+        let src = "fn f<const N: usize, B: Buf<{ N * 2 }>>(x: [u8; N]) -> usize { x.len() }";
+        match scan(src).expect("terminated") {
+            ItemEnd::Body { open, close } => {
+                assert_eq!(src.as_bytes()[open], b'{');
+                assert_eq!(&src[open - 1..open + 2], " { "); // the body brace, not `{ N * 2 }`
+                assert_eq!(close, src.len() - 1);
+            }
+            other => panic!("expected body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_item_end_semi_wins_over_phantom_angles() {
+        // `1 << K` opens one phantom angle level; the `;` must still
+        // terminate the item.
+        let src = "const MASK: usize = 1 << K; fn later() {}";
+        assert_eq!(scan(src), Some(ItemEnd::Semi(src.find(';').unwrap())));
+        let src = "static LT: bool = A < B; fn later() {}";
+        assert_eq!(scan(src), Some(ItemEnd::Semi(src.find(';').unwrap())));
+    }
+
+    #[test]
+    fn scan_item_end_skips_braces_in_const_initializer_comparisons() {
+        // A misread `<` must not make `{ 1 }` the item body: the scan
+        // skips the brace blocks and lands on the `;`.
+        let src = "const X: usize = if a < b { 1 } else { 2 };";
+        assert_eq!(scan(src), Some(ItemEnd::Semi(src.len() - 1)));
+    }
+
+    #[test]
+    fn scan_item_end_arrows_do_not_close_angles() {
+        let src = "fn g<F: Fn(usize) -> usize>(f: F) -> usize { f(1) }";
+        match scan(src).expect("terminated") {
+            ItemEnd::Body { open, .. } => assert_eq!(open, src.find("{ f").unwrap()),
+            other => panic!("expected body, got {other:?}"),
+        }
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! emits the shared [`lsi_obs::RunReport`] schema.
 
 pub mod engine;
+pub mod graph;
+pub mod graph_rules;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 

@@ -90,7 +90,7 @@ fn find_word_starts(hay: &str, pat: &str) -> Vec<usize> {
 /// Library-code path filter shared by `panic-surface` and
 /// `float-safety`: the bench harness is a binary crate of experiments
 /// and `examples/` are teaching code — neither is library surface.
-fn is_library_path(path: &str) -> bool {
+pub(crate) fn is_library_path(path: &str) -> bool {
     !path.starts_with("crates/bench/") && !path.starts_with("examples/")
 }
 

@@ -1,0 +1,157 @@
+//! Golden test: one synthetic multi-crate workspace with a known call
+//! graph. Pins the node set, the exact edge set (including containment
+//! and method-fallback flags), the panic-reachable set, and the dot /
+//! JSON exports against hand-derived expectations, so resolution
+//! changes show up as a reviewed diff here rather than as silent
+//! finding-count drift.
+
+use std::collections::BTreeSet;
+
+use lsi_analyze::graph::{CallGraph, Workspace};
+
+const APP: &str = "crates/app/src/lib.rs";
+const UTIL: &str = "crates/util/src/lib.rs";
+
+fn fixture() -> Workspace {
+    Workspace::from_sources(&[
+        (
+            APP,
+            "use std::panic::catch_unwind;\n\
+             use lsi_util::helper;\n\
+             pub struct Widget;\n\
+             impl Widget {\n\
+             \x20   pub fn refresh(&self) {}\n\
+             }\n\
+             pub fn entry(w: &Widget) {\n\
+             \x20   helper();\n\
+             \x20   local_ok();\n\
+             \x20   w.refresh();\n\
+             }\n\
+             pub fn guarded() {\n\
+             \x20   let _ = catch_unwind(|| helper());\n\
+             }\n\
+             fn local_ok() {}\n",
+        ),
+        (
+            UTIL,
+            "pub fn helper() {\n\
+             \x20   deeper();\n\
+             }\n\
+             fn deeper() {\n\
+             \x20   panic!(\"boom\");\n\
+             }\n",
+        ),
+    ])
+}
+
+/// Resolve a node id to its fn name (label formats stay free to
+/// change; fn names are the stable currency of this test).
+fn name_of(ws: &Workspace, graph: &CallGraph, node: usize) -> String {
+    let n = &graph.nodes[node];
+    ws.files[n.file].items.fns[n.item].name.clone()
+}
+
+#[test]
+fn node_set_matches() {
+    let ws = fixture();
+    let graph = CallGraph::build(&ws);
+    let names: BTreeSet<String> = (0..graph.nodes.len())
+        .map(|i| name_of(&ws, &graph, i))
+        .collect();
+    let expected: BTreeSet<String> = ["refresh", "entry", "guarded", "local_ok", "helper", "deeper"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(names, expected);
+}
+
+#[test]
+fn edge_set_matches_exactly() {
+    let ws = fixture();
+    let graph = CallGraph::build(&ws);
+    // (caller, callee, contained, via-method-fallback)
+    let edges: BTreeSet<(String, String, bool, bool)> = graph
+        .edges
+        .iter()
+        .map(|e| {
+            (
+                name_of(&ws, &graph, e.from),
+                name_of(&ws, &graph, e.to),
+                e.contained,
+                e.method,
+            )
+        })
+        .collect();
+    let expected: BTreeSet<(String, String, bool, bool)> = [
+        // entry() fans out: a cross-crate path call, a same-crate free
+        // call, and a method call resolved by unambiguous fallback.
+        ("entry", "helper", false, false),
+        ("entry", "local_ok", false, false),
+        ("entry", "refresh", false, true),
+        // guarded()'s only call sits inside catch_unwind.
+        ("guarded", "helper", true, false),
+        // util-internal edge.
+        ("helper", "deeper", false, false),
+    ]
+    .iter()
+    .map(|&(a, b, c, m)| (a.to_string(), b.to_string(), c, m))
+    .collect();
+    assert_eq!(edges, expected);
+}
+
+#[test]
+fn panic_reachable_set_matches() {
+    let ws = fixture();
+    let graph = CallGraph::build(&ws);
+    let reach = graph.panic_reach(&ws);
+    let reachable: BTreeSet<String> = (0..graph.nodes.len())
+        .filter(|&i| reach.reachable[i])
+        .map(|i| name_of(&ws, &graph, i))
+        .collect();
+    // deeper panics directly; helper and entry reach it through
+    // uncontained edges. guarded is saved by catch_unwind; local_ok
+    // and refresh are clean leaves.
+    let expected: BTreeSet<String> = ["deeper", "helper", "entry"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(reachable, expected);
+}
+
+#[test]
+fn witness_path_walks_to_the_site() {
+    let ws = fixture();
+    let graph = CallGraph::build(&ws);
+    let reach = graph.panic_reach(&ws);
+    let entry = (0..graph.nodes.len())
+        .find(|&i| name_of(&ws, &graph, i) == "entry")
+        .expect("entry node exists");
+    let witness = graph.witness(&ws, &reach, entry);
+    for needle in ["entry", "helper", "deeper", "panic!"] {
+        assert!(witness.contains(needle), "witness {witness:?} lacks {needle}");
+    }
+}
+
+#[test]
+fn exports_carry_the_graph() {
+    let ws = fixture();
+    let graph = CallGraph::build(&ws);
+
+    let dot = graph.to_dot(&ws);
+    assert!(dot.starts_with("digraph"), "{dot}");
+    for name in ["entry", "helper", "deeper"] {
+        assert!(dot.contains(name), "dot export lacks {name}");
+    }
+    // The contained edge renders dashed; the method edge grey.
+    assert!(dot.contains("dashed"), "{dot}");
+
+    let json = graph.to_json(&ws);
+    let Some(lsi_obs::Json::Arr(nodes)) = json.get("nodes") else {
+        panic!("nodes array missing: {json:?}");
+    };
+    assert_eq!(nodes.len(), graph.nodes.len());
+    let Some(lsi_obs::Json::Arr(edges)) = json.get("edges") else {
+        panic!("edges array missing: {json:?}");
+    };
+    assert_eq!(edges.len(), graph.edges.len());
+}

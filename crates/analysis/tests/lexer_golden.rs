@@ -106,6 +106,84 @@ fn cfg_test_region_covers_the_module_and_nothing_else() {
     }
 }
 
+/// A second fixture for the generic-signature edge cases: braces that
+/// live *inside* angle brackets (const-generic defaults, const
+/// arguments in `where` clauses) must not be mistaken for an item
+/// body, and shifts/comparisons in const initializers must not open
+/// phantom generics that swallow the terminating `;`.
+const GENERICS_FIXTURE: &str = r##"pub struct Ring<const N: usize = { 8 }> {
+    data: [u8; N],
+}
+
+#[cfg(test)]
+struct Probe<const N: usize = { 4 }> {
+    slots: [u8; N],
+}
+
+#[cfg(test)]
+impl<const N: usize> Probe<N>
+where
+    Ring<{ N * 2 }>: Sized,
+{
+    fn double(&self) -> usize {
+        N * 2
+    }
+}
+
+#[cfg(test)]
+const SHIFTED: usize = 1 << 3;
+
+pub fn shift_mask<const N: usize>(x: [u8; N >> 1]) -> usize {
+    x.len() << 1
+}
+"##;
+
+fn generics_line_of(needle: &str) -> usize {
+    let hits: Vec<usize> = GENERICS_FIXTURE
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(needle))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hits.len(), 1, "generics needle `{needle}` not unique");
+    hits[0]
+}
+
+#[test]
+fn const_generic_default_braces_do_not_end_the_test_region() {
+    let f = LexedFile::lex(GENERICS_FIXTURE);
+    // The `{ 4 }` default must not be taken for the struct body: the
+    // real body (the `slots` field and its closing brace) is test code.
+    assert!(f.lines[generics_line_of("struct Probe")].in_test);
+    assert!(f.lines[generics_line_of("slots:")].in_test, "struct body is in the region");
+    // The untagged `Ring` struct above stays library code even though
+    // its own default is `{ 8 }`.
+    assert!(!f.lines[generics_line_of("pub struct Ring")].in_test);
+    assert!(!f.lines[generics_line_of("data:")].in_test);
+}
+
+#[test]
+fn where_clause_const_argument_braces_are_tracked() {
+    let f = LexedFile::lex(GENERICS_FIXTURE);
+    // `Ring<{ N * 2 }>: Sized` sits in the impl's `where` clause; its
+    // braces must not terminate the `#[cfg(test)]` impl early.
+    assert!(f.lines[generics_line_of("Ring<{ N * 2 }>")].in_test);
+    assert!(f.lines[generics_line_of("fn double")].in_test, "impl body is in the region");
+    // And the region closes with the impl: the shift fn below is lib.
+    assert!(!f.lines[generics_line_of("pub fn shift_mask")].in_test);
+    assert!(!f.lines[generics_line_of("x.len()")].in_test);
+}
+
+#[test]
+fn shift_in_const_initializer_does_not_swallow_the_terminator() {
+    let f = LexedFile::lex(GENERICS_FIXTURE);
+    // `1 << 3` must not open phantom generics: the region is exactly
+    // the const item, and the following fn signature (with `N >> 1`
+    // inside an array type) is library code.
+    assert!(f.lines[generics_line_of("const SHIFTED")].in_test);
+    assert!(!f.lines[generics_line_of("pub fn shift_mask")].in_test);
+}
+
 #[test]
 fn joined_code_maps_offsets_back_to_lines() {
     let f = lexed();

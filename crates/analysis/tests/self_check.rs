@@ -86,19 +86,31 @@ fn synthetic_workspace_walk_suppression_and_ratchet() {
 
     let analysis = analyze(&dir).expect("analysis runs");
     assert_eq!(analysis.files_scanned, 1, "target/ and dot-dirs are skipped");
+    // Two live findings: the unsuppressed unwrap (panic-surface) and the
+    // interprocedural panic-reachability warning on the pub fn itself.
     assert_eq!(
         analysis.findings.len(),
-        1,
-        "one unwrap suppressed, one live: {:?}",
+        2,
+        "one unwrap suppressed, one live, plus the graph warning: {:?}",
         analysis.findings
     );
-    assert_eq!(analysis.findings[0].rule, "panic-surface");
-    assert_eq!(analysis.findings[0].line, 5);
+    let surface = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-surface")
+        .expect("panic-surface finding present");
+    assert_eq!(surface.line, 5);
+    let reach = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-reachability")
+        .expect("panic-reachability finding present");
+    assert_eq!(reach.line, 1, "graph finding anchors at the fn definition");
 
-    // No baseline: the live finding is above baseline.
+    // No baseline: both live findings are above baseline.
     let empty = Baseline::load(&dir.join(engine::BASELINE_FILE)).expect("missing is ok");
     assert!(!empty.exists);
-    assert_eq!(compare(&analysis, &empty).over.len(), 1);
+    assert_eq!(compare(&analysis, &empty).over.len(), 2);
 
     // Write the baseline; the same analysis is now clean.
     let written = Baseline::from_analysis(&analysis);

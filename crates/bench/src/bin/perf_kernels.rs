@@ -1063,6 +1063,17 @@ fn gate_measure(s: &Sizes) -> (Vec<(&'static str, f64)>, [f64; 3]) {
     );
     let serve_qps = serve_out.qps;
 
+    // Full-workspace static analysis (lexer + per-file rules + call
+    // graph + interprocedural rules): caps the wall time of the
+    // verify.sh `--ci` stage so the graph layers cannot quietly turn
+    // the lint gate into the slowest part of the pipeline.
+    let analysis_root =
+        lsi_analyze::find_workspace_root(None).expect("workspace root for analysis gate");
+    let analysis_secs = best_secs(3, || {
+        let analysis = lsi_analyze::analyze(&analysis_root).expect("analysis runs");
+        std::hint::black_box(analysis.findings.len());
+    });
+
     // --- Instrumentation overhead on the same batched loop -----------
     // Armed metrics (spans + counters + allocation attribution), then
     // armed metrics + trace buffer. Reported, not gated: the gated
@@ -1085,6 +1096,7 @@ fn gate_measure(s: &Sizes) -> (Vec<(&'static str, f64)>, [f64; 3]) {
             ("query_multi_facet_qps", multi_qps),
             ("query_pruned_batch_qps", pruned_qps),
             ("serve_batch_qps", serve_qps),
+            ("analysis_full_secs", analysis_secs),
         ],
         [batch_qps, batch_qps_metrics, batch_qps_trace],
     )

@@ -33,12 +33,12 @@ use crate::model::{DocOrigin, LsiModel};
 use crate::{Error, Result};
 
 /// Append `rows` (each of length `m.ncols()`) to the bottom of `m`.
-fn append_rows(m: &DenseMatrix, rows: &[Vec<f64>]) -> DenseMatrix {
+fn append_rows(m: &DenseMatrix, rows: &[Vec<f64>]) -> crate::Result<DenseMatrix> {
     let extra = DenseMatrix::from_rows(rows).unwrap_or_else(|_| DenseMatrix::zeros(0, m.ncols()));
     if rows.is_empty() {
-        return m.clone();
+        return Ok(m.clone());
     }
-    m.vcat(&extra).expect("row widths match by construction")
+    Ok(m.vcat(&extra)?)
 }
 
 impl LsiModel {
@@ -89,7 +89,7 @@ impl LsiModel {
             self.doc_origins.push(DocOrigin::FoldedIn);
         }
         let appended_from = self.v.nrows();
-        self.v = append_rows(&self.v, &new_rows);
+        self.v = append_rows(&self.v, &new_rows)?;
         self.refresh_doc_norms();
         // Folded-in rows are pure appends: route each to its nearest
         // centroid (retrains automatically once drift accumulates).
@@ -141,7 +141,7 @@ impl LsiModel {
             self.term_origins.push(DocOrigin::FoldedIn);
             self.global_weights.push(1.0);
         }
-        self.u = append_rows(&self.u, &new_rows);
+        self.u = append_rows(&self.u, &new_rows)?;
         Ok(())
     }
 

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::stats::PhaseStats;
 
@@ -159,7 +159,11 @@ impl Histogram {
         if v.is_nan() {
             return;
         }
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // `bucket_index` clamps into range; `get` keeps the hot
+        // recording path total even if the bucket table ever changes.
+        if let Some(b) = self.buckets.get(bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         atomic_f64_add(&self.sum_bits, v);
         atomic_f64_min(&self.min_bits, v);
@@ -304,6 +308,15 @@ pub struct Registry {
     spans: Mutex<BTreeMap<String, PhaseStats>>,
 }
 
+/// Lock a registry table, recovering from poisoning. Every critical
+/// section here is a get-or-create or a read of a `BTreeMap` of
+/// handles — a panicking holder can leave at worst a completed insert
+/// behind, never a torn entry — and telemetry must not crash the code
+/// path it instruments, so the poisoned state is taken as-is.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Registry {
     /// Fresh, empty registry.
     pub fn new() -> Registry {
@@ -313,7 +326,7 @@ impl Registry {
     /// Get or create the named counter. The handle stays valid (and
     /// connected) across [`Registry::reset`].
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("counter registry poisoned");
+        let mut map = lock_recover(&self.counters);
         match map.get(name) {
             Some(c) => Arc::clone(c),
             None => {
@@ -326,7 +339,7 @@ impl Registry {
 
     /// Get or create the named gauge.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        let mut map = lock_recover(&self.gauges);
         match map.get(name) {
             Some(g) => Arc::clone(g),
             None => {
@@ -339,7 +352,7 @@ impl Registry {
 
     /// Get or create the named histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.hists.lock().expect("histogram registry poisoned");
+        let mut map = lock_recover(&self.hists);
         match map.get(name) {
             Some(h) => Arc::clone(h),
             None => {
@@ -352,7 +365,7 @@ impl Registry {
 
     /// Merge `stats` into the aggregate for span `path`.
     pub fn record_span(&self, path: &str, stats: &PhaseStats) {
-        let mut map = self.spans.lock().expect("span registry poisoned");
+        let mut map = lock_recover(&self.spans);
         map.entry(path.to_string())
             .or_default()
             .merge(stats);
@@ -361,31 +374,19 @@ impl Registry {
     /// Capture the current state of every metric.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            counters: self
-                .counters
-                .lock()
-                .expect("counter registry poisoned")
+            counters: lock_recover(&self.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.value()))
                 .collect(),
-            gauges: self
-                .gauges
-                .lock()
-                .expect("gauge registry poisoned")
+            gauges: lock_recover(&self.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.value()))
                 .collect(),
-            spans: self
-                .spans
-                .lock()
-                .expect("span registry poisoned")
+            spans: lock_recover(&self.spans)
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
-            hists: self
-                .hists
-                .lock()
-                .expect("histogram registry poisoned")
+            hists: lock_recover(&self.hists)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
@@ -397,16 +398,16 @@ impl Registry {
     /// [`histogram`](Registry::histogram) remain connected; span
     /// aggregates are dropped.
     pub fn reset(&self) {
-        for c in self.counters.lock().expect("counter registry poisoned").values() {
+        for c in lock_recover(&self.counters).values() {
             c.reset();
         }
-        for g in self.gauges.lock().expect("gauge registry poisoned").values() {
+        for g in lock_recover(&self.gauges).values() {
             g.reset();
         }
-        for h in self.hists.lock().expect("histogram registry poisoned").values() {
+        for h in lock_recover(&self.hists).values() {
             h.reset();
         }
-        self.spans.lock().expect("span registry poisoned").clear();
+        lock_recover(&self.spans).clear();
     }
 }
 

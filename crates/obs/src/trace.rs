@@ -216,12 +216,15 @@ pub fn set_trace_filter(spec: Option<&str>) {
 /// (`score` matches `score.x` and `query.score.x` but not
 /// `query.rescore.x`.)
 fn segment_occurrence(path: &str, name: &str, whole_tail: bool) -> bool {
+    // Total accessors throughout: span paths are ASCII by convention,
+    // but a stray multibyte name must degrade to "no match", not
+    // panic inside the tracing hot path.
     let mut from = 0;
-    while let Some(rel) = path[from..].find(name) {
+    while let Some(rel) = path.get(from..).and_then(|t| t.find(name)) {
         let at = from + rel;
-        let starts_seg = at == 0 || path.as_bytes()[at - 1] == b'.';
+        let starts_seg = at == 0 || path.as_bytes().get(at.wrapping_sub(1)) == Some(&b'.');
         let end = at + name.len();
-        let tail = &path[end..];
+        let tail = path.get(end..).unwrap_or_default();
         let ends_ok = if whole_tail {
             tail.is_empty()
         } else {

@@ -146,7 +146,10 @@ pub(crate) fn read_request(
             }
             Ok(n) => {
                 idle = Duration::ZERO;
-                buf.extend_from_slice(&chunk[..n]);
+                // A sane `Read` impl never returns n > chunk.len();
+                // stay total anyway so the connection path cannot
+                // index out of bounds on a misbehaving stream.
+                buf.extend_from_slice(chunk.get(..n).unwrap_or(chunk.as_slice()));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if buf.len() == start_len && buf.is_empty() && draining() {
@@ -171,8 +174,13 @@ pub(crate) fn read_request(
         // head, so the in-loop cap alone is not enough.
         return ReadOutcome::Error(HttpError::HeadTooLarge);
     }
-    let (head, rest) = buf.split_at(head_end.0);
-    let rest = &rest[head_end.1..];
+    // `find_head_end` guarantees `head_end.0 + head_end.1 <= buf.len()`;
+    // use the total accessors anyway — this path must stay panic-free
+    // whatever a future terminator scan returns.
+    let (head, rest) = (
+        buf.get(..head_end.0).unwrap_or_default(),
+        buf.get(head_end.0 + head_end.1..).unwrap_or_default(),
+    );
     let head = match std::str::from_utf8(head) {
         Ok(h) => h,
         Err(_) => return ReadOutcome::Error(HttpError::Bad("request head is not UTF-8")),
@@ -236,7 +244,7 @@ pub(crate) fn read_request(
             Ok(0) => return ReadOutcome::Error(HttpError::Bad("truncated request body")),
             Ok(n) => {
                 idle = Duration::ZERO;
-                body.extend_from_slice(&chunk[..n]);
+                body.extend_from_slice(chunk.get(..n).unwrap_or(chunk.as_slice()));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 idle += READ_POLL;
@@ -376,8 +384,8 @@ pub(crate) fn percent_decode(s: &str) -> Option<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&byte) = bytes.get(i) {
+        match byte {
             b'+' => {
                 out.push(b' ');
                 i += 1;

@@ -26,7 +26,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lsi_core::{LsiModel, RankedList};
-use lsi_obs::{Json, RunReport};
+use lsi_obs::{Histogram, Json, RunReport};
 
 use crate::batcher::{self, Job, Queue};
 use crate::http::{self, HttpError, ReadOutcome, Request, Response};
@@ -102,6 +102,11 @@ pub struct Stats {
     pub batched_queries: AtomicU64,
     pub max_batch_seen: AtomicU64,
     pub degrade_level: AtomicU64,
+    /// End-to-end `/query` latency in microseconds for queries that
+    /// entered the scoring queue (including timeouts; shed requests
+    /// never wait and are excluded), log-bucketed so `/stats` can
+    /// report p50/p90/p99 without sample storage.
+    pub latency_us: Histogram,
 }
 
 impl Stats {
@@ -125,6 +130,17 @@ impl Stats {
         self.degrade_level.store(level as u64, Ordering::Relaxed);
     }
 
+    fn latency_json(&self) -> Json {
+        let snap = self.latency_us.snapshot();
+        Json::obj(vec![
+            ("count", Json::Num(snap.count as f64)),
+            ("p50", Json::Num(snap.p50)),
+            ("p90", Json::Num(snap.p90)),
+            ("p99", Json::Num(snap.p99)),
+            ("max", Json::Num(snap.max)),
+        ])
+    }
+
     fn to_json(&self, backlog: usize, draining: bool) -> Json {
         Json::obj(vec![
             ("connections", num(&self.connections)),
@@ -141,6 +157,7 @@ impl Stats {
             ("degrade_level", num(&self.degrade_level)),
             ("queue_depth", Json::Num(backlog as f64)),
             ("draining", Json::Bool(draining)),
+            ("latency_us", self.latency_json()),
         ])
     }
 }
@@ -349,6 +366,7 @@ impl Server {
         report.result("batches", num(&stats.batches));
         report.result("batched_queries", num(&stats.batched_queries));
         report.result("max_batch_seen", num(&stats.max_batch_seen));
+        report.result("latency_us", stats.latency_json());
         report
     }
 }
@@ -617,7 +635,9 @@ fn run_query(params: QueryParams, queue: &Queue, stats: &Stats) -> Response {
     stats.queries.fetch_add(1, Ordering::Relaxed);
     let wait = params.timeout + REPLY_SLACK;
     let outcome = reply_rx.recv_timeout(wait);
-    lsi_obs::observe("serve.query.us", t0.elapsed().as_secs_f64() * 1e6);
+    let elapsed_us = t0.elapsed().as_secs_f64() * 1e6;
+    lsi_obs::observe("serve.query.us", elapsed_us);
+    stats.latency_us.record(elapsed_us);
     match outcome {
         Ok(Ok(ranked)) => {
             let results: Vec<Json> = ranked

@@ -141,6 +141,17 @@ fn endpoints_route_and_validate() {
     let (code, body) = get(srv.addr, "/stats");
     assert_eq!(code, 200);
     assert!(body.contains("\"requests\""), "{body}");
+    // Latency percentiles: queries ran above, so the histogram has
+    // samples and a positive median.
+    let json_start = body.find("{").expect("stats body has JSON");
+    let stats = lsi_obs::parse_json(&body[json_start..]).expect("stats JSON parses");
+    let lat = stats.get("latency_us").expect("latency_us block present");
+    let count = lat.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    assert!(count >= 2.0, "latency samples recorded: {body}");
+    for key in ["p50", "p90", "p99", "max"] {
+        let v = lat.get(key).and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        assert!(v > 0.0, "latency {key} positive: {body}");
+    }
 
     let report = srv.finish();
     let json = report.to_json().to_string_compact();

@@ -297,11 +297,16 @@ echo "== perf: perf_kernels --gate (regression gate vs BENCH_kernels.json)"
 
 echo "== lint: lsi-analyze --ci (static-analysis ratchet)"
 # Replaces the old unwrap/eprintln shell greps with the token-aware
-# analyzer in crates/analysis: unsafe-audit, panic-surface,
-# float-safety, atomics-audit, eprintln-lint, threshold-provenance.
-# Pre-existing debt lives in analysis_baseline.json (per-(rule, file)
-# counts, shrink-only); any finding above the baseline fails here.
-# Details: DESIGN.md §3e, `lsi-analyze --explain <rule>`.
+# analyzer in crates/analysis: per-file rules (unsafe-audit,
+# panic-surface, float-safety, atomics-audit, eprintln-lint,
+# threshold-provenance, metric-naming) plus the interprocedural rules
+# over the workspace call graph (panic-reachability, unsafe-taint,
+# atomics-pairing — the serve path's panic-free contract is a hard
+# error). Pre-existing debt lives in analysis_baseline.json
+# (per-(rule, file) counts, shrink-only); any finding above the
+# baseline fails here. The analysis_full_secs gate row above caps this
+# stage's wall time. Details: DESIGN.md §3e and §3j,
+# `lsi-analyze --explain <rule>`.
 cargo run --release -q -p lsi-analyze -- --ci
 
 echo "verify: OK"
